@@ -1,0 +1,139 @@
+//! The two generalised attack classes (Definitions 4 and 5 of the paper).
+
+use lad_net::Observation;
+use serde::{Deserialize, Serialize};
+
+/// Which constraints bind the adversary when tainting an observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttackClass {
+    /// Dec-Bounded (Definition 4): observations can increase arbitrarily, but
+    /// the total decrease `Σ_i max(a_i − o_i, 0)` is bounded by the number of
+    /// compromised neighbours `x`. This is the strongest attacker the paper
+    /// evaluates.
+    DecBounded,
+    /// Dec-Only (Definition 5): with authentication and wormhole detection in
+    /// place only the silence attack remains, so `o_i ≤ a_i` for every group
+    /// and the total decrease is bounded by `x`.
+    DecOnly,
+}
+
+impl AttackClass {
+    /// Both classes, strongest first (the order used in the figures).
+    pub const ALL: [AttackClass; 2] = [AttackClass::DecBounded, AttackClass::DecOnly];
+
+    /// Short human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AttackClass::DecBounded => "dec-bounded",
+            AttackClass::DecOnly => "dec-only",
+        }
+    }
+
+    /// Whether increasing observations (impersonation, multi-impersonation,
+    /// range-change) is allowed under this class.
+    pub fn allows_increase(self) -> bool {
+        matches!(self, AttackClass::DecBounded)
+    }
+
+    /// Checks that a tainted observation `tainted` could have been produced
+    /// from the clean observation `clean` by an attacker of this class that
+    /// controls `compromised` neighbours of the victim (and, for Dec-Bounded,
+    /// respects the per-group ceiling of `group_size` nodes).
+    pub fn complies(
+        self,
+        clean: &Observation,
+        tainted: &Observation,
+        compromised: usize,
+        group_size: usize,
+    ) -> bool {
+        if clean.group_count() != tainted.group_count() {
+            return false;
+        }
+        let decrease = tainted_decrease(clean, tainted);
+        if decrease > compromised as u64 {
+            return false;
+        }
+        match self {
+            AttackClass::DecBounded => tainted
+                .counts()
+                .iter()
+                .all(|&o| o as usize <= group_size),
+            AttackClass::DecOnly => clean
+                .counts()
+                .iter()
+                .zip(tainted.counts())
+                .all(|(&a, &o)| o <= a),
+        }
+    }
+}
+
+/// Total decrease `Σ_i max(a_i − o_i, 0)` from `clean` to `tainted`.
+pub fn tainted_decrease(clean: &Observation, tainted: &Observation) -> u64 {
+    clean.decrease_cost(tainted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn clean() -> Observation {
+        Observation::from_counts(vec![5, 0, 3, 2])
+    }
+
+    #[test]
+    fn names_and_capabilities() {
+        assert_eq!(AttackClass::DecBounded.name(), "dec-bounded");
+        assert_eq!(AttackClass::DecOnly.name(), "dec-only");
+        assert!(AttackClass::DecBounded.allows_increase());
+        assert!(!AttackClass::DecOnly.allows_increase());
+    }
+
+    #[test]
+    fn dec_bounded_allows_increases_but_bounds_decreases() {
+        let tainted = Observation::from_counts(vec![3, 40, 3, 2]); // -2 on group 0, +40 on group 1
+        assert!(AttackClass::DecBounded.complies(&clean(), &tainted, 2, 300));
+        assert!(!AttackClass::DecBounded.complies(&clean(), &tainted, 1, 300));
+        // Per-group ceiling: no group can exceed the group size m.
+        let over = Observation::from_counts(vec![5, 301, 3, 2]);
+        assert!(!AttackClass::DecBounded.complies(&clean(), &over, 10, 300));
+    }
+
+    #[test]
+    fn dec_only_rejects_any_increase() {
+        let increased = Observation::from_counts(vec![5, 1, 3, 2]);
+        assert!(!AttackClass::DecOnly.complies(&clean(), &increased, 10, 300));
+        let decreased = Observation::from_counts(vec![4, 0, 2, 2]);
+        assert!(AttackClass::DecOnly.complies(&clean(), &decreased, 2, 300));
+        assert!(!AttackClass::DecOnly.complies(&clean(), &decreased, 1, 300));
+    }
+
+    #[test]
+    fn mismatched_lengths_never_comply() {
+        let other = Observation::from_counts(vec![1, 2]);
+        assert!(!AttackClass::DecBounded.complies(&clean(), &other, 100, 300));
+    }
+
+    #[test]
+    fn identity_taint_always_complies() {
+        for class in AttackClass::ALL {
+            assert!(class.complies(&clean(), &clean(), 0, 300));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_dec_only_is_subset_of_dec_bounded(
+            a in proptest::collection::vec(0u32..30, 6),
+            o in proptest::collection::vec(0u32..30, 6),
+            x in 0usize..200,
+        ) {
+            let clean = Observation::from_counts(a);
+            let tainted = Observation::from_counts(o);
+            // Anything a Dec-Only attacker can produce, a Dec-Bounded attacker can too.
+            if AttackClass::DecOnly.complies(&clean, &tainted, x, 300) {
+                prop_assert!(AttackClass::DecBounded.complies(&clean, &tainted, x, 300));
+            }
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Adversary models against LAD (§6 of the paper).
+//!
+//! An adversary that has already corrupted the *localization* of a victim
+//! (so that the victim believes it is at `L_e` with `|L_e − L_a| = D`, a
+//! **D-anomaly**) will also attack the *detection* phase so that the anomaly
+//! goes unnoticed. The raw capabilities are four message-level primitives
+//! (Figure 3): silence, impersonation, multi-impersonation, and range-change.
+//! The paper generalises their combinations into two classes:
+//!
+//! * **Dec-Bounded** (Definition 4) — observations can be inflated
+//!   arbitrarily, but the total *decrease* across groups is bounded by the
+//!   number of compromised neighbours `x`;
+//! * **Dec-Only** (Definition 5) — with authentication and wormhole
+//!   detection in place only the silence attack remains, so observations can
+//!   only decrease, again by at most `x` in total.
+//!
+//! [`greedy`] implements the strongest adversary the paper simulates: given
+//! the victim's clean observation, the expected observation at the forged
+//! location and a compromise budget, it produces the tainted observation that
+//! (greedily) minimises the targeted detection metric while complying with
+//! the attack-class constraints. [`dos`] implements the opposite goal —
+//! inflating the metric on an honest node to cause false alarms — and
+//! [`scenario`] packages the full §7.1 attack-simulation procedure.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod classes;
+pub mod danomaly;
+pub mod dos;
+pub mod exhaustive;
+pub mod greedy;
+pub mod primitives;
+pub mod scenario;
+
+pub use classes::AttackClass;
+pub use danomaly::displaced_location;
+pub use greedy::taint_observation;
+pub use scenario::{AttackConfig, AttackOutcome, simulate_attack};

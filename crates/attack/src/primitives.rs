@@ -1,0 +1,155 @@
+//! The four attack primitives of Figure 3, expressed as edits of the victim's
+//! observation vector.
+//!
+//! Each primitive models what one compromised (or relocated) node can do to
+//! the victim's per-group neighbour counts:
+//!
+//! * **Silence** — a compromised neighbour from group `i` says nothing:
+//!   `o_i` decreases by one.
+//! * **Impersonation** — a compromised neighbour from group `i` claims to be
+//!   from group `j`: `o_i` decreases by one, `o_j` increases by one.
+//! * **Multi-impersonation** — without per-message authentication a
+//!   compromised neighbour can send any number of forged claims: arbitrary
+//!   groups increase by arbitrary amounts.
+//! * **Range-change** — a node that is *not* a real neighbour is heard
+//!   anyway (power increase, wormhole, or physical relocation): some `o_k`
+//!   increases by one without any decrease elsewhere.
+
+use lad_net::Observation;
+use serde::{Deserialize, Serialize};
+
+/// A single attack primitive applied to a victim's observation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AttackPrimitive {
+    /// A compromised neighbour of group `group` stays silent.
+    Silence {
+        /// The silent node's true group.
+        group: usize,
+    },
+    /// A compromised neighbour of group `from` claims to be from group `to`.
+    Impersonation {
+        /// The impersonating node's true group.
+        from: usize,
+        /// The group it claims.
+        to: usize,
+    },
+    /// A compromised neighbour injects `count` extra claims for each listed
+    /// group (its own real broadcast is suppressed).
+    MultiImpersonation {
+        /// The flooding node's true group.
+        from: usize,
+        /// `(group, extra claims)` pairs injected by the flood.
+        claims: Vec<(usize, u32)>,
+    },
+    /// A node from `group` outside the victim's radio range is heard anyway.
+    RangeChange {
+        /// The out-of-range node's (claimed) group.
+        group: usize,
+    },
+}
+
+impl AttackPrimitive {
+    /// Applies the primitive to `obs` in place.
+    pub fn apply(&self, obs: &mut Observation) {
+        match self {
+            AttackPrimitive::Silence { group } => obs.decrement(*group),
+            AttackPrimitive::Impersonation { from, to } => {
+                obs.decrement(*from);
+                obs.increment(*to);
+            }
+            AttackPrimitive::MultiImpersonation { from, claims } => {
+                obs.decrement(*from);
+                for &(group, count) in claims {
+                    for _ in 0..count {
+                        obs.increment(group);
+                    }
+                }
+            }
+            AttackPrimitive::RangeChange { group } => obs.increment(*group),
+        }
+    }
+
+    /// How many compromised *neighbours* of the victim the primitive consumes
+    /// (range-change nodes are outside the neighbourhood, so they do not
+    /// count against the in-neighbourhood compromise budget `x`).
+    pub fn compromised_neighbors_used(&self) -> usize {
+        match self {
+            AttackPrimitive::Silence { .. }
+            | AttackPrimitive::Impersonation { .. }
+            | AttackPrimitive::MultiImpersonation { .. } => 1,
+            AttackPrimitive::RangeChange { .. } => 0,
+        }
+    }
+}
+
+/// Applies a sequence of primitives to a copy of `clean`, returning the
+/// tainted observation.
+pub fn apply_all(clean: &Observation, primitives: &[AttackPrimitive]) -> Observation {
+    let mut obs = clean.clone();
+    for p in primitives {
+        p.apply(&mut obs);
+    }
+    obs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clean() -> Observation {
+        Observation::from_counts(vec![4, 3, 0, 7])
+    }
+
+    #[test]
+    fn silence_decrements_the_right_group() {
+        let mut obs = clean();
+        AttackPrimitive::Silence { group: 0 }.apply(&mut obs);
+        assert_eq!(obs.counts(), &[3, 3, 0, 7]);
+        // Silence on an empty group saturates at zero.
+        AttackPrimitive::Silence { group: 2 }.apply(&mut obs);
+        assert_eq!(obs.counts(), &[3, 3, 0, 7]);
+    }
+
+    #[test]
+    fn impersonation_moves_one_unit() {
+        let mut obs = clean();
+        AttackPrimitive::Impersonation { from: 3, to: 2 }.apply(&mut obs);
+        assert_eq!(obs.counts(), &[4, 3, 1, 6]);
+        assert_eq!(obs.total(), clean().total());
+    }
+
+    #[test]
+    fn multi_impersonation_floods_many_groups() {
+        let mut obs = clean();
+        AttackPrimitive::MultiImpersonation {
+            from: 1,
+            claims: vec![(0, 5), (2, 3)],
+        }
+        .apply(&mut obs);
+        assert_eq!(obs.counts(), &[9, 2, 3, 7]);
+    }
+
+    #[test]
+    fn range_change_only_increases() {
+        let mut obs = clean();
+        AttackPrimitive::RangeChange { group: 2 }.apply(&mut obs);
+        assert_eq!(obs.counts(), &[4, 3, 1, 7]);
+        assert_eq!(AttackPrimitive::RangeChange { group: 2 }.compromised_neighbors_used(), 0);
+        assert_eq!(AttackPrimitive::Silence { group: 0 }.compromised_neighbors_used(), 1);
+    }
+
+    #[test]
+    fn apply_all_composes_primitives() {
+        let tainted = apply_all(
+            &clean(),
+            &[
+                AttackPrimitive::Silence { group: 0 },
+                AttackPrimitive::Impersonation { from: 3, to: 1 },
+                AttackPrimitive::RangeChange { group: 2 },
+            ],
+        );
+        assert_eq!(tainted.counts(), &[3, 4, 1, 6]);
+        // The clean observation is untouched.
+        assert_eq!(clean().counts(), &[4, 3, 0, 7]);
+    }
+}

@@ -1,0 +1,35 @@
+//! Ablation benches: the g(z) lookup-table size sweep (DESIGN.md E9) and the
+//! localization-scheme independence ablation (E10).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lad_bench::{bench_config, bench_context};
+use lad_deployment::GzTable;
+use lad_eval::experiments::{ablation_gz_table, ablation_localizers, ablation_model_mismatch};
+
+fn bench_ablations(c: &mut Criterion) {
+    let ctx = bench_context();
+
+    for note in ablation_gz_table(&ctx)
+        .notes
+        .iter()
+        .chain(ablation_localizers(&ctx).notes.iter())
+        .chain(ablation_model_mismatch(&bench_config()).notes.iter())
+    {
+        println!("[ablation] {note}");
+    }
+
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.bench_function("gz_table_sweep", |b| b.iter(|| ablation_gz_table(&ctx)));
+    group.bench_function("localizer_comparison", |b| b.iter(|| ablation_localizers(&ctx)));
+    group.bench_function("model_mismatch", |b| {
+        b.iter(|| ablation_model_mismatch(&bench_config()))
+    });
+    group.bench_function("gz_table_build_omega256", |b| {
+        b.iter(|| GzTable::build(40.0, 50.0, 256))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Figures 5–6 bench: ROC curves for Dec-Bounded vs Dec-Only attacks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lad_attack::AttackClass;
+use lad_bench::bench_context;
+use lad_core::MetricKind;
+use lad_eval::experiments::fig56_roc_attacks;
+
+fn bench_fig56(c: &mut Criterion) {
+    let ctx = bench_context();
+
+    let report = fig56_roc_attacks(&ctx);
+    for note in &report.notes {
+        println!("[fig5_6] {note}");
+    }
+
+    let mut group = c.benchmark_group("fig56_roc_attacks");
+    group.sample_size(10);
+    group.bench_function("full_figure", |b| b.iter(|| fig56_roc_attacks(&ctx)));
+    group.bench_function("dec_only_point_d80", |b| {
+        b.iter(|| ctx.score_set(MetricKind::Diff, AttackClass::DecOnly, 80.0, 0.10).roc())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig56);
+criterion_main!(benches);

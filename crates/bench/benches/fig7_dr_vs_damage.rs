@@ -1,0 +1,31 @@
+//! Figure 7 bench: detection rate vs degree of damage (DR-D-x).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lad_attack::AttackClass;
+use lad_bench::bench_context;
+use lad_core::MetricKind;
+use lad_eval::experiments::fig7_dr_vs_damage;
+
+fn bench_fig7(c: &mut Criterion) {
+    let ctx = bench_context();
+
+    let report = fig7_dr_vs_damage(&ctx);
+    for series in &report.series {
+        let row: Vec<String> =
+            series.points.iter().map(|(d, dr)| format!("D={d:.0}:{dr:.2}")).collect();
+        println!("[fig7] {} -> {}", series.label, row.join(" "));
+    }
+
+    let mut group = c.benchmark_group("fig7_dr_vs_damage");
+    group.sample_size(10);
+    group.bench_function("full_figure", |b| b.iter(|| fig7_dr_vs_damage(&ctx)));
+    group.bench_function("single_dr_point", |b| {
+        b.iter(|| {
+            ctx.detection_rate(MetricKind::Diff, AttackClass::DecBounded, 120.0, 0.10, 0.01)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

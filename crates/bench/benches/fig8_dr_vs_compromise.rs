@@ -1,0 +1,31 @@
+//! Figure 8 bench: detection rate vs percentage of compromised nodes (DR-x-D).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lad_attack::AttackClass;
+use lad_bench::bench_context;
+use lad_core::MetricKind;
+use lad_eval::experiments::fig8_dr_vs_compromise;
+
+fn bench_fig8(c: &mut Criterion) {
+    let ctx = bench_context();
+
+    let report = fig8_dr_vs_compromise(&ctx);
+    for series in &report.series {
+        let row: Vec<String> =
+            series.points.iter().map(|(x, dr)| format!("x={x:.0}%:{dr:.2}")).collect();
+        println!("[fig8] {} -> {}", series.label, row.join(" "));
+    }
+
+    let mut group = c.benchmark_group("fig8_dr_vs_compromise");
+    group.sample_size(10);
+    group.bench_function("full_figure", |b| b.iter(|| fig8_dr_vs_compromise(&ctx)));
+    group.bench_function("single_dr_point_x50", |b| {
+        b.iter(|| {
+            ctx.detection_rate(MetricKind::Diff, AttackClass::DecBounded, 160.0, 0.50, 0.01)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

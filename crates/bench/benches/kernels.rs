@@ -1,0 +1,62 @@
+//! Microbenchmarks of the hot kernels: g(z) evaluation, metric scoring,
+//! neighbourhood queries, MLE localization and greedy taint generation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lad_attack::{taint_observation, AttackClass};
+use lad_core::MetricKind;
+use lad_deployment::{gz_exact, DeploymentConfig, DeploymentKnowledge, GzTable};
+use lad_geometry::Point2;
+use lad_localization::BeaconlessMle;
+use lad_net::{Network, NodeId};
+
+fn bench_kernels(c: &mut Criterion) {
+    let config = DeploymentConfig::small_test();
+    let knowledge = DeploymentKnowledge::shared(&config);
+    let network = Network::generate(knowledge.clone(), 7);
+    let table = GzTable::build(config.range, config.sigma, 256);
+    let victim = NodeId(100);
+    let obs = network.true_observation(victim);
+    let forged = Point2::new(300.0, 120.0);
+    let mu = knowledge.expected_observation(forged);
+    let localizer = BeaconlessMle::new();
+
+    let mut group = c.benchmark_group("kernels");
+    group.sample_size(20);
+    group.bench_function("gz_exact_quadrature", |b| {
+        b.iter(|| gz_exact(black_box(77.0), 40.0, 50.0))
+    });
+    group.bench_function("gz_table_lookup", |b| b.iter(|| table.eval(black_box(77.0))));
+    group.bench_function("expected_observation", |b| {
+        b.iter(|| knowledge.expected_observation(black_box(forged)))
+    });
+    group.bench_function("neighborhood_query", |b| {
+        b.iter(|| network.true_observation(black_box(victim)))
+    });
+    group.bench_function("diff_metric_score", |b| {
+        let metric = MetricKind::Diff.metric();
+        b.iter(|| metric.score(black_box(&obs), black_box(&mu), config.group_size))
+    });
+    group.bench_function("probability_metric_score", |b| {
+        let metric = MetricKind::Probability.metric();
+        b.iter(|| metric.score(black_box(&obs), black_box(&mu), config.group_size))
+    });
+    group.bench_function("beaconless_mle_localize", |b| {
+        b.iter(|| localizer.estimate(&knowledge, black_box(&obs)))
+    });
+    group.bench_function("greedy_taint_diff_dec_bounded", |b| {
+        b.iter(|| {
+            taint_observation(
+                AttackClass::DecBounded,
+                MetricKind::Diff,
+                black_box(&obs),
+                black_box(&mu),
+                10,
+                config.group_size,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

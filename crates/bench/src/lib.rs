@@ -1,0 +1,30 @@
+//! Shared helpers for the LAD benchmark suite.
+//!
+//! Every paper figure has a Criterion bench that regenerates it on a reduced
+//! ("bench") configuration so the whole suite runs in seconds; the `reproduce`
+//! binary in `lad-eval` is the way to regenerate figures at paper scale.
+
+use lad_eval::{EvalConfig, EvalContext};
+
+/// The evaluation context every figure bench reuses (reduced scale).
+pub fn bench_context() -> EvalContext {
+    EvalContext::new(EvalConfig::bench())
+}
+
+/// The reduced evaluation configuration itself.
+pub fn bench_config() -> EvalConfig {
+    EvalConfig::bench()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lad_core::MetricKind;
+
+    #[test]
+    fn bench_context_is_small_but_nonempty() {
+        let ctx = bench_context();
+        assert!(!ctx.clean_scores(MetricKind::Diff).is_empty());
+        assert!(ctx.knowledge().config().total_nodes() < 5000);
+    }
+}

@@ -1,0 +1,180 @@
+//! The LAD detector: metric + trained threshold.
+
+use crate::metrics::MetricKind;
+use crate::threshold::TrainedThresholds;
+use lad_deployment::DeploymentKnowledge;
+use lad_geometry::Point2;
+use lad_net::Observation;
+use serde::{Deserialize, Serialize};
+
+/// The result of running LAD on one (observation, estimated location) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Verdict {
+    /// Which metric produced the verdict.
+    pub metric: MetricKind,
+    /// The anomaly score of the pair (larger = more anomalous).
+    pub score: f64,
+    /// The detection threshold in force.
+    pub threshold: f64,
+    /// Whether an alarm is raised (`score > threshold`).
+    pub anomalous: bool,
+}
+
+/// A configured LAD detector: one metric and one trained threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LadDetector {
+    metric: MetricKind,
+    threshold: f64,
+}
+
+impl LadDetector {
+    /// Creates a detector with an explicit threshold (normally obtained from
+    /// [`TrainedThresholds::threshold`]).
+    pub fn new(metric: MetricKind, threshold: f64) -> Self {
+        Self { metric, threshold }
+    }
+
+    /// The metric in use.
+    pub fn metric(&self) -> MetricKind {
+        self.metric
+    }
+
+    /// The detection threshold in use.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Returns a copy with a different threshold (used when sweeping ROC
+    /// operating points).
+    pub fn with_threshold(mut self, threshold: f64) -> Self {
+        self.threshold = threshold;
+        self
+    }
+
+    /// Computes the anomaly score of `(obs, estimate)` without thresholding.
+    pub fn score(
+        &self,
+        knowledge: &DeploymentKnowledge,
+        obs: &Observation,
+        estimate: Point2,
+    ) -> f64 {
+        self.metric.metric().score_at(knowledge, obs, estimate)
+    }
+
+    /// Runs detection: computes the score and compares it to the threshold.
+    pub fn detect(
+        &self,
+        knowledge: &DeploymentKnowledge,
+        obs: &Observation,
+        estimate: Point2,
+    ) -> Verdict {
+        let score = self.score(knowledge, obs, estimate);
+        Verdict {
+            metric: self.metric,
+            score,
+            threshold: self.threshold,
+            anomalous: score > self.threshold,
+        }
+    }
+}
+
+impl TrainedThresholds {
+    /// Builds a detector for `metric` at the τ-percentile threshold.
+    ///
+    /// Panics when the metric has no training samples — train first.
+    pub fn detector(&self, metric: MetricKind, tau: f64) -> LadDetector {
+        let threshold = self
+            .threshold(metric, tau)
+            .expect("metric has no training samples; run Trainer::train first");
+        LadDetector::new(metric, threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expected::rounded_expected;
+    use crate::training::{Trainer, TrainingConfig};
+    use lad_deployment::{DeploymentConfig, DeploymentKnowledge};
+    use lad_localization::BeaconlessMle;
+    use lad_net::{Network, NodeId};
+
+    fn trained_knowledge() -> (std::sync::Arc<DeploymentKnowledge>, TrainedThresholds) {
+        let knowledge = DeploymentKnowledge::shared(&DeploymentConfig::small_test());
+        let trained = Trainer::new(TrainingConfig {
+            networks: 2,
+            samples_per_network: 80,
+            seed: 77,
+            localizer: BeaconlessMle::new(),
+        })
+        .train(&knowledge);
+        (knowledge, trained)
+    }
+
+    #[test]
+    fn clean_nodes_rarely_alarm_at_high_tau() {
+        let (knowledge, trained) = trained_knowledge();
+        let detector = trained.detector(MetricKind::Diff, 0.99);
+        let network = Network::generate(knowledge.clone(), 1234);
+        let localizer = BeaconlessMle::new();
+        let mut alarms = 0usize;
+        let mut total = 0usize;
+        for i in (0..network.node_count()).step_by(11) {
+            let id = NodeId(i as u32);
+            let obs = network.true_observation(id);
+            let Some(est) = localizer.estimate(&knowledge, &obs) else { continue };
+            total += 1;
+            if detector.detect(&knowledge, &obs, est).anomalous {
+                alarms += 1;
+            }
+        }
+        assert!(total > 50);
+        let fp = alarms as f64 / total as f64;
+        assert!(fp < 0.08, "clean false-positive rate too high: {fp}");
+    }
+
+    #[test]
+    fn grossly_displaced_location_alarms() {
+        let (knowledge, trained) = trained_knowledge();
+        let detector = trained.detector(MetricKind::Diff, 0.99);
+        // Observation consistent with (100, 100) but claimed location far away.
+        let truth = Point2::new(100.0, 100.0);
+        let obs = rounded_expected(&knowledge.expected_observation(truth));
+        let verdict = detector.detect(&knowledge, &obs, Point2::new(320.0, 320.0));
+        assert!(verdict.anomalous, "score {} threshold {}", verdict.score, verdict.threshold);
+        // The same observation at the true location is not anomalous.
+        let clean = detector.detect(&knowledge, &obs, truth);
+        assert!(!clean.anomalous);
+    }
+
+    #[test]
+    fn with_threshold_changes_the_operating_point() {
+        let d = LadDetector::new(MetricKind::Diff, 10.0);
+        assert_eq!(d.threshold(), 10.0);
+        assert_eq!(d.metric(), MetricKind::Diff);
+        let d2 = d.with_threshold(20.0);
+        assert_eq!(d2.threshold(), 20.0);
+        assert_eq!(d.threshold(), 10.0, "original is unchanged (Copy semantics)");
+    }
+
+    #[test]
+    fn verdict_fields_are_consistent() {
+        let (knowledge, trained) = trained_knowledge();
+        for kind in MetricKind::ALL {
+            let detector = trained.detector(kind, 0.95);
+            let obs =
+                rounded_expected(&knowledge.expected_observation(Point2::new(150.0, 150.0)));
+            let v = detector.detect(&knowledge, &obs, Point2::new(250.0, 250.0));
+            assert_eq!(v.metric, kind);
+            assert_eq!(v.anomalous, v.score > v.threshold);
+            assert_eq!(v.threshold, detector.threshold());
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn detector_for_untrained_metric_panics() {
+        let empty = TrainedThresholds::new();
+        let _ = empty.detector(MetricKind::Diff, 0.99);
+    }
+}

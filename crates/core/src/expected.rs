@@ -1,0 +1,68 @@
+//! Expected observations (Equation 2 of the paper).
+//!
+//! Given an estimated location `L_e`, the expected number of neighbours from
+//! group `i` is `µ_i = m · g_i(L_e)`; this module is a thin, documented
+//! wrapper over [`DeploymentKnowledge`] plus helpers shared by the metrics
+//! and the adversary models.
+
+use lad_deployment::DeploymentKnowledge;
+use lad_geometry::Point2;
+use lad_net::Observation;
+
+/// The expected observation `µ(L_e)` with `µ_i = m · g_i(L_e)`.
+pub fn expected_observation(knowledge: &DeploymentKnowledge, location: Point2) -> Vec<f64> {
+    knowledge.expected_observation(location)
+}
+
+/// Rounds an expected observation to integer counts (used by adversaries that
+/// need to *produce* an integral observation close to `µ`).
+pub fn rounded_expected(mu: &[f64]) -> Observation {
+    Observation::from_counts(mu.iter().map(|&v| v.round().max(0.0) as u32).collect())
+}
+
+/// The L1 deviation `Σ |o_i − µ_i|` between an integer observation and an
+/// expected (real-valued) observation — the Diff metric's core quantity.
+pub fn l1_deviation(obs: &Observation, mu: &[f64]) -> f64 {
+    assert_eq!(obs.group_count(), mu.len(), "observation/expectation length mismatch");
+    obs.counts()
+        .iter()
+        .zip(mu)
+        .map(|(&o, &m)| (o as f64 - m).abs())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lad_deployment::DeploymentConfig;
+
+    #[test]
+    fn expected_observation_matches_knowledge() {
+        let k = DeploymentKnowledge::from_config(&DeploymentConfig::small_test());
+        let p = Point2::new(200.0, 200.0);
+        assert_eq!(expected_observation(&k, p), k.expected_observation(p));
+    }
+
+    #[test]
+    fn rounded_expected_is_close_to_mu() {
+        let mu = vec![0.2, 1.7, 3.5, 0.0];
+        let obs = rounded_expected(&mu);
+        assert_eq!(obs.counts(), &[0, 2, 4, 0]);
+        assert!(l1_deviation(&obs, &mu) <= 0.5 * mu.len() as f64);
+    }
+
+    #[test]
+    fn l1_deviation_zero_iff_exact_match() {
+        let mu = vec![1.0, 2.0, 3.0];
+        let obs = Observation::from_counts(vec![1, 2, 3]);
+        assert_eq!(l1_deviation(&obs, &mu), 0.0);
+        let other = Observation::from_counts(vec![0, 2, 5]);
+        assert_eq!(l1_deviation(&other, &mu), 3.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        let _ = l1_deviation(&Observation::zeros(2), &[1.0, 2.0, 3.0]);
+    }
+}

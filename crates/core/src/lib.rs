@@ -1,0 +1,76 @@
+//! LAD — Localization Anomaly Detection (the paper's core contribution).
+//!
+//! LAD runs *after* localization: a sensor holds an estimated location `L_e`
+//! (from any localization scheme) and an observation `o` (per-group neighbour
+//! counts from the group-ID broadcast). Using deployment knowledge it derives
+//! the expected observation `µ(L_e)` and measures the inconsistency between
+//! `o` and `µ` with one of three metrics (§5):
+//!
+//! * [`metrics::DiffMetric`] — `DM = Σ |o_i − µ_i|`,
+//! * [`metrics::AddAllMetric`] — `AM = Σ max(o_i, µ_i)`,
+//! * [`metrics::ProbabilityMetric`] — alarm when any
+//!   `Pr(X_i = o_i | L_e)` is too small.
+//!
+//! Thresholds are obtained by τ-percentile training on clean simulated
+//! deployments ([`training`]); the resulting [`detector::LadDetector`] raises
+//! an alarm whenever the metric exceeds its threshold, flagging the location
+//! as anomalous.
+//!
+//! # Quick example
+//!
+//! ```
+//! use lad_core::prelude::*;
+//! use lad_deployment::{DeploymentConfig, DeploymentKnowledge};
+//! use lad_net::Network;
+//!
+//! // Small deployment for the doc test; the paper uses 10×10 groups of 300.
+//! let config = DeploymentConfig::small_test();
+//! let knowledge = DeploymentKnowledge::shared(&config);
+//! let network = Network::generate(knowledge.clone(), 42);
+//!
+//! // Train a Diff-metric detector at the 99th percentile.
+//! let trainer = Trainer::new(TrainingConfig {
+//!     networks: 2,
+//!     samples_per_network: 64,
+//!     seed: 7,
+//!     ..TrainingConfig::default()
+//! });
+//! let trained = trainer.train(&knowledge);
+//! let detector = trained.detector(MetricKind::Diff, 0.99);
+//!
+//! // A clean node should not raise an alarm.
+//! let node = lad_net::NodeId(100);
+//! let obs = network.true_observation(node);
+//! let estimate = lad_localization::BeaconlessMle::new()
+//!     .estimate(&knowledge, &obs)
+//!     .unwrap();
+//! let verdict = detector.detect(&knowledge, &obs, estimate);
+//! assert!(!verdict.anomalous || verdict.score < 2.0 * verdict.threshold);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod detector;
+pub mod expected;
+pub mod metrics;
+pub mod pipeline;
+pub mod threshold;
+pub mod training;
+
+pub use detector::{LadDetector, Verdict};
+pub use metrics::{AddAllMetric, DetectionMetric, DiffMetric, MetricKind, ProbabilityMetric};
+pub use pipeline::LadPipeline;
+pub use threshold::TrainedThresholds;
+pub use training::{Trainer, TrainingConfig};
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use crate::detector::{LadDetector, Verdict};
+    pub use crate::metrics::{
+        AddAllMetric, DetectionMetric, DiffMetric, MetricKind, ProbabilityMetric,
+    };
+    pub use crate::pipeline::LadPipeline;
+    pub use crate::threshold::TrainedThresholds;
+    pub use crate::training::{Trainer, TrainingConfig};
+}

@@ -1,0 +1,265 @@
+//! The three LAD detection metrics (§5.2–5.4 of the paper).
+//!
+//! All metrics are exposed through [`DetectionMetric`] under a single
+//! convention: **larger scores are more anomalous**, and a detector raises an
+//! alarm when `score > threshold`. The Diff and Add-all metrics already have
+//! that orientation; the probability metric (where *small* likelihood means
+//! anomaly) is mapped to a score by negating the log of the smallest
+//! per-group likelihood.
+
+use crate::expected::l1_deviation;
+use lad_deployment::DeploymentKnowledge;
+use lad_geometry::Point2;
+use lad_net::Observation;
+use lad_stats::Binomial;
+use serde::{Deserialize, Serialize};
+
+/// Which of the paper's metrics is in use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MetricKind {
+    /// The Difference metric `DM = Σ |o_i − µ_i|` (§5.2).
+    Diff,
+    /// The Add-all metric `AM = Σ max(o_i, µ_i)` (§5.3).
+    AddAll,
+    /// The Probability metric `min_i Pr(X_i = o_i | L_e)` (§5.4).
+    Probability,
+}
+
+impl MetricKind {
+    /// All three metrics, in paper order.
+    pub const ALL: [MetricKind; 3] = [MetricKind::Diff, MetricKind::AddAll, MetricKind::Probability];
+
+    /// Short human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MetricKind::Diff => "diff",
+            MetricKind::AddAll => "add-all",
+            MetricKind::Probability => "probability",
+        }
+    }
+
+    /// Instantiates the metric.
+    pub fn metric(self) -> Box<dyn DetectionMetric> {
+        match self {
+            MetricKind::Diff => Box::new(DiffMetric),
+            MetricKind::AddAll => Box::new(AddAllMetric),
+            MetricKind::Probability => Box::new(ProbabilityMetric),
+        }
+    }
+}
+
+/// A detection metric: maps (observation, expected observation) to an anomaly
+/// score where larger values are more anomalous.
+pub trait DetectionMetric: Send + Sync {
+    /// Which metric this is.
+    fn kind(&self) -> MetricKind;
+
+    /// Anomaly score for observation `obs` against the expected observation
+    /// `mu`, where `group_size` is the per-group node count `m`.
+    fn score(&self, obs: &Observation, mu: &[f64], group_size: usize) -> f64;
+
+    /// Convenience: compute `µ(L_e)` from the knowledge and score against it.
+    fn score_at(
+        &self,
+        knowledge: &DeploymentKnowledge,
+        obs: &Observation,
+        estimate: Point2,
+    ) -> f64 {
+        let mu = knowledge.expected_observation(estimate);
+        self.score(obs, &mu, knowledge.group_size())
+    }
+}
+
+/// The Difference metric `DM = Σ_i |o_i − µ_i|`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DiffMetric;
+
+impl DetectionMetric for DiffMetric {
+    fn kind(&self) -> MetricKind {
+        MetricKind::Diff
+    }
+
+    fn score(&self, obs: &Observation, mu: &[f64], _group_size: usize) -> f64 {
+        l1_deviation(obs, mu)
+    }
+}
+
+/// The Add-all metric `AM = Σ_i max(o_i, µ_i)`.
+///
+/// The union observation `t_i = max(o_i, µ_i)` grows when the actual and the
+/// expected observations disagree about *which* groups should be visible, so
+/// its total is an anomaly indicator (§5.3).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AddAllMetric;
+
+impl DetectionMetric for AddAllMetric {
+    fn kind(&self) -> MetricKind {
+        MetricKind::AddAll
+    }
+
+    fn score(&self, obs: &Observation, mu: &[f64], _group_size: usize) -> f64 {
+        assert_eq!(obs.group_count(), mu.len(), "observation/expectation length mismatch");
+        obs.counts()
+            .iter()
+            .zip(mu)
+            .map(|(&o, &m)| (o as f64).max(m))
+            .sum()
+    }
+}
+
+/// The Probability metric: the smallest per-group likelihood
+/// `min_i Pr(X_i = o_i | L_e)` with `X_i ~ Binomial(m, g_i(L_e))`.
+///
+/// Exposed as a score via `−ln(min_i Pr)` so that "larger is more anomalous"
+/// holds like the other metrics; [`ProbabilityMetric::min_probability`]
+/// returns the raw likelihood for callers that want the paper's orientation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProbabilityMetric;
+
+impl ProbabilityMetric {
+    /// The raw metric of §5.4: the smallest `Pr(X_i = o_i | L_e)` over groups.
+    pub fn min_probability(obs: &Observation, mu: &[f64], group_size: usize) -> f64 {
+        assert_eq!(obs.group_count(), mu.len(), "observation/expectation length mismatch");
+        let m = group_size as f64;
+        let mut min_p = 1.0f64;
+        for (i, &mui) in mu.iter().enumerate() {
+            let g = (mui / m).clamp(0.0, 1.0);
+            let p = Binomial::new(group_size as u64, g).pmf(obs.count(i) as u64);
+            if p < min_p {
+                min_p = p;
+            }
+        }
+        min_p
+    }
+}
+
+impl DetectionMetric for ProbabilityMetric {
+    fn kind(&self) -> MetricKind {
+        MetricKind::Probability
+    }
+
+    fn score(&self, obs: &Observation, mu: &[f64], group_size: usize) -> f64 {
+        let p = Self::min_probability(obs, mu, group_size).max(1e-300);
+        -p.ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lad_deployment::DeploymentConfig;
+    use proptest::prelude::*;
+
+    fn mu_and_matching_obs() -> (Vec<f64>, Observation) {
+        let mu = vec![0.0, 2.0, 5.0, 10.0, 0.5];
+        let obs = Observation::from_counts(vec![0, 2, 5, 10, 1]);
+        (mu, obs)
+    }
+
+    #[test]
+    fn diff_metric_matches_hand_computation() {
+        let (mu, obs) = mu_and_matching_obs();
+        let dm = DiffMetric.score(&obs, &mu, 300);
+        assert!((dm - 0.5).abs() < 1e-12);
+        let shifted = Observation::from_counts(vec![3, 2, 5, 10, 1]);
+        assert!((DiffMetric.score(&shifted, &mu, 300) - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn addall_metric_matches_hand_computation() {
+        let (mu, obs) = mu_and_matching_obs();
+        // max per group: 0, 2, 5, 10, 1 -> 18
+        assert!((AddAllMetric.score(&obs, &mu, 300) - 18.0).abs() < 1e-12);
+        // Moving observations to the "wrong" groups inflates the union.
+        let wrong = Observation::from_counts(vec![10, 0, 0, 0, 8]);
+        assert!(AddAllMetric.score(&wrong, &mu, 300) > 25.0);
+    }
+
+    #[test]
+    fn probability_metric_prefers_likely_observations() {
+        let m = 300usize;
+        let mu = vec![15.0, 3.0, 0.1];
+        let likely = Observation::from_counts(vec![15, 3, 0]);
+        let unlikely = Observation::from_counts(vec![40, 3, 0]);
+        let p_likely = ProbabilityMetric::min_probability(&likely, &mu, m);
+        let p_unlikely = ProbabilityMetric::min_probability(&unlikely, &mu, m);
+        assert!(p_likely > p_unlikely);
+        // Score orientation: unlikely observation scores higher.
+        assert!(
+            ProbabilityMetric.score(&unlikely, &mu, m) > ProbabilityMetric.score(&likely, &mu, m)
+        );
+    }
+
+    #[test]
+    fn metric_kind_round_trips() {
+        for kind in MetricKind::ALL {
+            assert_eq!(kind.metric().kind(), kind);
+            assert!(!kind.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn score_at_uses_the_expected_observation_at_the_estimate() {
+        let k = DeploymentKnowledge::from_config(&DeploymentConfig::small_test());
+        let p = Point2::new(150.0, 250.0);
+        let mu = k.expected_observation(p);
+        let obs = crate::expected::rounded_expected(&mu);
+        // An observation that matches the expectation at P scores low at P …
+        let at_p = DiffMetric.score_at(&k, &obs, p);
+        // … and much higher at a distant point Q.
+        let at_q = DiffMetric.score_at(&k, &obs, Point2::new(350.0, 50.0));
+        assert!(at_p < at_q, "diff at P {at_p} should be below diff at Q {at_q}");
+    }
+
+    #[test]
+    fn distant_locations_score_higher_on_all_metrics() {
+        // The key premise of LAD (§5): the farther the claimed location is
+        // from the true one, the more inconsistent the observation looks.
+        let k = DeploymentKnowledge::from_config(&DeploymentConfig::small_test());
+        let truth = Point2::new(200.0, 200.0);
+        let mu_truth = k.expected_observation(truth);
+        let obs = crate::expected::rounded_expected(&mu_truth);
+        for kind in MetricKind::ALL {
+            let metric = kind.metric();
+            let near = metric.score_at(&k, &obs, Point2::new(210.0, 205.0));
+            let far = metric.score_at(&k, &obs, Point2::new(360.0, 40.0));
+            assert!(
+                far > near,
+                "{}: far score {far} should exceed near score {near}",
+                kind.name()
+            );
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_diff_zero_only_on_exact_match(counts in proptest::collection::vec(0u32..30, 6)) {
+            let mu: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
+            let obs = Observation::from_counts(counts.clone());
+            prop_assert_eq!(DiffMetric.score(&obs, &mu, 100), 0.0);
+        }
+
+        #[test]
+        fn prop_addall_at_least_max_of_totals(
+            counts in proptest::collection::vec(0u32..30, 6),
+            mu in proptest::collection::vec(0.0f64..30.0, 6),
+        ) {
+            let obs = Observation::from_counts(counts);
+            let am = AddAllMetric.score(&obs, &mu, 100);
+            let total_o = obs.total() as f64;
+            let total_mu: f64 = mu.iter().sum();
+            prop_assert!(am + 1e-9 >= total_o.max(total_mu));
+            prop_assert!(am <= total_o + total_mu + 1e-9);
+        }
+
+        #[test]
+        fn prop_probability_metric_is_a_probability(
+            counts in proptest::collection::vec(0u32..60, 4),
+            mu in proptest::collection::vec(0.0f64..60.0, 4),
+        ) {
+            let obs = Observation::from_counts(counts);
+            let p = ProbabilityMetric::min_probability(&obs, &mu, 60);
+            prop_assert!((0.0..=1.0).contains(&p));
+        }
+    }
+}

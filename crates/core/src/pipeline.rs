@@ -1,0 +1,190 @@
+//! A deployable LAD pipeline: deployment knowledge + trained thresholds +
+//! detector behind one object that can be serialised and shipped to sensors.
+//!
+//! The paper's workflow has two phases: an offline phase (model the
+//! deployment, simulate it, train the thresholds) and an online phase (each
+//! sensor verifies its own localization result). [`LadPipeline`] packages the
+//! offline artefacts so the online phase is a single call, and serialises to
+//! JSON so the artefact can be provisioned onto nodes before deployment.
+
+use crate::detector::{LadDetector, Verdict};
+use crate::metrics::MetricKind;
+use crate::threshold::TrainedThresholds;
+use crate::training::{Trainer, TrainingConfig};
+use lad_deployment::{DeploymentConfig, DeploymentKnowledge};
+use lad_geometry::Point2;
+use lad_localization::BeaconlessMle;
+use lad_net::{Network, NodeId, Observation};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// The serialisable part of a pipeline (everything except the rebuildable
+/// deployment knowledge).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct PipelineArtifact {
+    deployment: DeploymentConfig,
+    training: TrainingConfig,
+    trained: TrainedThresholds,
+    metric: MetricKind,
+    tau: f64,
+}
+
+/// An end-to-end LAD pipeline: fit offline, verify online.
+#[derive(Debug, Clone)]
+pub struct LadPipeline {
+    knowledge: Arc<DeploymentKnowledge>,
+    artifact: PipelineArtifact,
+    detector: LadDetector,
+}
+
+impl LadPipeline {
+    /// Offline phase: build the deployment knowledge, run threshold training,
+    /// and fix the operating point (`metric`, τ-percentile `tau`).
+    pub fn fit(
+        deployment: &DeploymentConfig,
+        training: TrainingConfig,
+        metric: MetricKind,
+        tau: f64,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&tau), "tau must be a fraction in [0, 1]");
+        let knowledge = DeploymentKnowledge::shared(deployment);
+        let trained = Trainer::new(training).train(&knowledge);
+        let detector = trained.detector(metric, tau);
+        Self {
+            knowledge,
+            artifact: PipelineArtifact {
+                deployment: *deployment,
+                training,
+                trained,
+                metric,
+                tau,
+            },
+            detector,
+        }
+    }
+
+    /// The deployment knowledge baked into the pipeline.
+    pub fn knowledge(&self) -> &Arc<DeploymentKnowledge> {
+        &self.knowledge
+    }
+
+    /// The configured detector (metric + threshold).
+    pub fn detector(&self) -> LadDetector {
+        self.detector
+    }
+
+    /// The metric the pipeline operates with.
+    pub fn metric(&self) -> MetricKind {
+        self.artifact.metric
+    }
+
+    /// The τ-percentile used to pick the threshold.
+    pub fn tau(&self) -> f64 {
+        self.artifact.tau
+    }
+
+    /// The trained threshold distributions (e.g. to re-derive a detector at a
+    /// different τ without retraining).
+    pub fn trained(&self) -> &TrainedThresholds {
+        &self.artifact.trained
+    }
+
+    /// Online phase: verify an (observation, estimated location) pair.
+    pub fn verify(&self, observation: &Observation, estimate: Point2) -> Verdict {
+        self.detector.detect(&self.knowledge, observation, estimate)
+    }
+
+    /// Convenience for simulations: localize `node` with the beaconless MLE
+    /// and verify the result. Returns `None` when the node cannot be
+    /// localized (no neighbours).
+    pub fn localize_and_verify(
+        &self,
+        network: &Network,
+        node: NodeId,
+    ) -> Option<(Point2, Verdict)> {
+        let obs = network.true_observation(node);
+        let estimate = BeaconlessMle::new().estimate(&self.knowledge, &obs)?;
+        Some((estimate, self.verify(&obs, estimate)))
+    }
+
+    /// Serialises the pipeline artefact (config + trained thresholds +
+    /// operating point) to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(&self.artifact).expect("pipeline artefact serialises")
+    }
+
+    /// Restores a pipeline from [`Self::to_json`] output, rebuilding the
+    /// deployment knowledge (g(z) table included) from the stored config.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        let artifact: PipelineArtifact = serde_json::from_str(json)?;
+        let knowledge = DeploymentKnowledge::shared(&artifact.deployment);
+        let detector = artifact.trained.detector(artifact.metric, artifact.tau);
+        Ok(Self { knowledge, artifact, detector })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pipeline() -> LadPipeline {
+        LadPipeline::fit(
+            &DeploymentConfig::small_test(),
+            TrainingConfig { networks: 2, samples_per_network: 80, seed: 99, ..TrainingConfig::default() },
+            MetricKind::Diff,
+            0.99,
+        )
+    }
+
+    #[test]
+    fn fit_then_verify_honest_and_forged_locations() {
+        let p = pipeline();
+        let network = Network::generate(p.knowledge().clone(), 123);
+        let node = NodeId(250);
+        let (estimate, verdict) = p.localize_and_verify(&network, node).unwrap();
+        // Honest estimate: close to the truth, not anomalous (allow for the
+        // rare clean false positive by checking the score is near threshold).
+        assert!(estimate.distance(network.node(node).resident_point) < 100.0);
+        assert!(!verdict.anomalous || verdict.score < 2.0 * verdict.threshold);
+
+        // A location forged 200 m away with the same observation must alarm.
+        let obs = network.true_observation(node);
+        let forged = Point2::new(estimate.x + 200.0, estimate.y);
+        let forged_verdict = p.verify(&obs, forged);
+        assert!(forged_verdict.anomalous);
+        assert!(forged_verdict.score > verdict.score);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_behaviour() {
+        let p = pipeline();
+        let json = p.to_json();
+        let restored = LadPipeline::from_json(&json).unwrap();
+        assert_eq!(p.metric(), restored.metric());
+        assert_eq!(p.tau(), restored.tau());
+        assert!((p.detector().threshold() - restored.detector().threshold()).abs() < 1e-9);
+
+        // Same verdict on the same input.
+        let obs = Observation::from_counts(vec![0; p.knowledge().group_count()]);
+        let at = Point2::new(200.0, 200.0);
+        assert_eq!(p.verify(&obs, at).anomalous, restored.verify(&obs, at).anomalous);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_tau_is_rejected() {
+        let _ = LadPipeline::fit(
+            &DeploymentConfig::small_test(),
+            TrainingConfig { networks: 1, samples_per_network: 10, seed: 1, ..TrainingConfig::default() },
+            MetricKind::Diff,
+            1.5,
+        );
+    }
+
+    #[test]
+    fn trained_distributions_allow_re_deriving_detectors() {
+        let p = pipeline();
+        let looser = p.trained().detector(MetricKind::Diff, 0.90);
+        assert!(looser.threshold() <= p.detector().threshold());
+    }
+}

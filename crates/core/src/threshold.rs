@@ -1,0 +1,103 @@
+//! Trained detection thresholds.
+//!
+//! Training (§5.5 of the paper) produces, for each metric, the empirical
+//! distribution of scores on clean deployments. A τ-percentile of that
+//! distribution becomes the detection threshold; `(1 − τ)` is the expected
+//! training false-positive rate. Keeping the full score samples around lets
+//! the evaluation harness sweep τ to draw ROC curves without retraining.
+
+use crate::metrics::MetricKind;
+use lad_stats::percentile;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The outcome of threshold training: clean-score samples per metric.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct TrainedThresholds {
+    samples: BTreeMap<String, Vec<f64>>,
+}
+
+impl TrainedThresholds {
+    /// Creates an empty container.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores the clean training scores for `metric` (sorted internally).
+    pub fn insert(&mut self, metric: MetricKind, mut scores: Vec<f64>) {
+        scores.sort_by(|a, b| a.partial_cmp(b).expect("NaN score"));
+        self.samples.insert(metric.name().to_string(), scores);
+    }
+
+    /// The sorted clean-score sample for `metric`, if trained.
+    pub fn scores(&self, metric: MetricKind) -> Option<&[f64]> {
+        self.samples.get(metric.name()).map(|v| v.as_slice())
+    }
+
+    /// Number of training samples stored for `metric`.
+    pub fn sample_count(&self, metric: MetricKind) -> usize {
+        self.scores(metric).map_or(0, |s| s.len())
+    }
+
+    /// The τ-percentile threshold for `metric` (`tau` as a fraction, e.g.
+    /// 0.99). Returns `None` when the metric was not trained.
+    pub fn threshold(&self, metric: MetricKind, tau: f64) -> Option<f64> {
+        let scores = self.scores(metric)?;
+        if scores.is_empty() {
+            return None;
+        }
+        Some(percentile::quantile_sorted(scores, tau))
+    }
+
+    /// The empirical training false-positive rate of a given threshold for
+    /// `metric`: the fraction of training scores strictly above it.
+    pub fn training_fp(&self, metric: MetricKind, threshold: f64) -> Option<f64> {
+        let scores = self.scores(metric)?;
+        Some(percentile::exceedance_fraction(scores, threshold))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untrained_metric_has_no_threshold() {
+        let t = TrainedThresholds::new();
+        assert!(t.threshold(MetricKind::Diff, 0.99).is_none());
+        assert_eq!(t.sample_count(MetricKind::Diff), 0);
+        assert!(t.scores(MetricKind::AddAll).is_none());
+    }
+
+    #[test]
+    fn threshold_is_the_tau_percentile() {
+        let mut t = TrainedThresholds::new();
+        t.insert(MetricKind::Diff, (0..1000).map(|i| i as f64).collect());
+        let thr = t.threshold(MetricKind::Diff, 0.99).unwrap();
+        assert!((thr - 989.01).abs() < 0.5);
+        // Training FP at the tau threshold is about 1 - tau.
+        let fp = t.training_fp(MetricKind::Diff, thr).unwrap();
+        assert!(fp <= 0.011, "training FP {fp}");
+    }
+
+    #[test]
+    fn metrics_are_stored_independently() {
+        let mut t = TrainedThresholds::new();
+        t.insert(MetricKind::Diff, vec![1.0, 2.0, 3.0]);
+        t.insert(MetricKind::Probability, vec![10.0, 20.0]);
+        assert_eq!(t.sample_count(MetricKind::Diff), 3);
+        assert_eq!(t.sample_count(MetricKind::Probability), 2);
+        assert_eq!(t.sample_count(MetricKind::AddAll), 0);
+        assert_eq!(t.threshold(MetricKind::Diff, 1.0), Some(3.0));
+        assert_eq!(t.threshold(MetricKind::Probability, 0.0), Some(10.0));
+    }
+
+    #[test]
+    fn higher_tau_gives_higher_threshold() {
+        let mut t = TrainedThresholds::new();
+        t.insert(MetricKind::AddAll, (0..500).map(|i| (i as f64).sqrt()).collect());
+        let t90 = t.threshold(MetricKind::AddAll, 0.90).unwrap();
+        let t999 = t.threshold(MetricKind::AddAll, 0.999).unwrap();
+        assert!(t999 >= t90);
+    }
+}

@@ -1,0 +1,186 @@
+//! Threshold training on clean simulated deployments (§5.5 of the paper).
+//!
+//! The paper's training procedure:
+//!
+//! 1. generate a number of sensor networks from the deployment model,
+//! 2. for a sample of nodes collect the observation `o`, the true location
+//!    and the location `L_e` estimated by the chosen localization scheme,
+//! 3. compute every detection metric for every sampled node,
+//! 4. take the τ-percentile of each metric's empirical distribution as its
+//!    detection threshold (`1 − τ` is the training false-positive rate).
+//!
+//! [`Trainer`] implements steps 1–3 (parallel over networks, deterministic in
+//! the master seed); [`TrainedThresholds`] implements step 4 lazily so τ can
+//! be swept without retraining.
+
+use crate::metrics::MetricKind;
+use crate::threshold::TrainedThresholds;
+use lad_deployment::DeploymentKnowledge;
+use lad_localization::BeaconlessMle;
+use lad_net::{Network, NodeId};
+use lad_stats::seeds::derive_seed;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Parameters of the training procedure.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainingConfig {
+    /// Number of independent deployments (networks) to simulate.
+    pub networks: usize,
+    /// Number of nodes sampled per network.
+    pub samples_per_network: usize,
+    /// Master seed for the whole training run.
+    pub seed: u64,
+    /// Parameters of the beaconless-MLE localizer used to produce `L_e`.
+    pub localizer: BeaconlessMle,
+}
+
+impl Default for TrainingConfig {
+    fn default() -> Self {
+        Self {
+            networks: 4,
+            samples_per_network: 250,
+            seed: 0x1ad_5eed,
+            localizer: BeaconlessMle::new(),
+        }
+    }
+}
+
+/// One clean training record: a node's observation, its true location, and
+/// the location estimated by the localization scheme.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainingSample {
+    /// Scores for each metric, indexed like [`MetricKind::ALL`].
+    pub scores: [f64; 3],
+    /// The localization error `|L_e − L_a|` of this clean sample.
+    pub localization_error: f64,
+}
+
+/// The trainer: simulates clean deployments and collects metric samples.
+#[derive(Debug, Clone, Copy)]
+pub struct Trainer {
+    config: TrainingConfig,
+}
+
+impl Trainer {
+    /// Creates a trainer with the given configuration.
+    pub fn new(config: TrainingConfig) -> Self {
+        Self { config }
+    }
+
+    /// The training configuration.
+    pub fn config(&self) -> &TrainingConfig {
+        &self.config
+    }
+
+    /// Collects the raw clean training samples (parallel over networks).
+    pub fn collect_samples(&self, knowledge: &Arc<DeploymentKnowledge>) -> Vec<TrainingSample> {
+        let cfg = self.config;
+        (0..cfg.networks)
+            .into_par_iter()
+            .flat_map(|net_idx| {
+                let net_seed = derive_seed(cfg.seed, &[net_idx as u64, 0]);
+                let network = Network::generate(knowledge.clone(), net_seed);
+                let mut rng =
+                    ChaCha8Rng::seed_from_u64(derive_seed(cfg.seed, &[net_idx as u64, 1]));
+                let ids: Vec<NodeId> = (0..cfg.samples_per_network)
+                    .map(|_| NodeId(rng.gen_range(0..network.node_count() as u32)))
+                    .collect();
+                ids.into_par_iter()
+                    .filter_map(|id| sample_node(&network, id, &cfg.localizer))
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    }
+
+    /// Runs training and returns the per-metric clean score distributions.
+    pub fn train(&self, knowledge: &Arc<DeploymentKnowledge>) -> TrainedThresholds {
+        let samples = self.collect_samples(knowledge);
+        let mut trained = TrainedThresholds::new();
+        for (idx, kind) in MetricKind::ALL.into_iter().enumerate() {
+            trained.insert(kind, samples.iter().map(|s| s.scores[idx]).collect());
+        }
+        trained
+    }
+}
+
+fn sample_node(
+    network: &Network,
+    id: NodeId,
+    localizer: &BeaconlessMle,
+) -> Option<TrainingSample> {
+    let knowledge = network.knowledge();
+    let obs = network.true_observation(id);
+    let estimate = localizer.estimate(knowledge, &obs)?;
+    let mu = knowledge.expected_observation(estimate);
+    let m = knowledge.group_size();
+    let scores = [
+        MetricKind::Diff.metric().score(&obs, &mu, m),
+        MetricKind::AddAll.metric().score(&obs, &mu, m),
+        MetricKind::Probability.metric().score(&obs, &mu, m),
+    ];
+    Some(TrainingSample {
+        scores,
+        localization_error: estimate.distance(network.node(id).resident_point),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lad_deployment::DeploymentConfig;
+
+    fn quick_trainer(seed: u64) -> Trainer {
+        Trainer::new(TrainingConfig {
+            networks: 2,
+            samples_per_network: 60,
+            seed,
+            localizer: BeaconlessMle::new(),
+        })
+    }
+
+    #[test]
+    fn training_produces_samples_for_all_metrics() {
+        let knowledge = DeploymentKnowledge::shared(&DeploymentConfig::small_test());
+        let trained = quick_trainer(1).train(&knowledge);
+        for kind in MetricKind::ALL {
+            assert!(trained.sample_count(kind) > 80, "metric {}", kind.name());
+            assert!(trained.threshold(kind, 0.99).is_some());
+        }
+    }
+
+    #[test]
+    fn training_is_deterministic_in_the_seed() {
+        let knowledge = DeploymentKnowledge::shared(&DeploymentConfig::small_test());
+        let a = quick_trainer(5).train(&knowledge);
+        let b = quick_trainer(5).train(&knowledge);
+        let c = quick_trainer(6).train(&knowledge);
+        assert_eq!(a.scores(MetricKind::Diff), b.scores(MetricKind::Diff));
+        assert_ne!(a.scores(MetricKind::Diff), c.scores(MetricKind::Diff));
+    }
+
+    #[test]
+    fn clean_localization_errors_are_small() {
+        let knowledge = DeploymentKnowledge::shared(&DeploymentConfig::small_test());
+        let samples = quick_trainer(2).collect_samples(&knowledge);
+        assert!(!samples.is_empty());
+        let mean_err: f64 =
+            samples.iter().map(|s| s.localization_error).sum::<f64>() / samples.len() as f64;
+        assert!(mean_err < 60.0, "mean clean localization error {mean_err}");
+    }
+
+    #[test]
+    fn clean_scores_are_finite_and_nonnegative() {
+        let knowledge = DeploymentKnowledge::shared(&DeploymentConfig::small_test());
+        let samples = quick_trainer(3).collect_samples(&knowledge);
+        for s in &samples {
+            for v in s.scores {
+                assert!(v.is_finite());
+                assert!(v >= 0.0);
+            }
+        }
+    }
+}

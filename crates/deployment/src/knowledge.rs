@@ -1,0 +1,181 @@
+//! The deployment knowledge object shared by all sensors.
+//!
+//! [`DeploymentKnowledge`] bundles everything a sensor is assumed to know
+//! before deployment (§3 of the paper): the deployment points of all groups,
+//! the placement distribution, the group size `m`, the transmission range `R`
+//! and the precomputed `g(z)` table. It provides `g_i(θ)` and the expected
+//! observation `µ(θ)` used by both the LAD detector and the beaconless
+//! localization scheme.
+
+use crate::config::DeploymentConfig;
+use crate::gz::GzTable;
+use crate::layout::DeploymentLayout;
+use crate::placement::PlacementModel;
+use lad_geometry::Point2;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Pre-deployment knowledge stored on every sensor.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeploymentKnowledge {
+    config: DeploymentConfig,
+    layout: DeploymentLayout,
+    placement: PlacementModel,
+    gz: GzTable,
+}
+
+impl DeploymentKnowledge {
+    /// Builds the knowledge object for a grid layout described by `config`
+    /// with the paper's Gaussian placement.
+    pub fn from_config(config: &DeploymentConfig) -> Self {
+        config.validate().expect("invalid deployment configuration");
+        let layout = DeploymentLayout::grid(config);
+        Self::new(*config, layout, PlacementModel::gaussian(config.sigma))
+    }
+
+    /// Builds the knowledge object for an explicit layout and placement model.
+    pub fn new(
+        config: DeploymentConfig,
+        layout: DeploymentLayout,
+        placement: PlacementModel,
+    ) -> Self {
+        let gz = GzTable::build(config.range, placement.spread(), config.gz_table_omega);
+        Self { config, layout, placement, gz }
+    }
+
+    /// Convenience: an [`Arc`]-wrapped knowledge object, which is how the
+    /// simulator shares it across threads.
+    pub fn shared(config: &DeploymentConfig) -> Arc<Self> {
+        Arc::new(Self::from_config(config))
+    }
+
+    /// The deployment configuration.
+    pub fn config(&self) -> &DeploymentConfig {
+        &self.config
+    }
+
+    /// The deployment-point layout.
+    pub fn layout(&self) -> &DeploymentLayout {
+        &self.layout
+    }
+
+    /// The placement model.
+    pub fn placement(&self) -> PlacementModel {
+        self.placement
+    }
+
+    /// The precomputed g(z) table.
+    pub fn gz_table(&self) -> &GzTable {
+        &self.gz
+    }
+
+    /// Number of deployment groups `n`.
+    pub fn group_count(&self) -> usize {
+        self.layout.group_count()
+    }
+
+    /// Group size `m` (sensors per group).
+    pub fn group_size(&self) -> usize {
+        self.config.group_size
+    }
+
+    /// Transmission range `R`.
+    pub fn range(&self) -> f64 {
+        self.config.range
+    }
+
+    /// `g_i(θ)`: probability that a node of group `i` resides within range of
+    /// the point `θ` (Theorem 1 applied to the distance to group `i`'s
+    /// deployment point, via the lookup table).
+    pub fn g_i(&self, group: usize, theta: Point2) -> f64 {
+        let dp = self.layout.deployment_point(group);
+        self.gz.eval(dp.distance(theta))
+    }
+
+    /// The vector `(g_1(θ), …, g_n(θ))` for all groups.
+    pub fn g_all(&self, theta: Point2) -> Vec<f64> {
+        (0..self.group_count()).map(|i| self.g_i(i, theta)).collect()
+    }
+
+    /// The expected observation `µ(θ)` with `µ_i = m · g_i(θ)` (Equation 2 of
+    /// the paper).
+    pub fn expected_observation(&self, theta: Point2) -> Vec<f64> {
+        let m = self.group_size() as f64;
+        (0..self.group_count()).map(|i| m * self.g_i(i, theta)).collect()
+    }
+
+    /// Expected total number of neighbours at `θ` (sum of `µ_i`).
+    pub fn expected_neighbor_count(&self, theta: Point2) -> f64 {
+        self.expected_observation(theta).iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn knowledge() -> DeploymentKnowledge {
+        DeploymentKnowledge::from_config(&DeploymentConfig::paper_default())
+    }
+
+    #[test]
+    fn g_i_is_largest_for_own_group_at_deployment_point() {
+        let k = knowledge();
+        let dp = k.layout().deployment_point(55);
+        let g_own = k.g_i(55, dp);
+        for other in 0..k.group_count() {
+            assert!(k.g_i(other, dp) <= g_own + 1e-12);
+        }
+        assert!(g_own > 0.2, "g at the deployment point should be substantial");
+    }
+
+    #[test]
+    fn expected_observation_has_group_count_entries_and_is_nonnegative() {
+        let k = knowledge();
+        let mu = k.expected_observation(Point2::new(430.0, 510.0));
+        assert_eq!(mu.len(), 100);
+        assert!(mu.iter().all(|&v| v >= 0.0));
+        assert!(mu.iter().all(|&v| v <= k.group_size() as f64));
+    }
+
+    #[test]
+    fn expected_neighbor_count_in_interior_matches_density_estimate() {
+        // Node density is N/area = 30000/1e6 = 0.03 nodes/m²; a disk of radius
+        // 40 covers ~5026 m², so the interior expectation is ≈ 150 neighbours.
+        let k = knowledge();
+        let center = Point2::new(500.0, 500.0);
+        let expected = k.expected_neighbor_count(center);
+        assert!(
+            (expected - 150.0).abs() < 15.0,
+            "interior expected neighbour count {expected} should be near 150"
+        );
+    }
+
+    #[test]
+    fn expected_neighbor_count_drops_near_the_corner() {
+        let k = knowledge();
+        let interior = k.expected_neighbor_count(Point2::new(500.0, 500.0));
+        let corner = k.expected_neighbor_count(Point2::new(5.0, 5.0));
+        assert!(corner < interior * 0.6, "corner {corner} vs interior {interior}");
+    }
+
+    #[test]
+    fn observations_at_distant_points_differ_strongly() {
+        // The premise of LAD (Figure 1): the expected observations at two
+        // far-apart points O and P differ substantially.
+        let k = knowledge();
+        let o = k.expected_observation(Point2::new(250.0, 350.0));
+        let p = k.expected_observation(Point2::new(650.0, 450.0));
+        let l1: f64 = o.iter().zip(&p).map(|(a, b)| (a - b).abs()).sum();
+        assert!(l1 > 100.0, "observations should differ strongly, L1 = {l1}");
+    }
+
+    #[test]
+    fn shared_returns_arc_with_same_values() {
+        let cfg = DeploymentConfig::small_test();
+        let k = DeploymentKnowledge::shared(&cfg);
+        assert_eq!(k.group_count(), cfg.group_count());
+        assert_eq!(k.group_size(), cfg.group_size);
+        assert_eq!(k.range(), cfg.range);
+    }
+}

@@ -1,0 +1,37 @@
+//! The deployment-knowledge model of the LAD paper (§3).
+//!
+//! Sensors are deployed in `n` equal-size groups; group `G_i` is dropped at a
+//! known **deployment point** and each of its members lands at a **resident
+//! point** drawn from an isotropic 2-D Gaussian centred at the deployment
+//! point (§3.2). The deployment points are arranged in a grid by default
+//! (Figure 1), but the paper notes that hexagonal or arbitrary known layouts
+//! work equally well — all three are provided by [`layout`].
+//!
+//! The quantity the detector actually needs is `g_i(θ)`: the probability that
+//! a node of group `G_i` resides within transmission range `R` of the point
+//! `θ`. Theorem 1 gives `g_i(θ) = g(|θ − G_i|)` with
+//!
+//! ```text
+//! g(z) = 1{z < R}·(1 − e^{−(R−z)²/2σ²})
+//!        + ∫_{|z−R|}^{z+R} f_R(ℓ) · 2ℓ·cos⁻¹((ℓ² + z² − R²)/(2ℓz)) dℓ
+//! ```
+//!
+//! [`gz`] implements the exact quadrature and the constant-time ω-entry
+//! lookup table of §3.3; [`knowledge`] bundles the layout, the table and the
+//! group size into the [`DeploymentKnowledge`] object consumed by the
+//! detector and the localization schemes.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod config;
+pub mod gz;
+pub mod knowledge;
+pub mod layout;
+pub mod placement;
+
+pub use config::DeploymentConfig;
+pub use gz::{gz_exact, GzTable};
+pub use knowledge::DeploymentKnowledge;
+pub use layout::{DeploymentLayout, LayoutKind};
+pub use placement::PlacementModel;

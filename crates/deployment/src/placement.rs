@@ -1,0 +1,151 @@
+//! Placement models: how a sensor's resident point is drawn around its
+//! group's deployment point.
+//!
+//! The paper models placement as an isotropic 2-D Gaussian (§3.2) but states
+//! that "our methodology can also be applied to other distributions"; a
+//! uniform-disk model is provided as that alternative (and is used by the
+//! model-mismatch robustness tests).
+
+use lad_geometry::{sampling, Point2};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The probability distribution of a resident point around its deployment
+/// point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PlacementModel {
+    /// Isotropic 2-D Gaussian with per-axis standard deviation σ (paper §3.2).
+    Gaussian {
+        /// Per-axis standard deviation in metres.
+        sigma: f64,
+    },
+    /// Uniform over a disk of the given radius — an alternative placement
+    /// model used to study sensitivity to deployment-knowledge mismatch.
+    UniformDisk {
+        /// Disk radius in metres.
+        radius: f64,
+    },
+}
+
+impl PlacementModel {
+    /// The paper's Gaussian placement with the given σ.
+    pub fn gaussian(sigma: f64) -> Self {
+        assert!(sigma > 0.0, "sigma must be positive");
+        PlacementModel::Gaussian { sigma }
+    }
+
+    /// A uniform-disk placement with the given radius.
+    pub fn uniform_disk(radius: f64) -> Self {
+        assert!(radius > 0.0, "radius must be positive");
+        PlacementModel::UniformDisk { radius }
+    }
+
+    /// Draws a resident point for a sensor whose group is deployed at
+    /// `deployment_point`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, deployment_point: Point2) -> Point2 {
+        match *self {
+            PlacementModel::Gaussian { sigma } => {
+                sampling::gaussian_around(rng, deployment_point, sigma)
+            }
+            PlacementModel::UniformDisk { radius } => {
+                sampling::uniform_in_disk(rng, deployment_point, radius)
+            }
+        }
+    }
+
+    /// Probability that a resident point lands within distance `r` of the
+    /// deployment point (radial CDF of the placement model).
+    pub fn prob_within(&self, r: f64) -> f64 {
+        if r <= 0.0 {
+            return 0.0;
+        }
+        match *self {
+            PlacementModel::Gaussian { sigma } => {
+                1.0 - (-(r * r) / (2.0 * sigma * sigma)).exp()
+            }
+            PlacementModel::UniformDisk { radius } => {
+                if r >= radius {
+                    1.0
+                } else {
+                    (r / radius).powi(2)
+                }
+            }
+        }
+    }
+
+    /// A characteristic spread length: σ for the Gaussian, radius for the
+    /// uniform disk. Used to size lookup-table domains.
+    pub fn spread(&self) -> f64 {
+        match *self {
+            PlacementModel::Gaussian { sigma } => sigma,
+            PlacementModel::UniformDisk { radius } => radius,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn gaussian_sampling_matches_radial_cdf() {
+        let model = PlacementModel::gaussian(50.0);
+        let dp = Point2::new(200.0, 300.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        let n = 30_000;
+        for &r in &[25.0, 50.0, 100.0] {
+            let mut rng_local = rng.clone();
+            let inside = (0..n)
+                .filter(|_| model.sample(&mut rng_local, dp).distance(dp) <= r)
+                .count();
+            let frac = inside as f64 / n as f64;
+            assert!(
+                (frac - model.prob_within(r)).abs() < 0.015,
+                "r={r} frac={frac} expected={}",
+                model.prob_within(r)
+            );
+            rng = rng_local;
+        }
+    }
+
+    #[test]
+    fn uniform_disk_sampling_stays_inside_radius() {
+        let model = PlacementModel::uniform_disk(80.0);
+        let dp = Point2::new(0.0, 0.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        for _ in 0..2000 {
+            assert!(model.sample(&mut rng, dp).distance(dp) <= 80.0 + 1e-9);
+        }
+        assert_eq!(model.prob_within(80.0), 1.0);
+        assert_eq!(model.prob_within(200.0), 1.0);
+        assert!((model.prob_within(40.0) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prob_within_monotone_and_bounded() {
+        for model in [PlacementModel::gaussian(30.0), PlacementModel::uniform_disk(30.0)] {
+            let mut prev = 0.0;
+            for i in 0..100 {
+                let r = i as f64 * 3.0;
+                let p = model.prob_within(r);
+                assert!(p >= prev - 1e-12);
+                assert!((0.0..=1.0).contains(&p));
+                prev = p;
+            }
+        }
+    }
+
+    #[test]
+    fn spread_reports_scale() {
+        assert_eq!(PlacementModel::gaussian(50.0).spread(), 50.0);
+        assert_eq!(PlacementModel::uniform_disk(70.0).spread(), 70.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_sigma_panics() {
+        let _ = PlacementModel::gaussian(-1.0);
+    }
+}

@@ -1,0 +1,120 @@
+//! `reproduce` — regenerate every figure of the LAD paper.
+//!
+//! ```text
+//! Usage: reproduce [--quick | --paper] [--only <id>[,<id>...]] [--out <dir>]
+//!
+//!   --quick   reduced sample counts (default); curve shapes in ~a minute
+//!   --paper   paper-scale sample counts; takes several minutes
+//!   --only    run only the listed experiments (fig1_2, fig3, fig4, fig5_6,
+//!             fig7, fig8, fig9, ablation_gz, ablation_localizers,
+//!             ablation_mismatch)
+//!   --out     output directory for CSV/JSON artefacts (default: results/)
+//! ```
+//!
+//! Each experiment writes `<out>/<id>.csv` and `<id>.json`, prints its notes
+//! to stdout, and the combined Markdown summary is written to
+//! `<out>/summary.md` (the source material of EXPERIMENTS.md).
+
+use lad_eval::experiments;
+use lad_eval::{EvalConfig, EvalContext, FigureReport};
+use std::path::PathBuf;
+use std::time::Instant;
+
+struct Args {
+    paper: bool,
+    only: Option<Vec<String>>,
+    out: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { paper: false, only: None, out: PathBuf::from("results") };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--paper" => args.paper = true,
+            "--quick" => args.paper = false,
+            "--only" => {
+                let list = iter.next().expect("--only needs a comma-separated list");
+                args.only = Some(list.split(',').map(|s| s.trim().to_string()).collect());
+            }
+            "--out" => {
+                args.out = PathBuf::from(iter.next().expect("--out needs a directory"));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "reproduce [--quick | --paper] [--only <id>[,<id>...]] [--out <dir>]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn wanted(args: &Args, id: &str) -> bool {
+    args.only.as_ref().map_or(true, |list| list.iter().any(|x| x == id))
+}
+
+fn main() {
+    let args = parse_args();
+    let config = if args.paper { EvalConfig::paper() } else { EvalConfig::quick() };
+    let density_sweep: Vec<usize> =
+        if args.paper { vec![100, 300, 600, 1000] } else { vec![100, 300, 600] };
+
+    println!(
+        "LAD reproduction — {} mode, {} groups of {} nodes, output -> {}",
+        if args.paper { "paper" } else { "quick" },
+        config.deployment.group_count(),
+        config.deployment.group_size,
+        args.out.display()
+    );
+
+    let t0 = Instant::now();
+    println!("building evaluation context (deployments + clean scores)...");
+    let ctx = EvalContext::new(config);
+    println!("  done in {:.1?}; {} clean samples", t0.elapsed(), ctx.clean_scores(lad_core::MetricKind::Diff).len());
+
+    let mut reports: Vec<FigureReport> = Vec::new();
+    let mut run = |id: &str, f: &dyn Fn() -> FigureReport| {
+        if !wanted(&args, id) {
+            return;
+        }
+        let t = Instant::now();
+        let report = f();
+        println!("\n=== {} ({:.1?}) ===", report.title, t.elapsed());
+        for note in &report.notes {
+            println!("  {note}");
+        }
+        report.save(&args.out).expect("write experiment artefacts");
+        reports.push(report);
+    };
+
+    run("fig1_2", &|| experiments::deployment_figures(&ctx));
+    run("fig3", &|| experiments::attack_showcase(&ctx));
+    run("fig4", &|| experiments::fig4_roc_metrics(&ctx));
+    run("fig5_6", &|| experiments::fig56_roc_attacks(&ctx));
+    run("fig7", &|| experiments::fig7_dr_vs_damage(&ctx));
+    run("fig8", &|| experiments::fig8_dr_vs_compromise(&ctx));
+    run("fig9", &|| experiments::fig9_dr_vs_density(ctx.config(), &density_sweep));
+    run("ablation_gz", &|| experiments::ablation_gz_table(&ctx));
+    run("ablation_localizers", &|| experiments::ablation_localizers(&ctx));
+    run("ablation_mismatch", &|| experiments::ablation_model_mismatch(ctx.config()));
+
+    // Combined Markdown summary.
+    let mut summary = String::from("# LAD reproduction — experiment summary\n\n");
+    for report in &reports {
+        summary.push_str(&report.to_markdown());
+    }
+    std::fs::create_dir_all(&args.out).expect("create output directory");
+    std::fs::write(args.out.join("summary.md"), summary).expect("write summary.md");
+
+    println!(
+        "\nall requested experiments finished in {:.1?}; artefacts in {}",
+        t0.elapsed(),
+        args.out.display()
+    );
+}

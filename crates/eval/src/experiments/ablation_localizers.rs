@@ -1,0 +1,121 @@
+//! Ablation E10: LAD on top of different localization schemes (§7.2).
+//!
+//! LAD is localization-agnostic, but its thresholds — and therefore its
+//! false-positive / detection trade-off — depend on how accurate the
+//! underlying scheme is. This ablation evaluates the same Dec-Bounded,
+//! D = 120, x = 10 % attack while the clean scores (the threshold side) come
+//! from three different schemes: the beaconless MLE the paper uses, the
+//! centroid baseline, and DV-Hop.
+
+use crate::experiments::{PAPER_COMPROMISED_FRACTION, PAPER_FP_BUDGET};
+use crate::report::{FigureReport, Series};
+use crate::runner::EvalContext;
+use lad_attack::AttackClass;
+use lad_core::MetricKind;
+use lad_localization::{AnchorField, BeaconlessMle, CentroidLocalizer, DvHopLocalizer, Localizer};
+use lad_net::{Network, NodeId};
+use lad_stats::RocCurve;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+
+/// The degree of damage used by the ablation.
+pub const DAMAGE: f64 = 120.0;
+
+/// Runs the scheme-independence ablation.
+pub fn ablation_localizers(ctx: &EvalContext) -> FigureReport {
+    let mut report = FigureReport::new(
+        "ablation_localizers",
+        "LAD detection rate when trained on top of different localization schemes",
+        "scheme index (0 = beaconless MLE, 1 = centroid, 2 = DV-Hop)",
+        "detection rate at FP <= 1%",
+    );
+    report.push_note(format!(
+        "D = {DAMAGE}, x = {:.0}%, T = Dec-Bounded, M = Diff metric",
+        PAPER_COMPROMISED_FRACTION * 100.0
+    ));
+
+    let network = ctx.networks().first().expect("context has at least one network");
+    let attacked = ctx.attacked_scores(
+        MetricKind::Diff,
+        AttackClass::DecBounded,
+        DAMAGE,
+        PAPER_COMPROMISED_FRACTION,
+    );
+
+    // Build the baseline localizers over a shared anchor field.
+    let mut rng = ChaCha8Rng::seed_from_u64(ctx.config().seed ^ 0xA11C);
+    let beacon_range = ctx.knowledge().config().area_side / 3.0;
+    let anchors = AnchorField::random(network, 16, beacon_range, &mut rng);
+    let centroid = CentroidLocalizer::new(anchors.clone());
+    let dvhop = DvHopLocalizer::build(network, &anchors);
+    let mle = BeaconlessMle::new();
+    let schemes: Vec<(&str, &dyn Localizer)> =
+        vec![("beaconless-mle", &mle), ("centroid", &centroid), ("dv-hop", &dvhop)];
+
+    let samples = ctx.config().clean_samples_per_network;
+    let mut points = Vec::new();
+    for (idx, (name, localizer)) in schemes.iter().enumerate() {
+        let (clean_scores, errors) = clean_scores_with(network, *localizer, samples);
+        if clean_scores.is_empty() {
+            report.push_note(format!("{name}: no node could be localized — skipped"));
+            continue;
+        }
+        let roc = RocCurve::from_scores(&clean_scores, &attacked);
+        let dr = roc.detection_rate_at_fp(PAPER_FP_BUDGET);
+        let mean_err = errors.iter().sum::<f64>() / errors.len() as f64;
+        points.push((idx as f64, dr));
+        report.push_note(format!(
+            "{name}: mean clean localization error {mean_err:.1} m, DR@FP<=1% = {dr:.3}, AUC = {:.3}",
+            roc.auc()
+        ));
+    }
+    report.push_series(Series::new("detection rate at FP<=1%", points));
+    report
+}
+
+/// Clean Diff-metric scores (and localization errors) produced when the given
+/// localizer supplies `L_e` for honest nodes.
+fn clean_scores_with(
+    network: &Network,
+    localizer: &dyn Localizer,
+    samples: usize,
+) -> (Vec<f64>, Vec<f64>) {
+    let knowledge = network.knowledge();
+    let stride = (network.node_count() / samples.max(1)).max(1);
+    let ids: Vec<NodeId> = (0..network.node_count())
+        .step_by(stride)
+        .map(|i| NodeId(i as u32))
+        .collect();
+    let metric = MetricKind::Diff.metric();
+    let results: Vec<(f64, f64)> = ids
+        .par_iter()
+        .filter_map(|&id| {
+            let estimate = localizer.localize(network, id)?;
+            let obs = network.true_observation(id);
+            let mu = knowledge.expected_observation(estimate);
+            let score = metric.score(&obs, &mu, knowledge.group_size());
+            Some((score, estimate.distance(network.node(id).resident_point)))
+        })
+        .collect();
+    results.into_iter().unzip()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EvalConfig;
+
+    #[test]
+    fn all_three_schemes_are_evaluated() {
+        let ctx = EvalContext::new(EvalConfig::bench());
+        let report = ablation_localizers(&ctx);
+        let series = report.series_by_label("detection rate at FP<=1%").unwrap();
+        assert!(series.points.len() >= 2, "at least two schemes should produce results");
+        for (_, dr) in &series.points {
+            assert!((0.0..=1.0).contains(dr));
+        }
+        // The MLE-based detector should detect the D = 120 attack reasonably well.
+        assert!(series.points[0].1 > 0.5, "MLE-based DR {}", series.points[0].1);
+    }
+}

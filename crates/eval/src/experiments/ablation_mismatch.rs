@@ -1,0 +1,202 @@
+//! Ablation E11: sensitivity to deployment-model mismatch (paper §8).
+//!
+//! The paper's stated future work: "the accuracy of the deployment knowledge
+//! model … if this model cannot accurately model the actual deployment, there
+//! will be extra errors (both on false positive and detection rate)". This
+//! ablation quantifies those errors: the detector is trained under the
+//! *assumed* placement spread (σ = 50 m), while the actual deployment uses a
+//! different σ. For each actual σ we report
+//!
+//! * the false-positive rate of honest nodes at the threshold trained under
+//!   the assumed model (τ = 99 %),
+//! * the detection rate against the standard D = 120, x = 10 % Dec-Bounded
+//!   attack, and
+//! * the Kolmogorov–Smirnov distance between the assumed and the actual
+//!   clean score distributions (how visibly the model drifted).
+
+use crate::config::EvalConfig;
+use crate::experiments::PAPER_COMPROMISED_FRACTION;
+use crate::report::{FigureReport, Series};
+use lad_attack::{simulate_attack, AttackClass, AttackConfig};
+use lad_core::MetricKind;
+use lad_deployment::DeploymentKnowledge;
+use lad_localization::BeaconlessMle;
+use lad_net::{Network, NodeId};
+use lad_stats::ks::ks_statistic;
+use lad_stats::percentile;
+use lad_stats::seeds::derive_seed;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+use std::sync::Arc;
+
+/// Actual placement spreads evaluated against the assumed σ of the config.
+pub const ACTUAL_SIGMAS: [f64; 5] = [35.0, 50.0, 65.0, 80.0, 100.0];
+
+/// The degree of damage used for the detection-rate column.
+pub const DAMAGE: f64 = 120.0;
+
+/// Runs the deployment-model-mismatch ablation.
+pub fn ablation_model_mismatch(base: &EvalConfig) -> FigureReport {
+    let assumed = DeploymentKnowledge::shared(&base.deployment);
+    let mut report = FigureReport::new(
+        "ablation_mismatch",
+        "Effect of deployment-model mismatch on FP and DR (paper §8 future work)",
+        "actual placement sigma (m)",
+        "rate",
+    );
+    report.push_note(format!(
+        "detector trained assuming sigma = {} m, tau = 99%, Diff metric; attack: D = {DAMAGE}, x = {:.0}%, Dec-Bounded",
+        base.deployment.sigma,
+        PAPER_COMPROMISED_FRACTION * 100.0
+    ));
+
+    // Clean scores under the assumed model -> the trained threshold.
+    let assumed_clean = clean_scores(&assumed, &assumed, base, 0xA55);
+    let threshold = percentile::tau_threshold(&assumed_clean, 0.99)
+        .expect("assumed model produced clean scores");
+    report.push_note(format!("trained Diff threshold: {threshold:.1}"));
+
+    let mut fp_points = Vec::new();
+    let mut dr_points = Vec::new();
+    let mut ks_points = Vec::new();
+    for (idx, &sigma_actual) in ACTUAL_SIGMAS.iter().enumerate() {
+        let actual_cfg = base.deployment.with_sigma(sigma_actual);
+        let actual = DeploymentKnowledge::shared(&actual_cfg);
+
+        // Honest sensors in the *actual* world, judged with the *assumed* model.
+        let actual_clean = clean_scores(&actual, &assumed, base, 0xB00 + idx as u64);
+        let fp = percentile::exceedance_fraction(&actual_clean, threshold);
+
+        // Attacked sensors in the actual world, judged with the assumed model.
+        let attacked = attacked_scores(&actual, &assumed, base, 0xC00 + idx as u64);
+        let dr = percentile::exceedance_fraction(&attacked, threshold);
+
+        let drift = ks_statistic(&assumed_clean, &actual_clean);
+        fp_points.push((sigma_actual, fp));
+        dr_points.push((sigma_actual, dr));
+        ks_points.push((sigma_actual, drift));
+        report.push_note(format!(
+            "actual sigma = {sigma_actual}: FP = {fp:.3}, DR(D={DAMAGE}) = {dr:.3}, clean-score KS drift = {drift:.3}"
+        ));
+    }
+    report.push_series(Series::new("false positive rate", fp_points));
+    report.push_series(Series::new("detection rate (D=120)", dr_points));
+    report.push_series(Series::new("clean-score KS drift", ks_points));
+    report
+}
+
+/// Clean Diff scores of honest nodes deployed under `actual`, evaluated with
+/// the deployment knowledge `assumed` (localization and expectation).
+fn clean_scores(
+    actual: &Arc<DeploymentKnowledge>,
+    assumed: &Arc<DeploymentKnowledge>,
+    base: &EvalConfig,
+    salt: u64,
+) -> Vec<f64> {
+    let localizer = BeaconlessMle::new();
+    let metric = MetricKind::Diff.metric();
+    (0..base.networks)
+        .into_par_iter()
+        .flat_map(|net_idx| {
+            let network =
+                Network::generate(actual.clone(), derive_seed(base.seed, &[salt, net_idx as u64]));
+            let ids = sample_ids(
+                &network,
+                base.clean_samples_per_network,
+                derive_seed(base.seed, &[salt, net_idx as u64, 1]),
+            );
+            let metric = &metric;
+            let localizer = &localizer;
+            ids.into_par_iter()
+                .filter_map(move |id| {
+                    let obs = network.true_observation(id);
+                    let estimate = localizer.estimate(assumed, &obs)?;
+                    let mu = assumed.expected_observation(estimate);
+                    Some(metric.score(&obs, &mu, assumed.group_size()))
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+/// Diff scores of attacked victims deployed under `actual`, judged with the
+/// `assumed` knowledge.
+fn attacked_scores(
+    actual: &Arc<DeploymentKnowledge>,
+    assumed: &Arc<DeploymentKnowledge>,
+    base: &EvalConfig,
+    salt: u64,
+) -> Vec<f64> {
+    let metric = MetricKind::Diff.metric();
+    let attack = AttackConfig {
+        degree_of_damage: DAMAGE,
+        compromised_fraction: PAPER_COMPROMISED_FRACTION,
+        class: AttackClass::DecBounded,
+        targeted_metric: MetricKind::Diff,
+    };
+    (0..base.networks)
+        .into_par_iter()
+        .flat_map(|net_idx| {
+            let network =
+                Network::generate(actual.clone(), derive_seed(base.seed, &[salt, net_idx as u64]));
+            let ids = sample_ids(
+                &network,
+                base.victims_per_network,
+                derive_seed(base.seed, &[salt, net_idx as u64, 2]),
+            );
+            let metric = &metric;
+            ids.into_par_iter()
+                .enumerate()
+                .map(move |(k, victim)| {
+                    let mut rng = ChaCha8Rng::seed_from_u64(derive_seed(
+                        base.seed,
+                        &[salt, net_idx as u64, 3, k as u64],
+                    ));
+                    let outcome = simulate_attack(&network, victim, &attack, &mut rng);
+                    let mu = assumed.expected_observation(outcome.forged_location);
+                    metric.score(&outcome.tainted_observation, &mu, assumed.group_size())
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+fn sample_ids(network: &Network, count: usize, seed: u64) -> Vec<NodeId> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| NodeId(rng.gen_range(0..network.node_count() as u32)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mismatch_inflates_false_positives_but_keeps_detection() {
+        let report = ablation_model_mismatch(&EvalConfig::bench());
+        let fp = report.series_by_label("false positive rate").unwrap();
+        let dr = report.series_by_label("detection rate (D=120)").unwrap();
+        let ks = report.series_by_label("clean-score KS drift").unwrap();
+        assert_eq!(fp.points.len(), ACTUAL_SIGMAS.len());
+
+        // With the matched model (sigma = 50) the FP should stay in the
+        // vicinity of the 1% training target (the bench preset only has 48
+        // clean samples per side, so allow generous sampling noise).
+        let matched_fp = fp.points[1].1;
+        assert!(matched_fp < 0.25, "matched-model FP {matched_fp}");
+        // A grossly wrong model (sigma = 100) must inflate FP above the
+        // matched case — that is the paper's predicted "extra error".
+        let wrong_fp = fp.points.last().unwrap().1;
+        assert!(wrong_fp + 0.05 >= matched_fp, "mismatch should not reduce FP");
+        // The KS drift grows with the mismatch.
+        assert!(ks.points.last().unwrap().1 + 0.05 >= ks.points[1].1);
+        // Rates are probabilities.
+        for series in [fp, dr, ks] {
+            for (_, v) in &series.points {
+                assert!((0.0..=1.0).contains(v));
+            }
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Figures 1 and 2: the deployment layout and the per-group placement pdf.
+//!
+//! Figure 1 of the paper shows the grid of deployment points over the
+//! 1000 m × 1000 m area; Figure 2 shows the two-dimensional Gaussian
+//! placement pdf of one group (deployment point (150, 150), σ = 50).
+//! This experiment reproduces both as data series and attaches the topology
+//! statistics of a concrete simulated deployment.
+
+use crate::report::{FigureReport, Series};
+use crate::runner::EvalContext;
+use lad_net::topology::TopologyStats;
+use lad_stats::IsotropicGaussian2d;
+
+/// Reproduces Figures 1 and 2.
+pub fn deployment_figures(ctx: &EvalContext) -> FigureReport {
+    let knowledge = ctx.knowledge();
+    let config = knowledge.config();
+    let mut report = FigureReport::new(
+        "fig1_2",
+        "Deployment points (Fig. 1) and per-group placement pdf (Fig. 2)",
+        "x (m)",
+        "y (m) / pdf",
+    );
+
+    // Figure 1: the deployment points themselves.
+    let points: Vec<(f64, f64)> = knowledge
+        .layout()
+        .deployment_points()
+        .iter()
+        .map(|p| (p.x, p.y))
+        .collect();
+    report.push_series(Series::new("deployment points", points));
+
+    // Figure 2: a 1-D slice through the 2-D Gaussian pdf of the group whose
+    // deployment point is closest to (150, 150), sampled along y = y_dp.
+    let group = knowledge.layout().nearest_group(lad_geometry::Point2::new(150.0, 150.0));
+    let dp = knowledge.layout().deployment_point(group);
+    let pdf = IsotropicGaussian2d::new(dp.x, dp.y, config.sigma);
+    let slice: Vec<(f64, f64)> = (0..=120)
+        .map(|i| {
+            let x = dp.x - 3.0 * config.sigma + i as f64 * (6.0 * config.sigma / 120.0);
+            (x, pdf.pdf(x, dp.y))
+        })
+        .collect();
+    report.push_series(Series::new(
+        format!("placement pdf slice through ({:.0}, {:.0})", dp.x, dp.y),
+        slice,
+    ));
+    report.push_note(format!(
+        "peak pdf value = {:.3e} (paper Fig. 2 shows ≈ 6.4e-5 for sigma = 50)",
+        pdf.pdf(dp.x, dp.y)
+    ));
+
+    // Topology statistics of the first simulated deployment.
+    if let Some(network) = ctx.networks().first() {
+        let stats = TopologyStats::compute(network);
+        report.push_note(format!(
+            "simulated deployment: {} nodes, mean degree {:.1}, isolated {}, mean drift {:.1} m, {:.1}% outside the area",
+            stats.node_count,
+            stats.degree.mean,
+            stats.isolated_nodes,
+            stats.drift.mean,
+            stats.out_of_area_fraction * 100.0
+        ));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EvalConfig;
+
+    #[test]
+    fn deployment_figure_contains_grid_and_pdf() {
+        let ctx = EvalContext::new(EvalConfig::bench());
+        let report = deployment_figures(&ctx);
+        let grid = report.series_by_label("deployment points").unwrap();
+        assert_eq!(grid.points.len(), ctx.knowledge().group_count());
+        // The pdf slice peaks at the deployment point and is symmetric-ish.
+        let pdf = &report.series[1];
+        let max = pdf.points.iter().map(|(_, y)| *y).fold(0.0, f64::max);
+        let sigma = ctx.knowledge().config().sigma;
+        let expected_peak = 1.0 / (2.0 * std::f64::consts::PI * sigma * sigma);
+        assert!((max - expected_peak).abs() < 1e-6);
+        assert!(report.notes.iter().any(|n| n.contains("mean degree")));
+    }
+}

@@ -1,0 +1,87 @@
+//! Figures 5 and 6: ROC curves for the two attack classes (DR-FP-T-D).
+//!
+//! Setup (paper §7.5): x = 10 %, m = 300, Diff metric; one panel per degree
+//! of damage D ∈ {40, 80} (Figure 5) and D ∈ {120, 160} (Figure 6); one curve
+//! per attack class.
+
+use crate::experiments::PAPER_COMPROMISED_FRACTION;
+use crate::report::{FigureReport, Series};
+use crate::runner::EvalContext;
+use lad_attack::AttackClass;
+use lad_core::MetricKind;
+
+/// Degrees of damage shown across Figures 5 and 6.
+pub const DAMAGE_LEVELS: [f64; 4] = [40.0, 80.0, 120.0, 160.0];
+
+/// Reproduces Figures 5 and 6 (one combined report; the CSV carries all four
+/// panels).
+pub fn fig56_roc_attacks(ctx: &EvalContext) -> FigureReport {
+    let mut report = FigureReport::new(
+        "fig5_6",
+        "ROC curves for Dec-Bounded vs Dec-Only attacks (DR-FP-T-D)",
+        "false positive rate",
+        "detection rate",
+    );
+    report.push_note(format!(
+        "x = {:.0}%, m = {}, M = Diff metric",
+        PAPER_COMPROMISED_FRACTION * 100.0,
+        ctx.knowledge().group_size()
+    ));
+
+    for &d in &DAMAGE_LEVELS {
+        for class in AttackClass::ALL {
+            let set = ctx.score_set(MetricKind::Diff, class, d, PAPER_COMPROMISED_FRACTION);
+            let roc = set.roc();
+            let points: Vec<(f64, f64)> = roc
+                .points()
+                .iter()
+                .map(|p| (p.false_positive_rate, p.detection_rate))
+                .collect();
+            report.push_series(Series::new(format!("D={d:.0} {}", class.name()), points));
+            report.push_note(format!(
+                "D={d:.0} {}: AUC = {:.4}, DR@FP<=2% = {:.4}",
+                class.name(),
+                roc.auc(),
+                roc.detection_rate_at_fp(0.02)
+            ));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EvalConfig;
+
+    #[test]
+    fn fig56_shape_matches_the_paper() {
+        let ctx = EvalContext::new(EvalConfig::bench());
+        let report = fig56_roc_attacks(&ctx);
+        assert_eq!(report.series.len(), 8);
+
+        // Dec-Only is never harder to detect than Dec-Bounded at the same D.
+        for &d in &[40.0, 120.0] {
+            let bounded = ctx
+                .score_set(MetricKind::Diff, AttackClass::DecBounded, d, 0.10)
+                .detection_rate_at_fp(0.10);
+            let only = ctx
+                .score_set(MetricKind::Diff, AttackClass::DecOnly, d, 0.10)
+                .detection_rate_at_fp(0.10);
+            assert!(
+                only + 1e-9 >= bounded,
+                "D={d}: dec-only DR {only} should be >= dec-bounded DR {bounded}"
+            );
+        }
+
+        // At large D the two classes converge (paper: the expensive defences
+        // stop mattering once the damage is big).
+        let bounded = ctx
+            .score_set(MetricKind::Diff, AttackClass::DecBounded, 160.0, 0.10)
+            .detection_rate_at_fp(0.10);
+        let only = ctx
+            .score_set(MetricKind::Diff, AttackClass::DecOnly, 160.0, 0.10)
+            .detection_rate_at_fp(0.10);
+        assert!((only - bounded).abs() < 0.25, "classes should converge at D=160");
+    }
+}

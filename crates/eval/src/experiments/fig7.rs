@@ -1,0 +1,76 @@
+//! Figure 7: detection rate vs degree of damage (DR-D-x).
+//!
+//! Setup (paper §7.6): FP = 1 %, m = 300, Diff metric, Dec-Bounded attacks;
+//! one curve per compromised-neighbour fraction x ∈ {10, 20, 30}%.
+
+use crate::experiments::PAPER_FP_BUDGET;
+use crate::report::{FigureReport, Series};
+use crate::runner::EvalContext;
+use lad_attack::AttackClass;
+use lad_core::MetricKind;
+
+/// The degrees of damage swept on the x axis (paper: 40 … 160).
+pub const DAMAGE_SWEEP: [f64; 7] = [40.0, 60.0, 80.0, 100.0, 120.0, 140.0, 160.0];
+
+/// Compromised-neighbour fractions, one per curve.
+pub const FRACTIONS: [f64; 3] = [0.10, 0.20, 0.30];
+
+/// Reproduces Figure 7.
+pub fn fig7_dr_vs_damage(ctx: &EvalContext) -> FigureReport {
+    let mut report = FigureReport::new(
+        "fig7",
+        "Detection rate vs degree of damage (DR-D-x)",
+        "degree of damage D (m)",
+        "detection rate",
+    );
+    report.push_note(format!(
+        "FP = {:.0}%, m = {}, M = Diff metric, T = Dec-Bounded",
+        PAPER_FP_BUDGET * 100.0,
+        ctx.knowledge().group_size()
+    ));
+
+    for &x in &FRACTIONS {
+        let points: Vec<(f64, f64)> = DAMAGE_SWEEP
+            .iter()
+            .map(|&d| {
+                (
+                    d,
+                    ctx.detection_rate(
+                        MetricKind::Diff,
+                        AttackClass::DecBounded,
+                        d,
+                        x,
+                        PAPER_FP_BUDGET,
+                    ),
+                )
+            })
+            .collect();
+        report.push_series(Series::new(format!("x={:.0}%", x * 100.0), points));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EvalConfig;
+
+    #[test]
+    fn detection_rate_rises_with_damage_and_reaches_high_values() {
+        let ctx = EvalContext::new(EvalConfig::bench());
+        let report = fig7_dr_vs_damage(&ctx);
+        assert_eq!(report.series.len(), 3);
+        let x10 = report.series_by_label("x=10%").unwrap();
+        assert_eq!(x10.points.len(), DAMAGE_SWEEP.len());
+        // The trend: DR at D = 160 must be at least DR at D = 40, and must be
+        // substantial (the paper reports near-100%).
+        let dr_40 = x10.points[0].1;
+        let dr_160 = x10.points.last().unwrap().1;
+        assert!(dr_160 + 1e-9 >= dr_40);
+        assert!(dr_160 > 0.7, "DR at D=160 should be high, got {dr_160}");
+        // More compromised neighbours never helps the defender.
+        let x30 = report.series_by_label("x=30%").unwrap();
+        let dr_160_x30 = x30.points.last().unwrap().1;
+        assert!(dr_160_x30 <= dr_160 + 0.15);
+    }
+}

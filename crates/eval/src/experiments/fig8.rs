@@ -1,0 +1,81 @@
+//! Figure 8: detection rate vs percentage of compromised neighbours (DR-x-D).
+//!
+//! Setup (paper §7.7): FP = 1 %, m = 300, Diff metric, Dec-Bounded attacks;
+//! one curve per degree of damage D ∈ {80, 120, 160}; x sweeps 0 … 60 %.
+
+use crate::experiments::PAPER_FP_BUDGET;
+use crate::report::{FigureReport, Series};
+use crate::runner::EvalContext;
+use lad_attack::AttackClass;
+use lad_core::MetricKind;
+
+/// Compromised-neighbour fractions swept on the x axis (paper: 0 … 60 %).
+pub const FRACTION_SWEEP: [f64; 7] = [0.0, 0.10, 0.20, 0.30, 0.40, 0.50, 0.60];
+
+/// Degrees of damage, one per curve.
+pub const DAMAGE_LEVELS: [f64; 3] = [80.0, 120.0, 160.0];
+
+/// Reproduces Figure 8.
+pub fn fig8_dr_vs_compromise(ctx: &EvalContext) -> FigureReport {
+    let mut report = FigureReport::new(
+        "fig8",
+        "Detection rate vs percentage of compromised nodes (DR-x-D)",
+        "compromised neighbours (%)",
+        "detection rate",
+    );
+    report.push_note(format!(
+        "FP = {:.0}%, m = {}, M = Diff metric, T = Dec-Bounded",
+        PAPER_FP_BUDGET * 100.0,
+        ctx.knowledge().group_size()
+    ));
+
+    for &d in &DAMAGE_LEVELS {
+        let points: Vec<(f64, f64)> = FRACTION_SWEEP
+            .iter()
+            .map(|&x| {
+                (
+                    x * 100.0,
+                    ctx.detection_rate(
+                        MetricKind::Diff,
+                        AttackClass::DecBounded,
+                        d,
+                        x,
+                        PAPER_FP_BUDGET,
+                    ),
+                )
+            })
+            .collect();
+        report.push_series(Series::new(format!("D={d:.0}"), points));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EvalConfig;
+
+    #[test]
+    fn higher_damage_tolerates_more_compromise() {
+        let ctx = EvalContext::new(EvalConfig::bench());
+        let report = fig8_dr_vs_compromise(&ctx);
+        assert_eq!(report.series.len(), 3);
+        let d80 = report.series_by_label("D=80").unwrap();
+        let d160 = report.series_by_label("D=160").unwrap();
+        assert_eq!(d80.points.len(), FRACTION_SWEEP.len());
+
+        // At every compromise level, detecting D=160 anomalies is at least as
+        // easy as detecting D=80 anomalies.
+        for (p80, p160) in d80.points.iter().zip(&d160.points) {
+            assert!(p160.1 + 0.1 >= p80.1, "D=160 should dominate D=80 at x={}%", p80.0);
+        }
+
+        // With no compromised neighbours and D=160 the detector should do well.
+        assert!(d160.points[0].1 > 0.7, "DR at x=0, D=160 is {}", d160.points[0].1);
+
+        // Detection degrades (weakly) as the compromise fraction grows.
+        let first = d80.points.first().unwrap().1;
+        let last = d80.points.last().unwrap().1;
+        assert!(last <= first + 0.1);
+    }
+}

@@ -1,0 +1,29 @@
+//! One module per reproduced figure / ablation (see the crate-level table).
+
+mod ablation_gz;
+mod ablation_localizers;
+mod ablation_mismatch;
+mod attack_showcase;
+mod deployment_figures;
+mod fig4;
+mod fig56;
+mod fig7;
+mod fig8;
+mod fig9;
+
+pub use ablation_gz::ablation_gz_table;
+pub use ablation_localizers::ablation_localizers;
+pub use ablation_mismatch::ablation_model_mismatch;
+pub use attack_showcase::attack_showcase;
+pub use deployment_figures::deployment_figures;
+pub use fig4::fig4_roc_metrics;
+pub use fig56::fig56_roc_attacks;
+pub use fig7::fig7_dr_vs_damage;
+pub use fig8::fig8_dr_vs_compromise;
+pub use fig9::fig9_dr_vs_density;
+
+/// The false-positive budget the paper fixes for Figures 7–9.
+pub const PAPER_FP_BUDGET: f64 = 0.01;
+
+/// The compromised-neighbour fraction used by most figures (x = 10 %).
+pub const PAPER_COMPROMISED_FRACTION: f64 = 0.10;

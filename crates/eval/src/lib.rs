@@ -1,0 +1,35 @@
+//! Evaluation harness for the LAD reproduction.
+//!
+//! This crate regenerates every figure of the paper's evaluation (§7) plus
+//! the two ablations called out in DESIGN.md:
+//!
+//! | Experiment | Paper figure | Entry point |
+//! |------------|--------------|-------------|
+//! | E1 | Fig. 1–2 (deployment layout, placement pdf) | [`experiments::deployment_figures`] |
+//! | E2 | Fig. 3 (attack primitives showcase) | [`experiments::attack_showcase`] |
+//! | E3 | Fig. 4 (ROC per metric, D ∈ {80, 120, 160}) | [`experiments::fig4_roc_metrics`] |
+//! | E4/E5 | Fig. 5–6 (ROC per attack class, D ∈ {40, 80, 120, 160}) | [`experiments::fig56_roc_attacks`] |
+//! | E6 | Fig. 7 (DR vs D) | [`experiments::fig7_dr_vs_damage`] |
+//! | E7 | Fig. 8 (DR vs compromised fraction) | [`experiments::fig8_dr_vs_compromise`] |
+//! | E8 | Fig. 9 (DR vs density m) | [`experiments::fig9_dr_vs_density`] |
+//! | E9 | §3.3 lookup-table ablation | [`experiments::ablation_gz_table`] |
+//! | E10 | §7.2 scheme-independence ablation | [`experiments::ablation_localizers`] |
+//! | E11 | §8 deployment-model-mismatch study (future work) | [`experiments::ablation_model_mismatch`] |
+//!
+//! The shared machinery lives in [`runner`] (deterministic, Rayon-parallel
+//! Monte-Carlo score collection), [`report`] (figure/series containers with
+//! CSV and Markdown output) and [`config`] (quick / paper-scale presets).
+//! The `reproduce` binary drives everything and writes the artefacts
+//! consumed by `EXPERIMENTS.md`.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod config;
+pub mod experiments;
+pub mod report;
+pub mod runner;
+
+pub use config::EvalConfig;
+pub use report::{FigureReport, Series};
+pub use runner::{EvalContext, ScoreSet};

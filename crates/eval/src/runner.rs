@@ -1,0 +1,309 @@
+//! Deterministic, parallel Monte-Carlo score collection.
+//!
+//! Every figure of §7 boils down to comparing two score distributions for a
+//! detection metric:
+//!
+//! * **clean scores** — metric values of honest nodes whose location was
+//!   estimated by the localization scheme (these set the thresholds and the
+//!   false-positive axis), and
+//! * **attacked scores** — metric values of victims subjected to the §7.1
+//!   attack-simulation procedure (D-anomaly plus greedy taint).
+//!
+//! [`EvalContext`] pre-generates the deployments and the clean scores once,
+//! then serves attacked-score queries for arbitrary `(metric, class, D, x)`
+//! combinations; all loops are Rayon-parallel with per-trial seeds derived
+//! from the master seed, so results are independent of thread scheduling.
+
+use crate::config::EvalConfig;
+use lad_attack::{simulate_attack, AttackClass, AttackConfig};
+use lad_core::MetricKind;
+use lad_deployment::DeploymentKnowledge;
+use lad_localization::BeaconlessMle;
+use lad_net::{Network, NodeId};
+use lad_stats::seeds::derive_seed;
+use lad_stats::RocCurve;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// The clean / attacked score pair for one metric at one parameter point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScoreSet {
+    /// The metric the scores belong to.
+    pub metric: MetricKind,
+    /// Scores of clean (honest, localization-derived) samples.
+    pub clean: Vec<f64>,
+    /// Scores of attacked victims.
+    pub attacked: Vec<f64>,
+}
+
+impl ScoreSet {
+    /// The ROC curve obtained by sweeping the detection threshold.
+    pub fn roc(&self) -> RocCurve {
+        RocCurve::from_scores(&self.clean, &self.attacked)
+    }
+
+    /// Best detection rate achievable with false-positive rate ≤ `max_fp`.
+    pub fn detection_rate_at_fp(&self, max_fp: f64) -> f64 {
+        self.roc().detection_rate_at_fp(max_fp)
+    }
+}
+
+/// Pre-generated deployments plus cached clean scores for one [`EvalConfig`].
+pub struct EvalContext {
+    config: EvalConfig,
+    knowledge: Arc<DeploymentKnowledge>,
+    networks: Vec<Network>,
+    clean_scores: [Vec<f64>; 3],
+    clean_localization_errors: Vec<f64>,
+}
+
+impl EvalContext {
+    /// Generates the deployments and computes the clean score distributions.
+    pub fn new(config: EvalConfig) -> Self {
+        let knowledge = DeploymentKnowledge::shared(&config.deployment);
+        let networks: Vec<Network> = (0..config.networks)
+            .map(|i| {
+                Network::generate(knowledge.clone(), derive_seed(config.seed, &[0xC1EA, i as u64]))
+            })
+            .collect();
+
+        let localizer = BeaconlessMle::new();
+        // (diff, add-all, probability, localization error) per clean sample.
+        let samples: Vec<[f64; 4]> = networks
+            .par_iter()
+            .enumerate()
+            .flat_map(|(net_idx, network)| {
+                let ids = sample_node_ids(
+                    network,
+                    config.clean_samples_per_network,
+                    derive_seed(config.seed, &[0x5A3D, net_idx as u64]),
+                );
+                ids.into_par_iter()
+                    .filter_map(move |id| clean_sample(network, id, &localizer))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+
+        let mut clean_scores: [Vec<f64>; 3] =
+            [Vec::with_capacity(samples.len()), Vec::with_capacity(samples.len()), Vec::with_capacity(samples.len())];
+        let mut clean_localization_errors = Vec::with_capacity(samples.len());
+        for s in &samples {
+            clean_scores[0].push(s[0]);
+            clean_scores[1].push(s[1]);
+            clean_scores[2].push(s[2]);
+            clean_localization_errors.push(s[3]);
+        }
+
+        Self { config, knowledge, networks, clean_scores, clean_localization_errors }
+    }
+
+    /// The evaluation configuration.
+    pub fn config(&self) -> &EvalConfig {
+        &self.config
+    }
+
+    /// The shared deployment knowledge.
+    pub fn knowledge(&self) -> &Arc<DeploymentKnowledge> {
+        &self.knowledge
+    }
+
+    /// The pre-generated deployments.
+    pub fn networks(&self) -> &[Network] {
+        &self.networks
+    }
+
+    /// Clean score distribution for `metric`.
+    pub fn clean_scores(&self, metric: MetricKind) -> &[f64] {
+        &self.clean_scores[metric_index(metric)]
+    }
+
+    /// Localization errors `|L_e − L_a|` of the clean samples (no attack) —
+    /// used to report the substrate's baseline accuracy.
+    pub fn clean_localization_errors(&self) -> &[f64] {
+        &self.clean_localization_errors
+    }
+
+    /// Attacked score distribution for `metric` under `class` with degree of
+    /// damage `degree` and compromised-neighbour fraction `fraction`.
+    pub fn attacked_scores(
+        &self,
+        metric: MetricKind,
+        class: AttackClass,
+        degree: f64,
+        fraction: f64,
+    ) -> Vec<f64> {
+        let attack = AttackConfig {
+            degree_of_damage: degree,
+            compromised_fraction: fraction,
+            class,
+            targeted_metric: metric,
+        };
+        let scorer = metric.metric();
+        let m = self.knowledge.group_size();
+        self.networks
+            .par_iter()
+            .enumerate()
+            .flat_map(|(net_idx, network)| {
+                let point_seed = derive_seed(
+                    self.config.seed,
+                    &[
+                        0xA77A,
+                        net_idx as u64,
+                        degree.to_bits(),
+                        (fraction * 1e6) as u64,
+                        class as u64,
+                        metric_index(metric) as u64,
+                    ],
+                );
+                let ids = sample_node_ids(
+                    network,
+                    self.config.victims_per_network,
+                    derive_seed(point_seed, &[1]),
+                );
+                let scorer = &scorer;
+                ids.into_par_iter()
+                    .enumerate()
+                    .map(move |(k, victim)| {
+                        let mut rng = ChaCha8Rng::seed_from_u64(derive_seed(
+                            point_seed,
+                            &[2, k as u64],
+                        ));
+                        let outcome = simulate_attack(network, victim, &attack, &mut rng);
+                        let mu = self
+                            .knowledge
+                            .expected_observation(outcome.forged_location);
+                        scorer.score(&outcome.tainted_observation, &mu, m)
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    }
+
+    /// Convenience: the full [`ScoreSet`] for one parameter point.
+    pub fn score_set(
+        &self,
+        metric: MetricKind,
+        class: AttackClass,
+        degree: f64,
+        fraction: f64,
+    ) -> ScoreSet {
+        ScoreSet {
+            metric,
+            clean: self.clean_scores(metric).to_vec(),
+            attacked: self.attacked_scores(metric, class, degree, fraction),
+        }
+    }
+
+    /// Detection rate at a false-positive budget (the operating point used by
+    /// Figures 7–9, where the paper fixes FP = 1 %).
+    pub fn detection_rate(
+        &self,
+        metric: MetricKind,
+        class: AttackClass,
+        degree: f64,
+        fraction: f64,
+        max_fp: f64,
+    ) -> f64 {
+        self.score_set(metric, class, degree, fraction).detection_rate_at_fp(max_fp)
+    }
+}
+
+fn metric_index(metric: MetricKind) -> usize {
+    match metric {
+        MetricKind::Diff => 0,
+        MetricKind::AddAll => 1,
+        MetricKind::Probability => 2,
+    }
+}
+
+fn sample_node_ids(network: &Network, count: usize, seed: u64) -> Vec<NodeId> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| NodeId(rng.gen_range(0..network.node_count() as u32)))
+        .collect()
+}
+
+fn clean_sample(network: &Network, id: NodeId, localizer: &BeaconlessMle) -> Option<[f64; 4]> {
+    let knowledge = network.knowledge();
+    let obs = network.true_observation(id);
+    let estimate = localizer.estimate(knowledge, &obs)?;
+    let mu = knowledge.expected_observation(estimate);
+    let m = knowledge.group_size();
+    Some([
+        MetricKind::Diff.metric().score(&obs, &mu, m),
+        MetricKind::AddAll.metric().score(&obs, &mu, m),
+        MetricKind::Probability.metric().score(&obs, &mu, m),
+        estimate.distance(network.node(id).resident_point),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> EvalContext {
+        EvalContext::new(EvalConfig::bench())
+    }
+
+    #[test]
+    fn clean_scores_are_collected_for_all_metrics() {
+        let ctx = ctx();
+        for metric in MetricKind::ALL {
+            let scores = ctx.clean_scores(metric);
+            assert!(!scores.is_empty());
+            assert!(scores.iter().all(|s| s.is_finite() && *s >= 0.0));
+        }
+        assert_eq!(
+            ctx.clean_localization_errors().len(),
+            ctx.clean_scores(MetricKind::Diff).len()
+        );
+    }
+
+    #[test]
+    fn attacked_scores_are_deterministic() {
+        let a = ctx().attacked_scores(MetricKind::Diff, AttackClass::DecBounded, 120.0, 0.1);
+        let b = ctx().attacked_scores(MetricKind::Diff, AttackClass::DecBounded, 120.0, 0.1);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), EvalConfig::bench().total_victims());
+    }
+
+    #[test]
+    fn large_damage_is_detected_better_than_small_damage() {
+        let ctx = ctx();
+        let dr_small =
+            ctx.detection_rate(MetricKind::Diff, AttackClass::DecBounded, 40.0, 0.1, 0.05);
+        let dr_large =
+            ctx.detection_rate(MetricKind::Diff, AttackClass::DecBounded, 160.0, 0.1, 0.05);
+        assert!(
+            dr_large >= dr_small,
+            "DR should not decrease with damage: {dr_small} -> {dr_large}"
+        );
+        assert!(dr_large > 0.8, "large-damage attacks should be detected, DR = {dr_large}");
+    }
+
+    #[test]
+    fn dec_only_is_easier_to_detect_than_dec_bounded() {
+        let ctx = ctx();
+        let d = 80.0;
+        let dr_bounded =
+            ctx.detection_rate(MetricKind::Diff, AttackClass::DecBounded, d, 0.1, 0.05);
+        let dr_only = ctx.detection_rate(MetricKind::Diff, AttackClass::DecOnly, d, 0.1, 0.05);
+        assert!(
+            dr_only + 1e-9 >= dr_bounded,
+            "Dec-Only ({dr_only}) should be at least as detectable as Dec-Bounded ({dr_bounded})"
+        );
+    }
+
+    #[test]
+    fn score_set_roc_is_well_formed() {
+        let ctx = ctx();
+        let set = ctx.score_set(MetricKind::Diff, AttackClass::DecBounded, 120.0, 0.1);
+        let roc = set.roc();
+        let auc = roc.auc();
+        assert!((0.0..=1.0).contains(&auc));
+        assert!(auc > 0.5, "the detector should beat chance at D = 120 (AUC {auc})");
+    }
+}

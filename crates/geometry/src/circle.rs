@@ -1,0 +1,187 @@
+//! Circles / disks: transmission ranges and coverage computations.
+
+use crate::point::Point2;
+use serde::{Deserialize, Serialize};
+
+/// A circle (disk) in the plane — used to model a sensor's transmission range.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Circle {
+    /// Centre of the circle.
+    pub center: Point2,
+    /// Radius in metres (non-negative).
+    pub radius: f64,
+}
+
+impl Circle {
+    /// Creates a circle. Panics in debug builds when `radius` is negative.
+    #[inline]
+    pub fn new(center: Point2, radius: f64) -> Self {
+        debug_assert!(radius >= 0.0, "circle radius must be non-negative");
+        Self { center, radius }
+    }
+
+    /// Area of the disk.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        std::f64::consts::PI * self.radius * self.radius
+    }
+
+    /// Whether `p` lies inside or on the circle.
+    #[inline]
+    pub fn contains(&self, p: Point2) -> bool {
+        self.center.distance_squared(p) <= self.radius * self.radius
+    }
+
+    /// Whether this circle and `other` overlap (share at least one point).
+    #[inline]
+    pub fn intersects(&self, other: &Circle) -> bool {
+        let d = self.center.distance(other.center);
+        d <= self.radius + other.radius
+    }
+
+    /// Area of the intersection of two disks (the classic "lens" area).
+    ///
+    /// Returns 0 when the disks are disjoint and the area of the smaller disk
+    /// when one disk is contained in the other.
+    pub fn intersection_area(&self, other: &Circle) -> f64 {
+        let d = self.center.distance(other.center);
+        let (r, s) = (self.radius, other.radius);
+        if d >= r + s {
+            return 0.0;
+        }
+        if d + r.min(s) <= r.max(s) {
+            let rmin = r.min(s);
+            return std::f64::consts::PI * rmin * rmin;
+        }
+        // Standard lens-area formula; arguments clamped against round-off.
+        let alpha = ((d * d + r * r - s * s) / (2.0 * d * r)).clamp(-1.0, 1.0);
+        let beta = ((d * d + s * s - r * r) / (2.0 * d * s)).clamp(-1.0, 1.0);
+        let a1 = r * r * alpha.acos();
+        let a2 = s * s * beta.acos();
+        let tri = 0.5
+            * ((-d + r + s) * (d + r - s) * (d - r + s) * (d + r + s))
+                .max(0.0)
+                .sqrt();
+        a1 + a2 - tri
+    }
+
+    /// Half-angle (radians) subtended at the centre of a circle of radius `ell`
+    /// (centred at the deployment point) by the part of that circle lying
+    /// inside a disk of radius `range` whose centre is `z` away from the
+    /// deployment point.
+    ///
+    /// This is the `cos⁻¹((ℓ² + z² − R²)/(2ℓz))` term of Theorem 1 in the LAD
+    /// paper, exposed here because it is pure geometry. Returns:
+    /// * `π` when the circle of radius `ell` lies entirely inside the disk,
+    /// * `0` when it lies entirely outside,
+    /// * the clamped arccos otherwise.
+    pub fn arc_half_angle(ell: f64, z: f64, range: f64) -> f64 {
+        debug_assert!(ell >= 0.0 && z >= 0.0 && range >= 0.0);
+        if ell + z <= range {
+            return std::f64::consts::PI;
+        }
+        if (ell - z).abs() >= range {
+            // entirely outside (ell differs from z by more than the range)
+            return if ell + range <= z || z + range <= ell {
+                0.0
+            } else {
+                std::f64::consts::PI
+            };
+        }
+        if ell == 0.0 || z == 0.0 {
+            // Degenerate: the "circle" is a point; either fully in or out,
+            // handled above. Reaching here means borderline round-off.
+            return if z <= range { std::f64::consts::PI } else { 0.0 };
+        }
+        let cosine = ((ell * ell + z * z - range * range) / (2.0 * ell * z)).clamp(-1.0, 1.0);
+        cosine.acos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn contains_boundary_and_interior() {
+        let c = Circle::new(Point2::new(0.0, 0.0), 10.0);
+        assert!(c.contains(Point2::new(10.0, 0.0)));
+        assert!(c.contains(Point2::new(3.0, 4.0)));
+        assert!(!c.contains(Point2::new(7.5, 7.5)));
+    }
+
+    #[test]
+    fn intersection_area_disjoint_is_zero() {
+        let a = Circle::new(Point2::new(0.0, 0.0), 5.0);
+        let b = Circle::new(Point2::new(20.0, 0.0), 5.0);
+        assert_eq!(a.intersection_area(&b), 0.0);
+        assert!(!a.intersects(&b));
+    }
+
+    #[test]
+    fn intersection_area_contained_is_smaller_disk() {
+        let a = Circle::new(Point2::new(0.0, 0.0), 10.0);
+        let b = Circle::new(Point2::new(1.0, 1.0), 2.0);
+        assert!((a.intersection_area(&b) - b.area()).abs() < 1e-9);
+        assert!(a.intersects(&b));
+    }
+
+    #[test]
+    fn intersection_area_identical_is_full_disk() {
+        let a = Circle::new(Point2::new(3.0, -2.0), 7.0);
+        assert!((a.intersection_area(&a) - a.area()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn intersection_area_half_offset_matches_analytic() {
+        // Two unit circles at distance 1: lens area = 2*acos(1/2) - sqrt(3)/2.
+        let a = Circle::new(Point2::new(0.0, 0.0), 1.0);
+        let b = Circle::new(Point2::new(1.0, 0.0), 1.0);
+        let expected = 2.0 * (0.5f64).acos() - (3.0f64).sqrt() / 2.0;
+        assert!((a.intersection_area(&b) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arc_half_angle_limits() {
+        // Circle of radius 1 around the deployment point, neighbourhood of
+        // radius 10 centred 2 away: fully inside -> pi.
+        assert_eq!(Circle::arc_half_angle(1.0, 2.0, 10.0), PI);
+        // Far away -> 0.
+        assert_eq!(Circle::arc_half_angle(1.0, 100.0, 10.0), 0.0);
+        // Right angle case: ell^2 + z^2 = R^2 -> angle pi/2.
+        let ang = Circle::arc_half_angle(3.0, 4.0, 5.0);
+        assert!((ang - PI / 2.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_intersection_area_bounds(
+            cx in -50.0f64..50.0, cy in -50.0f64..50.0,
+            r in 0.1f64..30.0, s in 0.1f64..30.0,
+        ) {
+            let a = Circle::new(Point2::new(0.0, 0.0), r);
+            let b = Circle::new(Point2::new(cx, cy), s);
+            let inter = a.intersection_area(&b);
+            prop_assert!(inter >= -1e-9);
+            prop_assert!(inter <= a.area().min(b.area()) + 1e-6);
+        }
+
+        #[test]
+        fn prop_intersection_area_symmetric(
+            cx in -50.0f64..50.0, cy in -50.0f64..50.0,
+            r in 0.1f64..30.0, s in 0.1f64..30.0,
+        ) {
+            let a = Circle::new(Point2::new(0.0, 0.0), r);
+            let b = Circle::new(Point2::new(cx, cy), s);
+            prop_assert!((a.intersection_area(&b) - b.intersection_area(&a)).abs() < 1e-6);
+        }
+
+        #[test]
+        fn prop_arc_half_angle_in_range(ell in 0.0f64..200.0, z in 0.0f64..200.0, r in 0.1f64..100.0) {
+            let ang = Circle::arc_half_angle(ell, z, r);
+            prop_assert!((0.0..=PI + 1e-12).contains(&ang));
+        }
+    }
+}

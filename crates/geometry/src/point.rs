@@ -1,0 +1,225 @@
+//! Plain 2-D points.
+
+use crate::vec2::Vec2;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A point in the 2-D deployment plane, in metres.
+///
+/// `Point2` is a tiny `Copy` type used pervasively in hot loops; it carries
+/// no invariants beyond "finite coordinates are expected by the rest of the
+/// workspace".
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point2 {
+    /// x coordinate (metres).
+    pub x: f64,
+    /// y coordinate (metres).
+    pub y: f64,
+}
+
+impl Point2 {
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point2 = Point2 { x: 0.0, y: 0.0 };
+
+    /// Creates a point from its coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn distance(&self, other: Point2) -> f64 {
+        self.distance_squared(other).sqrt()
+    }
+
+    /// Squared Euclidean distance to `other` (avoids the `sqrt` when only
+    /// comparisons are needed, e.g. in range queries).
+    #[inline]
+    pub fn distance_squared(&self, other: Point2) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Displacement vector from `self` to `other`.
+    #[inline]
+    pub fn to(&self, other: Point2) -> Vec2 {
+        Vec2::new(other.x - self.x, other.y - self.y)
+    }
+
+    /// Midpoint of the segment between `self` and `other`.
+    #[inline]
+    pub fn midpoint(&self, other: Point2) -> Point2 {
+        Point2::new((self.x + other.x) * 0.5, (self.y + other.y) * 0.5)
+    }
+
+    /// Linear interpolation between `self` (t = 0) and `other` (t = 1).
+    #[inline]
+    pub fn lerp(&self, other: Point2, t: f64) -> Point2 {
+        Point2::new(self.x + (other.x - self.x) * t, self.y + (other.y - self.y) * t)
+    }
+
+    /// Returns `true` when both coordinates are finite.
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+
+    /// The point at distance `dist` from `self` in direction `angle`
+    /// (radians, counter-clockwise from the +x axis).
+    #[inline]
+    pub fn offset_polar(&self, dist: f64, angle: f64) -> Point2 {
+        Point2::new(self.x + dist * angle.cos(), self.y + dist * angle.sin())
+    }
+}
+
+impl fmt::Display for Point2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.2}, {:.2})", self.x, self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point2 {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point2::new(x, y)
+    }
+}
+
+impl From<Point2> for (f64, f64) {
+    fn from(p: Point2) -> Self {
+        (p.x, p.y)
+    }
+}
+
+impl Add<Vec2> for Point2 {
+    type Output = Point2;
+    #[inline]
+    fn add(self, rhs: Vec2) -> Point2 {
+        Point2::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl AddAssign<Vec2> for Point2 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Vec2) {
+        self.x += rhs.x;
+        self.y += rhs.y;
+    }
+}
+
+impl Sub<Vec2> for Point2 {
+    type Output = Point2;
+    #[inline]
+    fn sub(self, rhs: Vec2) -> Point2 {
+        Point2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl SubAssign<Vec2> for Point2 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Vec2) {
+        self.x -= rhs.x;
+        self.y -= rhs.y;
+    }
+}
+
+impl Sub<Point2> for Point2 {
+    type Output = Vec2;
+    #[inline]
+    fn sub(self, rhs: Point2) -> Vec2 {
+        Vec2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_self() {
+        let a = Point2::new(1.0, 2.0);
+        let b = Point2::new(4.0, 6.0);
+        assert!((a.distance(b) - 5.0).abs() < 1e-12);
+        assert!((b.distance(a) - 5.0).abs() < 1e-12);
+        assert_eq!(a.distance(a), 0.0);
+    }
+
+    #[test]
+    fn distance_squared_matches_distance() {
+        let a = Point2::new(-3.0, 7.5);
+        let b = Point2::new(2.25, -1.0);
+        assert!((a.distance_squared(b) - a.distance(b).powi(2)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn midpoint_and_lerp_agree() {
+        let a = Point2::new(0.0, 0.0);
+        let b = Point2::new(10.0, -4.0);
+        let mid = a.midpoint(b);
+        let half = a.lerp(b, 0.5);
+        assert!((mid.x - half.x).abs() < 1e-12);
+        assert!((mid.y - half.y).abs() < 1e-12);
+    }
+
+    #[test]
+    fn point_vector_arithmetic_round_trips() {
+        let p = Point2::new(3.0, 4.0);
+        let v = Vec2::new(-1.0, 2.5);
+        let q = p + v;
+        assert_eq!(q - p, v);
+        assert_eq!(q - v, p);
+        let mut r = p;
+        r += v;
+        r -= v;
+        assert_eq!(r, p);
+    }
+
+    #[test]
+    fn offset_polar_lands_at_requested_distance() {
+        let p = Point2::new(100.0, 50.0);
+        for k in 0..16 {
+            let ang = k as f64 * std::f64::consts::TAU / 16.0;
+            let q = p.offset_polar(25.0, ang);
+            assert!((p.distance(q) - 25.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn display_and_conversions() {
+        let p = Point2::from((1.5, 2.5));
+        let (x, y): (f64, f64) = p.into();
+        assert_eq!((x, y), (1.5, 2.5));
+        assert_eq!(format!("{p}"), "(1.50, 2.50)");
+        assert!(p.is_finite());
+        assert!(!Point2::new(f64::NAN, 0.0).is_finite());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_triangle_inequality(
+            ax in -1e4f64..1e4, ay in -1e4f64..1e4,
+            bx in -1e4f64..1e4, by in -1e4f64..1e4,
+            cx in -1e4f64..1e4, cy in -1e4f64..1e4,
+        ) {
+            let a = Point2::new(ax, ay);
+            let b = Point2::new(bx, by);
+            let c = Point2::new(cx, cy);
+            prop_assert!(a.distance(c) <= a.distance(b) + b.distance(c) + 1e-6);
+        }
+
+        #[test]
+        fn prop_distance_translation_invariant(
+            ax in -1e4f64..1e4, ay in -1e4f64..1e4,
+            bx in -1e4f64..1e4, by in -1e4f64..1e4,
+            tx in -1e4f64..1e4, ty in -1e4f64..1e4,
+        ) {
+            let a = Point2::new(ax, ay);
+            let b = Point2::new(bx, by);
+            let t = Vec2::new(tx, ty);
+            prop_assert!(((a + t).distance(b + t) - a.distance(b)).abs() < 1e-6);
+        }
+    }
+}

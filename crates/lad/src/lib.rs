@@ -1,0 +1,66 @@
+//! # LAD — Localization Anomaly Detection for Wireless Sensor Networks
+//!
+//! A from-scratch Rust reproduction of *"LAD: Localization Anomaly Detection
+//! for Wireless Sensor Networks"* (Wenliang Du, Lei Fang, Peng Ning,
+//! IPDPS 2005), including every substrate the paper depends on:
+//!
+//! * [`deployment`] — the group-based deployment-knowledge model, Gaussian
+//!   placement, and the Theorem-1 neighbourhood probability `g(z)`,
+//! * [`net`] — the wireless sensor network simulator (nodes, neighbourhoods,
+//!   group-ID hello protocol, observations),
+//! * [`localization`] — the beaconless MLE scheme the paper evaluates on,
+//!   plus centroid and DV-Hop baselines,
+//! * [`core`] — the LAD contribution itself: the Diff / Add-all / Probability
+//!   metrics, τ-percentile threshold training and the detector,
+//! * [`attack`] — the adversary: attack primitives, Dec-Bounded / Dec-Only
+//!   classes, greedy metric-minimising taints, DoS attacks,
+//! * [`eval`] — the harness that regenerates every figure of the paper's
+//!   evaluation section,
+//! * [`geometry`] / [`stats`] — the numeric substrates underneath it all.
+//!
+//! The [`prelude`] re-exports the types most applications need. See the
+//! `examples/` directory for runnable end-to-end scenarios and the
+//! `reproduce` binary (in `lad-eval`) for the figure regeneration CLI.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub use lad_attack as attack;
+pub use lad_core as core;
+pub use lad_deployment as deployment;
+pub use lad_eval as eval;
+pub use lad_geometry as geometry;
+pub use lad_localization as localization;
+pub use lad_net as net;
+pub use lad_stats as stats;
+
+/// The most commonly used types, re-exported flat.
+pub mod prelude {
+    pub use lad_attack::{
+        simulate_attack, taint_observation, AttackClass, AttackConfig, AttackOutcome,
+    };
+    pub use lad_core::{
+        AddAllMetric, DetectionMetric, DiffMetric, LadDetector, MetricKind, ProbabilityMetric,
+        TrainedThresholds, Trainer, TrainingConfig, Verdict,
+    };
+    pub use lad_deployment::{DeploymentConfig, DeploymentKnowledge, GzTable};
+    pub use lad_eval::{EvalConfig, EvalContext};
+    pub use lad_geometry::{Point2, Rect};
+    pub use lad_localization::{BeaconlessMle, CentroidLocalizer, DvHopLocalizer, Localizer};
+    pub use lad_net::{GroupId, Network, NodeId, Observation};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn prelude_types_compose() {
+        let config = DeploymentConfig::small_test();
+        let knowledge = DeploymentKnowledge::shared(&config);
+        let network = Network::generate(knowledge.clone(), 1);
+        assert_eq!(network.group_count(), config.group_count());
+        let detector = LadDetector::new(MetricKind::Diff, 25.0);
+        assert_eq!(detector.metric(), MetricKind::Diff);
+    }
+}

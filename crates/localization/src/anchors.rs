@@ -1,0 +1,174 @@
+//! Anchor (beacon) nodes for the beacon-based baseline localizers.
+//!
+//! Anchors "already know their absolute locations via GPS or manual
+//! configuration" and "are typically equipped with high-power transmitters"
+//! (§2.1 of the paper). A compromised anchor declares a false position —
+//! the attack the related-work section identifies as fatal for MMSE-style
+//! schemes.
+
+use lad_geometry::{sampling, Point2};
+use lad_net::Network;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A beacon node with a known (claimed) position.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Anchor {
+    /// Anchor identifier.
+    pub id: u32,
+    /// The anchor's true position.
+    pub true_position: Point2,
+    /// The position the anchor *declares* in its beacons (differs from
+    /// `true_position` when the anchor is compromised).
+    pub declared_position: Point2,
+    /// Whether the anchor has been compromised.
+    pub compromised: bool,
+}
+
+impl Anchor {
+    /// An honest anchor declaring its true position.
+    pub fn honest(id: u32, position: Point2) -> Self {
+        Self { id, true_position: position, declared_position: position, compromised: false }
+    }
+
+    /// A compromised anchor declaring `declared` instead of its true position.
+    pub fn compromised(id: u32, true_position: Point2, declared: Point2) -> Self {
+        Self { id, true_position, declared_position: declared, compromised: true }
+    }
+}
+
+/// A set of anchors covering the deployment area, with their beacon range.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnchorField {
+    anchors: Vec<Anchor>,
+    /// Beacon transmission range (anchors use high-power transmitters, so
+    /// this is typically several times the sensor range).
+    beacon_range: f64,
+}
+
+impl AnchorField {
+    /// Places `count` honest anchors uniformly at random over the network's
+    /// deployment area with the given beacon range.
+    pub fn random<R: Rng + ?Sized>(
+        network: &Network,
+        count: usize,
+        beacon_range: f64,
+        rng: &mut R,
+    ) -> Self {
+        assert!(count > 0, "need at least one anchor");
+        assert!(beacon_range > 0.0, "beacon range must be positive");
+        let area = network.knowledge().config().area();
+        let anchors = (0..count)
+            .map(|i| Anchor::honest(i as u32, sampling::uniform_in_rect(rng, area)))
+            .collect();
+        Self { anchors, beacon_range }
+    }
+
+    /// Places anchors on a regular `cols × rows` grid over the area.
+    pub fn grid(network: &Network, cols: usize, rows: usize, beacon_range: f64) -> Self {
+        assert!(cols > 0 && rows > 0, "need at least one anchor");
+        let area = network.knowledge().config().area();
+        let mut anchors = Vec::with_capacity(cols * rows);
+        for r in 0..rows {
+            for c in 0..cols {
+                let x = area.min_x + area.width() * (c as f64 + 0.5) / cols as f64;
+                let y = area.min_y + area.height() * (r as f64 + 0.5) / rows as f64;
+                anchors.push(Anchor::honest((r * cols + c) as u32, Point2::new(x, y)));
+            }
+        }
+        Self { anchors, beacon_range }
+    }
+
+    /// Compromises `count` anchors (the first `count` by id): each one
+    /// declares a position displaced by exactly `displacement` metres in a
+    /// random direction.
+    pub fn compromise<R: Rng + ?Sized>(&mut self, count: usize, displacement: f64, rng: &mut R) {
+        for anchor in self.anchors.iter_mut().take(count) {
+            let fake = sampling::at_distance(rng, anchor.true_position, displacement);
+            *anchor = Anchor::compromised(anchor.id, anchor.true_position, fake);
+        }
+    }
+
+    /// All anchors.
+    pub fn anchors(&self) -> &[Anchor] {
+        &self.anchors
+    }
+
+    /// The beacon transmission range.
+    pub fn beacon_range(&self) -> f64 {
+        self.beacon_range
+    }
+
+    /// The anchors whose beacons reach `position` (true position within
+    /// beacon range), i.e. the reference points a sensor at `position` hears.
+    pub fn heard_at(&self, position: Point2) -> Vec<&Anchor> {
+        self.anchors
+            .iter()
+            .filter(|a| a.true_position.distance(position) <= self.beacon_range)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lad_deployment::{DeploymentConfig, DeploymentKnowledge};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn network() -> Network {
+        Network::generate(DeploymentKnowledge::shared(&DeploymentConfig::small_test()), 3)
+    }
+
+    #[test]
+    fn random_anchors_are_inside_the_area() {
+        let net = network();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let field = AnchorField::random(&net, 12, 150.0, &mut rng);
+        assert_eq!(field.anchors().len(), 12);
+        let area = net.knowledge().config().area();
+        for a in field.anchors() {
+            assert!(area.contains(a.true_position));
+            assert!(!a.compromised);
+            assert_eq!(a.true_position, a.declared_position);
+        }
+    }
+
+    #[test]
+    fn grid_anchors_cover_the_area_evenly() {
+        let net = network();
+        let field = AnchorField::grid(&net, 3, 3, 200.0);
+        assert_eq!(field.anchors().len(), 9);
+        assert_eq!(field.beacon_range(), 200.0);
+        // Corner anchor of a 3x3 grid over 400 m sits at (66.7, 66.7).
+        let first = field.anchors()[0];
+        assert!((first.true_position.x - 400.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compromise_displaces_declared_position_by_requested_distance() {
+        let net = network();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut field = AnchorField::grid(&net, 4, 4, 200.0);
+        field.compromise(3, 120.0, &mut rng);
+        let compromised: Vec<&Anchor> =
+            field.anchors().iter().filter(|a| a.compromised).collect();
+        assert_eq!(compromised.len(), 3);
+        for a in compromised {
+            assert!((a.true_position.distance(a.declared_position) - 120.0).abs() < 1e-9);
+        }
+        assert!(!field.anchors()[5].compromised);
+    }
+
+    #[test]
+    fn heard_at_respects_beacon_range() {
+        let net = network();
+        let field = AnchorField::grid(&net, 2, 2, 100.0);
+        let p = field.anchors()[0].true_position;
+        let heard = field.heard_at(p);
+        assert!(heard.iter().any(|a| a.id == 0));
+        for a in heard {
+            assert!(a.true_position.distance(p) <= 100.0);
+        }
+    }
+}

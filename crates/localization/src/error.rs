@@ -1,0 +1,77 @@
+//! Localization-error measurement (Definition 1 of the paper).
+
+use crate::scheme::Localizer;
+use lad_net::{Network, NodeId};
+use lad_stats::Summary;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Error statistics of a localization scheme evaluated over a node sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LocalizationErrorReport {
+    /// Scheme name.
+    pub scheme: String,
+    /// Number of nodes that could be localized.
+    pub localized: usize,
+    /// Number of nodes the scheme failed to localize.
+    pub failed: usize,
+    /// Summary of `|L_e − L_a|` over the localized nodes.
+    pub error: Summary,
+}
+
+/// Evaluates `localizer` on the given nodes (parallel over nodes) and reports
+/// the distribution of localization errors.
+pub fn evaluate<L: Localizer + ?Sized>(
+    localizer: &L,
+    network: &Network,
+    nodes: &[NodeId],
+) -> LocalizationErrorReport {
+    let results: Vec<Option<f64>> = nodes
+        .par_iter()
+        .map(|&id| {
+            localizer
+                .localize(network, id)
+                .map(|est| est.distance(network.node(id).resident_point))
+        })
+        .collect();
+    let errors: Vec<f64> = results.iter().copied().flatten().collect();
+    LocalizationErrorReport {
+        scheme: localizer.name().to_string(),
+        localized: errors.len(),
+        failed: results.len() - errors.len(),
+        error: Summary::of(&errors),
+    }
+}
+
+/// Convenience: evaluates on every `stride`-th node of the network.
+pub fn evaluate_strided<L: Localizer + ?Sized>(
+    localizer: &L,
+    network: &Network,
+    stride: usize,
+) -> LocalizationErrorReport {
+    let ids: Vec<NodeId> = (0..network.node_count())
+        .step_by(stride.max(1))
+        .map(|i| NodeId(i as u32))
+        .collect();
+    evaluate(localizer, network, &ids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::beaconless::BeaconlessMle;
+    use lad_deployment::{DeploymentConfig, DeploymentKnowledge};
+
+    #[test]
+    fn report_counts_add_up_and_errors_are_reasonable() {
+        let net =
+            Network::generate(DeploymentKnowledge::shared(&DeploymentConfig::small_test()), 51);
+        let report = evaluate_strided(&BeaconlessMle::new(), &net, 17);
+        assert_eq!(report.scheme, "beaconless-mle");
+        let expected_samples = (net.node_count() + 16) / 17;
+        assert_eq!(report.localized + report.failed, expected_samples);
+        assert!(report.localized > 0);
+        assert!(report.error.mean < 60.0, "mean error {}", report.error.mean);
+        assert!(report.error.min >= 0.0);
+    }
+}

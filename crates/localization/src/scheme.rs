@@ -1,0 +1,54 @@
+//! The common interface all localization schemes implement.
+
+use lad_geometry::Point2;
+use lad_net::{Network, NodeId};
+
+/// A localization scheme: given the deployed network and a node, produce the
+/// node's estimated location `L_e`.
+///
+/// Implementations only use information the node could plausibly have
+/// (its neighbours' broadcasts, anchor beacons, deployment knowledge) —
+/// never the node's true resident point.
+///
+/// The `Send + Sync` bound lets evaluation harnesses run localization for
+/// many nodes in parallel.
+pub trait Localizer: Send + Sync {
+    /// Human-readable scheme name (used in reports).
+    fn name(&self) -> &'static str;
+
+    /// Estimates the location of `node`, or `None` when the scheme has no
+    /// information at all (e.g. an isolated node hearing no anchors).
+    fn localize(&self, network: &Network, node: NodeId) -> Option<Point2>;
+
+    /// Estimates locations for many nodes (default: one by one).
+    fn localize_many(&self, network: &Network, nodes: &[NodeId]) -> Vec<Option<Point2>> {
+        nodes.iter().map(|&n| self.localize(network, n)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct FixedLocalizer(Point2);
+
+    impl Localizer for FixedLocalizer {
+        fn name(&self) -> &'static str {
+            "fixed"
+        }
+        fn localize(&self, _network: &Network, _node: NodeId) -> Option<Point2> {
+            Some(self.0)
+        }
+    }
+
+    #[test]
+    fn localize_many_default_maps_each_node() {
+        use lad_deployment::{DeploymentConfig, DeploymentKnowledge};
+        let net = Network::generate(DeploymentKnowledge::shared(&DeploymentConfig::small_test()), 1);
+        let loc = FixedLocalizer(Point2::new(1.0, 2.0));
+        let out = loc.localize_many(&net, &[NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(out.len(), 3);
+        assert!(out.iter().all(|p| *p == Some(Point2::new(1.0, 2.0))));
+        assert_eq!(loc.name(), "fixed");
+    }
+}

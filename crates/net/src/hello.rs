@@ -1,0 +1,204 @@
+//! The group-ID broadcast ("hello") protocol.
+//!
+//! §5.1 of the paper: "After sensors are deployed, each sensor broadcasts its
+//! group id to its neighbors, and each sensor can count the number of
+//! neighbors from G_i". This module simulates that exchange at message level
+//! so the §6 attacks can be expressed as what a compromised node *sends*
+//! rather than as direct edits of the victim's counters:
+//!
+//! * an honest node sends exactly one message with its true group id,
+//! * a **silent** compromised node sends nothing,
+//! * an **impersonating** node sends one message with a forged group id,
+//! * a **multi-impersonating** node sends arbitrarily many forged messages,
+//! * a **range-changed** node is heard even though it is outside the
+//!   victim's radio range.
+
+use crate::network::Network;
+use crate::node::{GroupId, NodeId};
+use crate::observation::Observation;
+use serde::{Deserialize, Serialize};
+
+/// A single hello message as received by a victim node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HelloMessage {
+    /// The sender (physical node) of the message.
+    pub sender: NodeId,
+    /// The group id claimed in the message (may differ from the sender's true
+    /// group when the sender is compromised).
+    pub claimed_group: GroupId,
+}
+
+/// How a particular neighbour behaves during the hello exchange.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HelloBehavior {
+    /// Broadcast the true group id (honest node).
+    Honest,
+    /// Send nothing (silence attack).
+    Silent,
+    /// Claim to be from a different group (impersonation attack).
+    Impersonate(GroupId),
+    /// Send one message for each listed group (multi-impersonation attack).
+    MultiImpersonate(Vec<GroupId>),
+}
+
+/// Collects the hello messages heard by `victim` given per-node behaviours.
+///
+/// `behavior_of` is consulted for every real neighbour; nodes not covered by
+/// the map behave honestly. `extra_senders` models range-change attacks:
+/// nodes outside the victim's radio range that are nevertheless heard (via a
+/// wormhole, increased transmission power, or physical relocation), together
+/// with the group they claim.
+pub fn collect_hellos<F>(
+    network: &Network,
+    victim: NodeId,
+    behavior_of: F,
+    extra_senders: &[(NodeId, GroupId)],
+) -> Vec<HelloMessage>
+where
+    F: Fn(NodeId) -> HelloBehavior,
+{
+    let mut messages = Vec::new();
+    for neighbor in network.neighbors_of(victim) {
+        match behavior_of(neighbor) {
+            HelloBehavior::Honest => messages.push(HelloMessage {
+                sender: neighbor,
+                claimed_group: network.node(neighbor).group,
+            }),
+            HelloBehavior::Silent => {}
+            HelloBehavior::Impersonate(g) => {
+                messages.push(HelloMessage { sender: neighbor, claimed_group: g })
+            }
+            HelloBehavior::MultiImpersonate(groups) => {
+                for g in groups {
+                    messages.push(HelloMessage { sender: neighbor, claimed_group: g });
+                }
+            }
+        }
+    }
+    for &(sender, group) in extra_senders {
+        messages.push(HelloMessage { sender, claimed_group: group });
+    }
+    messages
+}
+
+/// Builds the observation a victim derives from a set of hello messages.
+pub fn observation_from_hellos(group_count: usize, messages: &[HelloMessage]) -> Observation {
+    Observation::from_groups(group_count, messages.iter().map(|m| m.claimed_group))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lad_deployment::{DeploymentConfig, DeploymentKnowledge};
+
+    fn network() -> Network {
+        let knowledge = DeploymentKnowledge::shared(&DeploymentConfig::small_test());
+        Network::generate(knowledge, 11)
+    }
+
+    #[test]
+    fn honest_hellos_reproduce_true_observation() {
+        let net = network();
+        let victim = NodeId(17);
+        let msgs = collect_hellos(&net, victim, |_| HelloBehavior::Honest, &[]);
+        let obs = observation_from_hellos(net.group_count(), &msgs);
+        assert_eq!(obs, net.true_observation(victim));
+    }
+
+    #[test]
+    fn silence_removes_exactly_that_neighbor() {
+        let net = network();
+        let victim = NodeId(23);
+        let neighbors = net.neighbors_of(victim);
+        assert!(!neighbors.is_empty(), "victim needs neighbours for this test");
+        let silenced = neighbors[0];
+        let silenced_group = net.node(silenced).group;
+        let msgs = collect_hellos(
+            &net,
+            victim,
+            |n| if n == silenced { HelloBehavior::Silent } else { HelloBehavior::Honest },
+            &[],
+        );
+        let obs = observation_from_hellos(net.group_count(), &msgs);
+        let truth = net.true_observation(victim);
+        assert_eq!(
+            obs.count(silenced_group.index()) + 1,
+            truth.count(silenced_group.index())
+        );
+        assert_eq!(obs.total() + 1, truth.total());
+    }
+
+    #[test]
+    fn impersonation_moves_one_count_between_groups() {
+        let net = network();
+        let victim = NodeId(31);
+        let neighbors = net.neighbors_of(victim);
+        assert!(!neighbors.is_empty());
+        let liar = neighbors[0];
+        let true_group = net.node(liar).group;
+        let fake_group = GroupId(((true_group.0 as usize + 1) % net.group_count()) as u16);
+        let msgs = collect_hellos(
+            &net,
+            victim,
+            |n| {
+                if n == liar {
+                    HelloBehavior::Impersonate(fake_group)
+                } else {
+                    HelloBehavior::Honest
+                }
+            },
+            &[],
+        );
+        let obs = observation_from_hellos(net.group_count(), &msgs);
+        let truth = net.true_observation(victim);
+        assert_eq!(obs.total(), truth.total());
+        assert_eq!(obs.count(true_group.index()) + 1, truth.count(true_group.index()));
+        assert_eq!(obs.count(fake_group.index()), truth.count(fake_group.index()) + 1);
+    }
+
+    #[test]
+    fn multi_impersonation_inflates_arbitrary_groups() {
+        let net = network();
+        let victim = NodeId(47);
+        let neighbors = net.neighbors_of(victim);
+        assert!(!neighbors.is_empty());
+        let flooder = neighbors[0];
+        let claims: Vec<GroupId> = (0..5).map(GroupId).collect();
+        let msgs = collect_hellos(
+            &net,
+            victim,
+            |n| {
+                if n == flooder {
+                    HelloBehavior::MultiImpersonate(claims.clone())
+                } else {
+                    HelloBehavior::Honest
+                }
+            },
+            &[],
+        );
+        let obs = observation_from_hellos(net.group_count(), &msgs);
+        let truth = net.true_observation(victim);
+        assert_eq!(obs.total(), truth.total() + claims.len() as u32 - 1);
+    }
+
+    #[test]
+    fn range_change_adds_out_of_range_senders() {
+        let net = network();
+        let victim = NodeId(3);
+        // Find a node that is NOT a neighbour of the victim.
+        let neighbors = net.neighbors_of(victim);
+        let outsider = net
+            .nodes()
+            .iter()
+            .find(|n| n.id != victim && !neighbors.contains(&n.id))
+            .expect("some node is out of range")
+            .id;
+        let claimed = net.node(outsider).group;
+        let msgs =
+            collect_hellos(&net, victim, |_| HelloBehavior::Honest, &[(outsider, claimed)]);
+        let obs = observation_from_hellos(net.group_count(), &msgs);
+        let truth = net.true_observation(victim);
+        assert_eq!(obs.total(), truth.total() + 1);
+        assert_eq!(obs.count(claimed.index()), truth.count(claimed.index()) + 1);
+    }
+}

@@ -1,0 +1,117 @@
+//! Sensor nodes and their identifiers.
+
+use lad_geometry::Point2;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a sensor node (dense, assigned at generation time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The node id as a `usize` index into the network's node array.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of a deployment group (index into the layout's deployment
+/// points).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct GroupId(pub u16);
+
+impl GroupId {
+    /// The group id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "G{}", self.0)
+    }
+}
+
+/// A deployed sensor node.
+///
+/// Nodes are static after deployment (paper §3): the resident point never
+/// changes. Whether the node has been compromised by the adversary is a
+/// property of an attack scenario, not of the node itself, and is therefore
+/// tracked by `lad-attack` rather than here.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SensorNode {
+    /// Node identifier.
+    pub id: NodeId,
+    /// Deployment group the node belongs to.
+    pub group: GroupId,
+    /// Where the node's group was deployed from.
+    pub deployment_point: Point2,
+    /// Where the node actually landed.
+    pub resident_point: Point2,
+}
+
+impl SensorNode {
+    /// Distance between the node's resident point and its group's deployment
+    /// point (how far it drifted during deployment).
+    pub fn drift(&self) -> f64 {
+        self.deployment_point.distance(self.resident_point)
+    }
+
+    /// Whether `other` is within transmission range `range` of this node
+    /// (symmetric disk model).
+    pub fn in_range(&self, other: &SensorNode, range: f64) -> bool {
+        self.resident_point.distance_squared(other.resident_point) <= range * range
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(id: u32, group: u16, dp: (f64, f64), rp: (f64, f64)) -> SensorNode {
+        SensorNode {
+            id: NodeId(id),
+            group: GroupId(group),
+            deployment_point: dp.into(),
+            resident_point: rp.into(),
+        }
+    }
+
+    #[test]
+    fn ids_display_and_index() {
+        assert_eq!(NodeId(7).to_string(), "n7");
+        assert_eq!(GroupId(12).to_string(), "G12");
+        assert_eq!(NodeId(42).index(), 42);
+        assert_eq!(GroupId(3).index(), 3);
+    }
+
+    #[test]
+    fn drift_is_distance_from_deployment_point() {
+        let n = node(0, 0, (100.0, 100.0), (103.0, 104.0));
+        assert!((n.drift() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn in_range_is_symmetric_and_inclusive() {
+        let a = node(0, 0, (0.0, 0.0), (0.0, 0.0));
+        let b = node(1, 1, (0.0, 0.0), (40.0, 0.0));
+        assert!(a.in_range(&b, 40.0));
+        assert!(b.in_range(&a, 40.0));
+        assert!(!a.in_range(&b, 39.9));
+    }
+
+    #[test]
+    fn ids_order_by_value() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(GroupId(0) < GroupId(10));
+    }
+}

@@ -1,0 +1,174 @@
+//! Observations: the per-group neighbour-count vector `o = (o_1, …, o_n)`.
+
+use crate::node::GroupId;
+use serde::{Deserialize, Serialize};
+
+/// The observation a sensor builds after the group-ID broadcast: how many
+/// neighbours it heard from each deployment group (§5.1 of the paper).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Observation {
+    counts: Vec<u32>,
+}
+
+impl Observation {
+    /// An all-zero observation over `group_count` groups.
+    pub fn zeros(group_count: usize) -> Self {
+        Self { counts: vec![0; group_count] }
+    }
+
+    /// Builds an observation from explicit per-group counts.
+    pub fn from_counts(counts: Vec<u32>) -> Self {
+        Self { counts }
+    }
+
+    /// Builds an observation by counting the group of every heard neighbour.
+    pub fn from_groups<I: IntoIterator<Item = GroupId>>(group_count: usize, groups: I) -> Self {
+        let mut obs = Self::zeros(group_count);
+        for g in groups {
+            obs.increment(g.index());
+        }
+        obs
+    }
+
+    /// Number of deployment groups `n`.
+    pub fn group_count(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The count for group `i`.
+    pub fn count(&self, i: usize) -> u32 {
+        self.counts[i]
+    }
+
+    /// All counts, in group order.
+    pub fn counts(&self) -> &[u32] {
+        &self.counts
+    }
+
+    /// Mutable access to the counts (used by the attack taint procedures).
+    pub fn counts_mut(&mut self) -> &mut [u32] {
+        &mut self.counts
+    }
+
+    /// Adds one observed neighbour from group `i`.
+    pub fn increment(&mut self, i: usize) {
+        self.counts[i] += 1;
+    }
+
+    /// Removes one observed neighbour from group `i` (saturating at zero).
+    pub fn decrement(&mut self, i: usize) {
+        self.counts[i] = self.counts[i].saturating_sub(1);
+    }
+
+    /// Sets the count for group `i`.
+    pub fn set(&mut self, i: usize, value: u32) {
+        self.counts[i] = value;
+    }
+
+    /// Resets every count to zero (allocation-free reuse in trial loops).
+    pub fn clear(&mut self) {
+        self.counts.iter_mut().for_each(|c| *c = 0);
+    }
+
+    /// Total number of observed neighbours `Σ o_i`.
+    pub fn total(&self) -> u32 {
+        self.counts.iter().sum()
+    }
+
+    /// L1 distance `Σ |o_i − p_i|` to another observation of the same length.
+    pub fn l1_distance(&self, other: &Observation) -> u64 {
+        assert_eq!(self.group_count(), other.group_count());
+        self.counts
+            .iter()
+            .zip(&other.counts)
+            .map(|(&a, &b)| (a as i64 - b as i64).unsigned_abs())
+            .sum()
+    }
+
+    /// Number of decrements needed to turn `self` into an observation that is
+    /// at most `other` component-wise: `Σ max(self_i − other_i, 0)`.
+    ///
+    /// This is the quantity bounded by `x` in the Dec-Bounded attack
+    /// definition (Definition 4 of the paper).
+    pub fn decrease_cost(&self, other: &Observation) -> u64 {
+        assert_eq!(self.group_count(), other.group_count());
+        self.counts
+            .iter()
+            .zip(&other.counts)
+            .map(|(&a, &b)| (a as i64 - b as i64).max(0) as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn from_groups_counts_each_group() {
+        let groups = [GroupId(0), GroupId(2), GroupId(2), GroupId(5)];
+        let obs = Observation::from_groups(6, groups);
+        assert_eq!(obs.counts(), &[1, 0, 2, 0, 0, 1]);
+        assert_eq!(obs.total(), 4);
+        assert_eq!(obs.group_count(), 6);
+    }
+
+    #[test]
+    fn increment_decrement_and_clear() {
+        let mut obs = Observation::zeros(3);
+        obs.increment(1);
+        obs.increment(1);
+        obs.decrement(1);
+        obs.decrement(0); // saturates at zero
+        assert_eq!(obs.counts(), &[0, 1, 0]);
+        obs.set(2, 9);
+        assert_eq!(obs.count(2), 9);
+        obs.clear();
+        assert_eq!(obs.total(), 0);
+        assert_eq!(obs.group_count(), 3);
+    }
+
+    #[test]
+    fn l1_distance_and_decrease_cost() {
+        let a = Observation::from_counts(vec![5, 0, 3]);
+        let b = Observation::from_counts(vec![2, 4, 3]);
+        assert_eq!(a.l1_distance(&b), 7);
+        assert_eq!(b.l1_distance(&a), 7);
+        assert_eq!(a.decrease_cost(&b), 3); // only group 0 must shrink (5 -> 2)
+        assert_eq!(b.decrease_cost(&a), 4); // only group 1 must shrink (4 -> 0)
+    }
+
+    #[test]
+    #[should_panic]
+    fn l1_distance_requires_same_length() {
+        let a = Observation::zeros(2);
+        let b = Observation::zeros(3);
+        let _ = a.l1_distance(&b);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_l1_symmetric_and_triangle(
+            a in proptest::collection::vec(0u32..50, 8),
+            b in proptest::collection::vec(0u32..50, 8),
+            c in proptest::collection::vec(0u32..50, 8),
+        ) {
+            let oa = Observation::from_counts(a);
+            let ob = Observation::from_counts(b);
+            let oc = Observation::from_counts(c);
+            prop_assert_eq!(oa.l1_distance(&ob), ob.l1_distance(&oa));
+            prop_assert!(oa.l1_distance(&oc) <= oa.l1_distance(&ob) + ob.l1_distance(&oc));
+        }
+
+        #[test]
+        fn prop_decrease_cost_decomposes_l1(
+            a in proptest::collection::vec(0u32..50, 8),
+            b in proptest::collection::vec(0u32..50, 8),
+        ) {
+            let oa = Observation::from_counts(a);
+            let ob = Observation::from_counts(b);
+            prop_assert_eq!(oa.decrease_cost(&ob) + ob.decrease_cost(&oa), oa.l1_distance(&ob));
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Topology statistics of a deployed network.
+//!
+//! These are reported alongside the experiments (DESIGN.md E1) to document
+//! the substrate: node degrees, isolated nodes, per-group spread.
+
+use crate::network::Network;
+use lad_stats::Summary;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Aggregate statistics of a deployed network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopologyStats {
+    /// Total number of nodes.
+    pub node_count: usize,
+    /// Number of deployment groups.
+    pub group_count: usize,
+    /// Summary of node degrees (neighbour counts).
+    pub degree: Summary,
+    /// Number of nodes with no neighbour at all.
+    pub isolated_nodes: usize,
+    /// Summary of node drifts (distance from deployment point to resident point).
+    pub drift: Summary,
+    /// Fraction of nodes whose resident point lies outside the nominal
+    /// deployment area (the Gaussian tail can place them there).
+    pub out_of_area_fraction: f64,
+}
+
+impl TopologyStats {
+    /// Computes the statistics for `network` (degree computation is the
+    /// expensive part and is parallelised over nodes).
+    pub fn compute(network: &Network) -> Self {
+        let degrees: Vec<f64> = network
+            .nodes()
+            .par_iter()
+            .map(|n| network.degree(n.id) as f64)
+            .collect();
+        let drifts: Vec<f64> = network.nodes().iter().map(|n| n.drift()).collect();
+        let area = network.knowledge().config().area();
+        let out_of_area = network
+            .nodes()
+            .iter()
+            .filter(|n| !area.contains(n.resident_point))
+            .count();
+        Self {
+            node_count: network.node_count(),
+            group_count: network.group_count(),
+            degree: Summary::of(&degrees),
+            isolated_nodes: degrees.iter().filter(|&&d| d == 0.0).count(),
+            drift: Summary::of(&drifts),
+            out_of_area_fraction: out_of_area as f64 / network.node_count().max(1) as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lad_deployment::{DeploymentConfig, DeploymentKnowledge};
+
+    #[test]
+    fn stats_are_consistent_with_the_model() {
+        let knowledge = DeploymentKnowledge::shared(&DeploymentConfig::small_test());
+        let net = Network::generate(knowledge, 99);
+        let stats = TopologyStats::compute(&net);
+
+        assert_eq!(stats.node_count, net.node_count());
+        assert_eq!(stats.group_count, net.group_count());
+        assert_eq!(stats.degree.count, net.node_count());
+        // Mean drift of Rayleigh(50) ≈ 62.7 m.
+        assert!((stats.drift.mean - 62.7).abs() < 6.0);
+        // Average degree should be positive and below the theoretical
+        // interior maximum (density × πR² ≈ 30 for the small config).
+        assert!(stats.degree.mean > 5.0 && stats.degree.mean < 40.0);
+        // With sigma = 50 on a 400 m area a noticeable but minor fraction of
+        // nodes lands outside.
+        assert!(stats.out_of_area_fraction > 0.0 && stats.out_of_area_fraction < 0.4);
+        // Isolated nodes should be rare.
+        assert!(stats.isolated_nodes < net.node_count() / 20);
+    }
+
+    #[test]
+    fn stats_are_deterministic_for_a_seeded_network() {
+        let knowledge = DeploymentKnowledge::shared(&DeploymentConfig::small_test());
+        let a = TopologyStats::compute(&Network::generate(knowledge.clone(), 5));
+        let b = TopologyStats::compute(&Network::generate(knowledge, 5));
+        assert_eq!(a, b);
+    }
+}

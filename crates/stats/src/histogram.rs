@@ -1,0 +1,160 @@
+//! Fixed-bin histograms for metric-score distributions.
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram over `[min, max)` with equally sized bins; values outside the
+/// range are counted in saturating edge bins (underflow / overflow).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    min: f64,
+    max: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram with `bins` bins over `[min, max)`.
+    pub fn new(min: f64, max: f64, bins: usize) -> Self {
+        assert!(max > min, "histogram range must be non-empty");
+        assert!(bins > 0, "histogram needs at least one bin");
+        Self { min, max, counts: vec![0; bins], underflow: 0, overflow: 0, total: 0 }
+    }
+
+    /// Number of interior bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Width of each bin.
+    pub fn bin_width(&self) -> f64 {
+        (self.max - self.min) / self.counts.len() as f64
+    }
+
+    /// Adds a single observation.
+    pub fn add(&mut self, value: f64) {
+        self.total += 1;
+        if value < self.min {
+            self.underflow += 1;
+        } else if value >= self.max {
+            self.overflow += 1;
+        } else {
+            let idx = ((value - self.min) / self.bin_width()) as usize;
+            let idx = idx.min(self.counts.len() - 1);
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Adds every value in `values`.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, values: I) {
+        for v in values {
+            self.add(v);
+        }
+    }
+
+    /// Total number of observations (including under/overflow).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Count in interior bin `i`.
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Counts below `min` / at-or-above `max`.
+    pub fn out_of_range(&self) -> (u64, u64) {
+        (self.underflow, self.overflow)
+    }
+
+    /// Lower edge of bin `i`.
+    pub fn bin_lower(&self, i: usize) -> f64 {
+        self.min + i as f64 * self.bin_width()
+    }
+
+    /// The centre of each bin alongside its normalised frequency
+    /// (counts / total); empty histogram yields all-zero frequencies.
+    pub fn normalized(&self) -> Vec<(f64, f64)> {
+        let denom = self.total.max(1) as f64;
+        (0..self.counts.len())
+            .map(|i| (self.bin_lower(i) + 0.5 * self.bin_width(), self.counts[i] as f64 / denom))
+            .collect()
+    }
+
+    /// Approximate quantile from the binned data (returns the upper edge of
+    /// the bin where the cumulative count first reaches `q · total`).
+    pub fn approximate_quantile(&self, q: f64) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        assert!((0.0..=1.0).contains(&q));
+        let target = (q * self.total as f64).ceil() as u64;
+        let mut acc = self.underflow;
+        if acc >= target {
+            return Some(self.min);
+        }
+        for (i, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return Some(self.bin_lower(i) + self.bin_width());
+            }
+        }
+        Some(self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn counts_land_in_expected_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.extend([0.5, 1.5, 1.9, 9.99]);
+        assert_eq!(h.count(0), 1);
+        assert_eq!(h.count(1), 2);
+        assert_eq!(h.count(9), 1);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn out_of_range_values_are_tracked() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.extend([-1.0, 2.0, 0.5, 1.0]); // 1.0 is >= max -> overflow
+        let (under, over) = h.out_of_range();
+        assert_eq!(under, 1);
+        assert_eq!(over, 2);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn normalized_frequencies_sum_to_inrange_fraction() {
+        let mut h = Histogram::new(0.0, 100.0, 20);
+        h.extend((0..1000).map(|i| i as f64 / 10.0));
+        let sum: f64 = h.normalized().iter().map(|(_, f)| f).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn approximate_quantile_brackets_true_quantile() {
+        let mut h = Histogram::new(0.0, 1000.0, 100);
+        h.extend((0..10_000).map(|i| i as f64 / 10.0));
+        let q90 = h.approximate_quantile(0.9).unwrap();
+        assert!((q90 - 900.0).abs() <= 10.0 + 1e-9);
+        assert!(Histogram::new(0.0, 1.0, 2).approximate_quantile(0.5).is_none());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_total_matches_inserted(values in proptest::collection::vec(-50.0f64..150.0, 0..300)) {
+            let mut h = Histogram::new(0.0, 100.0, 13);
+            h.extend(values.iter().copied());
+            let (under, over) = h.out_of_range();
+            let in_range: u64 = (0..h.bins()).map(|i| h.count(i)).sum();
+            prop_assert_eq!(h.total(), values.len() as u64);
+            prop_assert_eq!(in_range + under + over, values.len() as u64);
+        }
+    }
+}

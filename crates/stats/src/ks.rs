@@ -1,0 +1,120 @@
+//! Two-sample Kolmogorov–Smirnov distance.
+//!
+//! Used by the deployment-model-mismatch ablation (paper §8 future work) to
+//! quantify how far the clean metric-score distribution drifts when the real
+//! deployment no longer matches the knowledge the detector was trained with.
+
+/// The two-sample Kolmogorov–Smirnov statistic: the maximum absolute
+/// difference between the empirical CDFs of `a` and `b`.
+///
+/// Returns 0 when either sample is empty.
+pub fn ks_statistic(a: &[f64], b: &[f64]) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let mut sa: Vec<f64> = a.to_vec();
+    let mut sb: Vec<f64> = b.to_vec();
+    sa.sort_by(|x, y| x.partial_cmp(y).expect("NaN in KS input"));
+    sb.sort_by(|x, y| x.partial_cmp(y).expect("NaN in KS input"));
+
+    let (na, nb) = (sa.len() as f64, sb.len() as f64);
+    let (mut ia, mut ib) = (0usize, 0usize);
+    let mut d = 0.0f64;
+    while ia < sa.len() && ib < sb.len() {
+        let va = sa[ia];
+        let vb = sb[ib];
+        if va <= vb {
+            ia += 1;
+        }
+        if vb <= va {
+            ib += 1;
+        }
+        d = d.max((ia as f64 / na - ib as f64 / nb).abs());
+    }
+    d.min(1.0)
+}
+
+/// An asymptotic p-value for the two-sample KS statistic (Kolmogorov
+/// distribution approximation). Small p-values indicate the samples come from
+/// different distributions. Accuracy is adequate for the sample sizes used in
+/// the harness (hundreds of points); it is not meant for small-sample exact
+/// inference.
+pub fn ks_p_value(statistic: f64, n_a: usize, n_b: usize) -> f64 {
+    if n_a == 0 || n_b == 0 {
+        return 1.0;
+    }
+    let n_eff = (n_a as f64 * n_b as f64) / (n_a as f64 + n_b as f64);
+    let lambda = (n_eff.sqrt() + 0.12 + 0.11 / n_eff.sqrt()) * statistic;
+    if lambda < 1e-3 {
+        // The alternating series does not converge numerically at lambda ≈ 0;
+        // the limit of the survival function there is 1.
+        return 1.0;
+    }
+    // Q_KS(lambda) = 2 * sum_{j>=1} (-1)^{j-1} exp(-2 j^2 lambda^2)
+    let mut sum = 0.0;
+    for j in 1..=100 {
+        let term = (-2.0 * (j as f64) * (j as f64) * lambda * lambda).exp();
+        sum += if j % 2 == 1 { term } else { -term };
+        if term < 1e-12 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identical_samples_have_zero_distance() {
+        let a: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        assert_eq!(ks_statistic(&a, &a), 0.0);
+        assert!(ks_p_value(0.0, 100, 100) > 0.99);
+    }
+
+    #[test]
+    fn disjoint_samples_have_distance_one() {
+        let a: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let b: Vec<f64> = (100..150).map(|i| i as f64).collect();
+        assert!((ks_statistic(&a, &b) - 1.0).abs() < 1e-12);
+        assert!(ks_p_value(1.0, 50, 50) < 1e-6);
+    }
+
+    #[test]
+    fn shifted_distributions_have_intermediate_distance() {
+        let a: Vec<f64> = (0..200).map(|i| i as f64 / 10.0).collect();
+        let b: Vec<f64> = (0..200).map(|i| i as f64 / 10.0 + 5.0).collect();
+        let d = ks_statistic(&a, &b);
+        assert!(d > 0.2 && d < 0.5, "d = {d}");
+        assert!(ks_p_value(d, 200, 200) < 0.01);
+    }
+
+    #[test]
+    fn empty_samples_are_neutral() {
+        assert_eq!(ks_statistic(&[], &[1.0]), 0.0);
+        assert_eq!(ks_statistic(&[1.0], &[]), 0.0);
+        assert_eq!(ks_p_value(0.5, 0, 10), 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_ks_is_symmetric_and_bounded(
+            a in proptest::collection::vec(-1e3f64..1e3, 1..100),
+            b in proptest::collection::vec(-1e3f64..1e3, 1..100),
+        ) {
+            let d1 = ks_statistic(&a, &b);
+            let d2 = ks_statistic(&b, &a);
+            prop_assert!((d1 - d2).abs() < 1e-12);
+            prop_assert!((0.0..=1.0).contains(&d1));
+        }
+
+        #[test]
+        fn prop_p_value_decreases_with_statistic(n in 10usize..500) {
+            let p_small = ks_p_value(0.05, n, n);
+            let p_large = ks_p_value(0.5, n, n);
+            prop_assert!(p_large <= p_small + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Statistics substrate for the LAD reproduction.
+//!
+//! The LAD paper leans on a handful of numerical and statistical tools:
+//!
+//! * the Theorem-1 integral for `g(z)` needs a **quadrature** routine
+//!   ([`integrate`]) and a constant-time **lookup table** ([`lookup`]),
+//! * the probability metric needs a numerically stable **binomial pmf**
+//!   ([`binomial`]),
+//! * the deployment model is a 2-D isotropic **Gaussian**, whose radial
+//!   distance is **Rayleigh** ([`gaussian`], [`rayleigh`], [`erf`]),
+//! * threshold training uses **percentiles** ([`percentile`]) over sampled
+//!   metric values ([`histogram`], [`summary`]),
+//! * the evaluation section is built around **ROC curves** ([`roc`]),
+//! * reproducible parallel Monte-Carlo needs **seed derivation** ([`seeds`]).
+//!
+//! Everything is implemented from scratch on top of `std` + `rand`, so the
+//! workspace does not pull in a numerics stack.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod binomial;
+pub mod erf;
+pub mod gaussian;
+pub mod histogram;
+pub mod integrate;
+pub mod ks;
+pub mod lookup;
+pub mod percentile;
+pub mod rayleigh;
+pub mod roc;
+pub mod seeds;
+pub mod summary;
+
+pub use binomial::Binomial;
+pub use gaussian::{Gaussian1d, IsotropicGaussian2d};
+pub use histogram::Histogram;
+pub use lookup::LookupTable;
+pub use rayleigh::Rayleigh;
+pub use roc::{RocCurve, RocPoint};
+pub use summary::{OnlineStats, Summary};

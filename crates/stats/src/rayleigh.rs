@@ -1,0 +1,128 @@
+//! The Rayleigh distribution — the radial distance of an isotropic 2-D
+//! Gaussian from its mean.
+//!
+//! The paper's Theorem 1 decomposes `g(z)` into a closed-form Rayleigh CDF
+//! term plus an integral over the Rayleigh-weighted arc; this module provides
+//! the pdf/cdf/quantile/sampling used by both the exact quadrature and the
+//! Monte-Carlo validation tests.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Rayleigh distribution with scale σ (the σ of the underlying 2-D Gaussian).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rayleigh {
+    /// Scale parameter σ (> 0).
+    pub sigma: f64,
+}
+
+impl Rayleigh {
+    /// Creates the distribution; panics when `sigma` is not strictly positive.
+    pub fn new(sigma: f64) -> Self {
+        assert!(sigma > 0.0, "sigma must be positive");
+        Self { sigma }
+    }
+
+    /// Probability density at `r` (0 for negative `r`).
+    pub fn pdf(&self, r: f64) -> f64 {
+        if r < 0.0 {
+            return 0.0;
+        }
+        let s2 = self.sigma * self.sigma;
+        (r / s2) * (-(r * r) / (2.0 * s2)).exp()
+    }
+
+    /// Cumulative distribution at `r`.
+    pub fn cdf(&self, r: f64) -> f64 {
+        if r <= 0.0 {
+            return 0.0;
+        }
+        1.0 - (-(r * r) / (2.0 * self.sigma * self.sigma)).exp()
+    }
+
+    /// Quantile (inverse CDF) for probability `p ∈ [0, 1)`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..1.0).contains(&p), "p must be in [0, 1)");
+        self.sigma * (-2.0 * (1.0 - p).ln()).sqrt()
+    }
+
+    /// Mean `σ√(π/2)`.
+    pub fn mean(&self) -> f64 {
+        self.sigma * (std::f64::consts::PI / 2.0).sqrt()
+    }
+
+    /// Variance `(2 − π/2)σ²`.
+    pub fn variance(&self) -> f64 {
+        (2.0 - std::f64::consts::PI / 2.0) * self.sigma * self.sigma
+    }
+
+    /// Draws a sample via inverse-transform sampling.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen::<f64>().min(1.0 - f64::EPSILON);
+        self.quantile(u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::integrate::simpson;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn pdf_integrates_to_cdf() {
+        let d = Rayleigh::new(50.0);
+        for &r in &[10.0, 50.0, 120.0, 300.0] {
+            let integral = simpson(|x| d.pdf(x), 0.0, r, 2048);
+            assert!((integral - d.cdf(r)).abs() < 1e-8, "r = {r}");
+        }
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let d = Rayleigh::new(12.5);
+        for &p in &[0.01, 0.1, 0.5, 0.9, 0.999] {
+            assert!((d.cdf(d.quantile(p)) - p).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn moments_match_monte_carlo() {
+        let d = Rayleigh::new(50.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        let n = 60_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - d.mean()).abs() < 1.0, "mean {mean} vs {}", d.mean());
+        assert!((var - d.variance()).abs() < 30.0, "var {var} vs {}", d.variance());
+    }
+
+    #[test]
+    fn negative_support_is_zero() {
+        let d = Rayleigh::new(1.0);
+        assert_eq!(d.pdf(-1.0), 0.0);
+        assert_eq!(d.cdf(-1.0), 0.0);
+        assert_eq!(d.cdf(0.0), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_cdf_monotone_in_r(s in 0.5f64..200.0, a in 0.0f64..600.0, b in 0.0f64..600.0) {
+            let d = Rayleigh::new(s);
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            prop_assert!(d.cdf(lo) <= d.cdf(hi) + 1e-12);
+        }
+
+        #[test]
+        fn prop_samples_nonnegative(s in 0.5f64..200.0, seed in 0u64..1000) {
+            let d = Rayleigh::new(s);
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            for _ in 0..32 {
+                prop_assert!(d.sample(&mut rng) >= 0.0);
+            }
+        }
+    }
+}

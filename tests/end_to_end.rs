@@ -1,0 +1,140 @@
+//! End-to-end integration test: deploy → localize → train → attack → detect,
+//! exercising the public API the way a downstream user would.
+
+use lad::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn trained_setup(
+    seed: u64,
+) -> (std::sync::Arc<DeploymentKnowledge>, Network, TrainedThresholds) {
+    // The paper-scale deployment (10×10 groups of 300, σ = 50): the headline
+    // detection-rate claims of §7 are tied to this density, so the
+    // integration tests exercise it directly.
+    let config = DeploymentConfig::paper_default();
+    let knowledge = DeploymentKnowledge::shared(&config);
+    let network = Network::generate(knowledge.clone(), seed);
+    let trained = Trainer::new(TrainingConfig {
+        networks: 2,
+        samples_per_network: 120,
+        seed: seed ^ 0xABCD,
+        ..TrainingConfig::default()
+    })
+    .train(&knowledge);
+    (knowledge, network, trained)
+}
+
+#[test]
+fn large_damage_attacks_are_detected_and_honest_nodes_pass() {
+    let (knowledge, network, trained) = trained_setup(100);
+    let detector = trained.detector(MetricKind::Diff, 0.99);
+    let localizer = BeaconlessMle::new();
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+
+    let attack = AttackConfig {
+        degree_of_damage: 160.0,
+        compromised_fraction: 0.10,
+        class: AttackClass::DecBounded,
+        targeted_metric: MetricKind::Diff,
+    };
+
+    let mut honest_alarms = 0usize;
+    let mut attacks_detected = 0usize;
+    let mut honest_total = 0usize;
+    let mut attack_total = 0usize;
+
+    for i in (0..network.node_count()).step_by(37) {
+        let id = NodeId(i as u32);
+        let clean = network.true_observation(id);
+        // Honest path.
+        if let Some(estimate) = localizer.estimate(&knowledge, &clean) {
+            honest_total += 1;
+            if detector.detect(&knowledge, &clean, estimate).anomalous {
+                honest_alarms += 1;
+            }
+        }
+        // Attacked path.
+        let outcome = simulate_attack(&network, id, &attack, &mut rng);
+        attack_total += 1;
+        if detector
+            .detect(&knowledge, &outcome.tainted_observation, outcome.forged_location)
+            .anomalous
+        {
+            attacks_detected += 1;
+        }
+    }
+
+    let fp = honest_alarms as f64 / honest_total as f64;
+    let dr = attacks_detected as f64 / attack_total as f64;
+    assert!(honest_total > 80 && attack_total > 80);
+    assert!(fp < 0.10, "honest false-positive rate too high: {fp}");
+    assert!(dr > 0.85, "detection rate for D=160 too low: {dr}");
+    assert!(dr > fp, "detector must separate attacks from honest traffic");
+}
+
+#[test]
+fn detection_rate_grows_with_degree_of_damage() {
+    let (knowledge, network, trained) = trained_setup(200);
+    let detector = trained.detector(MetricKind::Diff, 0.99);
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+
+    let mut rates = Vec::new();
+    for &damage in &[40.0, 100.0, 180.0] {
+        let attack = AttackConfig {
+            degree_of_damage: damage,
+            compromised_fraction: 0.10,
+            class: AttackClass::DecBounded,
+            targeted_metric: MetricKind::Diff,
+        };
+        let total = 150usize;
+        let detected = (0..total)
+            .filter(|i| {
+                // Stride across the whole id space so victims come from every
+                // deployment group, not just the corner ones.
+                let victim = NodeId((i * 199) as u32);
+                let outcome = simulate_attack(&network, victim, &attack, &mut rng);
+                detector
+                    .detect(&knowledge, &outcome.tainted_observation, outcome.forged_location)
+                    .anomalous
+            })
+            .count();
+        rates.push(detected as f64 / total as f64);
+    }
+    assert!(
+        rates[2] + 1e-9 >= rates[0],
+        "DR should not shrink with damage: {rates:?}"
+    );
+    assert!(rates[2] > 0.85, "DR at D=180 should be high: {rates:?}");
+}
+
+#[test]
+fn all_three_metrics_detect_gross_anomalies() {
+    let (knowledge, network, trained) = trained_setup(300);
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let victim = NodeId(321);
+    for metric in MetricKind::ALL {
+        let detector = trained.detector(metric, 0.99);
+        let attack = AttackConfig {
+            degree_of_damage: 200.0,
+            compromised_fraction: 0.05,
+            class: AttackClass::DecBounded,
+            targeted_metric: metric,
+        };
+        // A gross anomaly should be flagged for a clear majority of trials
+        // (different victims and forged directions) for every metric.
+        let detected = (0..30u32)
+            .filter(|&k| {
+                let outcome =
+                    simulate_attack(&network, NodeId(victim.0 + k * 131), &attack, &mut rng);
+                detector
+                    .detect(&knowledge, &outcome.tainted_observation, outcome.forged_location)
+                    .anomalous
+            })
+            .count();
+        assert!(
+            detected >= 21,
+            "metric {} detected only {detected}/30 gross anomalies",
+            metric.name()
+        );
+    }
+}

@@ -1,0 +1,91 @@
+//! Smoke test of the figure-reproduction harness: every experiment runs on
+//! the reduced configuration, produces well-formed reports, and the headline
+//! qualitative claims of the paper hold.
+
+use lad::eval::experiments;
+use lad::eval::{EvalConfig, EvalContext};
+use lad::prelude::*;
+
+fn context() -> EvalContext {
+    EvalContext::new(EvalConfig::bench())
+}
+
+#[test]
+fn all_experiments_produce_saveable_reports() {
+    let ctx = context();
+    let dir = std::env::temp_dir().join("lad-reproduce-smoke");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let reports = vec![
+        experiments::deployment_figures(&ctx),
+        experiments::attack_showcase(&ctx),
+        experiments::fig4_roc_metrics(&ctx),
+        experiments::fig56_roc_attacks(&ctx),
+        experiments::fig7_dr_vs_damage(&ctx),
+        experiments::fig8_dr_vs_compromise(&ctx),
+        experiments::fig9_dr_vs_density(ctx.config(), &[40, 100]),
+        experiments::ablation_gz_table(&ctx),
+        experiments::ablation_localizers(&ctx),
+    ];
+
+    for report in &reports {
+        assert!(!report.series.is_empty(), "{} has no series", report.id);
+        for series in &report.series {
+            assert!(!series.points.is_empty(), "{}/{} empty", report.id, series.label);
+            for (x, y) in &series.points {
+                assert!(x.is_finite() && y.is_finite(), "{} has non-finite point", report.id);
+            }
+        }
+        report.save(&dir).expect("experiment artefacts can be written");
+        assert!(dir.join(format!("{}.csv", report.id)).exists());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn headline_claims_of_the_paper_hold_on_the_reduced_setup() {
+    let ctx = context();
+
+    // Claim 1 (§7.6): detection rate approaches 1 as the degree of damage grows.
+    let dr_small =
+        ctx.detection_rate(MetricKind::Diff, AttackClass::DecBounded, 40.0, 0.10, 0.05);
+    let dr_large =
+        ctx.detection_rate(MetricKind::Diff, AttackClass::DecBounded, 160.0, 0.10, 0.05);
+    assert!(dr_large >= dr_small);
+    assert!(dr_large > 0.8, "DR at D=160 is only {dr_large}");
+
+    // Claim 2 (§7.5): Dec-Only attacks are easier to detect than Dec-Bounded
+    // attacks at small D, and the two converge at large D.
+    let small_gap = ctx
+        .detection_rate(MetricKind::Diff, AttackClass::DecOnly, 40.0, 0.10, 0.10)
+        - ctx.detection_rate(MetricKind::Diff, AttackClass::DecBounded, 40.0, 0.10, 0.10);
+    let large_gap = ctx
+        .detection_rate(MetricKind::Diff, AttackClass::DecOnly, 160.0, 0.10, 0.10)
+        - ctx.detection_rate(MetricKind::Diff, AttackClass::DecBounded, 160.0, 0.10, 0.10);
+    assert!(small_gap >= -0.05, "Dec-Only should not be harder at D=40");
+    assert!(large_gap <= small_gap + 0.1, "classes should converge as D grows");
+
+    // Claim 3 (§7.7): higher damage tolerates more node compromise.
+    let dr_d160_x50 =
+        ctx.detection_rate(MetricKind::Diff, AttackClass::DecBounded, 160.0, 0.50, 0.05);
+    let dr_d80_x50 =
+        ctx.detection_rate(MetricKind::Diff, AttackClass::DecBounded, 80.0, 0.50, 0.05);
+    assert!(dr_d160_x50 + 0.1 >= dr_d80_x50);
+}
+
+#[test]
+fn roc_curves_are_valid_probability_curves() {
+    let ctx = context();
+    for metric in MetricKind::ALL {
+        let set = ctx.score_set(metric, AttackClass::DecBounded, 120.0, 0.10);
+        let roc = set.roc();
+        assert!((0.0..=1.0).contains(&roc.auc()));
+        let mut prev_fp = -1.0;
+        for p in roc.points() {
+            assert!((0.0..=1.0).contains(&p.false_positive_rate));
+            assert!((0.0..=1.0).contains(&p.detection_rate));
+            assert!(p.false_positive_rate >= prev_fp);
+            prev_fp = p.false_positive_rate;
+        }
+    }
+}

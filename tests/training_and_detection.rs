@@ -1,0 +1,109 @@
+//! Integration tests of the training → threshold → detector pipeline,
+//! including serialisation of trained artefacts.
+
+use lad::prelude::*;
+use lad_geometry::Point2;
+
+fn knowledge() -> std::sync::Arc<DeploymentKnowledge> {
+    DeploymentKnowledge::shared(&DeploymentConfig::small_test())
+}
+
+fn quick_training(seed: u64) -> TrainedThresholds {
+    Trainer::new(TrainingConfig {
+        networks: 2,
+        samples_per_network: 100,
+        seed,
+        ..TrainingConfig::default()
+    })
+    .train(&knowledge())
+}
+
+#[test]
+fn thresholds_are_monotone_in_tau_and_bound_training_fp() {
+    let trained = quick_training(1);
+    for metric in MetricKind::ALL {
+        let mut prev = f64::NEG_INFINITY;
+        for tau in [0.5, 0.9, 0.95, 0.99, 0.999] {
+            let thr = trained.threshold(metric, tau).unwrap();
+            assert!(thr >= prev, "threshold must grow with tau for {:?}", metric);
+            prev = thr;
+            let fp = trained.training_fp(metric, thr).unwrap();
+            let slack = 1.0 / trained.sample_count(metric) as f64 + 1e-9;
+            assert!(fp <= (1.0 - tau) + slack, "training FP {fp} exceeds 1 - tau for {:?}", metric);
+        }
+    }
+}
+
+#[test]
+fn trained_thresholds_serialize_and_round_trip() {
+    let trained = quick_training(2);
+    let json = serde_json::to_string(&trained).expect("thresholds serialize");
+    let back: TrainedThresholds = serde_json::from_str(&json).expect("thresholds deserialize");
+    for metric in MetricKind::ALL {
+        // JSON text round-trips floats to within an ulp; compare value-wise.
+        let before = trained.scores(metric).unwrap();
+        let after = back.scores(metric).unwrap();
+        assert_eq!(before.len(), after.len());
+        for (a, b) in before.iter().zip(after) {
+            assert!((a - b).abs() <= a.abs() * 1e-12 + 1e-300, "{a} vs {b}");
+        }
+        let ta = trained.threshold(metric, 0.99).unwrap();
+        let tb = back.threshold(metric, 0.99).unwrap();
+        assert!((ta - tb).abs() <= ta.abs() * 1e-12);
+    }
+    // The detector built from the deserialized thresholds behaves identically
+    // (up to the same float round-trip tolerance).
+    let a = trained.detector(MetricKind::Diff, 0.99);
+    let b = back.detector(MetricKind::Diff, 0.99);
+    assert!((a.threshold() - b.threshold()).abs() <= a.threshold().abs() * 1e-12);
+}
+
+#[test]
+fn detector_verdicts_serialize() {
+    let trained = quick_training(3);
+    let knowledge = knowledge();
+    let detector = trained.detector(MetricKind::Probability, 0.95);
+    let obs = Observation::from_counts(vec![0; knowledge.group_count()]);
+    let verdict = detector.detect(&knowledge, &obs, Point2::new(200.0, 200.0));
+    let json = serde_json::to_string(&verdict).unwrap();
+    let back: Verdict = serde_json::from_str(&json).unwrap();
+    assert_eq!(verdict, back);
+}
+
+#[test]
+fn detector_is_threshold_consistent_across_metrics() {
+    let trained = quick_training(4);
+    let knowledge = knowledge();
+    // An observation matching the expectation at P, claimed at P vs far away.
+    let p = Point2::new(150.0, 150.0);
+    let far = Point2::new(350.0, 350.0);
+    let mu = knowledge.expected_observation(p);
+    let obs = Observation::from_counts(mu.iter().map(|v| v.round() as u32).collect());
+    for metric in MetricKind::ALL {
+        let detector = trained.detector(metric, 0.999);
+        let near_score = detector.score(&knowledge, &obs, p);
+        let far_score = detector.score(&knowledge, &obs, far);
+        assert!(
+            far_score > near_score,
+            "{:?}: far {far_score} should exceed near {near_score}",
+            metric
+        );
+        // The verdict agrees with a manual comparison against the threshold.
+        let verdict = detector.detect(&knowledge, &obs, far);
+        assert_eq!(verdict.anomalous, verdict.score > detector.threshold());
+    }
+}
+
+#[test]
+fn separate_seeds_produce_distinct_but_similar_thresholds() {
+    let a = quick_training(10);
+    let b = quick_training(11);
+    let ta = a.threshold(MetricKind::Diff, 0.99).unwrap();
+    let tb = b.threshold(MetricKind::Diff, 0.99).unwrap();
+    assert_ne!(a.scores(MetricKind::Diff), b.scores(MetricKind::Diff));
+    // Different training runs on the same model should land in the same
+    // ballpark (within a factor of two) — the paper relies on thresholds
+    // being stable under re-training.
+    let ratio = ta.max(tb) / ta.min(tb).max(1e-9);
+    assert!(ratio < 2.0, "thresholds too unstable: {ta} vs {tb}");
+}
