@@ -54,10 +54,7 @@ impl AttackClass {
             return false;
         }
         match self {
-            AttackClass::DecBounded => tainted
-                .counts()
-                .iter()
-                .all(|&o| o as usize <= group_size),
+            AttackClass::DecBounded => tainted.counts().iter().all(|&o| o as usize <= group_size),
             AttackClass::DecOnly => clean
                 .counts()
                 .iter()

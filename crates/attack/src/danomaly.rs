@@ -25,7 +25,10 @@ pub fn displaced_location<R: Rng + ?Sized>(
     degree_of_damage: f64,
     area: Rect,
 ) -> Point2 {
-    assert!(degree_of_damage >= 0.0, "degree of damage must be non-negative");
+    assert!(
+        degree_of_damage >= 0.0,
+        "degree of damage must be non-negative"
+    );
     sampling::at_distance_in_rect(rng, actual, degree_of_damage, area, MAX_TRIES)
 }
 

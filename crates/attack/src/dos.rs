@@ -32,7 +32,11 @@ pub fn dos_taint(
     forged_messages: usize,
     group_size: usize,
 ) -> Observation {
-    assert_eq!(clean.group_count(), mu.len(), "observation/expectation length mismatch");
+    assert_eq!(
+        clean.group_count(),
+        mu.len(),
+        "observation/expectation length mismatch"
+    );
     let mut tainted = clean.clone();
 
     // Silencing: remove neighbours from the groups the victim is *expected*
@@ -100,17 +104,28 @@ mod tests {
         for metric in MetricKind::ALL {
             let scorer = metric.metric();
             let before = scorer.score(&clean(), &mu(), M);
-            let tainted =
-                dos_taint(AttackClass::DecBounded, metric, &clean(), &mu(), 5, 30, M);
+            let tainted = dos_taint(AttackClass::DecBounded, metric, &clean(), &mu(), 5, 30, M);
             let after = scorer.score(&tainted, &mu(), M);
-            assert!(after > before, "{}: DoS should raise the score", metric.name());
+            assert!(
+                after > before,
+                "{}: DoS should raise the score",
+                metric.name()
+            );
             assert!(AttackClass::DecBounded.complies(&clean(), &tainted, 5, M));
         }
     }
 
     #[test]
     fn dec_only_dos_is_limited_to_silencing() {
-        let tainted = dos_taint(AttackClass::DecOnly, MetricKind::Diff, &clean(), &mu(), 3, 50, M);
+        let tainted = dos_taint(
+            AttackClass::DecOnly,
+            MetricKind::Diff,
+            &clean(),
+            &mu(),
+            3,
+            50,
+            M,
+        );
         // No count may grow and at most 3 units may disappear.
         for (i, &c) in tainted.counts().iter().enumerate() {
             assert!(c <= clean().count(i));
@@ -122,9 +137,24 @@ mod tests {
     #[test]
     fn more_forged_messages_do_more_damage() {
         let scorer = MetricKind::Diff.metric();
-        let few = dos_taint(AttackClass::DecBounded, MetricKind::Diff, &clean(), &mu(), 0, 5, M);
-        let many =
-            dos_taint(AttackClass::DecBounded, MetricKind::Diff, &clean(), &mu(), 0, 50, M);
+        let few = dos_taint(
+            AttackClass::DecBounded,
+            MetricKind::Diff,
+            &clean(),
+            &mu(),
+            0,
+            5,
+            M,
+        );
+        let many = dos_taint(
+            AttackClass::DecBounded,
+            MetricKind::Diff,
+            &clean(),
+            &mu(),
+            0,
+            50,
+            M,
+        );
         assert!(scorer.score(&many, &mu(), M) > scorer.score(&few, &mu(), M));
     }
 

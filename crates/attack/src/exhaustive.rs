@@ -39,7 +39,10 @@ pub fn optimal_taint_score(
     group_size: usize,
 ) -> f64 {
     assert_eq!(clean.group_count(), mu.len());
-    assert!(clean.group_count() <= 6, "exhaustive search limited to <= 6 groups");
+    assert!(
+        clean.group_count() <= 6,
+        "exhaustive search limited to <= 6 groups"
+    );
     assert!(budget <= 6, "exhaustive search limited to budgets <= 6");
     assert!(
         clean.counts().iter().all(|&c| c <= 12),
@@ -110,7 +113,17 @@ fn search(
     }
     for &value in &candidates[group] {
         current.set(group, value);
-        search(group + 1, candidates, clean, mu, budget, group_size, current, scorer, best);
+        search(
+            group + 1,
+            candidates,
+            clean,
+            mu,
+            budget,
+            group_size,
+            current,
+            scorer,
+            best,
+        );
     }
     current.set(group, clean.count(group));
 }
@@ -140,8 +153,7 @@ mod tests {
         let mu = vec![1.0, 4.0, 3.0, 0.0];
         for class in AttackClass::ALL {
             for budget in [0usize, 2, 5] {
-                let optimal =
-                    optimal_taint_score(class, MetricKind::Diff, &clean, &mu, budget, M);
+                let optimal = optimal_taint_score(class, MetricKind::Diff, &clean, &mu, budget, M);
                 let greedy = greedy_score(class, MetricKind::Diff, &clean, &mu, budget);
                 assert!(
                     greedy <= optimal + 1e-9,
@@ -165,8 +177,17 @@ mod tests {
                 budget,
                 M,
             );
-            let greedy = greedy_score(AttackClass::DecOnly, MetricKind::AddAll, &clean, &mu, budget);
-            assert!((greedy - optimal).abs() < 1e-9, "budget {budget}: {greedy} vs {optimal}");
+            let greedy = greedy_score(
+                AttackClass::DecOnly,
+                MetricKind::AddAll,
+                &clean,
+                &mu,
+                budget,
+            );
+            assert!(
+                (greedy - optimal).abs() < 1e-9,
+                "budget {budget}: {greedy} vs {optimal}"
+            );
         }
     }
 

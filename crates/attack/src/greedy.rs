@@ -30,7 +30,11 @@ pub fn taint_observation(
     budget: usize,
     group_size: usize,
 ) -> Observation {
-    assert_eq!(clean.group_count(), mu.len(), "observation/expectation length mismatch");
+    assert_eq!(
+        clean.group_count(),
+        mu.len(),
+        "observation/expectation length mismatch"
+    );
     match metric {
         MetricKind::Diff => taint_diff(class, clean, mu, budget, group_size),
         MetricKind::AddAll => taint_addall(class, clean, mu, budget),
@@ -53,8 +57,8 @@ fn taint_diff(
 ) -> Observation {
     let mut tainted = clean.clone();
     if class.allows_increase() {
-        for i in 0..mu.len() {
-            let target = mu[i].round().clamp(0.0, group_size as f64) as u32;
+        for (i, &mui) in mu.iter().enumerate() {
+            let target = mui.round().clamp(0.0, group_size as f64) as u32;
             if target > tainted.count(i) {
                 tainted.set(i, target);
             }
@@ -71,7 +75,12 @@ fn taint_diff(
 ///
 /// Increases can never lower the union, so (even for Dec-Bounded) the
 /// attacker only spends its budget decreasing groups where `a_i > µ_i`.
-fn taint_addall(_class: AttackClass, clean: &Observation, mu: &[f64], budget: usize) -> Observation {
+fn taint_addall(
+    _class: AttackClass,
+    clean: &Observation,
+    mu: &[f64],
+    budget: usize,
+) -> Observation {
     let mut tainted = clean.clone();
     // Marginal gain of one silence on group i: how much max(o_i, µ_i) shrinks.
     spend_decrements(&mut tainted, mu, budget, |count, mui| {
@@ -102,9 +111,9 @@ fn taint_probability(
 
     let mut tainted = clean.clone();
     if class.allows_increase() {
-        for i in 0..mu.len() {
-            if modes[i] > tainted.count(i) {
-                tainted.set(i, modes[i]);
+        for (i, &mode) in modes.iter().enumerate() {
+            if mode > tainted.count(i) {
+                tainted.set(i, mode);
             }
         }
     }
@@ -118,7 +127,7 @@ fn taint_probability(
             let count = tainted.count(i);
             if count > modes[i] {
                 let p = binomials[i].pmf(count as u64);
-                if worst.map_or(true, |(_, wp)| p < wp) {
+                if worst.is_none_or(|(_, wp)| p < wp) {
                     worst = Some((i, p));
                 }
             }
@@ -148,13 +157,13 @@ where
 {
     for _ in 0..budget {
         let mut best: Option<(usize, f64)> = None;
-        for i in 0..mu.len() {
+        for (i, &mui) in mu.iter().enumerate() {
             let count = obs.count(i);
             if count == 0 {
                 continue;
             }
-            let g = gain(count, mu[i]);
-            if g > 1e-12 && best.map_or(true, |(_, bg)| g > bg) {
+            let g = gain(count, mui);
+            if g > 1e-12 && best.is_none_or(|(_, bg)| g > bg) {
                 best = Some((i, g));
             }
         }
@@ -193,7 +202,10 @@ mod tests {
             M,
         );
         let dm = DiffMetric.score(&tainted, &mu_at_forged_location(), M);
-        assert!(dm < 1.0, "unlimited budget should null the Diff metric, got {dm}");
+        assert!(
+            dm < 1.0,
+            "unlimited budget should null the Diff metric, got {dm}"
+        );
     }
 
     #[test]
@@ -210,7 +222,11 @@ mod tests {
                 );
                 let before = DiffMetric.score(&clean(), &mu_at_forged_location(), M);
                 let after = DiffMetric.score(&tainted, &mu_at_forged_location(), M);
-                assert!(after <= before + 1e-9, "{}: {after} > {before}", class.name());
+                assert!(
+                    after <= before + 1e-9,
+                    "{}: {after} > {before}",
+                    class.name()
+                );
                 assert!(class.complies(&clean(), &tainted, budget, M));
             }
         }

@@ -36,4 +36,4 @@ pub mod scenario;
 pub use classes::AttackClass;
 pub use danomaly::displaced_location;
 pub use greedy::taint_observation;
-pub use scenario::{AttackConfig, AttackOutcome, simulate_attack};
+pub use scenario::{simulate_attack, AttackConfig, AttackOutcome};

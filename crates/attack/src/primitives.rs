@@ -134,8 +134,14 @@ mod tests {
         let mut obs = clean();
         AttackPrimitive::RangeChange { group: 2 }.apply(&mut obs);
         assert_eq!(obs.counts(), &[4, 3, 1, 7]);
-        assert_eq!(AttackPrimitive::RangeChange { group: 2 }.compromised_neighbors_used(), 0);
-        assert_eq!(AttackPrimitive::Silence { group: 0 }.compromised_neighbors_used(), 1);
+        assert_eq!(
+            AttackPrimitive::RangeChange { group: 2 }.compromised_neighbors_used(),
+            0
+        );
+        assert_eq!(
+            AttackPrimitive::Silence { group: 0 }.compromised_neighbors_used(),
+            1
+        );
     }
 
     #[test]

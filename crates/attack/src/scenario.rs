@@ -126,7 +126,10 @@ mod tests {
     use rand_chacha::ChaCha8Rng;
 
     fn network(seed: u64) -> Network {
-        Network::generate(DeploymentKnowledge::shared(&DeploymentConfig::small_test()), seed)
+        Network::generate(
+            DeploymentKnowledge::shared(&DeploymentConfig::small_test()),
+            seed,
+        )
     }
 
     #[test]
@@ -168,14 +171,18 @@ mod tests {
         for i in 0..total {
             let victim = NodeId((i * 17) as u32);
             let outcome = simulate_attack(&net, victim, &cfg, &mut rng);
-            let mu_clean =
-                knowledge.expected_observation(outcome.actual_location);
-            let clean_score =
-                metric.score(&outcome.clean_observation, &mu_clean, knowledge.group_size());
-            let mu_forged =
-                knowledge.expected_observation(outcome.forged_location);
-            let attacked_score =
-                metric.score(&outcome.tainted_observation, &mu_forged, knowledge.group_size());
+            let mu_clean = knowledge.expected_observation(outcome.actual_location);
+            let clean_score = metric.score(
+                &outcome.clean_observation,
+                &mu_clean,
+                knowledge.group_size(),
+            );
+            let mu_forged = knowledge.expected_observation(outcome.forged_location);
+            let attacked_score = metric.score(
+                &outcome.tainted_observation,
+                &mu_forged,
+                knowledge.group_size(),
+            );
             if attacked_score > clean_score {
                 attacked_higher += 1;
             }

@@ -21,7 +21,9 @@ fn bench_ablations(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablations");
     group.sample_size(10);
     group.bench_function("gz_table_sweep", |b| b.iter(|| ablation_gz_table(&ctx)));
-    group.bench_function("localizer_comparison", |b| b.iter(|| ablation_localizers(&ctx)));
+    group.bench_function("localizer_comparison", |b| {
+        b.iter(|| ablation_localizers(&ctx))
+    });
     group.bench_function("model_mismatch", |b| {
         b.iter(|| ablation_model_mismatch(&bench_config()))
     });

@@ -9,13 +9,19 @@ use lad_net::Network;
 fn bench_fig1_3(c: &mut Criterion) {
     let ctx = bench_context();
 
-    for note in deployment_figures(&ctx).notes.iter().chain(attack_showcase(&ctx).notes.iter()) {
+    for note in deployment_figures(&ctx)
+        .notes
+        .iter()
+        .chain(attack_showcase(&ctx).notes.iter())
+    {
         println!("[fig1-3] {note}");
     }
 
     let mut group = c.benchmark_group("fig1_3_substrate");
     group.sample_size(10);
-    group.bench_function("fig1_2_deployment_figures", |b| b.iter(|| deployment_figures(&ctx)));
+    group.bench_function("fig1_2_deployment_figures", |b| {
+        b.iter(|| deployment_figures(&ctx))
+    });
     group.bench_function("fig3_attack_showcase", |b| b.iter(|| attack_showcase(&ctx)));
     group.bench_function("network_generation_small_test", |b| {
         let knowledge = DeploymentKnowledge::shared(&DeploymentConfig::small_test());

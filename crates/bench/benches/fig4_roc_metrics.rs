@@ -22,7 +22,10 @@ fn bench_fig4(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("full_figure", |b| b.iter(|| fig4_roc_metrics(&ctx)));
     group.bench_function("single_point_diff_d120", |b| {
-        b.iter(|| ctx.score_set(MetricKind::Diff, AttackClass::DecBounded, 120.0, 0.10).roc())
+        b.iter(|| {
+            ctx.score_set(MetricKind::Diff, AttackClass::DecBounded, 120.0, 0.10)
+                .roc()
+        })
     });
     group.finish();
 }

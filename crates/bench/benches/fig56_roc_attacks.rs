@@ -18,7 +18,10 @@ fn bench_fig56(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("full_figure", |b| b.iter(|| fig56_roc_attacks(&ctx)));
     group.bench_function("dec_only_point_d80", |b| {
-        b.iter(|| ctx.score_set(MetricKind::Diff, AttackClass::DecOnly, 80.0, 0.10).roc())
+        b.iter(|| {
+            ctx.score_set(MetricKind::Diff, AttackClass::DecOnly, 80.0, 0.10)
+                .roc()
+        })
     });
     group.finish();
 }

@@ -11,8 +11,11 @@ fn bench_fig7(c: &mut Criterion) {
 
     let report = fig7_dr_vs_damage(&ctx);
     for series in &report.series {
-        let row: Vec<String> =
-            series.points.iter().map(|(d, dr)| format!("D={d:.0}:{dr:.2}")).collect();
+        let row: Vec<String> = series
+            .points
+            .iter()
+            .map(|(d, dr)| format!("D={d:.0}:{dr:.2}"))
+            .collect();
         println!("[fig7] {} -> {}", series.label, row.join(" "));
     }
 
@@ -20,9 +23,7 @@ fn bench_fig7(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("full_figure", |b| b.iter(|| fig7_dr_vs_damage(&ctx)));
     group.bench_function("single_dr_point", |b| {
-        b.iter(|| {
-            ctx.detection_rate(MetricKind::Diff, AttackClass::DecBounded, 120.0, 0.10, 0.01)
-        })
+        b.iter(|| ctx.detection_rate(MetricKind::Diff, AttackClass::DecBounded, 120.0, 0.10, 0.01))
     });
     group.finish();
 }

@@ -11,8 +11,11 @@ fn bench_fig8(c: &mut Criterion) {
 
     let report = fig8_dr_vs_compromise(&ctx);
     for series in &report.series {
-        let row: Vec<String> =
-            series.points.iter().map(|(x, dr)| format!("x={x:.0}%:{dr:.2}")).collect();
+        let row: Vec<String> = series
+            .points
+            .iter()
+            .map(|(x, dr)| format!("x={x:.0}%:{dr:.2}"))
+            .collect();
         println!("[fig8] {} -> {}", series.label, row.join(" "));
     }
 
@@ -20,9 +23,7 @@ fn bench_fig8(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("full_figure", |b| b.iter(|| fig8_dr_vs_compromise(&ctx)));
     group.bench_function("single_dr_point_x50", |b| {
-        b.iter(|| {
-            ctx.detection_rate(MetricKind::Diff, AttackClass::DecBounded, 160.0, 0.50, 0.01)
-        })
+        b.iter(|| ctx.detection_rate(MetricKind::Diff, AttackClass::DecBounded, 160.0, 0.50, 0.01))
     });
     group.finish();
 }

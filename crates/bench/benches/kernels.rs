@@ -1,9 +1,14 @@
 //! Microbenchmarks of the hot kernels: g(z) evaluation, metric scoring,
-//! neighbourhood queries, MLE localization and greedy taint generation.
+//! neighbourhood queries, MLE localization, greedy taint generation — and
+//! the engine's batched verification against the equivalent loop of
+//! single-shot `verify` calls (1 k and 100 k requests), which makes the
+//! batching win (µ computed once per estimate + parallel fan-out) visible in
+//! the perf trajectory.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use lad_attack::{taint_observation, AttackClass};
-use lad_core::MetricKind;
+use lad_core::engine::{DetectionRequest, LadEngine};
+use lad_core::{ExpectedObservation, LadDetector, MetricKind};
 use lad_deployment::{gz_exact, DeploymentConfig, DeploymentKnowledge, GzTable};
 use lad_geometry::Point2;
 use lad_localization::BeaconlessMle;
@@ -18,6 +23,8 @@ fn bench_kernels(c: &mut Criterion) {
     let obs = network.true_observation(victim);
     let forged = Point2::new(300.0, 120.0);
     let mu = knowledge.expected_observation(forged);
+    let mut expected = ExpectedObservation::new();
+    expected.fill(&knowledge, forged);
     let localizer = BeaconlessMle::new();
 
     let mut group = c.benchmark_group("kernels");
@@ -25,24 +32,53 @@ fn bench_kernels(c: &mut Criterion) {
     group.bench_function("gz_exact_quadrature", |b| {
         b.iter(|| gz_exact(black_box(77.0), 40.0, 50.0))
     });
-    group.bench_function("gz_table_lookup", |b| b.iter(|| table.eval(black_box(77.0))));
+    group.bench_function("gz_table_lookup", |b| {
+        b.iter(|| table.eval(black_box(77.0)))
+    });
     group.bench_function("expected_observation", |b| {
         b.iter(|| knowledge.expected_observation(black_box(forged)))
+    });
+    group.bench_function("expected_observation_into_scratch", |b| {
+        let mut scratch = ExpectedObservation::new();
+        b.iter(|| {
+            scratch.fill(&knowledge, black_box(forged));
+            scratch.mu().len()
+        })
     });
     group.bench_function("neighborhood_query", |b| {
         b.iter(|| network.true_observation(black_box(victim)))
     });
     group.bench_function("diff_metric_score", |b| {
         let metric = MetricKind::Diff.metric();
-        b.iter(|| metric.score(black_box(&obs), black_box(&mu), config.group_size))
+        b.iter(|| metric.score_from_expected(black_box(&expected), black_box(&obs)))
     });
     group.bench_function("probability_metric_score", |b| {
         let metric = MetricKind::Probability.metric();
-        b.iter(|| metric.score(black_box(&obs), black_box(&mu), config.group_size))
+        b.iter(|| metric.score_from_expected(black_box(&expected), black_box(&obs)))
     });
     group.bench_function("beaconless_mle_localize", |b| {
         b.iter(|| localizer.estimate(&knowledge, black_box(&obs)))
     });
+    // Paper-scale (100-group) variants of the per-request hot-path kernels.
+    let paper = DeploymentConfig::paper_default();
+    let paper_knowledge = DeploymentKnowledge::shared(&paper);
+    let paper_network = Network::generate(paper_knowledge.clone(), 7);
+    let paper_obs = paper_network.true_observation(victim);
+    let mut paper_expected = ExpectedObservation::new();
+    paper_expected.fill(&paper_knowledge, Point2::new(500.0, 400.0));
+    group.bench_function("expected_observation_paper_scale", |b| {
+        let mut scratch = ExpectedObservation::new();
+        b.iter(|| {
+            scratch.fill(&paper_knowledge, black_box(Point2::new(500.0, 400.0)));
+            scratch.mu().len()
+        })
+    });
+    for kind in MetricKind::ALL {
+        group.bench_function(&format!("{}_metric_score_paper_scale", kind.name()), |b| {
+            let metric = kind.metric();
+            b.iter(|| metric.score_from_expected(black_box(&paper_expected), black_box(&paper_obs)))
+        });
+    }
     group.bench_function("greedy_taint_diff_dec_bounded", |b| {
         b.iter(|| {
             taint_observation(
@@ -58,5 +94,83 @@ fn bench_kernels(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_kernels);
+/// Requests that cycle through the network's nodes, verifying each node's
+/// clean observation at its own resident point (the metric-scoring cost is
+/// what matters, not whether the verdict alarms).
+fn make_requests(network: &Network, count: usize) -> Vec<DetectionRequest> {
+    (0..count)
+        .map(|i| {
+            let node = NodeId((i % network.node_count()) as u32);
+            DetectionRequest::new(
+                network.true_observation(node),
+                network.node(node).resident_point,
+            )
+        })
+        .collect()
+}
+
+/// The pre-engine verification path, producing output equivalent to
+/// `verify_batch`: for each request, each metric's single-shot detector
+/// recomputes (and re-allocates) µ(L_e) through `detect`.
+fn looped_verify(
+    detectors: &[LadDetector],
+    knowledge: &DeploymentKnowledge,
+    requests: &[DetectionRequest],
+) -> Vec<Vec<lad_core::Verdict>> {
+    requests
+        .iter()
+        .map(|request| {
+            detectors
+                .iter()
+                .map(|d| d.detect(knowledge, &request.observation, request.estimate))
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_engine_batch(c: &mut Criterion) {
+    // Paper-scale deployment (10×10 groups): the per-estimate µ computation
+    // spans 100 groups, which is exactly the work `verify_batch` shares
+    // across metrics and the loop of single `verify` calls repeats per
+    // metric.
+    let config = DeploymentConfig::paper_default();
+    // Explicit thresholds: the benchmark measures verification, not training.
+    let engine = LadEngine::builder()
+        .deployment(&config)
+        .metrics(&MetricKind::ALL)
+        .thresholds(vec![35.0, 70.0, 15.0])
+        .build()
+        .expect("engine builds");
+    let knowledge = engine.knowledge().clone();
+    let network = Network::generate(knowledge.clone(), 7);
+    let detectors: Vec<LadDetector> = engine
+        .metrics()
+        .iter()
+        .map(|&m| engine.detector(m))
+        .collect();
+
+    let requests_100k = make_requests(&network, 100_000);
+    let requests_1k = requests_100k[..1_000].to_vec();
+
+    let mut group = c.benchmark_group("engine_batch");
+    group.sample_size(10);
+    group.bench_function("verify_batch_1k", |b| {
+        b.iter(|| engine.verify_batch(black_box(&requests_1k)))
+    });
+    group.bench_function("verify_loop_1k", |b| {
+        b.iter(|| looped_verify(&detectors, &knowledge, black_box(&requests_1k)))
+    });
+    group.bench_function("verify_batch_100k", |b| {
+        b.iter(|| engine.verify_batch(black_box(&requests_100k)))
+    });
+    group.bench_function("verify_loop_100k", |b| {
+        b.iter(|| looped_verify(&detectors, &knowledge, black_box(&requests_100k)))
+    });
+    group.bench_function("score_batch_100k", |b| {
+        b.iter(|| engine.score_batch(black_box(&requests_100k)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels, bench_engine_batch);
 criterion_main!(benches);

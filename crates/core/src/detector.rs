@@ -122,7 +122,9 @@ mod tests {
         for i in (0..network.node_count()).step_by(11) {
             let id = NodeId(i as u32);
             let obs = network.true_observation(id);
-            let Some(est) = localizer.estimate(&knowledge, &obs) else { continue };
+            let Some(est) = localizer.estimate(&knowledge, &obs) else {
+                continue;
+            };
             total += 1;
             if detector.detect(&knowledge, &obs, est).anomalous {
                 alarms += 1;
@@ -141,7 +143,11 @@ mod tests {
         let truth = Point2::new(100.0, 100.0);
         let obs = rounded_expected(&knowledge.expected_observation(truth));
         let verdict = detector.detect(&knowledge, &obs, Point2::new(320.0, 320.0));
-        assert!(verdict.anomalous, "score {} threshold {}", verdict.score, verdict.threshold);
+        assert!(
+            verdict.anomalous,
+            "score {} threshold {}",
+            verdict.score, verdict.threshold
+        );
         // The same observation at the true location is not anomalous.
         let clean = detector.detect(&knowledge, &obs, truth);
         assert!(!clean.anomalous);
@@ -154,7 +160,11 @@ mod tests {
         assert_eq!(d.metric(), MetricKind::Diff);
         let d2 = d.with_threshold(20.0);
         assert_eq!(d2.threshold(), 20.0);
-        assert_eq!(d.threshold(), 10.0, "original is unchanged (Copy semantics)");
+        assert_eq!(
+            d.threshold(),
+            10.0,
+            "original is unchanged (Copy semantics)"
+        );
     }
 
     #[test]
@@ -162,8 +172,7 @@ mod tests {
         let (knowledge, trained) = trained_knowledge();
         for kind in MetricKind::ALL {
             let detector = trained.detector(kind, 0.95);
-            let obs =
-                rounded_expected(&knowledge.expected_observation(Point2::new(150.0, 150.0)));
+            let obs = rounded_expected(&knowledge.expected_observation(Point2::new(150.0, 150.0)));
             let v = detector.detect(&knowledge, &obs, Point2::new(250.0, 250.0));
             assert_eq!(v.metric, kind);
             assert_eq!(v.anomalous, v.score > v.threshold);

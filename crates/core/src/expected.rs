@@ -14,6 +14,60 @@ pub fn expected_observation(knowledge: &DeploymentKnowledge, location: Point2) -
     knowledge.expected_observation(location)
 }
 
+/// A reusable expected observation `µ(L_e)` paired with the group size `m`.
+///
+/// This is the currency of the batched detection hot path: the engine
+/// computes `µ` **once per estimate** into a per-thread scratch
+/// `ExpectedObservation` (no allocation after warm-up) and hands the same
+/// buffer to every configured metric through
+/// [`DetectionMetric::score_from_expected`](crate::metrics::DetectionMetric::score_from_expected).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExpectedObservation {
+    mu: Vec<f64>,
+    group_size: usize,
+}
+
+impl ExpectedObservation {
+    /// An empty buffer; call [`Self::fill`] before scoring against it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds the buffer from explicit values (mostly for tests).
+    pub fn from_parts(mu: Vec<f64>, group_size: usize) -> Self {
+        Self { mu, group_size }
+    }
+
+    /// Recomputes `µ(location)` in place, reusing the existing allocation.
+    ///
+    /// Consumes [`DeploymentKnowledge::expected_iter`], whose
+    /// squared-distance early-out skips the distance/table work for groups
+    /// beyond the g(z) tail; in the steady state of a reused buffer the
+    /// values are overwritten in place with no capacity checks.
+    pub fn fill(&mut self, knowledge: &DeploymentKnowledge, location: Point2) {
+        let n = knowledge.group_count();
+        if self.mu.len() == n {
+            for (slot, value) in self.mu.iter_mut().zip(knowledge.expected_iter(location)) {
+                *slot = value;
+            }
+        } else {
+            self.mu.clear();
+            self.mu.extend(knowledge.expected_iter(location));
+        }
+        self.group_size = knowledge.group_size();
+    }
+
+    /// The per-group expected neighbour counts `µ_i`.
+    pub fn mu(&self) -> &[f64] {
+        &self.mu
+    }
+
+    /// The per-group node count `m`.
+    pub fn group_size(&self) -> usize {
+        self.group_size
+    }
+}
+
 /// Rounds an expected observation to integer counts (used by adversaries that
 /// need to *produce* an integral observation close to `µ`).
 pub fn rounded_expected(mu: &[f64]) -> Observation {
@@ -23,7 +77,11 @@ pub fn rounded_expected(mu: &[f64]) -> Observation {
 /// The L1 deviation `Σ |o_i − µ_i|` between an integer observation and an
 /// expected (real-valued) observation — the Diff metric's core quantity.
 pub fn l1_deviation(obs: &Observation, mu: &[f64]) -> f64 {
-    assert_eq!(obs.group_count(), mu.len(), "observation/expectation length mismatch");
+    assert_eq!(
+        obs.group_count(),
+        mu.len(),
+        "observation/expectation length mismatch"
+    );
     obs.counts()
         .iter()
         .zip(mu)

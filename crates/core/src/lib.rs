@@ -12,46 +12,59 @@
 //!   `Pr(X_i = o_i | L_e)` is too small.
 //!
 //! Thresholds are obtained by τ-percentile training on clean simulated
-//! deployments ([`training`]); the resulting [`detector::LadDetector`] raises
-//! an alarm whenever the metric exceeds its threshold, flagging the location
-//! as anomalous.
+//! deployments ([`training`]). The front door is [`engine::LadEngine`]: a
+//! batched, multi-metric detection engine that computes `µ(L_e)` once per
+//! estimate, fans batches out over worker threads, accepts any localization
+//! scheme as a trait object, and serialises to versioned artifacts.
+//!
+//! (The older single-shot [`pipeline::LadPipeline`] is deprecated and now
+//! delegates to the engine.)
 //!
 //! # Quick example
 //!
 //! ```
 //! use lad_core::prelude::*;
-//! use lad_deployment::{DeploymentConfig, DeploymentKnowledge};
+//! use lad_deployment::DeploymentConfig;
 //! use lad_net::Network;
 //!
 //! // Small deployment for the doc test; the paper uses 10×10 groups of 300.
-//! let config = DeploymentConfig::small_test();
-//! let knowledge = DeploymentKnowledge::shared(&config);
-//! let network = Network::generate(knowledge.clone(), 42);
-//!
-//! // Train a Diff-metric detector at the 99th percentile.
-//! let trainer = Trainer::new(TrainingConfig {
-//!     networks: 2,
-//!     samples_per_network: 64,
-//!     seed: 7,
-//!     ..TrainingConfig::default()
-//! });
-//! let trained = trainer.train(&knowledge);
-//! let detector = trained.detector(MetricKind::Diff, 0.99);
-//!
-//! // A clean node should not raise an alarm.
-//! let node = lad_net::NodeId(100);
-//! let obs = network.true_observation(node);
-//! let estimate = lad_localization::BeaconlessMle::new()
-//!     .estimate(&knowledge, &obs)
+//! // Fit an engine offline: train all three metrics at the 99th percentile.
+//! let engine = LadEngine::builder()
+//!     .deployment(&DeploymentConfig::small_test())
+//!     .training(TrainingConfig {
+//!         networks: 2,
+//!         samples_per_network: 64,
+//!         seed: 7,
+//!         ..TrainingConfig::default()
+//!     })
+//!     .metrics(&MetricKind::ALL)
+//!     .tau(0.99)
+//!     .build()
 //!     .unwrap();
-//! let verdict = detector.detect(&knowledge, &obs, estimate);
-//! assert!(!verdict.anomalous || verdict.score < 2.0 * verdict.threshold);
+//!
+//! // Online phase: verify a batch of (observation, estimate) pairs. µ(L_e)
+//! // is computed once per estimate and shared by all three metrics.
+//! let network = Network::generate(engine.knowledge().clone(), 42);
+//! let requests: Vec<DetectionRequest> = (0..20u32)
+//!     .filter_map(|i| {
+//!         let node = lad_net::NodeId(i * 11);
+//!         let obs = network.true_observation(node);
+//!         let estimate = engine.localizer().estimate(engine.knowledge(), &obs)?;
+//!         Some(DetectionRequest::new(obs, estimate))
+//!     })
+//!     .collect();
+//! let verdicts = engine.verify_batch(&requests);
+//! assert_eq!(verdicts.len(), requests.len());
+//! // Honest nodes rarely alarm at tau = 0.99.
+//! let alarms = verdicts.iter().filter(|v| v.anomalous).count();
+//! assert!(alarms * 4 < verdicts.len());
 //! ```
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod detector;
+pub mod engine;
 pub mod expected;
 pub mod metrics;
 pub mod pipeline;
@@ -59,7 +72,13 @@ pub mod threshold;
 pub mod training;
 
 pub use detector::{LadDetector, Verdict};
+pub use engine::{
+    DetectionRequest, EngineArtifact, EngineError, LadEngine, LadEngineBuilder, LocalizationScheme,
+    MultiVerdict,
+};
+pub use expected::ExpectedObservation;
 pub use metrics::{AddAllMetric, DetectionMetric, DiffMetric, MetricKind, ProbabilityMetric};
+#[allow(deprecated)]
 pub use pipeline::LadPipeline;
 pub use threshold::TrainedThresholds;
 pub use training::{Trainer, TrainingConfig};
@@ -67,9 +86,15 @@ pub use training::{Trainer, TrainingConfig};
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use crate::detector::{LadDetector, Verdict};
+    pub use crate::engine::{
+        DetectionRequest, EngineArtifact, EngineError, LadEngine, LadEngineBuilder,
+        LocalizationScheme, MultiVerdict,
+    };
+    pub use crate::expected::ExpectedObservation;
     pub use crate::metrics::{
         AddAllMetric, DetectionMetric, DiffMetric, MetricKind, ProbabilityMetric,
     };
+    #[allow(deprecated)]
     pub use crate::pipeline::LadPipeline;
     pub use crate::threshold::TrainedThresholds;
     pub use crate::training::{Trainer, TrainingConfig};

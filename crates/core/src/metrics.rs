@@ -7,7 +7,7 @@
 //! anomaly) is mapped to a score by negating the log of the smallest
 //! per-group likelihood.
 
-use crate::expected::l1_deviation;
+use crate::expected::{l1_deviation, ExpectedObservation};
 use lad_deployment::DeploymentKnowledge;
 use lad_geometry::Point2;
 use lad_net::Observation;
@@ -27,7 +27,11 @@ pub enum MetricKind {
 
 impl MetricKind {
     /// All three metrics, in paper order.
-    pub const ALL: [MetricKind; 3] = [MetricKind::Diff, MetricKind::AddAll, MetricKind::Probability];
+    pub const ALL: [MetricKind; 3] = [
+        MetricKind::Diff,
+        MetricKind::AddAll,
+        MetricKind::Probability,
+    ];
 
     /// Short human-readable name.
     pub fn name(self) -> &'static str {
@@ -57,6 +61,15 @@ pub trait DetectionMetric: Send + Sync {
     /// Anomaly score for observation `obs` against the expected observation
     /// `mu`, where `group_size` is the per-group node count `m`.
     fn score(&self, obs: &Observation, mu: &[f64], group_size: usize) -> f64;
+
+    /// Scores `obs` against a pre-computed expected observation.
+    ///
+    /// This is the batched hot-path entry point: `µ(L_e)` is computed once
+    /// per estimate (see [`ExpectedObservation`]) and shared by every metric,
+    /// instead of being recomputed per metric as [`Self::score_at`] does.
+    fn score_from_expected(&self, expected: &ExpectedObservation, obs: &Observation) -> f64 {
+        self.score(obs, expected.mu(), expected.group_size())
+    }
 
     /// Convenience: compute `µ(L_e)` from the knowledge and score against it.
     fn score_at(
@@ -98,7 +111,11 @@ impl DetectionMetric for AddAllMetric {
     }
 
     fn score(&self, obs: &Observation, mu: &[f64], _group_size: usize) -> f64 {
-        assert_eq!(obs.group_count(), mu.len(), "observation/expectation length mismatch");
+        assert_eq!(
+            obs.group_count(),
+            mu.len(),
+            "observation/expectation length mismatch"
+        );
         obs.counts()
             .iter()
             .zip(mu)
@@ -117,19 +134,34 @@ impl DetectionMetric for AddAllMetric {
 pub struct ProbabilityMetric;
 
 impl ProbabilityMetric {
-    /// The raw metric of §5.4: the smallest `Pr(X_i = o_i | L_e)` over groups.
-    pub fn min_probability(obs: &Observation, mu: &[f64], group_size: usize) -> f64 {
-        assert_eq!(obs.group_count(), mu.len(), "observation/expectation length mismatch");
-        let m = group_size as f64;
-        let mut min_p = 1.0f64;
-        for (i, &mui) in mu.iter().enumerate() {
-            let g = (mui / m).clamp(0.0, 1.0);
-            let p = Binomial::new(group_size as u64, g).pmf(obs.count(i) as u64);
-            if p < min_p {
-                min_p = p;
+    /// The smallest per-group `ln Pr(X_i = o_i | L_e)` — the hot-path
+    /// quantity. Working in log space keeps the whole scan to one `exp`-free
+    /// pass (minimising `ln Pr` and minimising `Pr` pick the same group).
+    pub fn min_ln_probability(obs: &Observation, mu: &[f64], group_size: usize) -> f64 {
+        assert_eq!(
+            obs.group_count(),
+            mu.len(),
+            "observation/expectation length mismatch"
+        );
+        let pmf = TabledLnPmf::new(group_size);
+        let mut min_ln_p = 0.0f64;
+        for (&o, &mui) in obs.counts().iter().zip(mu) {
+            // Most groups are far from L_e: g = 0 and o = 0 gives Pr = 1,
+            // which can never be the minimum — skip before any division.
+            if mui <= 0.0 && o == 0 {
+                continue;
+            }
+            let ln_p = pmf.eval(o, mui);
+            if ln_p < min_ln_p {
+                min_ln_p = ln_p;
             }
         }
-        min_p
+        min_ln_p
+    }
+
+    /// The raw metric of §5.4: the smallest `Pr(X_i = o_i | L_e)` over groups.
+    pub fn min_probability(obs: &Observation, mu: &[f64], group_size: usize) -> f64 {
+        Self::min_ln_probability(obs, mu, group_size).exp()
     }
 }
 
@@ -139,8 +171,123 @@ impl DetectionMetric for ProbabilityMetric {
     }
 
     fn score(&self, obs: &Observation, mu: &[f64], group_size: usize) -> f64 {
-        let p = Self::min_probability(obs, mu, group_size).max(1e-300);
-        -p.ln()
+        (-Self::min_ln_probability(obs, mu, group_size)).min(NEG_LN_FLOOR)
+    }
+}
+
+/// Score cap of the probability metric: `−ln(1e-300)`, i.e. the minimum
+/// likelihood is floored at 1e-300 as the pre-log-space implementation did.
+const NEG_LN_FLOOR: f64 = 690.775_527_898_213_7;
+
+/// The binomial `ln Pr(X = o)` evaluator shared by the per-metric and fused
+/// hot loops — one definition, so the two paths are the same float program.
+///
+/// Hoists the ln-factorial table and the `m`/`n` conversions out of the
+/// per-group loop; falls back to [`Binomial::ln_pmf`] for group sizes beyond
+/// the table.
+struct TabledLnPmf {
+    m: f64,
+    n: u64,
+    group_size: usize,
+    in_table: bool,
+    table: &'static [f64; lad_stats::binomial::LN_FACTORIAL_TABLE_LEN],
+}
+
+impl TabledLnPmf {
+    fn new(group_size: usize) -> Self {
+        Self {
+            m: group_size as f64,
+            n: group_size as u64,
+            group_size,
+            in_table: group_size < lad_stats::binomial::LN_FACTORIAL_TABLE_LEN,
+            table: lad_stats::binomial::ln_factorial_table(),
+        }
+    }
+
+    /// `ln Pr(X = o)` with `X ~ Binomial(m, µ_i / m)`.
+    #[inline(always)]
+    fn eval(&self, o: u32, mui: f64) -> f64 {
+        let g = (mui / self.m).clamp(0.0, 1.0);
+        let k = o as u64;
+        if self.in_table && k <= self.n && g > 0.0 && g < 1.0 {
+            if k == 0 {
+                // ln Pr(X = 0) = n·ln(1 − g); for tiny g the two-term series
+                // is exact to f64 precision and skips the ln entirely.
+                let ln_q = if g < 1e-6 {
+                    -g * (1.0 + 0.5 * g)
+                } else {
+                    (1.0 - g).ln()
+                };
+                self.m * ln_q
+            } else {
+                let ku = k as usize;
+                self.table[self.group_size] - self.table[ku] - self.table[self.group_size - ku]
+                    + k as f64 * g.ln()
+                    + (self.m - k as f64) * (1.0 - g).ln()
+            }
+        } else {
+            Binomial::new(self.n, g).ln_pmf(k)
+        }
+    }
+}
+
+/// All three paper metrics in one pass over `(o, µ)`.
+///
+/// Returns `[DM, AM, −ln min Pr]` in [`MetricKind::ALL`] order,
+/// **bit-identical** to running [`DiffMetric`], [`AddAllMetric`] and
+/// [`ProbabilityMetric`] separately (same accumulation order per metric).
+/// The batched engine uses this when configured with exactly the three
+/// built-in metrics: the observation and the expected observation are then
+/// loaded once per request instead of once per metric.
+pub fn score_all_fused(obs: &Observation, mu: &[f64], group_size: usize) -> [f64; 3] {
+    assert_eq!(
+        obs.group_count(),
+        mu.len(),
+        "observation/expectation length mismatch"
+    );
+    let mut acc = FusedAccumulator::new(group_size);
+    for (&o, &mui) in obs.counts().iter().zip(mu) {
+        acc.push(o, mui);
+    }
+    acc.finish()
+}
+
+/// The per-group accumulation of the fused scoring kernel; the binomial part
+/// goes through the same [`TabledLnPmf`] as the stand-alone probability
+/// metric, so fused and per-metric scores are the same float program.
+struct FusedAccumulator {
+    pmf: TabledLnPmf,
+    dm: f64,
+    am: f64,
+    min_ln_p: f64,
+}
+
+impl FusedAccumulator {
+    fn new(group_size: usize) -> Self {
+        Self {
+            pmf: TabledLnPmf::new(group_size),
+            dm: 0.0,
+            am: 0.0,
+            min_ln_p: 0.0,
+        }
+    }
+
+    #[inline(always)]
+    fn push(&mut self, o: u32, mui: f64) {
+        let of = o as f64;
+        self.dm += (of - mui).abs();
+        self.am += of.max(mui);
+        if mui <= 0.0 && o == 0 {
+            return;
+        }
+        let ln_p = self.pmf.eval(o, mui);
+        if ln_p < self.min_ln_p {
+            self.min_ln_p = ln_p;
+        }
+    }
+
+    fn finish(self) -> [f64; 3] {
+        [self.dm, self.am, (-self.min_ln_p).min(NEG_LN_FLOOR)]
     }
 }
 
@@ -191,6 +338,38 @@ mod tests {
     }
 
     #[test]
+    fn fused_scores_are_bit_identical_to_separate_metrics() {
+        let k = DeploymentKnowledge::from_config(&DeploymentConfig::small_test());
+        let m = k.group_size();
+        for (obs_seed, at) in [
+            (1u64, Point2::new(120.0, 80.0)),
+            (2, Point2::new(333.0, 390.0)),
+            (3, Point2::new(10.0, 10.0)),
+        ] {
+            let mu = k.expected_observation(at);
+            // A mildly perturbed integer observation around a different point.
+            let other = k.expected_observation(Point2::new(200.0, 200.0));
+            let obs = Observation::from_counts(
+                other
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &v)| (v.round() as u32) + ((obs_seed as usize + i) % 3) as u32)
+                    .collect(),
+            );
+            let fused = score_all_fused(&obs, &mu, m);
+            let separate = [
+                DiffMetric.score(&obs, &mu, m),
+                AddAllMetric.score(&obs, &mu, m),
+                ProbabilityMetric.score(&obs, &mu, m),
+            ];
+            assert_eq!(
+                fused, separate,
+                "fused scores must match the per-metric path exactly"
+            );
+        }
+    }
+
+    #[test]
     fn metric_kind_round_trips() {
         for kind in MetricKind::ALL {
             assert_eq!(kind.metric().kind(), kind);
@@ -208,7 +387,10 @@ mod tests {
         let at_p = DiffMetric.score_at(&k, &obs, p);
         // … and much higher at a distant point Q.
         let at_q = DiffMetric.score_at(&k, &obs, Point2::new(350.0, 50.0));
-        assert!(at_p < at_q, "diff at P {at_p} should be below diff at Q {at_q}");
+        assert!(
+            at_p < at_q,
+            "diff at P {at_p} should be below diff at Q {at_q}"
+        );
     }
 
     #[test]

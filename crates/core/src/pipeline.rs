@@ -1,42 +1,39 @@
-//! A deployable LAD pipeline: deployment knowledge + trained thresholds +
-//! detector behind one object that can be serialised and shipped to sensors.
+//! The deprecated single-shot pipeline, kept as a thin shim over
+//! [`LadEngine`](crate::engine::LadEngine).
 //!
-//! The paper's workflow has two phases: an offline phase (model the
-//! deployment, simulate it, train the thresholds) and an online phase (each
-//! sensor verifies its own localization result). [`LadPipeline`] packages the
-//! offline artefacts so the online phase is a single call, and serialises to
-//! JSON so the artefact can be provisioned onto nodes before deployment.
+//! `LadPipeline` was the original front door: one metric, one verification
+//! per call, unversioned JSON artefacts. It now delegates everything to the
+//! engine; new code should use [`LadEngine`](crate::engine::LadEngine)
+//! directly, which adds batching, multiple metrics per pass, pluggable
+//! localization schemes and versioned artifacts.
 
 use crate::detector::{LadDetector, Verdict};
+use crate::engine::{EngineError, LadEngine};
 use crate::metrics::MetricKind;
 use crate::threshold::TrainedThresholds;
-use crate::training::{Trainer, TrainingConfig};
+use crate::training::TrainingConfig;
 use lad_deployment::{DeploymentConfig, DeploymentKnowledge};
 use lad_geometry::Point2;
-use lad_localization::BeaconlessMle;
 use lad_net::{Network, NodeId, Observation};
-use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
-/// The serialisable part of a pipeline (everything except the rebuildable
-/// deployment knowledge).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-struct PipelineArtifact {
-    deployment: DeploymentConfig,
-    training: TrainingConfig,
-    trained: TrainedThresholds,
-    metric: MetricKind,
-    tau: f64,
-}
-
 /// An end-to-end LAD pipeline: fit offline, verify online.
+///
+/// Deprecated: this is a single-metric, one-call-at-a-time wrapper around
+/// [`LadEngine`](crate::engine::LadEngine). It remains for source
+/// compatibility and loads/writes artifacts through the engine (so its JSON
+/// is the versioned engine format; legacy unversioned JSON is still accepted
+/// by [`LadPipeline::from_json`]).
+#[deprecated(
+    since = "0.1.0",
+    note = "use lad_core::engine::LadEngine: batched, multi-metric, versioned artifacts"
+)]
 #[derive(Debug, Clone)]
 pub struct LadPipeline {
-    knowledge: Arc<DeploymentKnowledge>,
-    artifact: PipelineArtifact,
-    detector: LadDetector,
+    engine: LadEngine,
 }
 
+#[allow(deprecated)]
 impl LadPipeline {
     /// Offline phase: build the deployment knowledge, run threshold training,
     /// and fix the operating point (`metric`, τ-percentile `tau`).
@@ -46,55 +43,60 @@ impl LadPipeline {
         metric: MetricKind,
         tau: f64,
     ) -> Self {
-        assert!((0.0..=1.0).contains(&tau), "tau must be a fraction in [0, 1]");
-        let knowledge = DeploymentKnowledge::shared(deployment);
-        let trained = Trainer::new(training).train(&knowledge);
-        let detector = trained.detector(metric, tau);
-        Self {
-            knowledge,
-            artifact: PipelineArtifact {
-                deployment: *deployment,
-                training,
-                trained,
-                metric,
-                tau,
-            },
-            detector,
-        }
+        assert!(
+            (0.0..=1.0).contains(&tau),
+            "tau must be a fraction in [0, 1]"
+        );
+        let engine = LadEngine::builder()
+            .deployment(deployment)
+            .training(training)
+            .metric(metric)
+            .tau(tau)
+            .build()
+            .expect("pipeline parameters are valid");
+        Self { engine }
     }
 
     /// The deployment knowledge baked into the pipeline.
     pub fn knowledge(&self) -> &Arc<DeploymentKnowledge> {
-        &self.knowledge
+        self.engine.knowledge()
     }
 
     /// The configured detector (metric + threshold).
     pub fn detector(&self) -> LadDetector {
-        self.detector
+        self.engine.detector(self.metric())
     }
 
     /// The metric the pipeline operates with.
     pub fn metric(&self) -> MetricKind {
-        self.artifact.metric
+        self.engine.metrics()[0]
     }
 
     /// The τ-percentile used to pick the threshold.
     pub fn tau(&self) -> f64 {
-        self.artifact.tau
+        self.engine
+            .tau()
+            .expect("a fitted pipeline always has a tau")
     }
 
     /// The trained threshold distributions (e.g. to re-derive a detector at a
     /// different τ without retraining).
     pub fn trained(&self) -> &TrainedThresholds {
-        &self.artifact.trained
+        self.engine.trained()
+    }
+
+    /// The engine this pipeline wraps (escape hatch for incremental
+    /// migration).
+    pub fn engine(&self) -> &LadEngine {
+        &self.engine
     }
 
     /// Online phase: verify an (observation, estimated location) pair.
     pub fn verify(&self, observation: &Observation, estimate: Point2) -> Verdict {
-        self.detector.detect(&self.knowledge, observation, estimate)
+        self.engine.verify(observation, estimate).verdicts[0]
     }
 
-    /// Convenience for simulations: localize `node` with the beaconless MLE
+    /// Convenience for simulations: localize `node` with the engine's scheme
     /// and verify the result. Returns `None` when the node cannot be
     /// localized (no neighbours).
     pub fn localize_and_verify(
@@ -102,35 +104,58 @@ impl LadPipeline {
         network: &Network,
         node: NodeId,
     ) -> Option<(Point2, Verdict)> {
-        let obs = network.true_observation(node);
-        let estimate = BeaconlessMle::new().estimate(&self.knowledge, &obs)?;
-        Some((estimate, self.verify(&obs, estimate)))
+        let (estimate, multi) = self.engine.localize_and_verify(network, node)?;
+        Some((estimate, multi.verdicts[0]))
     }
 
-    /// Serialises the pipeline artefact (config + trained thresholds +
-    /// operating point) to JSON.
+    /// Serialises the pipeline artefact to JSON (the versioned engine
+    /// format).
     pub fn to_json(&self) -> String {
-        serde_json::to_string(&self.artifact).expect("pipeline artefact serialises")
+        self.engine.to_json()
     }
 
-    /// Restores a pipeline from [`Self::to_json`] output, rebuilding the
-    /// deployment knowledge (g(z) table included) from the stored config.
+    /// Restores a pipeline from [`Self::to_json`] output or from legacy
+    /// (pre-engine, unversioned) pipeline JSON.
+    ///
+    /// The pipeline API promises a metric, a τ and a threshold, so engine
+    /// artifacts that lack them (score-only engines, explicit-threshold
+    /// engines) are rejected here instead of panicking in the accessors.
     pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
-        let artifact: PipelineArtifact = serde_json::from_str(json)?;
-        let knowledge = DeploymentKnowledge::shared(&artifact.deployment);
-        let detector = artifact.trained.detector(artifact.metric, artifact.tau);
-        Ok(Self { knowledge, artifact, detector })
+        let engine = LadEngine::from_json(json).map_err(engine_error_to_json)?;
+        if engine.metrics().is_empty() || engine.thresholds().is_empty() {
+            return Err(serde_json::Error::custom(
+                "engine artifact has no operating thresholds; a LadPipeline needs a fitted \
+                 metric — load it with LadEngine::from_json instead",
+            ));
+        }
+        if engine.tau().is_none() {
+            return Err(serde_json::Error::custom(
+                "engine artifact was built with explicit thresholds (no tau); load it with \
+                 LadEngine::from_json instead",
+            ));
+        }
+        Ok(Self { engine })
     }
 }
 
+fn engine_error_to_json(err: EngineError) -> serde_json::Error {
+    serde_json::Error::custom(err.to_string())
+}
+
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
 
     fn pipeline() -> LadPipeline {
         LadPipeline::fit(
             &DeploymentConfig::small_test(),
-            TrainingConfig { networks: 2, samples_per_network: 80, seed: 99, ..TrainingConfig::default() },
+            TrainingConfig {
+                networks: 2,
+                samples_per_network: 80,
+                seed: 99,
+                ..TrainingConfig::default()
+            },
             MetricKind::Diff,
             0.99,
         )
@@ -167,7 +192,10 @@ mod tests {
         // Same verdict on the same input.
         let obs = Observation::from_counts(vec![0; p.knowledge().group_count()]);
         let at = Point2::new(200.0, 200.0);
-        assert_eq!(p.verify(&obs, at).anomalous, restored.verify(&obs, at).anomalous);
+        assert_eq!(
+            p.verify(&obs, at).anomalous,
+            restored.verify(&obs, at).anomalous
+        );
     }
 
     #[test]
@@ -175,7 +203,12 @@ mod tests {
     fn invalid_tau_is_rejected() {
         let _ = LadPipeline::fit(
             &DeploymentConfig::small_test(),
-            TrainingConfig { networks: 1, samples_per_network: 10, seed: 1, ..TrainingConfig::default() },
+            TrainingConfig {
+                networks: 1,
+                samples_per_network: 10,
+                seed: 1,
+                ..TrainingConfig::default()
+            },
             MetricKind::Diff,
             1.5,
         );
@@ -186,5 +219,13 @@ mod tests {
         let p = pipeline();
         let looser = p.trained().detector(MetricKind::Diff, 0.90);
         assert!(looser.threshold() <= p.detector().threshold());
+    }
+
+    #[test]
+    fn pipeline_verdict_matches_engine_first_metric() {
+        let p = pipeline();
+        let obs = Observation::from_counts(vec![1; p.knowledge().group_count()]);
+        let at = Point2::new(111.0, 222.0);
+        assert_eq!(p.verify(&obs, at), p.engine().verify(&obs, at).verdicts[0]);
     }
 }

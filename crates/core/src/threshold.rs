@@ -95,7 +95,10 @@ mod tests {
     #[test]
     fn higher_tau_gives_higher_threshold() {
         let mut t = TrainedThresholds::new();
-        t.insert(MetricKind::AddAll, (0..500).map(|i| (i as f64).sqrt()).collect());
+        t.insert(
+            MetricKind::AddAll,
+            (0..500).map(|i| (i as f64).sqrt()).collect(),
+        );
         let t90 = t.threshold(MetricKind::AddAll, 0.90).unwrap();
         let t999 = t.threshold(MetricKind::AddAll, 0.999).unwrap();
         assert!(t999 >= t90);

@@ -107,11 +107,7 @@ impl Trainer {
     }
 }
 
-fn sample_node(
-    network: &Network,
-    id: NodeId,
-    localizer: &BeaconlessMle,
-) -> Option<TrainingSample> {
+fn sample_node(network: &Network, id: NodeId, localizer: &BeaconlessMle) -> Option<TrainingSample> {
     let knowledge = network.knowledge();
     let obs = network.true_observation(id);
     let estimate = localizer.estimate(knowledge, &obs)?;

@@ -101,19 +101,19 @@ impl DeploymentConfig {
     /// Validates the configuration, returning a description of the first
     /// problem found (if any).
     pub fn validate(&self) -> Result<(), String> {
-        if !(self.area_side > 0.0) {
+        if !self.area_side.is_finite() || self.area_side <= 0.0 {
             return Err("area_side must be positive".into());
         }
         if self.grid_cols == 0 || self.grid_rows == 0 {
             return Err("grid dimensions must be non-zero".into());
         }
-        if !(self.sigma > 0.0) {
+        if !self.sigma.is_finite() || self.sigma <= 0.0 {
             return Err("sigma must be positive".into());
         }
         if self.group_size == 0 {
             return Err("group_size must be non-zero".into());
         }
-        if !(self.range > 0.0) {
+        if !self.range.is_finite() || self.range <= 0.0 {
             return Err("range must be positive".into());
         }
         if self.gz_table_omega < 2 {
@@ -162,12 +162,37 @@ mod tests {
     fn validation_catches_bad_parameters() {
         let base = DeploymentConfig::small_test();
         assert!(base.validate().is_ok());
-        assert!(DeploymentConfig { area_side: 0.0, ..base }.validate().is_err());
-        assert!(DeploymentConfig { grid_cols: 0, ..base }.validate().is_err());
-        assert!(DeploymentConfig { sigma: -1.0, ..base }.validate().is_err());
-        assert!(DeploymentConfig { group_size: 0, ..base }.validate().is_err());
+        assert!(DeploymentConfig {
+            area_side: 0.0,
+            ..base
+        }
+        .validate()
+        .is_err());
+        assert!(DeploymentConfig {
+            grid_cols: 0,
+            ..base
+        }
+        .validate()
+        .is_err());
+        assert!(DeploymentConfig {
+            sigma: -1.0,
+            ..base
+        }
+        .validate()
+        .is_err());
+        assert!(DeploymentConfig {
+            group_size: 0,
+            ..base
+        }
+        .validate()
+        .is_err());
         assert!(DeploymentConfig { range: 0.0, ..base }.validate().is_err());
-        assert!(DeploymentConfig { gz_table_omega: 1, ..base }.validate().is_err());
+        assert!(DeploymentConfig {
+            gz_table_omega: 1,
+            ..base
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

@@ -65,7 +65,7 @@ pub fn gz_exact(z: f64, range: f64, sigma: f64) -> f64 {
         // interval (|z−R|, z+R) the half-angle is the arccos term of the paper.
         density * 2.0 * ell * half_angle
     };
-    let integral = adaptive_simpson(&integrand, lo, hi, 1e-10, 24);
+    let integral = adaptive_simpson(integrand, lo, hi, 1e-10, 24);
 
     (inside + integral).clamp(0.0, 1.0)
 }
@@ -94,7 +94,12 @@ impl GzTable {
         assert!(omega >= 2, "omega must be at least 2");
         let z_max = range + Self::TAIL_SIGMAS * sigma;
         let table = LookupTable::build(0.0, z_max, omega, |z| gz_exact(z, range, sigma));
-        Self { range, sigma, z_max, table }
+        Self {
+            range,
+            sigma,
+            z_max,
+            table,
+        }
     }
 
     /// The transmission range the table was built for.
@@ -118,6 +123,7 @@ impl GzTable {
     }
 
     /// Interpolated `g(z)` (clamped to `[0, 1]`; 0 beyond the tabulated tail).
+    #[inline]
     pub fn eval(&self, z: f64) -> f64 {
         let z = z.abs();
         if z >= self.z_max {
@@ -174,7 +180,10 @@ mod tests {
         let eps = 1e-4;
         let below = gz_exact(R - eps, R, SIGMA);
         let above = gz_exact(R + eps, R, SIGMA);
-        assert!((below - above).abs() < 1e-3, "discontinuity at z = R: {below} vs {above}");
+        assert!(
+            (below - above).abs() < 1e-3,
+            "discontinuity at z = R: {below} vs {above}"
+        );
     }
 
     #[test]

@@ -40,7 +40,12 @@ impl DeploymentKnowledge {
         placement: PlacementModel,
     ) -> Self {
         let gz = GzTable::build(config.range, placement.spread(), config.gz_table_omega);
-        Self { config, layout, placement, gz }
+        Self {
+            config,
+            layout,
+            placement,
+            gz,
+        }
     }
 
     /// Convenience: an [`Arc`]-wrapped knowledge object, which is how the
@@ -87,6 +92,7 @@ impl DeploymentKnowledge {
     /// `g_i(θ)`: probability that a node of group `i` resides within range of
     /// the point `θ` (Theorem 1 applied to the distance to group `i`'s
     /// deployment point, via the lookup table).
+    #[inline]
     pub fn g_i(&self, group: usize, theta: Point2) -> f64 {
         let dp = self.layout.deployment_point(group);
         self.gz.eval(dp.distance(theta))
@@ -94,14 +100,55 @@ impl DeploymentKnowledge {
 
     /// The vector `(g_1(θ), …, g_n(θ))` for all groups.
     pub fn g_all(&self, theta: Point2) -> Vec<f64> {
-        (0..self.group_count()).map(|i| self.g_i(i, theta)).collect()
+        (0..self.group_count())
+            .map(|i| self.g_i(i, theta))
+            .collect()
     }
 
     /// The expected observation `µ(θ)` with `µ_i = m · g_i(θ)` (Equation 2 of
     /// the paper).
     pub fn expected_observation(&self, theta: Point2) -> Vec<f64> {
+        let mut mu = Vec::new();
+        self.expected_observation_into(theta, &mut mu);
+        mu
+    }
+
+    /// Computes `µ(θ)` into `out`, reusing its allocation. This is the
+    /// allocation-free variant batch evaluation hot paths (the
+    /// `lad_core::engine::LadEngine` scratch buffers) build on.
+    pub fn expected_observation_into(&self, theta: Point2, out: &mut Vec<f64>) {
         let m = self.group_size() as f64;
-        (0..self.group_count()).map(|i| m * self.g_i(i, theta)).collect()
+        let n = self.group_count();
+        // In-place overwrite when the buffer is already sized (the steady
+        // state of a reused scratch buffer): no capacity checks per group.
+        if out.len() != n {
+            out.clear();
+            out.resize(n, 0.0);
+        }
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = m * self.g_i(i, theta);
+        }
+    }
+
+    /// Streams `µ_i = m · g_i(θ)` group by group without materialising a
+    /// vector — the iterator the batched detection engine's fused kernel
+    /// consumes. A squared-distance early-out skips the `sqrt` and table
+    /// lookup for groups beyond the tabulated g(z) tail (where `g` is 0),
+    /// which is most groups at paper scale. Yields exactly the values
+    /// [`Self::expected_observation`] would produce.
+    #[inline]
+    pub fn expected_iter(&self, theta: Point2) -> impl Iterator<Item = f64> + '_ {
+        let m = self.group_size() as f64;
+        let z_max = self.gz.z_max();
+        let z_max_sq = z_max * z_max;
+        self.layout.deployment_points().iter().map(move |dp| {
+            let d_sq = dp.distance_squared(theta);
+            if d_sq >= z_max_sq {
+                0.0
+            } else {
+                m * self.gz.eval(d_sq.sqrt())
+            }
+        })
     }
 
     /// Expected total number of neighbours at `θ` (sum of `µ_i`).
@@ -126,7 +173,10 @@ mod tests {
         for other in 0..k.group_count() {
             assert!(k.g_i(other, dp) <= g_own + 1e-12);
         }
-        assert!(g_own > 0.2, "g at the deployment point should be substantial");
+        assert!(
+            g_own > 0.2,
+            "g at the deployment point should be substantial"
+        );
     }
 
     #[test]
@@ -156,7 +206,10 @@ mod tests {
         let k = knowledge();
         let interior = k.expected_neighbor_count(Point2::new(500.0, 500.0));
         let corner = k.expected_neighbor_count(Point2::new(5.0, 5.0));
-        assert!(corner < interior * 0.6, "corner {corner} vs interior {interior}");
+        assert!(
+            corner < interior * 0.6,
+            "corner {corner} vs interior {interior}"
+        );
     }
 
     #[test]

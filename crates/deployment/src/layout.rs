@@ -44,7 +44,11 @@ impl DeploymentLayout {
                 ));
             }
         }
-        Self { kind: LayoutKind::Grid, area: config.area(), points }
+        Self {
+            kind: LayoutKind::Grid,
+            area: config.area(),
+            points,
+        }
     }
 
     /// A hexagonal layout: like the grid, but every other row is offset by
@@ -60,7 +64,11 @@ impl DeploymentLayout {
                 points.push(Point2::new(x, (row as f64 + 0.5) * ch));
             }
         }
-        Self { kind: LayoutKind::Hexagonal, area: config.area(), points }
+        Self {
+            kind: LayoutKind::Hexagonal,
+            area: config.area(),
+            points,
+        }
     }
 
     /// Random deployment points, uniform over the area. The points are still
@@ -70,14 +78,25 @@ impl DeploymentLayout {
         let points = (0..config.group_count())
             .map(|_| sampling::uniform_in_rect(rng, area))
             .collect();
-        Self { kind: LayoutKind::Random, area, points }
+        Self {
+            kind: LayoutKind::Random,
+            area,
+            points,
+        }
     }
 
     /// Builds a layout from explicit deployment points (e.g. loaded from a
     /// mission plan).
     pub fn from_points(area: Rect, points: Vec<Point2>) -> Self {
-        assert!(!points.is_empty(), "a layout needs at least one deployment point");
-        Self { kind: LayoutKind::Random, area, points }
+        assert!(
+            !points.is_empty(),
+            "a layout needs at least one deployment point"
+        );
+        Self {
+            kind: LayoutKind::Random,
+            area,
+            points,
+        }
     }
 
     /// The layout strategy used.
@@ -96,6 +115,7 @@ impl DeploymentLayout {
     }
 
     /// The deployment point of group `i`.
+    #[inline]
     pub fn deployment_point(&self, group: usize) -> Point2 {
         self.points[group]
     }
@@ -111,7 +131,9 @@ impl DeploymentLayout {
             .iter()
             .enumerate()
             .min_by(|(_, a), (_, b)| {
-                p.distance_squared(**a).partial_cmp(&p.distance_squared(**b)).unwrap()
+                p.distance_squared(**a)
+                    .partial_cmp(&p.distance_squared(**b))
+                    .unwrap()
             })
             .map(|(i, _)| i)
             .expect("layout has at least one point")

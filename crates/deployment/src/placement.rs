@@ -60,9 +60,7 @@ impl PlacementModel {
             return 0.0;
         }
         match *self {
-            PlacementModel::Gaussian { sigma } => {
-                1.0 - (-(r * r) / (2.0 * sigma * sigma)).exp()
-            }
+            PlacementModel::Gaussian { sigma } => 1.0 - (-(r * r) / (2.0 * sigma * sigma)).exp(),
             PlacementModel::UniformDisk { radius } => {
                 if r >= radius {
                     1.0
@@ -125,7 +123,10 @@ mod tests {
 
     #[test]
     fn prob_within_monotone_and_bounded() {
-        for model in [PlacementModel::gaussian(30.0), PlacementModel::uniform_disk(30.0)] {
+        for model in [
+            PlacementModel::gaussian(30.0),
+            PlacementModel::uniform_disk(30.0),
+        ] {
             let mut prev = 0.0;
             for i in 0..100 {
                 let r = i as f64 * 3.0;

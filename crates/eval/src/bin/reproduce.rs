@@ -27,7 +27,11 @@ struct Args {
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { paper: false, only: None, out: PathBuf::from("results") };
+    let mut args = Args {
+        paper: false,
+        only: None,
+        out: PathBuf::from("results"),
+    };
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -41,9 +45,7 @@ fn parse_args() -> Args {
                 args.out = PathBuf::from(iter.next().expect("--out needs a directory"));
             }
             "--help" | "-h" => {
-                println!(
-                    "reproduce [--quick | --paper] [--only <id>[,<id>...]] [--out <dir>]"
-                );
+                println!("reproduce [--quick | --paper] [--only <id>[,<id>...]] [--out <dir>]");
                 std::process::exit(0);
             }
             other => {
@@ -56,14 +58,23 @@ fn parse_args() -> Args {
 }
 
 fn wanted(args: &Args, id: &str) -> bool {
-    args.only.as_ref().map_or(true, |list| list.iter().any(|x| x == id))
+    args.only
+        .as_ref()
+        .is_none_or(|list| list.iter().any(|x| x == id))
 }
 
 fn main() {
     let args = parse_args();
-    let config = if args.paper { EvalConfig::paper() } else { EvalConfig::quick() };
-    let density_sweep: Vec<usize> =
-        if args.paper { vec![100, 300, 600, 1000] } else { vec![100, 300, 600] };
+    let config = if args.paper {
+        EvalConfig::paper()
+    } else {
+        EvalConfig::quick()
+    };
+    let density_sweep: Vec<usize> = if args.paper {
+        vec![100, 300, 600, 1000]
+    } else {
+        vec![100, 300, 600]
+    };
 
     println!(
         "LAD reproduction — {} mode, {} groups of {} nodes, output -> {}",
@@ -76,7 +87,11 @@ fn main() {
     let t0 = Instant::now();
     println!("building evaluation context (deployments + clean scores)...");
     let ctx = EvalContext::new(config);
-    println!("  done in {:.1?}; {} clean samples", t0.elapsed(), ctx.clean_scores(lad_core::MetricKind::Diff).len());
+    println!(
+        "  done in {:.1?}; {} clean samples",
+        t0.elapsed(),
+        ctx.clean_scores(lad_core::MetricKind::Diff).len()
+    );
 
     let mut reports: Vec<FigureReport> = Vec::new();
     let mut run = |id: &str, f: &dyn Fn() -> FigureReport| {
@@ -99,10 +114,16 @@ fn main() {
     run("fig5_6", &|| experiments::fig56_roc_attacks(&ctx));
     run("fig7", &|| experiments::fig7_dr_vs_damage(&ctx));
     run("fig8", &|| experiments::fig8_dr_vs_compromise(&ctx));
-    run("fig9", &|| experiments::fig9_dr_vs_density(ctx.config(), &density_sweep));
+    run("fig9", &|| {
+        experiments::fig9_dr_vs_density(ctx.config(), &density_sweep)
+    });
     run("ablation_gz", &|| experiments::ablation_gz_table(&ctx));
-    run("ablation_localizers", &|| experiments::ablation_localizers(&ctx));
-    run("ablation_mismatch", &|| experiments::ablation_model_mismatch(ctx.config()));
+    run("ablation_localizers", &|| {
+        experiments::ablation_localizers(&ctx)
+    });
+    run("ablation_mismatch", &|| {
+        experiments::ablation_model_mismatch(ctx.config())
+    });
 
     // Combined Markdown summary.
     let mut summary = String::from("# LAD reproduction — experiment summary\n\n");

@@ -51,7 +51,10 @@ pub fn ablation_gz_table(ctx: &EvalContext) -> FigureReport {
             .fold(0.0, f64::max);
         mu_points.push((omega as f64, worst_mu_shift));
     }
-    report.push_series(Series::new("max g(z) interpolation error", error_points.clone()));
+    report.push_series(Series::new(
+        "max g(z) interpolation error",
+        error_points.clone(),
+    ));
     report.push_series(Series::new(
         "worst per-group shift of the expected observation (nodes)",
         mu_points.clone(),
@@ -72,12 +75,17 @@ mod tests {
     fn table_error_is_monotone_decreasing_and_tiny_at_the_default_omega() {
         let ctx = EvalContext::new(EvalConfig::bench());
         let report = ablation_gz_table(&ctx);
-        let errors = report.series_by_label("max g(z) interpolation error").unwrap();
+        let errors = report
+            .series_by_label("max g(z) interpolation error")
+            .unwrap();
         assert_eq!(errors.points.len(), OMEGA_SWEEP.len());
         // Errors shrink (weakly) as omega grows, and the paper's claim holds:
         // a few hundred entries are plenty.
         for w in errors.points.windows(2) {
-            assert!(w[1].1 <= w[0].1 * 1.5 + 1e-12, "error should not grow with omega");
+            assert!(
+                w[1].1 <= w[0].1 * 1.5 + 1e-12,
+                "error should not grow with omega"
+            );
         }
         let err_256 = errors.points[4].1;
         assert!(err_256 < 1e-4, "omega = 256 error {err_256}");

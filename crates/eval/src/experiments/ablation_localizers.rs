@@ -35,7 +35,10 @@ pub fn ablation_localizers(ctx: &EvalContext) -> FigureReport {
         PAPER_COMPROMISED_FRACTION * 100.0
     ));
 
-    let network = ctx.networks().first().expect("context has at least one network");
+    let network = ctx
+        .networks()
+        .first()
+        .expect("context has at least one network");
     let attacked = ctx.attacked_scores(
         MetricKind::Diff,
         AttackClass::DecBounded,
@@ -50,8 +53,11 @@ pub fn ablation_localizers(ctx: &EvalContext) -> FigureReport {
     let centroid = CentroidLocalizer::new(anchors.clone());
     let dvhop = DvHopLocalizer::build(network, &anchors);
     let mle = BeaconlessMle::new();
-    let schemes: Vec<(&str, &dyn Localizer)> =
-        vec![("beaconless-mle", &mle), ("centroid", &centroid), ("dv-hop", &dvhop)];
+    let schemes: Vec<(&str, &dyn Localizer)> = vec![
+        ("beaconless-mle", &mle),
+        ("centroid", &centroid),
+        ("dv-hop", &dvhop),
+    ];
 
     let samples = ctx.config().clean_samples_per_network;
     let mut points = Vec::new();
@@ -111,11 +117,18 @@ mod tests {
         let ctx = EvalContext::new(EvalConfig::bench());
         let report = ablation_localizers(&ctx);
         let series = report.series_by_label("detection rate at FP<=1%").unwrap();
-        assert!(series.points.len() >= 2, "at least two schemes should produce results");
+        assert!(
+            series.points.len() >= 2,
+            "at least two schemes should produce results"
+        );
         for (_, dr) in &series.points {
             assert!((0.0..=1.0).contains(dr));
         }
         // The MLE-based detector should detect the D = 120 attack reasonably well.
-        assert!(series.points[0].1 > 0.5, "MLE-based DR {}", series.points[0].1);
+        assert!(
+            series.points[0].1 > 0.5,
+            "MLE-based DR {}",
+            series.points[0].1
+        );
     }
 }

@@ -99,8 +99,10 @@ fn clean_scores(
     (0..base.networks)
         .into_par_iter()
         .flat_map(|net_idx| {
-            let network =
-                Network::generate(actual.clone(), derive_seed(base.seed, &[salt, net_idx as u64]));
+            let network = Network::generate(
+                actual.clone(),
+                derive_seed(base.seed, &[salt, net_idx as u64]),
+            );
             let ids = sample_ids(
                 &network,
                 base.clean_samples_per_network,
@@ -138,8 +140,10 @@ fn attacked_scores(
     (0..base.networks)
         .into_par_iter()
         .flat_map(|net_idx| {
-            let network =
-                Network::generate(actual.clone(), derive_seed(base.seed, &[salt, net_idx as u64]));
+            let network = Network::generate(
+                actual.clone(),
+                derive_seed(base.seed, &[salt, net_idx as u64]),
+            );
             let ids = sample_ids(
                 &network,
                 base.victims_per_network,
@@ -189,7 +193,10 @@ mod tests {
         // A grossly wrong model (sigma = 100) must inflate FP above the
         // matched case — that is the paper's predicted "extra error".
         let wrong_fp = fp.points.last().unwrap().1;
-        assert!(wrong_fp + 0.05 >= matched_fp, "mismatch should not reduce FP");
+        assert!(
+            wrong_fp + 0.05 >= matched_fp,
+            "mismatch should not reduce FP"
+        );
         // The KS drift grows with the mismatch.
         assert!(ks.points.last().unwrap().1 + 0.05 >= ks.points[1].1);
         // Rates are probabilities.

@@ -24,7 +24,10 @@ pub fn attack_showcase(ctx: &EvalContext) -> FigureReport {
         "L1 shift of the observation vector",
     );
 
-    let network = ctx.networks().first().expect("context has at least one network");
+    let network = ctx
+        .networks()
+        .first()
+        .expect("context has at least one network");
     let knowledge = ctx.knowledge();
     // Pick the first victim with a reasonably populated neighbourhood.
     let victim = (0..network.node_count() as u32)
@@ -43,7 +46,10 @@ pub fn attack_showcase(ctx: &EvalContext) -> FigureReport {
         ("silence", AttackPrimitive::Silence { group: own_group }),
         (
             "impersonation",
-            AttackPrimitive::Impersonation { from: own_group, to: other_group },
+            AttackPrimitive::Impersonation {
+                from: own_group,
+                to: other_group,
+            },
         ),
         (
             "multi-impersonation",
@@ -52,7 +58,10 @@ pub fn attack_showcase(ctx: &EvalContext) -> FigureReport {
                 claims: vec![(other_group, 5), (third_group, 5)],
             },
         ),
-        ("range-change", AttackPrimitive::RangeChange { group: other_group }),
+        (
+            "range-change",
+            AttackPrimitive::RangeChange { group: other_group },
+        ),
     ];
 
     let mut points = Vec::new();
@@ -96,7 +105,9 @@ mod tests {
     fn primitive_shifts_match_their_message_budgets() {
         let ctx = EvalContext::new(EvalConfig::bench());
         let report = attack_showcase(&ctx);
-        let series = report.series_by_label("observation shift per primitive").unwrap();
+        let series = report
+            .series_by_label("observation shift per primitive")
+            .unwrap();
         assert_eq!(series.points.len(), 4);
         let shifts: Vec<f64> = series.points.iter().map(|(_, s)| *s).collect();
         // silence = 1, impersonation = 2, multi-impersonation = 1 + 10 = 11,

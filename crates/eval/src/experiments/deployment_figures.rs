@@ -33,7 +33,9 @@ pub fn deployment_figures(ctx: &EvalContext) -> FigureReport {
 
     // Figure 2: a 1-D slice through the 2-D Gaussian pdf of the group whose
     // deployment point is closest to (150, 150), sampled along y = y_dp.
-    let group = knowledge.layout().nearest_group(lad_geometry::Point2::new(150.0, 150.0));
+    let group = knowledge
+        .layout()
+        .nearest_group(lad_geometry::Point2::new(150.0, 150.0));
     let dp = knowledge.layout().deployment_point(group);
     let pdf = IsotropicGaussian2d::new(dp.x, dp.y, config.sigma);
     let slice: Vec<(f64, f64)> = (0..=120)

@@ -40,10 +40,7 @@ pub fn fig4_roc_metrics(ctx: &EvalContext) -> FigureReport {
                 .iter()
                 .map(|p| (p.false_positive_rate, p.detection_rate))
                 .collect();
-            report.push_series(Series::new(
-                format!("D={d:.0} {}", metric.name()),
-                points,
-            ));
+            report.push_series(Series::new(format!("D={d:.0} {}", metric.name()), points));
             report.push_note(format!(
                 "D={d:.0} {}: AUC = {:.4}, DR@FP<=5% = {:.4}",
                 metric.name(),
@@ -78,9 +75,18 @@ mod tests {
 
         // The Diff metric should dominate (or at least not lose badly to) the
         // probability metric at the large-damage operating point.
-        let diff_set = ctx.score_set(MetricKind::Diff, lad_attack::AttackClass::DecBounded, 160.0, 0.10);
-        let prob_set =
-            ctx.score_set(MetricKind::Probability, lad_attack::AttackClass::DecBounded, 160.0, 0.10);
+        let diff_set = ctx.score_set(
+            MetricKind::Diff,
+            lad_attack::AttackClass::DecBounded,
+            160.0,
+            0.10,
+        );
+        let prob_set = ctx.score_set(
+            MetricKind::Probability,
+            lad_attack::AttackClass::DecBounded,
+            160.0,
+            0.10,
+        );
         assert!(diff_set.roc().auc() + 0.05 >= prob_set.roc().auc());
     }
 }

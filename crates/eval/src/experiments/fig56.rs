@@ -82,6 +82,9 @@ mod tests {
         let only = ctx
             .score_set(MetricKind::Diff, AttackClass::DecOnly, 160.0, 0.10)
             .detection_rate_at_fp(0.10);
-        assert!((only - bounded).abs() < 0.25, "classes should converge at D=160");
+        assert!(
+            (only - bounded).abs() < 0.25,
+            "classes should converge at D=160"
+        );
     }
 }

@@ -67,11 +67,19 @@ mod tests {
         // At every compromise level, detecting D=160 anomalies is at least as
         // easy as detecting D=80 anomalies.
         for (p80, p160) in d80.points.iter().zip(&d160.points) {
-            assert!(p160.1 + 0.1 >= p80.1, "D=160 should dominate D=80 at x={}%", p80.0);
+            assert!(
+                p160.1 + 0.1 >= p80.1,
+                "D=160 should dominate D=80 at x={}%",
+                p80.0
+            );
         }
 
         // With no compromised neighbours and D=160 the detector should do well.
-        assert!(d160.points[0].1 > 0.7, "DR at x=0, D=160 is {}", d160.points[0].1);
+        assert!(
+            d160.points[0].1 > 0.7,
+            "DR at x=0, D=160 is {}",
+            d160.points[0].1
+        );
 
         // Detection degrades (weakly) as the compromise fraction grows.
         let first = d80.points.first().unwrap().1;

@@ -60,10 +60,7 @@ pub fn fig9_dr_vs_density(base: &EvalConfig, group_sizes: &[usize]) -> FigureRep
                     )
                 })
                 .collect();
-            report.push_series(Series::new(
-                format!("D={d:.0} x={:.0}%", x * 100.0),
-                points,
-            ));
+            report.push_series(Series::new(format!("D={d:.0} x={:.0}%", x * 100.0), points));
         }
     }
 
@@ -97,6 +94,13 @@ mod tests {
             "density should help: sparse {dr_sparse}, dense {dr_dense}"
         );
         // Localization-error notes are attached for every density.
-        assert!(report.notes.iter().filter(|n| n.starts_with("m = ")).count() == 2);
+        assert!(
+            report
+                .notes
+                .iter()
+                .filter(|n| n.starts_with("m = "))
+                .count()
+                == 2
+        );
     }
 }

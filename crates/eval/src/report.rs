@@ -22,7 +22,10 @@ pub struct Series {
 impl Series {
     /// Creates a series from a label and points.
     pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
-        Self { label: label.into(), points }
+        Self {
+            label: label.into(),
+            points,
+        }
     }
 
     /// The y value at the first point whose x is at least `x` (or the last y).

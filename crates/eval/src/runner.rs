@@ -11,14 +11,17 @@
 //!
 //! [`EvalContext`] pre-generates the deployments and the clean scores once,
 //! then serves attacked-score queries for arbitrary `(metric, class, D, x)`
-//! combinations; all loops are Rayon-parallel with per-trial seeds derived
-//! from the master seed, so results are independent of thread scheduling.
+//! combinations. Scoring goes through a score-only
+//! [`LadEngine`](lad_core::engine::LadEngine) configured with all three
+//! metrics, so `µ(L_e)` is computed once per estimate; the simulation loops
+//! are Rayon-parallel with per-trial seeds derived from the master seed, so
+//! results are independent of thread scheduling.
 
 use crate::config::EvalConfig;
 use lad_attack::{simulate_attack, AttackClass, AttackConfig};
+use lad_core::engine::{DetectionRequest, LadEngine};
 use lad_core::MetricKind;
 use lad_deployment::DeploymentKnowledge;
-use lad_localization::BeaconlessMle;
 use lad_net::{Network, NodeId};
 use lad_stats::seeds::derive_seed;
 use lad_stats::RocCurve;
@@ -54,7 +57,7 @@ impl ScoreSet {
 /// Pre-generated deployments plus cached clean scores for one [`EvalConfig`].
 pub struct EvalContext {
     config: EvalConfig,
-    knowledge: Arc<DeploymentKnowledge>,
+    engine: LadEngine,
     networks: Vec<Network>,
     clean_scores: [Vec<f64>; 3],
     clean_localization_errors: Vec<f64>,
@@ -63,16 +66,26 @@ pub struct EvalContext {
 impl EvalContext {
     /// Generates the deployments and computes the clean score distributions.
     pub fn new(config: EvalConfig) -> Self {
-        let knowledge = DeploymentKnowledge::shared(&config.deployment);
+        let engine = LadEngine::builder()
+            .deployment(&config.deployment)
+            .metrics(&MetricKind::ALL)
+            .score_only()
+            .build()
+            .expect("evaluation deployment is valid");
+        let knowledge = engine.knowledge().clone();
         let networks: Vec<Network> = (0..config.networks)
             .map(|i| {
-                Network::generate(knowledge.clone(), derive_seed(config.seed, &[0xC1EA, i as u64]))
+                Network::generate(
+                    knowledge.clone(),
+                    derive_seed(config.seed, &[0xC1EA, i as u64]),
+                )
             })
             .collect();
 
-        let localizer = BeaconlessMle::new();
-        // (diff, add-all, probability, localization error) per clean sample.
-        let samples: Vec<[f64; 4]> = networks
+        // Stage 1 (parallel): localize the sampled nodes, producing one
+        // detection request and one localization error per localizable node.
+        let localizer = engine.localizer();
+        let samples: Vec<(DetectionRequest, f64)> = networks
             .par_iter()
             .enumerate()
             .flat_map(|(net_idx, network)| {
@@ -82,22 +95,38 @@ impl EvalContext {
                     derive_seed(config.seed, &[0x5A3D, net_idx as u64]),
                 );
                 ids.into_par_iter()
-                    .filter_map(move |id| clean_sample(network, id, &localizer))
+                    .filter_map(move |id| {
+                        let obs = network.true_observation(id);
+                        let estimate = localizer.estimate(network.knowledge(), &obs)?;
+                        let error = estimate.distance(network.node(id).resident_point);
+                        Some((DetectionRequest::new(obs, estimate), error))
+                    })
                     .collect::<Vec<_>>()
             })
             .collect();
 
-        let mut clean_scores: [Vec<f64>; 3] =
-            [Vec::with_capacity(samples.len()), Vec::with_capacity(samples.len()), Vec::with_capacity(samples.len())];
-        let mut clean_localization_errors = Vec::with_capacity(samples.len());
-        for s in &samples {
+        // Stage 2: one batched scoring pass — µ(L_e) once per estimate,
+        // shared by all three metrics.
+        let (requests, clean_localization_errors): (Vec<_>, Vec<_>) = samples.into_iter().unzip();
+        let scored = engine.score_batch(&requests);
+        let mut clean_scores: [Vec<f64>; 3] = [
+            Vec::with_capacity(scored.len()),
+            Vec::with_capacity(scored.len()),
+            Vec::with_capacity(scored.len()),
+        ];
+        for s in &scored {
             clean_scores[0].push(s[0]);
             clean_scores[1].push(s[1]);
             clean_scores[2].push(s[2]);
-            clean_localization_errors.push(s[3]);
         }
 
-        Self { config, knowledge, networks, clean_scores, clean_localization_errors }
+        Self {
+            config,
+            engine,
+            networks,
+            clean_scores,
+            clean_localization_errors,
+        }
     }
 
     /// The evaluation configuration.
@@ -105,9 +134,14 @@ impl EvalContext {
         &self.config
     }
 
+    /// The score-only engine (all three metrics) the context scores with.
+    pub fn engine(&self) -> &LadEngine {
+        &self.engine
+    }
+
     /// The shared deployment knowledge.
     pub fn knowledge(&self) -> &Arc<DeploymentKnowledge> {
-        &self.knowledge
+        self.engine.knowledge()
     }
 
     /// The pre-generated deployments.
@@ -141,9 +175,11 @@ impl EvalContext {
             class,
             targeted_metric: metric,
         };
-        let scorer = metric.metric();
-        let m = self.knowledge.group_size();
-        self.networks
+        // Stage 1 (parallel): simulate the attacks, producing one detection
+        // request per victim, with per-victim seeds derived from the master
+        // seed so results are scheduling-independent.
+        let requests: Vec<DetectionRequest> = self
+            .networks
             .par_iter()
             .enumerate()
             .flat_map(|(net_idx, network)| {
@@ -163,22 +199,29 @@ impl EvalContext {
                     self.config.victims_per_network,
                     derive_seed(point_seed, &[1]),
                 );
-                let scorer = &scorer;
                 ids.into_par_iter()
                     .enumerate()
                     .map(move |(k, victim)| {
-                        let mut rng = ChaCha8Rng::seed_from_u64(derive_seed(
-                            point_seed,
-                            &[2, k as u64],
-                        ));
+                        let mut rng =
+                            ChaCha8Rng::seed_from_u64(derive_seed(point_seed, &[2, k as u64]));
                         let outcome = simulate_attack(network, victim, &attack, &mut rng);
-                        let mu = self
-                            .knowledge
-                            .expected_observation(outcome.forged_location);
-                        scorer.score(&outcome.tainted_observation, &mu, m)
+                        DetectionRequest::new(outcome.tainted_observation, outcome.forged_location)
                     })
                     .collect::<Vec<_>>()
             })
+            .collect();
+
+        // Stage 2: one batched scoring pass; keep the targeted metric's
+        // column (resolved through the engine so the column always matches
+        // its configured metric order).
+        let column = self
+            .engine
+            .metric_index(metric)
+            .expect("EvalContext engine scores all metrics");
+        self.engine
+            .score_batch(&requests)
+            .into_iter()
+            .map(|scores| scores[column])
             .collect()
     }
 
@@ -207,7 +250,8 @@ impl EvalContext {
         fraction: f64,
         max_fp: f64,
     ) -> f64 {
-        self.score_set(metric, class, degree, fraction).detection_rate_at_fp(max_fp)
+        self.score_set(metric, class, degree, fraction)
+            .detection_rate_at_fp(max_fp)
     }
 }
 
@@ -224,20 +268,6 @@ fn sample_node_ids(network: &Network, count: usize, seed: u64) -> Vec<NodeId> {
     (0..count)
         .map(|_| NodeId(rng.gen_range(0..network.node_count() as u32)))
         .collect()
-}
-
-fn clean_sample(network: &Network, id: NodeId, localizer: &BeaconlessMle) -> Option<[f64; 4]> {
-    let knowledge = network.knowledge();
-    let obs = network.true_observation(id);
-    let estimate = localizer.estimate(knowledge, &obs)?;
-    let mu = knowledge.expected_observation(estimate);
-    let m = knowledge.group_size();
-    Some([
-        MetricKind::Diff.metric().score(&obs, &mu, m),
-        MetricKind::AddAll.metric().score(&obs, &mu, m),
-        MetricKind::Probability.metric().score(&obs, &mu, m),
-        estimate.distance(network.node(id).resident_point),
-    ])
 }
 
 #[cfg(test)]
@@ -281,7 +311,10 @@ mod tests {
             dr_large >= dr_small,
             "DR should not decrease with damage: {dr_small} -> {dr_large}"
         );
-        assert!(dr_large > 0.8, "large-damage attacks should be detected, DR = {dr_large}");
+        assert!(
+            dr_large > 0.8,
+            "large-damage attacks should be detected, DR = {dr_large}"
+        );
     }
 
     #[test]
@@ -304,6 +337,9 @@ mod tests {
         let roc = set.roc();
         let auc = roc.auc();
         assert!((0.0..=1.0).contains(&auc));
-        assert!(auc > 0.5, "the detector should beat chance at D = 120 (AUC {auc})");
+        assert!(
+            auc > 0.5,
+            "the detector should beat chance at D = 120 (AUC {auc})"
+        );
     }
 }

@@ -91,7 +91,11 @@ impl Circle {
         if ell == 0.0 || z == 0.0 {
             // Degenerate: the "circle" is a point; either fully in or out,
             // handled above. Reaching here means borderline round-off.
-            return if z <= range { std::f64::consts::PI } else { 0.0 };
+            return if z <= range {
+                std::f64::consts::PI
+            } else {
+                0.0
+            };
         }
         let cosine = ((ell * ell + z * z - range * range) / (2.0 * ell * z)).clamp(-1.0, 1.0);
         cosine.acos()

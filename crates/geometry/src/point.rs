@@ -58,7 +58,10 @@ impl Point2 {
     /// Linear interpolation between `self` (t = 0) and `other` (t = 1).
     #[inline]
     pub fn lerp(&self, other: Point2, t: f64) -> Point2 {
-        Point2::new(self.x + (other.x - self.x) * t, self.y + (other.y - self.y) * t)
+        Point2::new(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+        )
     }
 
     /// Returns `true` when both coordinates are finite.

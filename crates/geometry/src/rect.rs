@@ -22,7 +22,12 @@ impl Rect {
     /// Panics in debug builds when the corners are inverted.
     pub fn new(min_x: f64, min_y: f64, max_x: f64, max_y: f64) -> Self {
         debug_assert!(min_x <= max_x && min_y <= max_y, "inverted rectangle");
-        Self { min_x, min_y, max_x, max_y }
+        Self {
+            min_x,
+            min_y,
+            max_x,
+            max_y,
+        }
     }
 
     /// A square `[0, side] × [0, side]` anchored at the origin — the standard
@@ -52,7 +57,10 @@ impl Rect {
     /// Centre point.
     #[inline]
     pub fn center(&self) -> Point2 {
-        Point2::new((self.min_x + self.max_x) * 0.5, (self.min_y + self.max_y) * 0.5)
+        Point2::new(
+            (self.min_x + self.max_x) * 0.5,
+            (self.min_y + self.max_y) * 0.5,
+        )
     }
 
     /// Whether `p` lies inside or on the boundary.
@@ -64,7 +72,10 @@ impl Rect {
     /// Clamps `p` to the rectangle.
     #[inline]
     pub fn clamp(&self, p: Point2) -> Point2 {
-        Point2::new(p.x.clamp(self.min_x, self.max_x), p.y.clamp(self.min_y, self.max_y))
+        Point2::new(
+            p.x.clamp(self.min_x, self.max_x),
+            p.y.clamp(self.min_y, self.max_y),
+        )
     }
 
     /// Expands the rectangle by `margin` on every side (negative shrinks).

@@ -34,9 +34,18 @@ pub fn at_distance<R: Rng + ?Sized>(rng: &mut R, anchor: Point2, dist: f64) -> P
 }
 
 /// Samples a point at exactly distance `dist` from `anchor` whose position is
-/// additionally constrained to lie within `bounds`. Falls back to the clamped
-/// best effort after `max_tries` rejections (the clamp changes the distance,
-/// so callers that need the exact distance should pass generous bounds).
+/// additionally constrained to lie within `bounds`.
+///
+/// Guarantees, in priority order:
+///
+/// 1. the result is never farther than `dist` from `anchor` (exact for
+///    rejection-sampling hits);
+/// 2. the result lies within `bounds` whenever the two constraints are
+///    jointly satisfiable along the fallback direction — in particular
+///    always when `anchor` itself is in `bounds`. An anchor more than
+///    `dist` outside `bounds` (e.g. a resident point that spilled past the
+///    deployment area) cannot reach them, and the fallback then returns the
+///    in-budget point closest to `bounds`.
 pub fn at_distance_in_rect<R: Rng + ?Sized>(
     rng: &mut R,
     anchor: Point2,
@@ -50,7 +59,31 @@ pub fn at_distance_in_rect<R: Rng + ?Sized>(
             return p;
         }
     }
-    bounds.clamp(at_distance(rng, anchor, dist))
+    // Deterministic fallback: head for the nearest in-bounds point.
+    let proj = bounds.clamp(anchor);
+    let d = anchor.distance(proj);
+    if d == 0.0 {
+        // Anchor is inside `bounds` but every sampled direction left them:
+        // clamping a point at distance `dist` keeps the distance ≤ `dist`
+        // (projection onto a convex set containing the anchor).
+        return bounds.clamp(at_distance(rng, anchor, dist));
+    }
+    let t = dist / d;
+    if t <= 1.0 {
+        // `bounds` are out of reach: the in-budget point closest to them.
+        return Point2::new(
+            anchor.x + (proj.x - anchor.x) * t,
+            anchor.y + (proj.y - anchor.y) * t,
+        );
+    }
+    // Overshoot through the nearest boundary point to land at exactly
+    // `dist`; the clamp only engages if that exits the far side of the
+    // bounds, and componentwise it can only move the point back towards the
+    // anchor, so the distance stays ≤ `dist`.
+    bounds.clamp(Point2::new(
+        anchor.x + (proj.x - anchor.x) * t,
+        anchor.y + (proj.y - anchor.y) * t,
+    ))
 }
 
 /// Samples a 2-D Gaussian displacement with standard deviation `sigma` per
@@ -160,6 +193,30 @@ mod tests {
         assert!((sy / nf).abs() < 1.5, "mean y drift {}", sy / nf);
         assert!(((sxx / nf).sqrt() - sigma).abs() < 1.5);
         assert!(((syy / nf).sqrt() - sigma).abs() < 1.5);
+    }
+
+    #[test]
+    fn at_distance_in_rect_honors_both_contracts_for_outside_anchors() {
+        let bounds = Rect::new(0.0, 0.0, 1000.0, 1000.0);
+        let mut r = rng(7);
+        // Anchor outside the bounds with enough budget to reach them: the
+        // result must be in bounds AND within the distance budget.
+        let reachable = Point2::new(-50.0, 500.0);
+        for _ in 0..50 {
+            let p = at_distance_in_rect(&mut r, reachable, 120.0, bounds, 8);
+            assert!(bounds.contains(p), "{p:?} should be inside");
+            assert!(reachable.distance(p) <= 120.0 + 1e-9);
+        }
+        // Anchor too far outside to reach the bounds: the distance budget
+        // still binds, and the point lands as close to the bounds as it
+        // allows.
+        let unreachable = Point2::new(-500.0, 500.0);
+        let p = at_distance_in_rect(&mut r, unreachable, 30.0, bounds, 8);
+        assert!(unreachable.distance(p) <= 30.0 + 1e-9);
+        assert!(
+            (p.x - (-470.0)).abs() < 1e-9,
+            "should head straight for the bounds: {p:?}"
+        );
     }
 
     #[test]

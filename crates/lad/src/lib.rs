@@ -11,7 +11,8 @@
 //! * [`localization`] — the beaconless MLE scheme the paper evaluates on,
 //!   plus centroid and DV-Hop baselines,
 //! * [`core`] — the LAD contribution itself: the Diff / Add-all / Probability
-//!   metrics, τ-percentile threshold training and the detector,
+//!   metrics, τ-percentile threshold training, and the batched
+//!   [`LadEngine`](lad_core::engine::LadEngine) front door,
 //! * [`attack`] — the adversary: attack primitives, Dec-Bounded / Dec-Only
 //!   classes, greedy metric-minimising taints, DoS attacks,
 //! * [`eval`] — the harness that regenerates every figure of the paper's
@@ -40,13 +41,16 @@ pub mod prelude {
         simulate_attack, taint_observation, AttackClass, AttackConfig, AttackOutcome,
     };
     pub use lad_core::{
-        AddAllMetric, DetectionMetric, DiffMetric, LadDetector, MetricKind, ProbabilityMetric,
+        AddAllMetric, DetectionMetric, DetectionRequest, DiffMetric, EngineArtifact, EngineError,
+        LadDetector, LadEngine, LadEngineBuilder, MetricKind, MultiVerdict, ProbabilityMetric,
         TrainedThresholds, Trainer, TrainingConfig, Verdict,
     };
     pub use lad_deployment::{DeploymentConfig, DeploymentKnowledge, GzTable};
     pub use lad_eval::{EvalConfig, EvalContext};
     pub use lad_geometry::{Point2, Rect};
-    pub use lad_localization::{BeaconlessMle, CentroidLocalizer, DvHopLocalizer, Localizer};
+    pub use lad_localization::{
+        BeaconlessMle, CentroidLocalizer, DvHopLocalizer, LocalizationScheme, Localizer,
+    };
     pub use lad_net::{GroupId, Network, NodeId, Observation};
 }
 

@@ -28,12 +28,22 @@ pub struct Anchor {
 impl Anchor {
     /// An honest anchor declaring its true position.
     pub fn honest(id: u32, position: Point2) -> Self {
-        Self { id, true_position: position, declared_position: position, compromised: false }
+        Self {
+            id,
+            true_position: position,
+            declared_position: position,
+            compromised: false,
+        }
     }
 
     /// A compromised anchor declaring `declared` instead of its true position.
     pub fn compromised(id: u32, true_position: Point2, declared: Point2) -> Self {
-        Self { id, true_position, declared_position: declared, compromised: true }
+        Self {
+            id,
+            true_position,
+            declared_position: declared,
+            compromised: true,
+        }
     }
 }
 
@@ -61,7 +71,10 @@ impl AnchorField {
         let anchors = (0..count)
             .map(|i| Anchor::honest(i as u32, sampling::uniform_in_rect(rng, area)))
             .collect();
-        Self { anchors, beacon_range }
+        Self {
+            anchors,
+            beacon_range,
+        }
     }
 
     /// Places anchors on a regular `cols × rows` grid over the area.
@@ -76,7 +89,10 @@ impl AnchorField {
                 anchors.push(Anchor::honest((r * cols + c) as u32, Point2::new(x, y)));
             }
         }
-        Self { anchors, beacon_range }
+        Self {
+            anchors,
+            beacon_range,
+        }
     }
 
     /// Compromises `count` anchors (the first `count` by id): each one
@@ -117,7 +133,10 @@ mod tests {
     use rand_chacha::ChaCha8Rng;
 
     fn network() -> Network {
-        Network::generate(DeploymentKnowledge::shared(&DeploymentConfig::small_test()), 3)
+        Network::generate(
+            DeploymentKnowledge::shared(&DeploymentConfig::small_test()),
+            3,
+        )
     }
 
     #[test]
@@ -151,8 +170,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let mut field = AnchorField::grid(&net, 4, 4, 200.0);
         field.compromise(3, 120.0, &mut rng);
-        let compromised: Vec<&Anchor> =
-            field.anchors().iter().filter(|a| a.compromised).collect();
+        let compromised: Vec<&Anchor> = field.anchors().iter().filter(|a| a.compromised).collect();
         assert_eq!(compromised.len(), 3);
         for a in compromised {
             assert!((a.true_position.distance(a.declared_position) - 120.0).abs() < 1e-9);

@@ -34,7 +34,11 @@ pub struct BeaconlessMle {
 
 impl Default for BeaconlessMle {
     fn default() -> Self {
-        Self { initial_step: 64.0, min_step: 0.5, max_iterations: 200 }
+        Self {
+            initial_step: 64.0,
+            min_step: 0.5,
+            max_iterations: 200,
+        }
     }
 }
 
@@ -65,10 +69,7 @@ impl BeaconlessMle {
     /// The observation-weighted centroid of the deployment points — the
     /// initial guess of the search. Returns `None` when the observation is
     /// empty (an isolated node has nothing to go on).
-    pub fn weighted_centroid(
-        knowledge: &DeploymentKnowledge,
-        obs: &Observation,
-    ) -> Option<Point2> {
+    pub fn weighted_centroid(knowledge: &DeploymentKnowledge, obs: &Observation) -> Option<Point2> {
         let total = obs.total();
         if total == 0 {
             return None;
@@ -91,7 +92,10 @@ impl BeaconlessMle {
         let mut current = Self::weighted_centroid(knowledge, obs)?;
         let mut best_ll = Self::log_likelihood(knowledge, obs, current);
         let mut step = self.initial_step;
-        let area = knowledge.config().area().expand(2.0 * knowledge.config().sigma);
+        let area = knowledge
+            .config()
+            .area()
+            .expand(2.0 * knowledge.config().sigma);
         let mut iterations = 0;
 
         while step >= self.min_step && iterations < self.max_iterations {
@@ -137,6 +141,16 @@ impl Localizer for BeaconlessMle {
     }
 }
 
+impl crate::scheme::LocalizationScheme for BeaconlessMle {
+    fn scheme_name(&self) -> &'static str {
+        "beaconless-mle"
+    }
+
+    fn estimate(&self, knowledge: &DeploymentKnowledge, obs: &Observation) -> Option<Point2> {
+        BeaconlessMle::estimate(self, knowledge, obs)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,7 +159,10 @@ mod tests {
     use rayon::prelude::*;
 
     fn network(seed: u64) -> Network {
-        Network::generate(DeploymentKnowledge::shared(&DeploymentConfig::small_test()), seed)
+        Network::generate(
+            DeploymentKnowledge::shared(&DeploymentConfig::small_test()),
+            seed,
+        )
     }
 
     #[test]
@@ -165,7 +182,10 @@ mod tests {
         let at_truth = BeaconlessMle::log_likelihood(net.knowledge(), &obs, truth);
         let far = Point2::new(truth.x + 200.0, truth.y);
         let at_far = BeaconlessMle::log_likelihood(net.knowledge(), &obs, far);
-        assert!(at_truth > at_far, "likelihood should prefer the true location");
+        assert!(
+            at_truth > at_far,
+            "likelihood should prefer the true location"
+        );
     }
 
     #[test]
@@ -224,6 +244,10 @@ mod tests {
         }
         let seed = BeaconlessMle::weighted_centroid(net.knowledge(), &obs).unwrap();
         let truth = net.node(node).resident_point;
-        assert!(seed.distance(truth) < 200.0, "seed too far: {}", seed.distance(truth));
+        assert!(
+            seed.distance(truth) < 200.0,
+            "seed too far: {}",
+            seed.distance(truth)
+        );
     }
 }

@@ -34,9 +34,9 @@ impl CentroidLocalizer {
             return None;
         }
         let n = heard.len() as f64;
-        let (sx, sy) = heard
-            .iter()
-            .fold((0.0, 0.0), |(sx, sy), a| (sx + a.declared_position.x, sy + a.declared_position.y));
+        let (sx, sy) = heard.iter().fold((0.0, 0.0), |(sx, sy), a| {
+            (sx + a.declared_position.x, sy + a.declared_position.y)
+        });
         Some(Point2::new(sx / n, sy / n))
     }
 }
@@ -59,7 +59,10 @@ mod tests {
     use rand_chacha::ChaCha8Rng;
 
     fn network(seed: u64) -> Network {
-        Network::generate(DeploymentKnowledge::shared(&DeploymentConfig::small_test()), seed)
+        Network::generate(
+            DeploymentKnowledge::shared(&DeploymentConfig::small_test()),
+            seed,
+        )
     }
 
     #[test]

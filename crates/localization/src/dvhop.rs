@@ -33,8 +33,11 @@ impl DvHopLocalizer {
     /// Builds the localizer: floods hop counts from the node nearest to each
     /// anchor and computes the per-anchor average hop size.
     pub fn build(network: &Network, anchors: &AnchorField) -> Self {
-        let anchor_positions: Vec<Point2> =
-            anchors.anchors().iter().map(|a| a.declared_position).collect();
+        let anchor_positions: Vec<Point2> = anchors
+            .anchors()
+            .iter()
+            .map(|a| a.declared_position)
+            .collect();
         // Each anchor's flood starts from the sensor node closest to the
         // anchor's *true* position (the anchor itself is a radio in the field).
         let seeds: Vec<NodeId> = anchors
@@ -67,7 +70,11 @@ impl DvHopLocalizer {
             };
         }
 
-        Self { anchor_positions, hops, hop_size }
+        Self {
+            anchor_positions,
+            hops,
+            hop_size,
+        }
     }
 
     /// Number of anchors.
@@ -143,7 +150,10 @@ mod tests {
     use lad_deployment::{DeploymentConfig, DeploymentKnowledge};
 
     fn network(seed: u64) -> Network {
-        Network::generate(DeploymentKnowledge::shared(&DeploymentConfig::small_test()), seed)
+        Network::generate(
+            DeploymentKnowledge::shared(&DeploymentConfig::small_test()),
+            seed,
+        )
     }
 
     #[test]
@@ -195,8 +205,14 @@ mod tests {
         };
         let dv_err = mean_err(&dv);
         let mle_err = mean_err(&mle);
-        assert!(dv_err < 200.0, "dv-hop error should be bounded, got {dv_err}");
-        assert!(mle_err < dv_err * 1.5, "MLE should not be far worse than DV-Hop");
+        assert!(
+            dv_err < 200.0,
+            "dv-hop error should be bounded, got {dv_err}"
+        );
+        assert!(
+            mle_err < dv_err * 1.5,
+            "MLE should not be far worse than DV-Hop"
+        );
         assert_eq!(dv.name(), "dv-hop");
     }
 }

@@ -64,11 +64,13 @@ mod tests {
 
     #[test]
     fn report_counts_add_up_and_errors_are_reasonable() {
-        let net =
-            Network::generate(DeploymentKnowledge::shared(&DeploymentConfig::small_test()), 51);
+        let net = Network::generate(
+            DeploymentKnowledge::shared(&DeploymentConfig::small_test()),
+            51,
+        );
         let report = evaluate_strided(&BeaconlessMle::new(), &net, 17);
         assert_eq!(report.scheme, "beaconless-mle");
-        let expected_samples = (net.node_count() + 16) / 17;
+        let expected_samples = net.node_count().div_ceil(17);
         assert_eq!(report.localized + report.failed, expected_samples);
         assert!(report.localized > 0);
         assert!(report.error.mean < 60.0, "mean error {}", report.error.mean);

@@ -33,4 +33,4 @@ pub use anchors::{Anchor, AnchorField};
 pub use beaconless::BeaconlessMle;
 pub use centroid::CentroidLocalizer;
 pub use dvhop::DvHopLocalizer;
-pub use scheme::Localizer;
+pub use scheme::{LocalizationScheme, Localizer};

@@ -78,7 +78,10 @@ mod tests {
     fn measurements_from(truth: Point2, anchors: &[Point2]) -> Vec<RangeMeasurement> {
         anchors
             .iter()
-            .map(|&a| RangeMeasurement { reference: a, distance: truth.distance(a) })
+            .map(|&a| RangeMeasurement {
+                reference: a,
+                distance: truth.distance(a),
+            })
             .collect()
     }
 
@@ -142,7 +145,10 @@ mod tests {
         // from where it actually is.
         m[0].distance = truth.distance(Point2::new(100.0, 100.0)) + 300.0;
         let got = solve(&m).unwrap();
-        assert!(got.distance(truth) > 80.0, "attack should skew the estimate");
+        assert!(
+            got.distance(truth) > 80.0,
+            "attack should skew the estimate"
+        );
     }
 
     proptest! {

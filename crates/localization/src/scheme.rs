@@ -1,7 +1,20 @@
-//! The common interface all localization schemes implement.
+//! The common interfaces all localization schemes implement.
+//!
+//! Two traits live here:
+//!
+//! * [`Localizer`] — the simulation-facing interface: given the deployed
+//!   network and a node id, estimate the node's location. Beacon-based
+//!   schemes (centroid, DV-Hop) need this view because they read anchor
+//!   broadcasts off the network.
+//! * [`LocalizationScheme`] — the sensor-facing, **object-safe** interface:
+//!   given only what a single sensor holds (deployment knowledge and its own
+//!   observation), estimate its location. This is the interface
+//!   `lad_core::engine::LadEngine` accepts as a trait object, so any scheme
+//!   can be plugged into the detection engine.
 
+use lad_deployment::DeploymentKnowledge;
 use lad_geometry::Point2;
-use lad_net::{Network, NodeId};
+use lad_net::{Network, NodeId, Observation};
 
 /// A localization scheme: given the deployed network and a node, produce the
 /// node's estimated location `L_e`.
@@ -26,6 +39,23 @@ pub trait Localizer: Send + Sync {
     }
 }
 
+/// An object-safe localization scheme operating on exactly the information a
+/// deployed sensor holds: the pre-provisioned deployment knowledge and its
+/// own observation.
+///
+/// `lad_core::engine::LadEngine` stores one of these as an
+/// `Arc<dyn LocalizationScheme>`, so detection can be composed with any
+/// scheme — the paper's beaconless MLE, a hardware positioning unit, or a
+/// test double — without the engine being generic over it.
+pub trait LocalizationScheme: Send + Sync {
+    /// Human-readable scheme name (used in reports).
+    fn scheme_name(&self) -> &'static str;
+
+    /// Estimates the sensor's location from its observation, or `None` when
+    /// the observation carries no information (e.g. no neighbours heard).
+    fn estimate(&self, knowledge: &DeploymentKnowledge, obs: &Observation) -> Option<Point2>;
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -44,7 +74,10 @@ mod tests {
     #[test]
     fn localize_many_default_maps_each_node() {
         use lad_deployment::{DeploymentConfig, DeploymentKnowledge};
-        let net = Network::generate(DeploymentKnowledge::shared(&DeploymentConfig::small_test()), 1);
+        let net = Network::generate(
+            DeploymentKnowledge::shared(&DeploymentConfig::small_test()),
+            1,
+        );
         let loc = FixedLocalizer(Point2::new(1.0, 2.0));
         let out = loc.localize_many(&net, &[NodeId(0), NodeId(1), NodeId(2)]);
         assert_eq!(out.len(), 3);

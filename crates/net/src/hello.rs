@@ -65,18 +65,25 @@ where
                 claimed_group: network.node(neighbor).group,
             }),
             HelloBehavior::Silent => {}
-            HelloBehavior::Impersonate(g) => {
-                messages.push(HelloMessage { sender: neighbor, claimed_group: g })
-            }
+            HelloBehavior::Impersonate(g) => messages.push(HelloMessage {
+                sender: neighbor,
+                claimed_group: g,
+            }),
             HelloBehavior::MultiImpersonate(groups) => {
                 for g in groups {
-                    messages.push(HelloMessage { sender: neighbor, claimed_group: g });
+                    messages.push(HelloMessage {
+                        sender: neighbor,
+                        claimed_group: g,
+                    });
                 }
             }
         }
     }
     for &(sender, group) in extra_senders {
-        messages.push(HelloMessage { sender, claimed_group: group });
+        messages.push(HelloMessage {
+            sender,
+            claimed_group: group,
+        });
     }
     messages
 }
@@ -110,13 +117,22 @@ mod tests {
         let net = network();
         let victim = NodeId(23);
         let neighbors = net.neighbors_of(victim);
-        assert!(!neighbors.is_empty(), "victim needs neighbours for this test");
+        assert!(
+            !neighbors.is_empty(),
+            "victim needs neighbours for this test"
+        );
         let silenced = neighbors[0];
         let silenced_group = net.node(silenced).group;
         let msgs = collect_hellos(
             &net,
             victim,
-            |n| if n == silenced { HelloBehavior::Silent } else { HelloBehavior::Honest },
+            |n| {
+                if n == silenced {
+                    HelloBehavior::Silent
+                } else {
+                    HelloBehavior::Honest
+                }
+            },
             &[],
         );
         let obs = observation_from_hellos(net.group_count(), &msgs);
@@ -152,8 +168,14 @@ mod tests {
         let obs = observation_from_hellos(net.group_count(), &msgs);
         let truth = net.true_observation(victim);
         assert_eq!(obs.total(), truth.total());
-        assert_eq!(obs.count(true_group.index()) + 1, truth.count(true_group.index()));
-        assert_eq!(obs.count(fake_group.index()), truth.count(fake_group.index()) + 1);
+        assert_eq!(
+            obs.count(true_group.index()) + 1,
+            truth.count(true_group.index())
+        );
+        assert_eq!(
+            obs.count(fake_group.index()),
+            truth.count(fake_group.index()) + 1
+        );
     }
 
     #[test]
@@ -194,8 +216,12 @@ mod tests {
             .expect("some node is out of range")
             .id;
         let claimed = net.node(outsider).group;
-        let msgs =
-            collect_hellos(&net, victim, |_| HelloBehavior::Honest, &[(outsider, claimed)]);
+        let msgs = collect_hellos(
+            &net,
+            victim,
+            |_| HelloBehavior::Honest,
+            &[(outsider, claimed)],
+        );
         let obs = observation_from_hellos(net.group_count(), &msgs);
         let truth = net.true_observation(victim);
         assert_eq!(obs.total(), truth.total() + 1);

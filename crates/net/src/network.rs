@@ -36,7 +36,9 @@ impl Network {
             .map(|g| {
                 let mut rng = ChaCha8Rng::seed_from_u64(derive_seed(seed, &[g as u64]));
                 let dp = layout.deployment_point(g);
-                (0..group_size).map(|_| placement.sample(&mut rng, dp)).collect()
+                (0..group_size)
+                    .map(|_| placement.sample(&mut rng, dp))
+                    .collect()
             })
             .collect();
 
@@ -54,20 +56,32 @@ impl Network {
         }
 
         let index = Self::build_index(&knowledge, &nodes);
-        Self { knowledge, nodes, index }
+        Self {
+            knowledge,
+            nodes,
+            index,
+        }
     }
 
     /// Builds a network from pre-existing nodes (used by tests and by
     /// scenarios that need hand-crafted topologies).
     pub fn from_nodes(knowledge: Arc<DeploymentKnowledge>, nodes: Vec<SensorNode>) -> Self {
         let index = Self::build_index(&knowledge, &nodes);
-        Self { knowledge, nodes, index }
+        Self {
+            knowledge,
+            nodes,
+            index,
+        }
     }
 
     fn build_index(knowledge: &DeploymentKnowledge, nodes: &[SensorNode]) -> GridIndex {
         let points: Vec<Point2> = nodes.iter().map(|n| n.resident_point).collect();
         // Cell size = transmission range keeps range queries to a 3×3 block.
-        GridIndex::build(knowledge.config().area(), knowledge.range().max(1.0), &points)
+        GridIndex::build(
+            knowledge.config().area(),
+            knowledge.range().max(1.0),
+            &points,
+        )
     }
 
     /// The deployment knowledge the network was generated from.
@@ -114,11 +128,12 @@ impl Network {
     pub fn neighbors_of(&self, id: NodeId) -> Vec<NodeId> {
         let me = self.node(id);
         let mut out = Vec::new();
-        self.index.for_each_within(me.resident_point, self.range(), |i, _| {
-            if i != id.index() {
-                out.push(NodeId(i as u32));
-            }
-        });
+        self.index
+            .for_each_within(me.resident_point, self.range(), |i, _| {
+                if i != id.index() {
+                    out.push(NodeId(i as u32));
+                }
+            });
         out
     }
 
@@ -131,14 +146,20 @@ impl Network {
     /// its actual neighbours, assuming every neighbour truthfully broadcasts
     /// its group id.
     pub fn true_observation(&self, id: NodeId) -> Observation {
-        let groups = self.neighbors_of(id).into_iter().map(|n| self.node(n).group);
+        let groups = self
+            .neighbors_of(id)
+            .into_iter()
+            .map(|n| self.node(n).group);
         Observation::from_groups(self.group_count(), groups)
     }
 
     /// The observation that would be seen by a (hypothetical) sensor at
     /// `point` hearing every real node within range.
     pub fn observation_at(&self, point: Point2) -> Observation {
-        let groups = self.neighbors_at(point).into_iter().map(|n| self.node(n).group);
+        let groups = self
+            .neighbors_at(point)
+            .into_iter()
+            .map(|n| self.node(n).group);
         Observation::from_groups(self.group_count(), groups)
     }
 }
@@ -165,7 +186,9 @@ mod tests {
             assert_eq!(node.group.index(), i / cfg.group_size);
             assert_eq!(
                 node.deployment_point,
-                net.knowledge().layout().deployment_point(node.group.index())
+                net.knowledge()
+                    .layout()
+                    .deployment_point(node.group.index())
             );
         }
     }
@@ -241,6 +264,10 @@ mod tests {
         let net = small_network(6);
         let center = Point2::new(200.0, 200.0);
         let obs = net.observation_at(center);
-        assert!(obs.total() >= 12 && obs.total() <= 55, "interior count {}", obs.total());
+        assert!(
+            obs.total() >= 12 && obs.total() <= 55,
+            "interior count {}",
+            obs.total()
+        );
     }
 }

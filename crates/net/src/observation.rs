@@ -13,7 +13,9 @@ pub struct Observation {
 impl Observation {
     /// An all-zero observation over `group_count` groups.
     pub fn zeros(group_count: usize) -> Self {
-        Self { counts: vec![0; group_count] }
+        Self {
+            counts: vec![0; group_count],
+        }
     }
 
     /// Builds an observation from explicit per-group counts.

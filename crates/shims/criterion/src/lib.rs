@@ -1,0 +1,200 @@
+//! A minimal, API-compatible stand-in for the criterion benchmark harness.
+//!
+//! Provides `Criterion`, `BenchmarkGroup`, `Bencher`, `black_box` and the
+//! `criterion_group!` / `criterion_main!` macros. Each benchmark is warmed
+//! up, then timed adaptively until enough wall-clock time has accumulated for
+//! a stable per-iteration mean, which is printed in a criterion-like format:
+//!
+//! ```text
+//! kernels/diff_metric_score          time: 812 ns/iter  (615384 iterations)
+//! ```
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimiser from deleting benchmarked
+/// work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    /// Minimum measured wall-clock budget per benchmark.
+    measure_budget: Duration,
+    /// Optional substring filter taken from the command line.
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` forwards free args; honour the first one.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "--bench");
+        Self {
+            measure_budget: Duration::from_millis(300),
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: 10,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(name, &mut f, 10);
+        self
+    }
+
+    fn run_one<F>(&mut self, name: &str, f: &mut F, sample_size: usize)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            budget: self.measure_budget,
+            sample_size,
+            result: None,
+        };
+        f(&mut bencher);
+        match bencher.result {
+            Some(measurement) => {
+                println!(
+                    "{name:<48} time: {:>12}  ({} iterations)",
+                    format_ns(measurement.ns_per_iter),
+                    measurement.iterations
+                );
+            }
+            None => println!("{name:<48} (no measurement)"),
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measurement samples (accepted for API
+    /// compatibility; the shim times adaptively).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        let sample_size = self.sample_size;
+        self.criterion.run_one(&full, &mut f, sample_size);
+        self
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+struct Measurement {
+    ns_per_iter: f64,
+    iterations: u64,
+}
+
+/// Per-benchmark timing driver handed to the closure.
+pub struct Bencher {
+    budget: Duration,
+    sample_size: usize,
+    result: Option<Measurement>,
+}
+
+impl Bencher {
+    /// Times `f`, adaptively choosing an iteration count that fills the
+    /// measurement budget.
+    pub fn iter<R, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> R,
+    {
+        // Warm-up & calibration: find an iteration count that takes ≥ ~10 ms.
+        let mut calibration = 1u64;
+        let per_iter = loop {
+            let start = Instant::now();
+            for _ in 0..calibration {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(10) || calibration >= 1 << 30 {
+                break elapsed.as_nanos() as f64 / calibration as f64;
+            }
+            calibration *= 8;
+        };
+
+        // Measurement: enough iterations to fill the budget, floored by the
+        // requested sample size.
+        let budget_ns = self.budget.as_nanos() as f64;
+        let iterations = ((budget_ns / per_iter.max(1.0)).ceil() as u64)
+            .max(self.sample_size as u64)
+            .max(1);
+        let start = Instant::now();
+        for _ in 0..iterations {
+            black_box(f());
+        }
+        let elapsed = start.elapsed();
+        self.result = Some(Measurement {
+            ns_per_iter: elapsed.as_nanos() as f64 / iterations as f64,
+            iterations,
+        });
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns/iter")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs/iter", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms/iter", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s/iter", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

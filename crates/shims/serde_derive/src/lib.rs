@@ -1,0 +1,369 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the serde shim.
+//!
+//! Implemented directly on `proc_macro` token streams (no syn/quote in the
+//! offline build environment). Supports the shapes the workspace uses:
+//! non-generic named structs, tuple structs, unit structs, and enums with
+//! unit / tuple / struct variants, mirroring serde's externally-tagged
+//! representation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let ty = parse_type(input);
+    gen_serialize(&ty)
+        .parse()
+        .expect("serde_derive generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let ty = parse_type(input);
+    gen_deserialize(&ty)
+        .parse()
+        .expect("serde_derive generated invalid Deserialize impl")
+}
+
+// ---- input model -----------------------------------------------------------
+
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Shape {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct TypeDef {
+    name: String,
+    shape: Shape,
+}
+
+// ---- parsing ---------------------------------------------------------------
+
+fn parse_type(input: TokenStream) -> TypeDef {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+
+    skip_attrs_and_vis(&tokens, &mut pos);
+    let keyword = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    pos += 1;
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    pos += 1;
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim does not support generic type `{name}`");
+    }
+
+    let shape = match keyword.as_str() {
+        "struct" => Shape::Struct(parse_struct_fields(&tokens, &mut pos)),
+        "enum" => {
+            let body = match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde_derive: expected enum body, got {other:?}"),
+            };
+            Shape::Enum(parse_variants(body))
+        }
+        other => panic!("serde_derive: cannot derive for `{other}`"),
+    };
+    TypeDef { name, shape }
+}
+
+fn parse_struct_fields(tokens: &[TokenTree], pos: &mut usize) -> Fields {
+    match tokens.get(*pos) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Fields::Named(parse_named_fields(g.stream()))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Fields::Tuple(count_tuple_fields(g.stream()))
+        }
+        _ => Fields::Unit,
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        let Some(TokenTree::Ident(id)) = tokens.get(pos) else {
+            break;
+        };
+        fields.push(id.to_string());
+        pos += 1;
+        // Expect `:`, then skip the type up to the next top-level comma.
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => panic!("serde_derive: expected `:` after field name, got {other:?}"),
+        }
+        skip_type(&tokens, &mut pos);
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+    }
+    fields
+}
+
+/// Counts top-level comma-separated fields of a tuple struct / variant.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut pos = 0;
+    let mut count = 0;
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        count += 1;
+        skip_type(&tokens, &mut pos);
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        let Some(TokenTree::Ident(id)) = tokens.get(pos) else {
+            break;
+        };
+        let name = id.to_string();
+        pos += 1;
+        let fields = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) if present.
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            pos += 1;
+            while pos < tokens.len() {
+                if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+                    break;
+                }
+                pos += 1;
+            }
+        }
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+/// Skips outer attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+fn skip_attrs_and_vis(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 1;
+                if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *pos += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *pos += 1;
+                if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *pos += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Skips a type expression up to (not including) the next top-level comma,
+/// tracking angle-bracket depth so `BTreeMap<String, Vec<f64>>` stays whole.
+fn skip_type(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(tok) = tokens.get(*pos) {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return,
+            _ => {}
+        }
+        *pos += 1;
+    }
+}
+
+// ---- code generation -------------------------------------------------------
+
+fn gen_serialize(ty: &TypeDef) -> String {
+    let name = &ty.name;
+    let body = match &ty.shape {
+        Shape::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        Shape::Struct(Fields::Named(fields)) => ser_named("self.", fields),
+        Shape::Struct(Fields::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::Str(String::from(\"{vname}\")),"
+                        ),
+                        Fields::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let inner = ser_named_bound(fields);
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => ::serde::Value::Object(vec![(String::from(\"{vname}\"), {inner})]),"
+                            )
+                        }
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let inner = if *n == 1 {
+                                "::serde::Serialize::to_value(f0)".to_string()
+                            } else {
+                                let items: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                            };
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Object(vec![(String::from(\"{vname}\"), {inner})]),",
+                                binds.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n            fn to_value(&self) -> ::serde::Value {{ {body} }}\n        }}"
+    )
+}
+
+fn ser_named(prefix: &str, fields: &[String]) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| format!("(String::from(\"{f}\"), ::serde::Serialize::to_value(&{prefix}{f}))"))
+        .collect();
+    format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+}
+
+/// Like [`ser_named`] but over already-bound local names (enum struct arms).
+fn ser_named_bound(fields: &[String]) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| format!("(String::from(\"{f}\"), ::serde::Serialize::to_value({f}))"))
+        .collect();
+    format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+}
+
+fn gen_deserialize(ty: &TypeDef) -> String {
+    let name = &ty.name;
+    let body = match &ty.shape {
+        Shape::Struct(Fields::Unit) => format!("Ok({name})"),
+        Shape::Struct(Fields::Named(fields)) => de_named(name, &format!("{name} "), fields, "v"),
+        Shape::Struct(Fields::Tuple(1)) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Shape::Struct(Fields::Tuple(n)) => de_tuple(name, name, *n, "v"),
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| format!("\"{0}\" => Ok({name}::{0}),", v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| !matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    let vname = &v.name;
+                    let build = match &v.fields {
+                        Fields::Unit => unreachable!(),
+                        Fields::Named(fields) => {
+                            de_named(name, &format!("{name}::{vname} "), fields, "inner")
+                        }
+                        Fields::Tuple(1) => {
+                            format!("Ok({name}::{vname}(::serde::Deserialize::from_value(inner)?))")
+                        }
+                        Fields::Tuple(n) => {
+                            de_tuple(name, &format!("{name}::{vname}"), *n, "inner")
+                        }
+                    };
+                    format!("\"{vname}\" => {{ let inner = tag_value; {build} }}")
+                })
+                .collect();
+            format!(
+                "match v {{\n                ::serde::Value::Str(s) => match s.as_str() {{\n                    {unit}\n                    other => Err(::serde::Error::custom(format!(\"unknown variant `{{other}}` of {name}\"))),\n                }},\n                ::serde::Value::Object(entries) if entries.len() == 1 => {{\n                    let (tag, tag_value) = (&entries[0].0, &entries[0].1);\n                    match tag.as_str() {{\n                        {data}\n                        other => Err(::serde::Error::custom(format!(\"unknown variant `{{other}}` of {name}\"))),\n                    }}\n                }},\n                _ => Err(::serde::invalid_shape(\"{name}\", \"enum tag\")),\n            }}",
+                unit = unit_arms.join("\n                    "),
+                data = data_arms.join("\n                        "),
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n            fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{ {body} }}\n        }}"
+    )
+}
+
+fn de_named(ty_name: &str, constructor: &str, fields: &[String], source: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value({source}.get(\"{f}\").ok_or_else(|| ::serde::missing_field(\"{ty_name}\", \"{f}\"))?)?"
+            )
+        })
+        .collect();
+    format!(
+        "{{ if {source}.as_object().is_none() {{ return Err(::serde::invalid_shape(\"{ty_name}\", \"object\")); }} Ok({constructor}{{ {} }}) }}",
+        inits.join(", ")
+    )
+}
+
+fn de_tuple(ty_name: &str, constructor: &str, n: usize, source: &str) -> String {
+    let inits: Vec<String> = (0..n)
+        .map(|i| {
+            format!(
+                "::serde::Deserialize::from_value(items.get({i}).ok_or_else(|| ::serde::invalid_shape(\"{ty_name}\", \"array of {n}\"))?)?"
+            )
+        })
+        .collect();
+    format!(
+        "{{ let items = {source}.as_array().ok_or_else(|| ::serde::invalid_shape(\"{ty_name}\", \"array\"))?; Ok({constructor}({})) }}",
+        inits.join(", ")
+    )
+}

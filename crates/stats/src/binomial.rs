@@ -7,23 +7,36 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-/// Natural log of `n!`, computed via a cached table for small `n` and
-/// Stirling's series for large `n`.
-pub fn ln_factorial(n: u64) -> f64 {
-    // Exact table for the small values where Stirling is least accurate.
-    const TABLE_LEN: usize = 32;
-    if (n as usize) < TABLE_LEN {
+/// `ln n!` is precomputed up to the paper's maximum group size (m = 1000)
+/// plus headroom; the probability metric evaluates `ln C(m, k)` per group on
+/// the detection hot path, so this must be a plain lookup.
+pub const LN_FACTORIAL_TABLE_LEN: usize = 2048;
+
+/// The precomputed `ln n!` table for `n < 2048`, exposed so hot loops (the
+/// probability metric scans one binomial pmf per group per request) can hoist
+/// the table reference out of their inner loop.
+pub fn ln_factorial_table() -> &'static [f64; LN_FACTORIAL_TABLE_LEN] {
+    static TABLE: std::sync::OnceLock<[f64; LN_FACTORIAL_TABLE_LEN]> = std::sync::OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0.0f64; LN_FACTORIAL_TABLE_LEN];
         let mut acc = 0.0f64;
-        for k in 2..=n {
+        for (k, slot) in table.iter_mut().enumerate().skip(1) {
             acc += (k as f64).ln();
+            *slot = acc;
         }
-        return acc;
+        table
+    })
+}
+
+/// Natural log of `n!`, via a precomputed table for `n < 2048` and
+/// Stirling's series beyond it.
+pub fn ln_factorial(n: u64) -> f64 {
+    if (n as usize) < LN_FACTORIAL_TABLE_LEN {
+        return ln_factorial_table()[n as usize];
     }
     // Stirling's series with three correction terms (error < 1e-10 for n >= 32).
     let n = n as f64;
-    n * n.ln() - n
-        + 0.5 * (2.0 * std::f64::consts::PI * n).ln()
-        + 1.0 / (12.0 * n)
+    n * n.ln() - n + 0.5 * (2.0 * std::f64::consts::PI * n).ln() + 1.0 / (12.0 * n)
         - 1.0 / (360.0 * n.powi(3))
         + 1.0 / (1260.0 * n.powi(5))
 }
@@ -48,7 +61,10 @@ pub struct Binomial {
 impl Binomial {
     /// Creates the distribution, clamping `p` into `[0, 1]`.
     pub fn new(n: u64, p: f64) -> Self {
-        Self { n, p: p.clamp(0.0, 1.0) }
+        Self {
+            n,
+            p: p.clamp(0.0, 1.0),
+        }
     }
 
     /// Natural log of the pmf at `k`; `-inf` when `k > n` or the outcome is
@@ -63,9 +79,19 @@ impl Binomial {
         if self.p >= 1.0 {
             return if k == self.n { 0.0 } else { f64::NEG_INFINITY };
         }
-        ln_choose(self.n, k)
-            + k as f64 * self.p.ln()
-            + (self.n - k) as f64 * (1.0 - self.p).ln()
+        if k == 0 {
+            // ln Pr(X = 0) = n·ln(1 − p). This is the common case on the
+            // detection hot path (a sensor observes nobody from far-away
+            // groups), so avoid ln_choose entirely; for tiny p the two-term
+            // series for ln(1 − p) is exact to f64 precision.
+            let ln_q = if self.p < 1e-6 {
+                -self.p * (1.0 + 0.5 * self.p)
+            } else {
+                (1.0 - self.p).ln()
+            };
+            return self.n as f64 * ln_q;
+        }
+        ln_choose(self.n, k) + k as f64 * self.p.ln() + (self.n - k) as f64 * (1.0 - self.p).ln()
     }
 
     /// Probability mass at `k`.

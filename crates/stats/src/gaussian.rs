@@ -62,7 +62,11 @@ impl IsotropicGaussian2d {
     /// Creates the distribution; panics when `sigma` is not strictly positive.
     pub fn new(mean_x: f64, mean_y: f64, sigma: f64) -> Self {
         assert!(sigma > 0.0, "sigma must be positive");
-        Self { mean_x, mean_y, sigma }
+        Self {
+            mean_x,
+            mean_y,
+            sigma,
+        }
     }
 
     /// Probability density at `(x, y)`.

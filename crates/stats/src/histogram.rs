@@ -19,7 +19,14 @@ impl Histogram {
     pub fn new(min: f64, max: f64, bins: usize) -> Self {
         assert!(max > min, "histogram range must be non-empty");
         assert!(bins > 0, "histogram needs at least one bin");
-        Self { min, max, counts: vec![0; bins], underflow: 0, overflow: 0, total: 0 }
+        Self {
+            min,
+            max,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        }
     }
 
     /// Number of interior bins.
@@ -78,7 +85,12 @@ impl Histogram {
     pub fn normalized(&self) -> Vec<(f64, f64)> {
         let denom = self.total.max(1) as f64;
         (0..self.counts.len())
-            .map(|i| (self.bin_lower(i) + 0.5 * self.bin_width(), self.counts[i] as f64 / denom))
+            .map(|i| {
+                (
+                    self.bin_lower(i) + 0.5 * self.bin_width(),
+                    self.counts[i] as f64 / denom,
+                )
+            })
             .collect()
     }
 
@@ -143,7 +155,9 @@ mod tests {
         h.extend((0..10_000).map(|i| i as f64 / 10.0));
         let q90 = h.approximate_quantile(0.9).unwrap();
         assert!((q90 - 900.0).abs() <= 10.0 + 1e-9);
-        assert!(Histogram::new(0.0, 1.0, 2).approximate_quantile(0.5).is_none());
+        assert!(Histogram::new(0.0, 1.0, 2)
+            .approximate_quantile(0.5)
+            .is_none());
     }
 
     proptest! {

@@ -9,7 +9,7 @@ pub fn simpson<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, n: usize) -> f64 {
     if n == 0 || a == b {
         return 0.0;
     }
-    let n = if n % 2 == 0 { n } else { n + 1 };
+    let n = if n.is_multiple_of(2) { n } else { n + 1 };
     let h = (b - a) / n as f64;
     let mut sum = f(a) + f(b);
     for i in 1..n {
@@ -120,10 +120,10 @@ mod tests {
     #[test]
     fn odd_n_is_rounded_up_and_zero_width_is_zero() {
         let f = |x: f64| x;
-        assert!((simpson(&f, 0.0, 2.0, 3) - 2.0).abs() < 1e-12);
-        assert_eq!(simpson(&f, 1.0, 1.0, 100), 0.0);
-        assert_eq!(trapezoid(&f, 1.0, 1.0, 100), 0.0);
-        assert_eq!(simpson(&f, 0.0, 1.0, 0), 0.0);
+        assert!((simpson(f, 0.0, 2.0, 3) - 2.0).abs() < 1e-12);
+        assert_eq!(simpson(f, 1.0, 1.0, 100), 0.0);
+        assert_eq!(trapezoid(f, 1.0, 1.0, 100), 0.0);
+        assert_eq!(simpson(f, 0.0, 1.0, 0), 0.0);
     }
 
     #[test]

@@ -13,7 +13,10 @@ pub fn quantile(samples: &[f64], q: f64) -> Option<f64> {
     if samples.is_empty() {
         return None;
     }
-    assert!((0.0..=1.0).contains(&q), "quantile fraction must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&q),
+        "quantile fraction must be in [0, 1]"
+    );
     let mut sorted: Vec<f64> = samples.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
     Some(quantile_sorted(&sorted, q))
@@ -22,7 +25,10 @@ pub fn quantile(samples: &[f64], q: f64) -> Option<f64> {
 /// Like [`quantile`] but assumes `sorted` is already ascending (no copy).
 pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
     assert!(!sorted.is_empty(), "quantile of empty slice");
-    assert!((0.0..=1.0).contains(&q), "quantile fraction must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&q),
+        "quantile fraction must be in [0, 1]"
+    );
     if sorted.len() == 1 {
         return sorted[0];
     }

@@ -97,7 +97,11 @@ mod tests {
         let mean = samples.iter().sum::<f64>() / n as f64;
         let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
         assert!((mean - d.mean()).abs() < 1.0, "mean {mean} vs {}", d.mean());
-        assert!((var - d.variance()).abs() < 30.0, "var {var} vs {}", d.variance());
+        assert!(
+            (var - d.variance()).abs() < 30.0,
+            "var {var} vs {}",
+            d.variance()
+        );
     }
 
     #[test]

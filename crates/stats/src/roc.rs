@@ -40,7 +40,10 @@ impl RocCurve {
     /// always include the trivial `(0, ·)` and `(1, 1)` endpoints.
     pub fn from_scores(normal_scores: &[f64], anomaly_scores: &[f64]) -> Self {
         assert!(!normal_scores.is_empty(), "need at least one normal score");
-        assert!(!anomaly_scores.is_empty(), "need at least one anomaly score");
+        assert!(
+            !anomaly_scores.is_empty(),
+            "need at least one anomaly score"
+        );
 
         let mut normal: Vec<f64> = normal_scores.to_vec();
         let mut anomaly: Vec<f64> = anomaly_scores.to_vec();
@@ -135,7 +138,7 @@ mod tests {
         assert!((roc.auc() - 1.0).abs() < 1e-9);
         assert_eq!(roc.detection_rate_at_fp(0.0), 1.0);
         let thr = roc.threshold_at_fp(0.0).unwrap();
-        assert!(thr >= 3.0 && thr < 10.0);
+        assert!((3.0..10.0).contains(&thr));
     }
 
     #[test]

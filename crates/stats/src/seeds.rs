@@ -53,7 +53,9 @@ impl SeedSequence {
 
     /// A child sequence rooted at the derived seed for `index`.
     pub fn child(&self, index: u64) -> SeedSequence {
-        SeedSequence { master: self.seed_for(&[index]) }
+        SeedSequence {
+            master: self.seed_for(&[index]),
+        }
     }
 }
 

@@ -18,30 +18,39 @@ use rand_chacha::ChaCha8Rng;
 
 fn main() {
     // Paper-scale deployment: 10 × 10 groups of 300 sensors over 1 km².
+    // Fit the detection engine once, before the mission; the simulated
+    // network shares the engine's deployment knowledge.
     let config = DeploymentConfig::paper_default();
-    let knowledge = DeploymentKnowledge::shared(&config);
-    let network = Network::generate(knowledge.clone(), 2024);
+    let engine = LadEngine::builder()
+        .deployment(&config)
+        .training(TrainingConfig {
+            networks: 2,
+            samples_per_network: 200,
+            seed: 11,
+            ..TrainingConfig::default()
+        })
+        .metric(MetricKind::Diff)
+        .tau(0.99)
+        .build()
+        .expect("engine fits");
+    let network = Network::generate(engine.knowledge().clone(), 2024);
     println!(
         "battlefield deployment: {} sensors over {:.0} m x {:.0} m",
         network.node_count(),
         config.area_side,
         config.area_side
     );
-
-    // Train LAD once, before the mission.
-    let trained = Trainer::new(TrainingConfig {
-        networks: 2,
-        samples_per_network: 200,
-        seed: 11,
-        ..TrainingConfig::default()
-    })
-    .train(&knowledge);
-    let detector = trained.detector(MetricKind::Diff, 0.99);
-    println!("Diff-metric threshold (tau = 99%): {:.1}", detector.threshold());
+    println!(
+        "Diff-metric threshold (tau = 99%): {:.1}",
+        engine.thresholds()[0]
+    );
 
     // The adversary misleads 200 sensors; the damage it aims for varies.
     let mut rng = ChaCha8Rng::seed_from_u64(5);
-    println!("\n{:>10} {:>12} {:>12} {:>14}", "damage D", "victims", "detected", "detection rate");
+    println!(
+        "\n{:>10} {:>12} {:>12} {:>14}",
+        "damage D", "victims", "detected", "detection rate"
+    );
     for &damage in &[40.0, 80.0, 120.0, 160.0, 200.0] {
         let attack = AttackConfig {
             degree_of_damage: damage,
@@ -50,15 +59,20 @@ fn main() {
             targeted_metric: MetricKind::Diff,
         };
         let victims: Vec<NodeId> = (0..200u32).map(|i| NodeId(i * 149)).collect();
-        let mut detected = 0usize;
-        for &victim in &victims {
-            let outcome = simulate_attack(&network, victim, &attack, &mut rng);
-            let verdict =
-                detector.detect(&knowledge, &outcome.tainted_observation, outcome.forged_location);
-            if verdict.anomalous {
-                detected += 1;
-            }
-        }
+        // Simulate the attacks, then verify the whole wave in one batched
+        // engine pass.
+        let requests: Vec<DetectionRequest> = victims
+            .iter()
+            .map(|&victim| {
+                let outcome = simulate_attack(&network, victim, &attack, &mut rng);
+                DetectionRequest::new(outcome.tainted_observation, outcome.forged_location)
+            })
+            .collect();
+        let detected = engine
+            .verify_batch(&requests)
+            .iter()
+            .filter(|v| v.anomalous)
+            .count();
         println!(
             "{:>10.0} {:>12} {:>12} {:>13.1}%",
             damage,

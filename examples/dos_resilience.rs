@@ -15,22 +15,24 @@ use lad::prelude::*;
 
 fn main() {
     let config = DeploymentConfig::small_test();
-    let knowledge = DeploymentKnowledge::shared(&config);
+    let engine = LadEngine::builder()
+        .deployment(&config)
+        .training(TrainingConfig {
+            networks: 3,
+            samples_per_network: 150,
+            seed: 13,
+            ..TrainingConfig::default()
+        })
+        .metric(MetricKind::Diff)
+        .tau(0.99)
+        .build()
+        .expect("engine fits");
+    let knowledge = engine.knowledge().clone();
     let network = Network::generate(knowledge.clone(), 77);
-
-    let trained = Trainer::new(TrainingConfig {
-        networks: 3,
-        samples_per_network: 150,
-        seed: 13,
-        ..TrainingConfig::default()
-    })
-    .train(&knowledge);
-    let detector = trained.detector(MetricKind::Diff, 0.99);
-    let localizer = BeaconlessMle::new();
 
     println!(
         "Diff threshold = {:.1}; measuring false-alarm rate on honest sensors under DoS\n",
-        detector.threshold()
+        engine.thresholds()[0]
     );
     println!(
         "{:>12} {:>18} {:>22} {:>22}",
@@ -43,7 +45,9 @@ fn main() {
         let mut usable = 0usize;
         for &victim in &victims {
             let clean = network.true_observation(victim);
-            let Some(estimate) = localizer.estimate(&knowledge, &clean) else { continue };
+            let Some(estimate) = engine.localizer().estimate(&knowledge, &clean) else {
+                continue;
+            };
             usable += 1;
             let mu = knowledge.expected_observation(estimate);
             let budget = (clean.total() as f64 * fraction).round() as usize;
@@ -60,7 +64,7 @@ fn main() {
                     forged,
                     knowledge.group_size(),
                 );
-                if detector.detect(&knowledge, &tainted, estimate).anomalous {
+                if engine.verify(&tainted, estimate).anomalous {
                     fp[idx] += 1;
                 }
             }

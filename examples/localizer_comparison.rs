@@ -34,20 +34,35 @@ fn main() {
         "{:>16} {:>12} {:>12} {:>14} {:>20}",
         "scheme", "localized", "mean err", "max err", "Diff 99% threshold"
     );
+    // A score-only engine: LAD is localization-agnostic, so the same engine
+    // scores estimates produced by any scheme (one batched pass per scheme).
+    let scorer = LadEngine::builder()
+        .deployment(&config)
+        .metric(MetricKind::Diff)
+        .score_only()
+        .build()
+        .expect("engine builds");
     for scheme in schemes {
         // Baseline localization accuracy.
         let report = evaluate_strided(scheme, &network, 7);
 
         // The clean Diff-score distribution LAD would train on for this scheme.
-        let mut clean_scores = Vec::new();
-        for i in (0..network.node_count()).step_by(7) {
-            let id = NodeId(i as u32);
-            if let Some(estimate) = scheme.localize(&network, id) {
-                let obs = network.true_observation(id);
-                let mu = knowledge.expected_observation(estimate);
-                clean_scores.push(DiffMetric.score(&obs, &mu, knowledge.group_size()));
-            }
-        }
+        let requests: Vec<DetectionRequest> = (0..network.node_count())
+            .step_by(7)
+            .filter_map(|i| {
+                let id = NodeId(i as u32);
+                let estimate = scheme.localize(&network, id)?;
+                Some(DetectionRequest::new(
+                    network.true_observation(id),
+                    estimate,
+                ))
+            })
+            .collect();
+        let clean_scores: Vec<f64> = scorer
+            .score_batch(&requests)
+            .into_iter()
+            .map(|s| s[0])
+            .collect();
         let threshold = percentile::tau_threshold(&clean_scores, 0.99).unwrap_or(f64::NAN);
         println!(
             "{:>16} {:>12} {:>11.1}m {:>13.1}m {:>20.1}",

@@ -1,5 +1,6 @@
-//! Quickstart: deploy a sensor network, train LAD, and detect a forged
-//! location.
+//! Quickstart: deploy a sensor network, fit a `LadEngine`, and detect a
+//! forged location — including a batched verification pass and an artifact
+//! round trip.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -13,7 +14,6 @@ fn main() {
     //    range 40 m. (The paper's full-scale setup is
     //    `DeploymentConfig::paper_default()`: 1000 m, 10 × 10 groups of 300.)
     let config = DeploymentConfig::small_test();
-    let knowledge = DeploymentKnowledge::shared(&config);
     println!(
         "deployment: {} groups x {} nodes, sigma = {} m, R = {} m",
         config.group_count(),
@@ -22,35 +22,54 @@ fn main() {
         config.range
     );
 
-    // 2. Simulate a deployment and let every sensor hear its neighbours.
-    let network = Network::generate(knowledge.clone(), 42);
-    println!("simulated {} sensors", network.node_count());
-
-    // 3. Train the LAD thresholds on clean simulated deployments
-    //    (tau = 99th percentile of the clean Diff-metric distribution).
-    let trainer = Trainer::new(TrainingConfig { networks: 3, samples_per_network: 150, seed: 7, ..TrainingConfig::default() });
-    let trained = trainer.train(&knowledge);
-    let detector = trained.detector(MetricKind::Diff, 0.99);
+    // 2. Fit the detection engine offline: all three paper metrics, trained
+    //    at the 99th percentile of the clean score distributions.
+    let engine = LadEngine::builder()
+        .deployment(&config)
+        .training(TrainingConfig {
+            networks: 3,
+            samples_per_network: 150,
+            seed: 7,
+            ..TrainingConfig::default()
+        })
+        .metrics(&MetricKind::ALL)
+        .tau(0.99)
+        .build()
+        .expect("engine fits");
     println!(
-        "trained Diff-metric detector, threshold = {:.1} ({} clean samples)",
-        detector.threshold(),
-        trained.sample_count(MetricKind::Diff)
+        "fitted engine: metrics {:?}, thresholds {:?}",
+        engine
+            .metrics()
+            .iter()
+            .map(|m| m.name())
+            .collect::<Vec<_>>(),
+        engine
+            .thresholds()
+            .iter()
+            .map(|t| (t * 10.0).round() / 10.0)
+            .collect::<Vec<_>>()
     );
 
-    // 4. An honest sensor localizes itself with the beaconless scheme and
-    //    checks its own estimate: no alarm.
+    // 3. Simulate a deployment and let every sensor hear its neighbours.
+    let network = Network::generate(engine.knowledge().clone(), 42);
+    println!("simulated {} sensors", network.node_count());
+
+    // 4. An honest sensor localizes itself (the engine's pluggable scheme —
+    //    beaconless MLE by default) and verifies its own estimate: no alarm.
     let victim = NodeId(123);
-    let localizer = BeaconlessMle::new();
-    let clean_obs = network.true_observation(victim);
-    let honest_estimate = localizer.estimate(&knowledge, &clean_obs).expect("node has neighbours");
-    let honest_verdict = detector.detect(&knowledge, &clean_obs, honest_estimate);
+    let (honest_estimate, honest) = engine
+        .localize_and_verify(&network, victim)
+        .expect("node has neighbours");
     println!(
-        "honest estimate at ({:.0}, {:.0}): score {:.1} vs threshold {:.1} -> {}",
+        "honest estimate at ({:.0}, {:.0}): {} (worst score/threshold ratio {:.2})",
         honest_estimate.x,
         honest_estimate.y,
-        honest_verdict.score,
-        honest_verdict.threshold,
-        if honest_verdict.anomalous { "ALARM" } else { "ok" }
+        if honest.anomalous { "ALARM" } else { "ok" },
+        honest
+            .verdicts
+            .iter()
+            .map(|v| v.score / v.threshold)
+            .fold(0.0f64, f64::max)
     );
 
     // 5. Now an adversary forges the victim's location 150 m away and taints
@@ -65,12 +84,46 @@ fn main() {
         targeted_metric: MetricKind::Diff,
     };
     let outcome = simulate_attack(&network, victim, &attack, &mut rng);
-    let verdict = detector.detect(&knowledge, &outcome.tainted_observation, outcome.forged_location);
+    let verdict = engine.verify(&outcome.tainted_observation, outcome.forged_location);
     println!(
-        "forged location {:.0} m away: score {:.1} vs threshold {:.1} -> {}",
+        "forged location {:.0} m away: {} ({} of {} metrics over threshold)",
         outcome.localization_error(),
-        verdict.score,
-        verdict.threshold,
-        if verdict.anomalous { "ALARM (attack detected)" } else { "missed" }
+        if verdict.anomalous {
+            "ALARM (attack detected)"
+        } else {
+            "missed"
+        },
+        verdict.verdicts.iter().filter(|v| v.anomalous).count(),
+        verdict.verdicts.len(),
+    );
+
+    // 6. Batch verification is the production path: µ(L_e) is computed once
+    //    per estimate and shared by all three metrics, and the batch fans
+    //    out over worker threads.
+    let requests: Vec<DetectionRequest> = (0..network.node_count() as u32)
+        .step_by(5)
+        .filter_map(|i| {
+            let node = NodeId(i);
+            let obs = network.true_observation(node);
+            let estimate = engine.localizer().estimate(engine.knowledge(), &obs)?;
+            Some(DetectionRequest::new(obs, estimate))
+        })
+        .collect();
+    let verdicts = engine.verify_batch(&requests);
+    let alarms = verdicts.iter().filter(|v| v.anomalous).count();
+    println!(
+        "batch-verified {} honest sensors: {} alarms ({:.1}% clean false-positive rate)",
+        verdicts.len(),
+        alarms,
+        100.0 * alarms as f64 / verdicts.len() as f64
+    );
+
+    // 7. The fitted engine ships to sensors as a versioned JSON artifact.
+    let artifact = engine.to_json();
+    let restored = LadEngine::from_json(&artifact).expect("artifact loads");
+    assert_eq!(restored.thresholds(), engine.thresholds());
+    println!(
+        "artifact round trip ok ({} bytes, version 1)",
+        artifact.len()
     );
 }

@@ -56,14 +56,16 @@ fn greedy_taint_is_at_least_as_good_as_no_taint_for_the_attacker() {
     let attack_base = AttackConfig::paper_default(120.0);
     for metric in MetricKind::ALL {
         let scorer = metric.metric();
-        let attack = AttackConfig { targeted_metric: metric, ..attack_base };
+        let attack = AttackConfig {
+            targeted_metric: metric,
+            ..attack_base
+        };
         for victim_idx in [10u32, 200, 450] {
             let outcome = simulate_attack(&network, NodeId(victim_idx), &attack, &mut rng);
             let mu = knowledge.expected_observation(outcome.forged_location);
             let tainted_score =
                 scorer.score(&outcome.tainted_observation, &mu, knowledge.group_size());
-            let clean_score =
-                scorer.score(&outcome.clean_observation, &mu, knowledge.group_size());
+            let clean_score = scorer.score(&outcome.clean_observation, &mu, knowledge.group_size());
             assert!(
                 tainted_score <= clean_score + 1e-9,
                 "greedy taint made the attacker worse off for {:?}",

@@ -1,34 +1,33 @@
 //! End-to-end integration test: deploy → localize → train → attack → detect,
-//! exercising the public API the way a downstream user would.
+//! exercising the public `LadEngine` API the way a downstream user would.
 
 use lad::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-fn trained_setup(
-    seed: u64,
-) -> (std::sync::Arc<DeploymentKnowledge>, Network, TrainedThresholds) {
+fn engine_setup(seed: u64, metrics: &[MetricKind]) -> (LadEngine, Network) {
     // The paper-scale deployment (10×10 groups of 300, σ = 50): the headline
     // detection-rate claims of §7 are tied to this density, so the
     // integration tests exercise it directly.
-    let config = DeploymentConfig::paper_default();
-    let knowledge = DeploymentKnowledge::shared(&config);
-    let network = Network::generate(knowledge.clone(), seed);
-    let trained = Trainer::new(TrainingConfig {
-        networks: 2,
-        samples_per_network: 120,
-        seed: seed ^ 0xABCD,
-        ..TrainingConfig::default()
-    })
-    .train(&knowledge);
-    (knowledge, network, trained)
+    let engine = LadEngine::builder()
+        .deployment(&DeploymentConfig::paper_default())
+        .training(TrainingConfig {
+            networks: 2,
+            samples_per_network: 120,
+            seed: seed ^ 0xABCD,
+            ..TrainingConfig::default()
+        })
+        .metrics(metrics)
+        .tau(0.99)
+        .build()
+        .expect("engine fits");
+    let network = Network::generate(engine.knowledge().clone(), seed);
+    (engine, network)
 }
 
 #[test]
 fn large_damage_attacks_are_detected_and_honest_nodes_pass() {
-    let (knowledge, network, trained) = trained_setup(100);
-    let detector = trained.detector(MetricKind::Diff, 0.99);
-    let localizer = BeaconlessMle::new();
+    let (engine, network) = engine_setup(100, &[MetricKind::Diff]);
     let mut rng = ChaCha8Rng::seed_from_u64(1);
 
     let attack = AttackConfig {
@@ -38,44 +37,52 @@ fn large_damage_attacks_are_detected_and_honest_nodes_pass() {
         targeted_metric: MetricKind::Diff,
     };
 
-    let mut honest_alarms = 0usize;
-    let mut attacks_detected = 0usize;
-    let mut honest_total = 0usize;
-    let mut attack_total = 0usize;
+    // Honest path: one batched verification over localized nodes.
+    let sampled: Vec<NodeId> = (0..network.node_count())
+        .step_by(37)
+        .map(|i| NodeId(i as u32))
+        .collect();
+    let honest_requests: Vec<DetectionRequest> = sampled
+        .iter()
+        .zip(engine.localize_batch(&network, &sampled))
+        .filter_map(|(&id, estimate)| {
+            Some(DetectionRequest::new(
+                network.true_observation(id),
+                estimate?,
+            ))
+        })
+        .collect();
+    let honest_verdicts = engine.verify_batch(&honest_requests);
+    let honest_alarms = honest_verdicts.iter().filter(|v| v.anomalous).count();
 
-    for i in (0..network.node_count()).step_by(37) {
-        let id = NodeId(i as u32);
-        let clean = network.true_observation(id);
-        // Honest path.
-        if let Some(estimate) = localizer.estimate(&knowledge, &clean) {
-            honest_total += 1;
-            if detector.detect(&knowledge, &clean, estimate).anomalous {
-                honest_alarms += 1;
-            }
-        }
-        // Attacked path.
-        let outcome = simulate_attack(&network, id, &attack, &mut rng);
-        attack_total += 1;
-        if detector
-            .detect(&knowledge, &outcome.tainted_observation, outcome.forged_location)
-            .anomalous
-        {
-            attacks_detected += 1;
-        }
-    }
+    // Attacked path: simulate the attack wave, then verify it in one batch.
+    let attacked_requests: Vec<DetectionRequest> = sampled
+        .iter()
+        .map(|&id| {
+            let outcome = simulate_attack(&network, id, &attack, &mut rng);
+            DetectionRequest::new(outcome.tainted_observation, outcome.forged_location)
+        })
+        .collect();
+    let attacks_detected = engine
+        .verify_batch(&attacked_requests)
+        .iter()
+        .filter(|v| v.anomalous)
+        .count();
 
-    let fp = honest_alarms as f64 / honest_total as f64;
-    let dr = attacks_detected as f64 / attack_total as f64;
-    assert!(honest_total > 80 && attack_total > 80);
+    let fp = honest_alarms as f64 / honest_verdicts.len() as f64;
+    let dr = attacks_detected as f64 / attacked_requests.len() as f64;
+    assert!(honest_verdicts.len() > 80 && attacked_requests.len() > 80);
     assert!(fp < 0.10, "honest false-positive rate too high: {fp}");
     assert!(dr > 0.85, "detection rate for D=160 too low: {dr}");
-    assert!(dr > fp, "detector must separate attacks from honest traffic");
+    assert!(
+        dr > fp,
+        "detector must separate attacks from honest traffic"
+    );
 }
 
 #[test]
 fn detection_rate_grows_with_degree_of_damage() {
-    let (knowledge, network, trained) = trained_setup(200);
-    let detector = trained.detector(MetricKind::Diff, 0.99);
+    let (engine, network) = engine_setup(200, &[MetricKind::Diff]);
     let mut rng = ChaCha8Rng::seed_from_u64(2);
 
     let mut rates = Vec::new();
@@ -87,16 +94,19 @@ fn detection_rate_grows_with_degree_of_damage() {
             targeted_metric: MetricKind::Diff,
         };
         let total = 150usize;
-        let detected = (0..total)
-            .filter(|i| {
+        let requests: Vec<DetectionRequest> = (0..total)
+            .map(|i| {
                 // Stride across the whole id space so victims come from every
                 // deployment group, not just the corner ones.
                 let victim = NodeId((i * 199) as u32);
                 let outcome = simulate_attack(&network, victim, &attack, &mut rng);
-                detector
-                    .detect(&knowledge, &outcome.tainted_observation, outcome.forged_location)
-                    .anomalous
+                DetectionRequest::new(outcome.tainted_observation, outcome.forged_location)
             })
+            .collect();
+        let detected = engine
+            .verify_batch(&requests)
+            .iter()
+            .filter(|v| v.anomalous)
             .count();
         rates.push(detected as f64 / total as f64);
     }
@@ -109,11 +119,12 @@ fn detection_rate_grows_with_degree_of_damage() {
 
 #[test]
 fn all_three_metrics_detect_gross_anomalies() {
-    let (knowledge, network, trained) = trained_setup(300);
+    // One engine, all three metrics: each request is verified against every
+    // metric in a single pass (µ computed once per estimate).
+    let (engine, network) = engine_setup(300, &MetricKind::ALL);
     let mut rng = ChaCha8Rng::seed_from_u64(3);
     let victim = NodeId(321);
     for metric in MetricKind::ALL {
-        let detector = trained.detector(metric, 0.99);
         let attack = AttackConfig {
             degree_of_damage: 200.0,
             compromised_fraction: 0.05,
@@ -122,14 +133,17 @@ fn all_three_metrics_detect_gross_anomalies() {
         };
         // A gross anomaly should be flagged for a clear majority of trials
         // (different victims and forged directions) for every metric.
-        let detected = (0..30u32)
-            .filter(|&k| {
+        let requests: Vec<DetectionRequest> = (0..30u32)
+            .map(|k| {
                 let outcome =
                     simulate_attack(&network, NodeId(victim.0 + k * 131), &attack, &mut rng);
-                detector
-                    .detect(&knowledge, &outcome.tainted_observation, outcome.forged_location)
-                    .anomalous
+                DetectionRequest::new(outcome.tainted_observation, outcome.forged_location)
             })
+            .collect();
+        let detected = engine
+            .verify_batch(&requests)
+            .iter()
+            .filter(|v| v.verdict(metric).expect("metric is configured").anomalous)
             .count();
         assert!(
             detected >= 21,

@@ -31,12 +31,23 @@ fn all_experiments_produce_saveable_reports() {
     for report in &reports {
         assert!(!report.series.is_empty(), "{} has no series", report.id);
         for series in &report.series {
-            assert!(!series.points.is_empty(), "{}/{} empty", report.id, series.label);
+            assert!(
+                !series.points.is_empty(),
+                "{}/{} empty",
+                report.id,
+                series.label
+            );
             for (x, y) in &series.points {
-                assert!(x.is_finite() && y.is_finite(), "{} has non-finite point", report.id);
+                assert!(
+                    x.is_finite() && y.is_finite(),
+                    "{} has non-finite point",
+                    report.id
+                );
             }
         }
-        report.save(&dir).expect("experiment artefacts can be written");
+        report
+            .save(&dir)
+            .expect("experiment artefacts can be written");
         assert!(dir.join(format!("{}.csv", report.id)).exists());
     }
     let _ = std::fs::remove_dir_all(&dir);
@@ -47,23 +58,22 @@ fn headline_claims_of_the_paper_hold_on_the_reduced_setup() {
     let ctx = context();
 
     // Claim 1 (§7.6): detection rate approaches 1 as the degree of damage grows.
-    let dr_small =
-        ctx.detection_rate(MetricKind::Diff, AttackClass::DecBounded, 40.0, 0.10, 0.05);
-    let dr_large =
-        ctx.detection_rate(MetricKind::Diff, AttackClass::DecBounded, 160.0, 0.10, 0.05);
+    let dr_small = ctx.detection_rate(MetricKind::Diff, AttackClass::DecBounded, 40.0, 0.10, 0.05);
+    let dr_large = ctx.detection_rate(MetricKind::Diff, AttackClass::DecBounded, 160.0, 0.10, 0.05);
     assert!(dr_large >= dr_small);
     assert!(dr_large > 0.8, "DR at D=160 is only {dr_large}");
 
     // Claim 2 (§7.5): Dec-Only attacks are easier to detect than Dec-Bounded
     // attacks at small D, and the two converge at large D.
-    let small_gap = ctx
-        .detection_rate(MetricKind::Diff, AttackClass::DecOnly, 40.0, 0.10, 0.10)
+    let small_gap = ctx.detection_rate(MetricKind::Diff, AttackClass::DecOnly, 40.0, 0.10, 0.10)
         - ctx.detection_rate(MetricKind::Diff, AttackClass::DecBounded, 40.0, 0.10, 0.10);
-    let large_gap = ctx
-        .detection_rate(MetricKind::Diff, AttackClass::DecOnly, 160.0, 0.10, 0.10)
+    let large_gap = ctx.detection_rate(MetricKind::Diff, AttackClass::DecOnly, 160.0, 0.10, 0.10)
         - ctx.detection_rate(MetricKind::Diff, AttackClass::DecBounded, 160.0, 0.10, 0.10);
     assert!(small_gap >= -0.05, "Dec-Only should not be harder at D=40");
-    assert!(large_gap <= small_gap + 0.1, "classes should converge as D grows");
+    assert!(
+        large_gap <= small_gap + 0.1,
+        "classes should converge as D grows"
+    );
 
     // Claim 3 (§7.7): higher damage tolerates more node compromise.
     let dr_d160_x50 =

@@ -29,7 +29,11 @@ fn thresholds_are_monotone_in_tau_and_bound_training_fp() {
             prev = thr;
             let fp = trained.training_fp(metric, thr).unwrap();
             let slack = 1.0 / trained.sample_count(metric) as f64 + 1e-9;
-            assert!(fp <= (1.0 - tau) + slack, "training FP {fp} exceeds 1 - tau for {:?}", metric);
+            assert!(
+                fp <= (1.0 - tau) + slack,
+                "training FP {fp} exceeds 1 - tau for {:?}",
+                metric
+            );
         }
     }
 }
