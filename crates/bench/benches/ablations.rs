@@ -1,31 +1,36 @@
-//! Ablation benches: the g(z) lookup-table size sweep (DESIGN.md E9) and the
-//! localization-scheme independence ablation (E10).
+//! Ablation benches: the g(z) lookup-table size sweep (DESIGN.md E9), the
+//! localization-scheme independence ablation (E10) and the model-mismatch
+//! study (E11).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use lad_bench::{bench_config, bench_context};
+use lad_bench::{bench_cache, bench_config, bench_substrate};
 use lad_deployment::GzTable;
 use lad_eval::experiments::{ablation_gz_table, ablation_localizers, ablation_model_mismatch};
 
 fn bench_ablations(c: &mut Criterion) {
-    let ctx = bench_context();
+    let base = bench_config();
+    let cache = bench_cache();
+    let substrate = bench_substrate(&cache);
 
-    for note in ablation_gz_table(&ctx)
+    for note in ablation_gz_table(&substrate)
         .notes
         .iter()
-        .chain(ablation_localizers(&ctx).notes.iter())
-        .chain(ablation_model_mismatch(&bench_config()).notes.iter())
+        .chain(ablation_localizers(&base, &cache).notes.iter())
+        .chain(ablation_model_mismatch(&base, &cache).notes.iter())
     {
         println!("[ablation] {note}");
     }
 
     let mut group = c.benchmark_group("ablations");
     group.sample_size(10);
-    group.bench_function("gz_table_sweep", |b| b.iter(|| ablation_gz_table(&ctx)));
+    group.bench_function("gz_table_sweep", |b| {
+        b.iter(|| ablation_gz_table(&substrate))
+    });
     group.bench_function("localizer_comparison", |b| {
-        b.iter(|| ablation_localizers(&ctx))
+        b.iter(|| ablation_localizers(&base, &cache))
     });
     group.bench_function("model_mismatch", |b| {
-        b.iter(|| ablation_model_mismatch(&bench_config()))
+        b.iter(|| ablation_model_mismatch(&base, &cache))
     });
     group.bench_function("gz_table_build_omega256", |b| {
         b.iter(|| GzTable::build(40.0, 50.0, 256))

@@ -1,18 +1,19 @@
 //! Figures 1–3 bench: the deployment substrate and the attack showcase.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use lad_bench::bench_context;
+use lad_bench::{bench_cache, bench_substrate};
 use lad_deployment::{DeploymentConfig, DeploymentKnowledge};
 use lad_eval::experiments::{attack_showcase, deployment_figures};
 use lad_net::Network;
 
 fn bench_fig1_3(c: &mut Criterion) {
-    let ctx = bench_context();
+    let cache = bench_cache();
+    let substrate = bench_substrate(&cache);
 
-    for note in deployment_figures(&ctx)
+    for note in deployment_figures(&substrate)
         .notes
         .iter()
-        .chain(attack_showcase(&ctx).notes.iter())
+        .chain(attack_showcase(&substrate).notes.iter())
     {
         println!("[fig1-3] {note}");
     }
@@ -20,9 +21,11 @@ fn bench_fig1_3(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig1_3_substrate");
     group.sample_size(10);
     group.bench_function("fig1_2_deployment_figures", |b| {
-        b.iter(|| deployment_figures(&ctx))
+        b.iter(|| deployment_figures(&substrate))
     });
-    group.bench_function("fig3_attack_showcase", |b| b.iter(|| attack_showcase(&ctx)));
+    group.bench_function("fig3_attack_showcase", |b| {
+        b.iter(|| attack_showcase(&substrate))
+    });
     group.bench_function("network_generation_small_test", |b| {
         let knowledge = DeploymentKnowledge::shared(&DeploymentConfig::small_test());
         let mut seed = 0u64;

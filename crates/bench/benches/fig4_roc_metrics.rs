@@ -5,22 +5,26 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use lad_attack::AttackClass;
-use lad_bench::bench_context;
+use lad_bench::{bench_cache, bench_config, bench_context};
 use lad_core::MetricKind;
 use lad_eval::experiments::fig4_roc_metrics;
 
 fn bench_fig4(c: &mut Criterion) {
-    let ctx = bench_context();
+    let base = bench_config();
+    let cache = bench_cache();
 
     // Print the reproduced headline rows once, outside the measurement loop.
-    let report = fig4_roc_metrics(&ctx);
+    let report = fig4_roc_metrics(&base, &cache);
     for note in &report.notes {
         println!("[fig4] {note}");
     }
 
     let mut group = c.benchmark_group("fig4_roc_metrics");
     group.sample_size(10);
-    group.bench_function("full_figure", |b| b.iter(|| fig4_roc_metrics(&ctx)));
+    group.bench_function("full_figure", |b| {
+        b.iter(|| fig4_roc_metrics(&base, &cache))
+    });
+    let ctx = bench_context();
     group.bench_function("single_point_diff_d120", |b| {
         b.iter(|| {
             ctx.score_set(MetricKind::Diff, AttackClass::DecBounded, 120.0, 0.10)

@@ -2,21 +2,25 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use lad_attack::AttackClass;
-use lad_bench::bench_context;
+use lad_bench::{bench_cache, bench_config, bench_context};
 use lad_core::MetricKind;
 use lad_eval::experiments::fig56_roc_attacks;
 
 fn bench_fig56(c: &mut Criterion) {
-    let ctx = bench_context();
+    let base = bench_config();
+    let cache = bench_cache();
 
-    let report = fig56_roc_attacks(&ctx);
+    let report = fig56_roc_attacks(&base, &cache);
     for note in &report.notes {
         println!("[fig5_6] {note}");
     }
 
     let mut group = c.benchmark_group("fig56_roc_attacks");
     group.sample_size(10);
-    group.bench_function("full_figure", |b| b.iter(|| fig56_roc_attacks(&ctx)));
+    group.bench_function("full_figure", |b| {
+        b.iter(|| fig56_roc_attacks(&base, &cache))
+    });
+    let ctx = bench_context();
     group.bench_function("dec_only_point_d80", |b| {
         b.iter(|| {
             ctx.score_set(MetricKind::Diff, AttackClass::DecOnly, 80.0, 0.10)

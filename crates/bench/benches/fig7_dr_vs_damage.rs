@@ -2,14 +2,15 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use lad_attack::AttackClass;
-use lad_bench::bench_context;
+use lad_bench::{bench_cache, bench_config, bench_context};
 use lad_core::MetricKind;
 use lad_eval::experiments::fig7_dr_vs_damage;
 
 fn bench_fig7(c: &mut Criterion) {
-    let ctx = bench_context();
+    let base = bench_config();
+    let cache = bench_cache();
 
-    let report = fig7_dr_vs_damage(&ctx);
+    let report = fig7_dr_vs_damage(&base, &cache);
     for series in &report.series {
         let row: Vec<String> = series
             .points
@@ -21,7 +22,10 @@ fn bench_fig7(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("fig7_dr_vs_damage");
     group.sample_size(10);
-    group.bench_function("full_figure", |b| b.iter(|| fig7_dr_vs_damage(&ctx)));
+    group.bench_function("full_figure", |b| {
+        b.iter(|| fig7_dr_vs_damage(&base, &cache))
+    });
+    let ctx = bench_context();
     group.bench_function("single_dr_point", |b| {
         b.iter(|| ctx.detection_rate(MetricKind::Diff, AttackClass::DecBounded, 120.0, 0.10, 0.01))
     });

@@ -2,14 +2,15 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use lad_attack::AttackClass;
-use lad_bench::bench_context;
+use lad_bench::{bench_cache, bench_config, bench_context};
 use lad_core::MetricKind;
 use lad_eval::experiments::fig8_dr_vs_compromise;
 
 fn bench_fig8(c: &mut Criterion) {
-    let ctx = bench_context();
+    let base = bench_config();
+    let cache = bench_cache();
 
-    let report = fig8_dr_vs_compromise(&ctx);
+    let report = fig8_dr_vs_compromise(&base, &cache);
     for series in &report.series {
         let row: Vec<String> = series
             .points
@@ -21,7 +22,10 @@ fn bench_fig8(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("fig8_dr_vs_compromise");
     group.sample_size(10);
-    group.bench_function("full_figure", |b| b.iter(|| fig8_dr_vs_compromise(&ctx)));
+    group.bench_function("full_figure", |b| {
+        b.iter(|| fig8_dr_vs_compromise(&base, &cache))
+    });
+    let ctx = bench_context();
     group.bench_function("single_dr_point_x50", |b| {
         b.iter(|| ctx.detection_rate(MetricKind::Diff, AttackClass::DecBounded, 160.0, 0.50, 0.01))
     });

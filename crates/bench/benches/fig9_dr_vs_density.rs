@@ -1,18 +1,19 @@
 //! Figure 9 bench: detection rate vs network density (DR-m-x-D).
 //!
-//! This figure re-deploys the network per density, so the bench measures the
-//! whole pipeline (deployment + clean-score collection + attacks) for a small
-//! density sweep.
+//! This figure re-deploys the network per density (one deployment axis per
+//! group size), so the bench measures the whole pipeline (deployment +
+//! clean-score collection + attacks) for a small density sweep.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use lad_bench::bench_config;
+use lad_bench::{bench_cache, bench_config};
 use lad_eval::experiments::fig9_dr_vs_density;
 
 fn bench_fig9(c: &mut Criterion) {
     let base = bench_config();
+    let cache = bench_cache();
     let densities = [40usize, 120];
 
-    let report = fig9_dr_vs_density(&base, &densities);
+    let report = fig9_dr_vs_density(&base, &densities, &cache);
     for note in &report.notes {
         println!("[fig9] {note}");
     }
@@ -20,7 +21,7 @@ fn bench_fig9(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig9_dr_vs_density");
     group.sample_size(10);
     group.bench_function("two_density_sweep", |b| {
-        b.iter(|| fig9_dr_vs_density(&base, &densities))
+        b.iter(|| fig9_dr_vs_density(&base, &densities, &cache))
     });
     group.finish();
 }

@@ -1,0 +1,94 @@
+//! Scenario-layer bench: grid-level streaming evaluation vs the per-point
+//! buffered path, at equal sample counts.
+//!
+//! Both contenders evaluate the same `{Diff} × {Dec-Bounded} × 4 damages ×
+//! 3 fractions` grid (12 cells) against the same deployments:
+//!
+//! * **buffered_per_point** — the `EvalContext` compatibility shape: drive
+//!   one cell after another, buffer every clean and attacked score in
+//!   `Vec<f64>`s (O(samples) memory per point) and build the exact
+//!   sort-based ROC.
+//! * **streaming_grid** — one `ScenarioSpec` run by the `ScenarioRunner`:
+//!   all cells fan out together on one Rayon pool, scores stream into
+//!   O(bins) accumulators (forced binned here so the streaming path is
+//!   actually exercised at bench scale).
+//!
+//! The trial simulation dominates and is identical on both sides, so the
+//! wall-clock gap is the streaming layer's overhead — a few percent at
+//! equal counts. What the streaming side buys for that overhead is the
+//! memory ceiling: per-cell state is ~2k bins instead of every score, which
+//! is what lets sample counts grow 10–100× past the buffered path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lad_attack::AttackClass;
+use lad_bench::{bench_config, bench_context};
+use lad_core::MetricKind;
+use lad_eval::scenario::{AttackMix, ParamGrid, ScenarioRunner, ScenarioSpec};
+use lad_stats::AccumulatorConfig;
+
+const DAMAGES: [f64; 4] = [40.0, 80.0, 120.0, 160.0];
+const FRACTIONS: [f64; 3] = [0.1, 0.2, 0.3];
+
+fn grid() -> ParamGrid {
+    ParamGrid {
+        metrics: vec![MetricKind::Diff],
+        attacks: vec![AttackMix::pure(AttackClass::DecBounded)],
+        damages: DAMAGES.to_vec(),
+        fractions: FRACTIONS.to_vec(),
+    }
+}
+
+fn bench_scenario(c: &mut Criterion) {
+    let base = bench_config();
+    let mut group = c.benchmark_group("scenario_grid");
+    group.sample_size(10);
+
+    // Old shape: clean scores buffered once, every attack point buffered and
+    // sorted independently, sequential cell loop.
+    let ctx = bench_context();
+    group.bench_function("buffered_per_point", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &d in &DAMAGES {
+                for &x in &FRACTIONS {
+                    acc += ctx
+                        .score_set(MetricKind::Diff, AttackClass::DecBounded, d, x)
+                        .roc()
+                        .detection_rate_at_fp(0.01);
+                }
+            }
+            acc
+        })
+    });
+
+    // New shape: the same grid as one streamed scenario (substrate built
+    // once per iteration to keep the comparison honest about shared work:
+    // the buffered path also reuses its pre-built clean scores).
+    let spec = ScenarioSpec::new(
+        "bench_grid",
+        "bench grid",
+        lad_eval::experiments::standard_axis(&base),
+        grid(),
+        base.sampling_plan(),
+    )
+    .with_accumulator(AccumulatorConfig {
+        exact_limit: 0, // always binned: O(bins) memory per cell
+        ..AccumulatorConfig::default()
+    });
+    let cache = lad_eval::scenario::SubstrateCache::new();
+    let _ = cache.substrate(&spec.deployments[0], &spec.sampling, spec.accumulator);
+    group.bench_function("streaming_grid", |b| {
+        b.iter(|| {
+            let result = ScenarioRunner::with_cache(&spec, &cache).run();
+            let dep = result.single();
+            dep.cells
+                .iter()
+                .map(|cell| dep.detection_rate(cell, 0.01))
+                .sum::<f64>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scenario);
+criterion_main!(benches);

@@ -3,17 +3,32 @@
 //! Every paper figure has a Criterion bench that regenerates it on a reduced
 //! ("bench") configuration so the whole suite runs in seconds; the `reproduce`
 //! binary in `lad-eval` is the way to regenerate figures at paper scale.
+//! Figure benches share one [`SubstrateCache`] so the standard deployment
+//! point is simulated once per bench process.
 
+use lad_eval::scenario::{Substrate, SubstrateCache};
 use lad_eval::{EvalConfig, EvalContext};
+use std::sync::Arc;
 
-/// The evaluation context every figure bench reuses (reduced scale).
-pub fn bench_context() -> EvalContext {
-    EvalContext::new(EvalConfig::bench())
-}
-
-/// The reduced evaluation configuration itself.
+/// The reduced evaluation configuration every figure bench uses.
 pub fn bench_config() -> EvalConfig {
     EvalConfig::bench()
+}
+
+/// A fresh substrate cache (share it across the experiments of one bench).
+pub fn bench_cache() -> SubstrateCache {
+    SubstrateCache::new()
+}
+
+/// The standard reduced-scale substrate out of `cache`.
+pub fn bench_substrate(cache: &SubstrateCache) -> Arc<Substrate> {
+    lad_eval::experiments::standard_substrate(&bench_config(), cache)
+}
+
+/// A buffered evaluation context at reduced scale (the raw-score
+/// compatibility layer; used by benches that sweep single points).
+pub fn bench_context() -> EvalContext {
+    EvalContext::new(bench_config())
 }
 
 #[cfg(test)]
@@ -26,5 +41,13 @@ mod tests {
         let ctx = bench_context();
         assert!(!ctx.clean_scores(MetricKind::Diff).is_empty());
         assert!(ctx.knowledge().config().total_nodes() < 5000);
+    }
+
+    #[test]
+    fn bench_substrate_is_shared_through_the_cache() {
+        let cache = bench_cache();
+        let a = bench_substrate(&cache);
+        let b = bench_substrate(&cache);
+        assert!(Arc::ptr_eq(&a, &b));
     }
 }

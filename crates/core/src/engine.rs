@@ -538,8 +538,8 @@ impl LadEngine {
         MU_SCRATCH.with(|cell| self.verdict_with(&mut cell.borrow_mut(), observation, estimate))
     }
 
-    /// Verifies a batch of requests in parallel (chunks sized by
-    /// [`Self::batch_chunk_size`] fan out over worker threads; each chunk
+    /// Verifies a batch of requests in parallel (chunks sized by an internal
+    /// per-core heuristic fan out over worker threads; each chunk
     /// borrows its thread's µ scratch once). Results are returned in request
     /// order, so output is deterministic regardless of scheduling.
     pub fn verify_batch(&self, requests: &[DetectionRequest]) -> Vec<MultiVerdict> {

@@ -1,9 +1,9 @@
 //! The deprecated single-shot pipeline, kept as a thin shim over
-//! [`LadEngine`](crate::engine::LadEngine).
+//! [`LadEngine`].
 //!
 //! `LadPipeline` was the original front door: one metric, one verification
 //! per call, unversioned JSON artefacts. It now delegates everything to the
-//! engine; new code should use [`LadEngine`](crate::engine::LadEngine)
+//! engine; new code should use [`LadEngine`]
 //! directly, which adds batching, multiple metrics per pass, pluggable
 //! localization schemes and versioned artifacts.
 
@@ -20,7 +20,7 @@ use std::sync::Arc;
 /// An end-to-end LAD pipeline: fit offline, verify online.
 ///
 /// Deprecated: this is a single-metric, one-call-at-a-time wrapper around
-/// [`LadEngine`](crate::engine::LadEngine). It remains for source
+/// [`LadEngine`]. It remains for source
 /// compatibility and loads/writes artifacts through the engine (so its JSON
 /// is the versioned engine format; legacy unversioned JSON is still accepted
 /// by [`LadPipeline::from_json`]).

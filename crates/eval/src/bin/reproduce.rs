@@ -1,42 +1,55 @@
 //! `reproduce` — regenerate every figure of the LAD paper.
 //!
 //! ```text
-//! Usage: reproduce [--quick | --paper] [--only <id>[,<id>...]] [--out <dir>]
+//! Usage: reproduce [--smoke | --quick | --paper] [--only <id>[,<id>...]] [--out <dir>]
 //!
+//!   --smoke   tiny scenario grid end-to-end (seconds; the CI smoke step)
 //!   --quick   reduced sample counts (default); curve shapes in ~a minute
 //!   --paper   paper-scale sample counts; takes several minutes
 //!   --only    run only the listed experiments (fig1_2, fig3, fig4, fig5_6,
-//!             fig7, fig8, fig9, ablation_gz, ablation_localizers,
-//!             ablation_mismatch)
+//!             fig7, fig8, fig9, heatmap_dx, mixed_attacks, ablation_gz,
+//!             ablation_localizers, ablation_mismatch)
 //!   --out     output directory for CSV/JSON artefacts (default: results/)
 //! ```
 //!
-//! Each experiment writes `<out>/<id>.csv` and `<id>.json`, prints its notes
-//! to stdout, and the combined Markdown summary is written to
+//! Every Monte-Carlo experiment is a declarative scenario
+//! (`lad_eval::scenario::ScenarioSpec`) executed through one shared
+//! `SubstrateCache`, so deployments reused across figures are simulated
+//! once. Each experiment writes `<out>/<id>.csv` and `<id>.json`, prints its
+//! notes to stdout, and the combined Markdown summary is written to
 //! `<out>/summary.md` (the source material of EXPERIMENTS.md).
 
 use lad_eval::experiments;
-use lad_eval::{EvalConfig, EvalContext, FigureReport};
+use lad_eval::scenario::SubstrateCache;
+use lad_eval::{EvalConfig, FigureReport};
 use std::path::PathBuf;
 use std::time::Instant;
 
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Smoke,
+    Quick,
+    Paper,
+}
+
 struct Args {
-    paper: bool,
+    mode: Mode,
     only: Option<Vec<String>>,
     out: PathBuf,
 }
 
 fn parse_args() -> Args {
     let mut args = Args {
-        paper: false,
+        mode: Mode::Quick,
         only: None,
         out: PathBuf::from("results"),
     };
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
         match arg.as_str() {
-            "--paper" => args.paper = true,
-            "--quick" => args.paper = false,
+            "--paper" => args.mode = Mode::Paper,
+            "--quick" => args.mode = Mode::Quick,
+            "--smoke" => args.mode = Mode::Smoke,
             "--only" => {
                 let list = iter.next().expect("--only needs a comma-separated list");
                 args.only = Some(list.split(',').map(|s| s.trim().to_string()).collect());
@@ -45,7 +58,9 @@ fn parse_args() -> Args {
                 args.out = PathBuf::from(iter.next().expect("--out needs a directory"));
             }
             "--help" | "-h" => {
-                println!("reproduce [--quick | --paper] [--only <id>[,<id>...]] [--out <dir>]");
+                println!(
+                    "reproduce [--smoke | --quick | --paper] [--only <id>[,<id>...]] [--out <dir>]"
+                );
                 std::process::exit(0);
             }
             other => {
@@ -65,33 +80,34 @@ fn wanted(args: &Args, id: &str) -> bool {
 
 fn main() {
     let args = parse_args();
-    let config = if args.paper {
-        EvalConfig::paper()
-    } else {
-        EvalConfig::quick()
+    let config = match args.mode {
+        Mode::Paper => EvalConfig::paper(),
+        Mode::Quick => EvalConfig::quick(),
+        Mode::Smoke => EvalConfig::bench(),
     };
-    let density_sweep: Vec<usize> = if args.paper {
-        vec![100, 300, 600, 1000]
-    } else {
-        vec![100, 300, 600]
+    let density_sweep: Vec<usize> = match args.mode {
+        Mode::Paper => vec![100, 300, 600, 1000],
+        Mode::Quick => vec![100, 300, 600],
+        Mode::Smoke => vec![40, 120],
     };
 
     println!(
         "LAD reproduction — {} mode, {} groups of {} nodes, output -> {}",
-        if args.paper { "paper" } else { "quick" },
+        match args.mode {
+            Mode::Paper => "paper",
+            Mode::Quick => "quick",
+            Mode::Smoke => "smoke",
+        },
         config.deployment.group_count(),
         config.deployment.group_size,
         args.out.display()
     );
 
+    // One cache for the whole run: the standard deployment point (networks +
+    // clean scores) is simulated once and shared by every scenario that
+    // sweeps it.
+    let cache = SubstrateCache::new();
     let t0 = Instant::now();
-    println!("building evaluation context (deployments + clean scores)...");
-    let ctx = EvalContext::new(config);
-    println!(
-        "  done in {:.1?}; {} clean samples",
-        t0.elapsed(),
-        ctx.clean_scores(lad_core::MetricKind::Diff).len()
-    );
 
     let mut reports: Vec<FigureReport> = Vec::new();
     let mut run = |id: &str, f: &dyn Fn() -> FigureReport| {
@@ -108,21 +124,37 @@ fn main() {
         reports.push(report);
     };
 
-    run("fig1_2", &|| experiments::deployment_figures(&ctx));
-    run("fig3", &|| experiments::attack_showcase(&ctx));
-    run("fig4", &|| experiments::fig4_roc_metrics(&ctx));
-    run("fig5_6", &|| experiments::fig56_roc_attacks(&ctx));
-    run("fig7", &|| experiments::fig7_dr_vs_damage(&ctx));
-    run("fig8", &|| experiments::fig8_dr_vs_compromise(&ctx));
-    run("fig9", &|| {
-        experiments::fig9_dr_vs_density(ctx.config(), &density_sweep)
+    run("fig1_2", &|| {
+        experiments::deployment_figures(&experiments::standard_substrate(&config, &cache))
     });
-    run("ablation_gz", &|| experiments::ablation_gz_table(&ctx));
+    run("fig3", &|| {
+        experiments::attack_showcase(&experiments::standard_substrate(&config, &cache))
+    });
+    run("fig4", &|| experiments::fig4_roc_metrics(&config, &cache));
+    run("fig5_6", &|| {
+        experiments::fig56_roc_attacks(&config, &cache)
+    });
+    run("fig7", &|| experiments::fig7_dr_vs_damage(&config, &cache));
+    run("fig8", &|| {
+        experiments::fig8_dr_vs_compromise(&config, &cache)
+    });
+    run("fig9", &|| {
+        experiments::fig9_dr_vs_density(&config, &density_sweep, &cache)
+    });
+    run("heatmap_dx", &|| {
+        experiments::heatmap_damage_compromise(&config, &cache)
+    });
+    run("mixed_attacks", &|| {
+        experiments::mixed_attack_workload(&config, &cache)
+    });
+    run("ablation_gz", &|| {
+        experiments::ablation_gz_table(&experiments::standard_substrate(&config, &cache))
+    });
     run("ablation_localizers", &|| {
-        experiments::ablation_localizers(&ctx)
+        experiments::ablation_localizers(&config, &cache)
     });
     run("ablation_mismatch", &|| {
-        experiments::ablation_model_mismatch(ctx.config())
+        experiments::ablation_model_mismatch(&config, &cache)
     });
 
     // Combined Markdown summary.
@@ -134,8 +166,9 @@ fn main() {
     std::fs::write(args.out.join("summary.md"), summary).expect("write summary.md");
 
     println!(
-        "\nall requested experiments finished in {:.1?}; artefacts in {}",
+        "\nall requested experiments finished in {:.1?}; artefacts in {} ({} shared deployment substrates)",
         t0.elapsed(),
-        args.out.display()
+        args.out.display(),
+        cache.len()
     );
 }

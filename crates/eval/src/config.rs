@@ -3,6 +3,7 @@
 //! Each figure is a Monte-Carlo estimate over simulated deployments and
 //! attacked victims; the presets trade statistical resolution for runtime.
 
+use crate::scenario::{DeploymentAxis, SamplingPlan};
 use lad_deployment::DeploymentConfig;
 use serde::{Deserialize, Serialize};
 
@@ -54,8 +55,8 @@ impl EvalConfig {
         Self {
             deployment: DeploymentConfig::small_test().with_group_size(80),
             networks: 1,
-            clean_samples_per_network: 48,
-            victims_per_network: 48,
+            clean_samples_per_network: 72,
+            victims_per_network: 72,
             seed: 0x1ad_2005,
         }
     }
@@ -80,6 +81,23 @@ impl EvalConfig {
     /// Total number of attacked victims across all networks.
     pub fn total_victims(&self) -> usize {
         self.networks * self.victims_per_network
+    }
+
+    /// The config's sample counts and master seed as a scenario
+    /// [`SamplingPlan`].
+    pub fn sampling_plan(&self) -> SamplingPlan {
+        SamplingPlan {
+            networks: self.networks,
+            clean_samples_per_network: self.clean_samples_per_network,
+            victims_per_network: self.victims_per_network,
+            seed: self.seed,
+        }
+    }
+
+    /// The config's deployment as a matched-model scenario
+    /// [`DeploymentAxis`] (beaconless-MLE localization).
+    pub fn deployment_axis(&self, label: impl Into<String>) -> DeploymentAxis {
+        DeploymentAxis::new(label, self.deployment)
     }
 }
 

@@ -8,15 +8,17 @@
 //! is reported too).
 
 use crate::report::{FigureReport, Series};
-use crate::runner::EvalContext;
+use crate::scenario::Substrate;
 use lad_deployment::{gz_exact, GzTable};
 use lad_geometry::Point2;
 
 /// The ω values swept by the ablation.
 pub const OMEGA_SWEEP: [usize; 6] = [16, 32, 64, 128, 256, 1024];
 
-/// Runs the lookup-table ablation.
-pub fn ablation_gz_table(ctx: &EvalContext) -> FigureReport {
+/// Runs the lookup-table ablation on a scenario substrate's deployment
+/// knowledge. (This is a numerical table-accuracy sweep, not a Monte-Carlo
+/// scenario — there are no score distributions to stream.)
+pub fn ablation_gz_table(ctx: &Substrate) -> FigureReport {
     let config = ctx.knowledge().config();
     let mut report = FigureReport::new(
         "ablation_gz",
@@ -70,10 +72,12 @@ pub fn ablation_gz_table(ctx: &EvalContext) -> FigureReport {
 mod tests {
     use super::*;
     use crate::config::EvalConfig;
+    use crate::experiments::standard_substrate;
+    use crate::scenario::SubstrateCache;
 
     #[test]
     fn table_error_is_monotone_decreasing_and_tiny_at_the_default_omega() {
-        let ctx = EvalContext::new(EvalConfig::bench());
+        let ctx = standard_substrate(&EvalConfig::bench(), &SubstrateCache::new());
         let report = ablation_gz_table(&ctx);
         let errors = report
             .series_by_label("max g(z) interpolation error")

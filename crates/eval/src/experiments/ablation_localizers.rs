@@ -2,31 +2,69 @@
 //!
 //! LAD is localization-agnostic, but its thresholds — and therefore its
 //! false-positive / detection trade-off — depend on how accurate the
-//! underlying scheme is. This ablation evaluates the same Dec-Bounded,
-//! D = 120, x = 10 % attack while the clean scores (the threshold side) come
-//! from three different schemes: the beaconless MLE the paper uses, the
-//! centroid baseline, and DV-Hop.
+//! underlying scheme is. The scenario evaluates the same Dec-Bounded,
+//! D = 120, x = 10 % attack on three **deployment axes** that differ only in
+//! their [`LocalizerChoice`]: the beaconless MLE the paper uses, the
+//! centroid baseline, and DV-Hop. Each axis trains its clean scores (the
+//! threshold side) with its own scheme.
 
+use crate::config::EvalConfig;
 use crate::experiments::{PAPER_COMPROMISED_FRACTION, PAPER_FP_BUDGET};
 use crate::report::{FigureReport, Series};
-use crate::runner::EvalContext;
+use crate::scenario::{
+    DeploymentAxis, LocalizerChoice, ParamGrid, ScenarioRunner, ScenarioSpec, SubstrateCache,
+};
 use lad_attack::AttackClass;
 use lad_core::MetricKind;
-use lad_localization::{AnchorField, BeaconlessMle, CentroidLocalizer, DvHopLocalizer, Localizer};
-use lad_net::{Network, NodeId};
-use lad_stats::RocCurve;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-use rayon::prelude::*;
 
 /// The degree of damage used by the ablation.
 pub const DAMAGE: f64 = 120.0;
 
-/// Runs the scheme-independence ablation.
-pub fn ablation_localizers(ctx: &EvalContext) -> FigureReport {
-    let mut report = FigureReport::new(
+/// Anchors granted to the beacon-based baseline schemes.
+pub const BASELINE_ANCHORS: usize = 16;
+
+/// The schemes compared, in axis order.
+pub fn scheme_axes(base: &EvalConfig) -> Vec<DeploymentAxis> {
+    [
+        LocalizerChoice::BeaconlessMle,
+        LocalizerChoice::Centroid {
+            anchors: BASELINE_ANCHORS,
+        },
+        LocalizerChoice::DvHop {
+            anchors: BASELINE_ANCHORS,
+        },
+    ]
+    .into_iter()
+    .map(|choice| base.deployment_axis(choice.name()).with_localizer(choice))
+    .collect()
+}
+
+/// The scheme-independence scenario.
+pub fn ablation_localizers_spec(base: &EvalConfig) -> ScenarioSpec {
+    let axes = scheme_axes(base);
+    ScenarioSpec::new(
         "ablation_localizers",
         "LAD detection rate when trained on top of different localization schemes",
+        axes[0].clone(),
+        ParamGrid::single(
+            MetricKind::Diff,
+            AttackClass::DecBounded,
+            DAMAGE,
+            PAPER_COMPROMISED_FRACTION,
+        ),
+        base.sampling_plan(),
+    )
+    .with_deployments(axes)
+}
+
+/// Runs the scheme-independence ablation.
+pub fn ablation_localizers(base: &EvalConfig, cache: &SubstrateCache) -> FigureReport {
+    let spec = ablation_localizers_spec(base);
+    let result = ScenarioRunner::with_cache(&spec, cache).run();
+
+    let mut report = FigureReport::new(
+        spec.id,
+        spec.title,
         "scheme index (0 = beaconless MLE, 1 = centroid, 2 = DV-Hop)",
         "detection rate at FP <= 1%",
     );
@@ -35,44 +73,21 @@ pub fn ablation_localizers(ctx: &EvalContext) -> FigureReport {
         PAPER_COMPROMISED_FRACTION * 100.0
     ));
 
-    let network = ctx
-        .networks()
-        .first()
-        .expect("context has at least one network");
-    let attacked = ctx.attacked_scores(
-        MetricKind::Diff,
-        AttackClass::DecBounded,
-        DAMAGE,
-        PAPER_COMPROMISED_FRACTION,
-    );
-
-    // Build the baseline localizers over a shared anchor field.
-    let mut rng = ChaCha8Rng::seed_from_u64(ctx.config().seed ^ 0xA11C);
-    let beacon_range = ctx.knowledge().config().area_side / 3.0;
-    let anchors = AnchorField::random(network, 16, beacon_range, &mut rng);
-    let centroid = CentroidLocalizer::new(anchors.clone());
-    let dvhop = DvHopLocalizer::build(network, &anchors);
-    let mle = BeaconlessMle::new();
-    let schemes: Vec<(&str, &dyn Localizer)> = vec![
-        ("beaconless-mle", &mle),
-        ("centroid", &centroid),
-        ("dv-hop", &dvhop),
-    ];
-
-    let samples = ctx.config().clean_samples_per_network;
     let mut points = Vec::new();
-    for (idx, (name, localizer)) in schemes.iter().enumerate() {
-        let (clean_scores, errors) = clean_scores_with(network, *localizer, samples);
-        if clean_scores.is_empty() {
+    for (idx, dep) in result.deployments.iter().enumerate() {
+        let name = &dep.label;
+        if dep.clean(MetricKind::Diff).count() == 0 {
             report.push_note(format!("{name}: no node could be localized — skipped"));
             continue;
         }
-        let roc = RocCurve::from_scores(&clean_scores, &attacked);
+        let cell = &dep.cells[0];
+        let roc = dep.roc(cell);
         let dr = roc.detection_rate_at_fp(PAPER_FP_BUDGET);
-        let mean_err = errors.iter().sum::<f64>() / errors.len() as f64;
+        let errors = dep.substrate.clean_error_summary();
         points.push((idx as f64, dr));
         report.push_note(format!(
-            "{name}: mean clean localization error {mean_err:.1} m, DR@FP<=1% = {dr:.3}, AUC = {:.3}",
+            "{name}: mean clean localization error {:.1} m, DR@FP<=1% = {dr:.3}, AUC = {:.3}",
+            errors.mean,
             roc.auc()
         ));
     }
@@ -80,42 +95,13 @@ pub fn ablation_localizers(ctx: &EvalContext) -> FigureReport {
     report
 }
 
-/// Clean Diff-metric scores (and localization errors) produced when the given
-/// localizer supplies `L_e` for honest nodes.
-fn clean_scores_with(
-    network: &Network,
-    localizer: &dyn Localizer,
-    samples: usize,
-) -> (Vec<f64>, Vec<f64>) {
-    let knowledge = network.knowledge();
-    let stride = (network.node_count() / samples.max(1)).max(1);
-    let ids: Vec<NodeId> = (0..network.node_count())
-        .step_by(stride)
-        .map(|i| NodeId(i as u32))
-        .collect();
-    let metric = MetricKind::Diff.metric();
-    let results: Vec<(f64, f64)> = ids
-        .par_iter()
-        .filter_map(|&id| {
-            let estimate = localizer.localize(network, id)?;
-            let obs = network.true_observation(id);
-            let mu = knowledge.expected_observation(estimate);
-            let score = metric.score(&obs, &mu, knowledge.group_size());
-            Some((score, estimate.distance(network.node(id).resident_point)))
-        })
-        .collect();
-    results.into_iter().unzip()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::EvalConfig;
 
     #[test]
     fn all_three_schemes_are_evaluated() {
-        let ctx = EvalContext::new(EvalConfig::bench());
-        let report = ablation_localizers(&ctx);
+        let report = ablation_localizers(&EvalConfig::bench(), &SubstrateCache::new());
         let series = report.series_by_label("detection rate at FP<=1%").unwrap();
         assert!(
             series.points.len() >= 2,

@@ -2,33 +2,28 @@
 //!
 //! The paper's stated future work: "the accuracy of the deployment knowledge
 //! model … if this model cannot accurately model the actual deployment, there
-//! will be extra errors (both on false positive and detection rate)". This
-//! ablation quantifies those errors: the detector is trained under the
-//! *assumed* placement spread (σ = 50 m), while the actual deployment uses a
-//! different σ. For each actual σ we report
+//! will be extra errors (both on false positive and detection rate)". The
+//! scenario quantifies those errors with one **deployment axis per actual
+//! placement spread**: the detector is always trained under the *assumed*
+//! σ (the base config's), while the networks of each axis are generated
+//! under a different actual σ
+//! ([`DeploymentAxis::with_actual_sigma`]). For each actual σ we report
 //!
 //! * the false-positive rate of honest nodes at the threshold trained under
 //!   the assumed model (τ = 99 %),
 //! * the detection rate against the standard D = 120, x = 10 % Dec-Bounded
-//!   attack, and
+//!   attack at that fixed threshold, and
 //! * the Kolmogorov–Smirnov distance between the assumed and the actual
-//!   clean score distributions (how visibly the model drifted).
+//!   clean score distributions (how visibly the model drifted) — computed
+//!   straight from the streaming accumulators.
 
 use crate::config::EvalConfig;
 use crate::experiments::PAPER_COMPROMISED_FRACTION;
 use crate::report::{FigureReport, Series};
-use lad_attack::{simulate_attack, AttackClass, AttackConfig};
+use crate::scenario::{DeploymentAxis, ParamGrid, ScenarioRunner, ScenarioSpec, SubstrateCache};
+use lad_attack::AttackClass;
 use lad_core::MetricKind;
-use lad_deployment::DeploymentKnowledge;
-use lad_localization::BeaconlessMle;
-use lad_net::{Network, NodeId};
-use lad_stats::ks::ks_statistic;
-use lad_stats::percentile;
-use lad_stats::seeds::derive_seed;
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
-use rayon::prelude::*;
-use std::sync::Arc;
+use lad_stats::streaming_ks;
 
 /// Actual placement spreads evaluated against the assumed σ of the config.
 pub const ACTUAL_SIGMAS: [f64; 5] = [35.0, 50.0, 65.0, 80.0, 100.0];
@@ -36,43 +31,80 @@ pub const ACTUAL_SIGMAS: [f64; 5] = [35.0, 50.0, 65.0, 80.0, 100.0];
 /// The degree of damage used for the detection-rate column.
 pub const DAMAGE: f64 = 120.0;
 
-/// Runs the deployment-model-mismatch ablation.
-pub fn ablation_model_mismatch(base: &EvalConfig) -> FigureReport {
-    let assumed = DeploymentKnowledge::shared(&base.deployment);
-    let mut report = FigureReport::new(
+/// The τ-percentile the fixed threshold is trained at.
+pub const TAU: f64 = 0.99;
+
+/// The actual σ values the ablation sweeps for `base`: [`ACTUAL_SIGMAS`]
+/// plus the assumed σ itself (the matched reference point), sorted.
+pub fn swept_sigmas(base: &EvalConfig) -> Vec<f64> {
+    let mut sigmas = ACTUAL_SIGMAS.to_vec();
+    if !sigmas.contains(&base.deployment.sigma) {
+        sigmas.push(base.deployment.sigma);
+    }
+    sigmas.sort_by(|a, b| a.partial_cmp(b).expect("finite sigma"));
+    sigmas
+}
+
+/// The model-mismatch scenario: one axis per actual σ.
+pub fn ablation_mismatch_spec(base: &EvalConfig) -> ScenarioSpec {
+    let axes: Vec<DeploymentAxis> = swept_sigmas(base)
+        .into_iter()
+        .map(|sigma| {
+            base.deployment_axis(format!("sigma={sigma}"))
+                .with_actual_sigma(sigma)
+        })
+        .collect();
+    ScenarioSpec::new(
         "ablation_mismatch",
         "Effect of deployment-model mismatch on FP and DR (paper §8 future work)",
-        "actual placement sigma (m)",
-        "rate",
-    );
+        axes[0].clone(),
+        ParamGrid::single(
+            MetricKind::Diff,
+            AttackClass::DecBounded,
+            DAMAGE,
+            PAPER_COMPROMISED_FRACTION,
+        ),
+        base.sampling_plan(),
+    )
+    .with_deployments(axes)
+}
+
+/// Runs the deployment-model-mismatch ablation.
+pub fn ablation_model_mismatch(base: &EvalConfig, cache: &SubstrateCache) -> FigureReport {
+    let spec = ablation_mismatch_spec(base);
+    let result = ScenarioRunner::with_cache(&spec, cache).run();
+
+    let mut report = FigureReport::new(spec.id, spec.title, "actual placement sigma (m)", "rate");
     report.push_note(format!(
-        "detector trained assuming sigma = {} m, tau = 99%, Diff metric; attack: D = {DAMAGE}, x = {:.0}%, Dec-Bounded",
+        "detector trained assuming sigma = {} m, tau = {:.0}%, Diff metric; attack: D = {DAMAGE}, x = {:.0}%, Dec-Bounded",
         base.deployment.sigma,
+        TAU * 100.0,
         PAPER_COMPROMISED_FRACTION * 100.0
     ));
 
-    // Clean scores under the assumed model -> the trained threshold.
-    let assumed_clean = clean_scores(&assumed, &assumed, base, 0xA55);
-    let threshold = percentile::tau_threshold(&assumed_clean, 0.99)
+    // The matched axis (actual σ == assumed σ) supplies the trained
+    // threshold and the drift baseline; swept_sigmas guarantees it exists.
+    let sigmas = swept_sigmas(base);
+    let matched = sigmas
+        .iter()
+        .position(|&s| s == base.deployment.sigma)
+        .expect("swept_sigmas includes the assumed sigma");
+    let matched_clean = result.deployments[matched].clean(MetricKind::Diff);
+    let threshold = matched_clean
+        .quantile(TAU)
         .expect("assumed model produced clean scores");
     report.push_note(format!("trained Diff threshold: {threshold:.1}"));
 
     let mut fp_points = Vec::new();
     let mut dr_points = Vec::new();
     let mut ks_points = Vec::new();
-    for (idx, &sigma_actual) in ACTUAL_SIGMAS.iter().enumerate() {
-        let actual_cfg = base.deployment.with_sigma(sigma_actual);
-        let actual = DeploymentKnowledge::shared(&actual_cfg);
-
-        // Honest sensors in the *actual* world, judged with the *assumed* model.
-        let actual_clean = clean_scores(&actual, &assumed, base, 0xB00 + idx as u64);
-        let fp = percentile::exceedance_fraction(&actual_clean, threshold);
-
-        // Attacked sensors in the actual world, judged with the assumed model.
-        let attacked = attacked_scores(&actual, &assumed, base, 0xC00 + idx as u64);
-        let dr = percentile::exceedance_fraction(&attacked, threshold);
-
-        let drift = ks_statistic(&assumed_clean, &actual_clean);
+    for (dep, sigma_actual) in result.deployments.iter().zip(sigmas) {
+        // Honest sensors in the *actual* world, judged with the *assumed*
+        // model (the substrate always scores under the assumed knowledge).
+        let fp = dep.clean(MetricKind::Diff).exceedance_fraction(threshold);
+        // Attacked sensors in the actual world at the same fixed threshold.
+        let dr = dep.cells[0].attacked.exceedance_fraction(threshold);
+        let drift = streaming_ks(matched_clean, dep.clean(MetricKind::Diff));
         fp_points.push((sigma_actual, fp));
         dr_points.push((sigma_actual, dr));
         ks_points.push((sigma_actual, drift));
@@ -86,100 +118,13 @@ pub fn ablation_model_mismatch(base: &EvalConfig) -> FigureReport {
     report
 }
 
-/// Clean Diff scores of honest nodes deployed under `actual`, evaluated with
-/// the deployment knowledge `assumed` (localization and expectation).
-fn clean_scores(
-    actual: &Arc<DeploymentKnowledge>,
-    assumed: &Arc<DeploymentKnowledge>,
-    base: &EvalConfig,
-    salt: u64,
-) -> Vec<f64> {
-    let localizer = BeaconlessMle::new();
-    let metric = MetricKind::Diff.metric();
-    (0..base.networks)
-        .into_par_iter()
-        .flat_map(|net_idx| {
-            let network = Network::generate(
-                actual.clone(),
-                derive_seed(base.seed, &[salt, net_idx as u64]),
-            );
-            let ids = sample_ids(
-                &network,
-                base.clean_samples_per_network,
-                derive_seed(base.seed, &[salt, net_idx as u64, 1]),
-            );
-            let metric = &metric;
-            let localizer = &localizer;
-            ids.into_par_iter()
-                .filter_map(move |id| {
-                    let obs = network.true_observation(id);
-                    let estimate = localizer.estimate(assumed, &obs)?;
-                    let mu = assumed.expected_observation(estimate);
-                    Some(metric.score(&obs, &mu, assumed.group_size()))
-                })
-                .collect::<Vec<_>>()
-        })
-        .collect()
-}
-
-/// Diff scores of attacked victims deployed under `actual`, judged with the
-/// `assumed` knowledge.
-fn attacked_scores(
-    actual: &Arc<DeploymentKnowledge>,
-    assumed: &Arc<DeploymentKnowledge>,
-    base: &EvalConfig,
-    salt: u64,
-) -> Vec<f64> {
-    let metric = MetricKind::Diff.metric();
-    let attack = AttackConfig {
-        degree_of_damage: DAMAGE,
-        compromised_fraction: PAPER_COMPROMISED_FRACTION,
-        class: AttackClass::DecBounded,
-        targeted_metric: MetricKind::Diff,
-    };
-    (0..base.networks)
-        .into_par_iter()
-        .flat_map(|net_idx| {
-            let network = Network::generate(
-                actual.clone(),
-                derive_seed(base.seed, &[salt, net_idx as u64]),
-            );
-            let ids = sample_ids(
-                &network,
-                base.victims_per_network,
-                derive_seed(base.seed, &[salt, net_idx as u64, 2]),
-            );
-            let metric = &metric;
-            ids.into_par_iter()
-                .enumerate()
-                .map(move |(k, victim)| {
-                    let mut rng = ChaCha8Rng::seed_from_u64(derive_seed(
-                        base.seed,
-                        &[salt, net_idx as u64, 3, k as u64],
-                    ));
-                    let outcome = simulate_attack(&network, victim, &attack, &mut rng);
-                    let mu = assumed.expected_observation(outcome.forged_location);
-                    metric.score(&outcome.tainted_observation, &mu, assumed.group_size())
-                })
-                .collect::<Vec<_>>()
-        })
-        .collect()
-}
-
-fn sample_ids(network: &Network, count: usize, seed: u64) -> Vec<NodeId> {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    (0..count)
-        .map(|_| NodeId(rng.gen_range(0..network.node_count() as u32)))
-        .collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn mismatch_inflates_false_positives_but_keeps_detection() {
-        let report = ablation_model_mismatch(&EvalConfig::bench());
+        let report = ablation_model_mismatch(&EvalConfig::bench(), &SubstrateCache::new());
         let fp = report.series_by_label("false positive rate").unwrap();
         let dr = report.series_by_label("detection rate (D=120)").unwrap();
         let ks = report.series_by_label("clean-score KS drift").unwrap();
@@ -205,5 +150,20 @@ mod tests {
                 assert!((0.0..=1.0).contains(v));
             }
         }
+    }
+
+    #[test]
+    fn works_when_the_assumed_sigma_is_not_in_the_hardcoded_sweep() {
+        // Regression: the matched reference point must be added to the sweep
+        // instead of panicking when the base σ is not one of ACTUAL_SIGMAS.
+        let mut base = EvalConfig::bench();
+        base.deployment = base.deployment.with_sigma(60.0);
+        let report = ablation_model_mismatch(&base, &SubstrateCache::new());
+        let fp = report.series_by_label("false positive rate").unwrap();
+        assert_eq!(fp.points.len(), ACTUAL_SIGMAS.len() + 1);
+        // The matched point exists and has zero drift from itself.
+        let ks = report.series_by_label("clean-score KS drift").unwrap();
+        let matched = ks.points.iter().find(|(s, _)| *s == 60.0).unwrap();
+        assert_eq!(matched.1, 0.0);
     }
 }

@@ -8,15 +8,16 @@
 //! attack does to the Diff metric at the victim's true location.
 
 use crate::report::{FigureReport, Series};
-use crate::runner::EvalContext;
+use crate::scenario::Substrate;
 use lad_attack::dos::dos_taint;
 use lad_attack::primitives::{apply_all, AttackPrimitive};
 use lad_attack::AttackClass;
 use lad_core::{DetectionMetric, DiffMetric, MetricKind};
 use lad_net::NodeId;
 
-/// Reproduces the Figure 3 showcase.
-pub fn attack_showcase(ctx: &EvalContext) -> FigureReport {
+/// Reproduces the Figure 3 showcase on a scenario substrate's first
+/// simulated network.
+pub fn attack_showcase(ctx: &Substrate) -> FigureReport {
     let mut report = FigureReport::new(
         "fig3",
         "Attack primitives: observation shift caused by one compromised neighbour",
@@ -100,10 +101,12 @@ pub fn attack_showcase(ctx: &EvalContext) -> FigureReport {
 mod tests {
     use super::*;
     use crate::config::EvalConfig;
+    use crate::experiments::standard_substrate;
+    use crate::scenario::SubstrateCache;
 
     #[test]
     fn primitive_shifts_match_their_message_budgets() {
-        let ctx = EvalContext::new(EvalConfig::bench());
+        let ctx = standard_substrate(&EvalConfig::bench(), &SubstrateCache::new());
         let report = attack_showcase(&ctx);
         let series = report
             .series_by_label("observation shift per primitive")

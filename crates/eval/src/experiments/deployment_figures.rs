@@ -7,12 +7,13 @@
 //! statistics of a concrete simulated deployment.
 
 use crate::report::{FigureReport, Series};
-use crate::runner::EvalContext;
+use crate::scenario::Substrate;
 use lad_net::topology::TopologyStats;
 use lad_stats::IsotropicGaussian2d;
 
-/// Reproduces Figures 1 and 2.
-pub fn deployment_figures(ctx: &EvalContext) -> FigureReport {
+/// Reproduces Figures 1 and 2 from a scenario substrate (its deployment
+/// knowledge and first simulated network).
+pub fn deployment_figures(ctx: &Substrate) -> FigureReport {
     let knowledge = ctx.knowledge();
     let config = knowledge.config();
     let mut report = FigureReport::new(
@@ -72,10 +73,12 @@ pub fn deployment_figures(ctx: &EvalContext) -> FigureReport {
 mod tests {
     use super::*;
     use crate::config::EvalConfig;
+    use crate::experiments::standard_substrate;
+    use crate::scenario::SubstrateCache;
 
     #[test]
     fn deployment_figure_contains_grid_and_pdf() {
-        let ctx = EvalContext::new(EvalConfig::bench());
+        let ctx = standard_substrate(&EvalConfig::bench(), &SubstrateCache::new());
         let report = deployment_figures(&ctx);
         let grid = report.series_by_label("deployment points").unwrap();
         assert_eq!(grid.points.len(), ctx.knowledge().group_count());

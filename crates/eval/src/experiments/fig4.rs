@@ -1,40 +1,55 @@
 //! Figure 4: ROC curves for the three detection metrics (DR-FP-M-D).
 //!
 //! Setup (paper §7.4): x = 10 %, m = 300, Dec-Bounded attacks; one panel per
-//! degree of damage D ∈ {80, 120, 160}; one curve per metric.
+//! degree of damage D ∈ {80, 120, 160}; one curve per metric. Declared as a
+//! `metrics × {Dec-Bounded} × D × {0.1}` scenario grid.
 
-use crate::experiments::PAPER_COMPROMISED_FRACTION;
+use crate::config::EvalConfig;
+use crate::experiments::{standard_axis, PAPER_COMPROMISED_FRACTION};
 use crate::report::{FigureReport, Series};
-use crate::runner::EvalContext;
+use crate::scenario::{AttackMix, ParamGrid, ScenarioRunner, ScenarioSpec, SubstrateCache};
 use lad_attack::AttackClass;
 use lad_core::MetricKind;
 
 /// Degrees of damage shown in Figure 4.
 pub const DAMAGE_LEVELS: [f64; 3] = [80.0, 120.0, 160.0];
 
-/// Reproduces Figure 4.
-pub fn fig4_roc_metrics(ctx: &EvalContext) -> FigureReport {
-    let mut report = FigureReport::new(
+/// The scenario Figure 4 sweeps.
+pub fn fig4_spec(base: &EvalConfig) -> ScenarioSpec {
+    ScenarioSpec::new(
         "fig4",
         "ROC curves for different detection metrics and degrees of damage (DR-FP-M-D)",
-        "false positive rate",
-        "detection rate",
-    );
+        standard_axis(base),
+        ParamGrid {
+            metrics: MetricKind::ALL.to_vec(),
+            attacks: vec![AttackMix::pure(AttackClass::DecBounded)],
+            damages: DAMAGE_LEVELS.to_vec(),
+            fractions: vec![PAPER_COMPROMISED_FRACTION],
+        },
+        base.sampling_plan(),
+    )
+}
+
+/// Reproduces Figure 4.
+pub fn fig4_roc_metrics(base: &EvalConfig, cache: &SubstrateCache) -> FigureReport {
+    let spec = fig4_spec(base);
+    let result = ScenarioRunner::with_cache(&spec, cache).run();
+    let dep = result.single();
+
+    let mut report =
+        FigureReport::new(spec.id, spec.title, "false positive rate", "detection rate");
     report.push_note(format!(
         "x = {:.0}%, m = {}, T = Dec-Bounded",
         PAPER_COMPROMISED_FRACTION * 100.0,
-        ctx.knowledge().group_size()
+        dep.substrate.knowledge().group_size()
     ));
 
     for &d in &DAMAGE_LEVELS {
         for metric in MetricKind::ALL {
-            let set = ctx.score_set(
-                metric,
-                AttackClass::DecBounded,
-                d,
-                PAPER_COMPROMISED_FRACTION,
-            );
-            let roc = set.roc();
+            let cell = dep
+                .find_cell(metric, "dec-bounded", d, PAPER_COMPROMISED_FRACTION)
+                .expect("cell is in the grid");
+            let roc = dep.roc(cell);
             let points: Vec<(f64, f64)> = roc
                 .points()
                 .iter()
@@ -55,38 +70,30 @@ pub fn fig4_roc_metrics(ctx: &EvalContext) -> FigureReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::EvalConfig;
 
     #[test]
     fn fig4_shape_matches_the_paper() {
-        let ctx = EvalContext::new(EvalConfig::bench());
-        let report = fig4_roc_metrics(&ctx);
+        let base = EvalConfig::bench();
+        let cache = SubstrateCache::new();
+        let report = fig4_roc_metrics(&base, &cache);
         // 3 damage levels × 3 metrics.
         assert_eq!(report.series.len(), 9);
 
-        // Detection gets easier as D grows (compare Diff curves at FP <= 10%).
-        let dr = |label: &str| -> f64 {
-            let set_d: f64 = label[2..].split(' ').next().unwrap().parse().unwrap();
-            let metric = MetricKind::Diff;
-            ctx.score_set(metric, lad_attack::AttackClass::DecBounded, set_d, 0.10)
-                .detection_rate_at_fp(0.10)
+        let result = ScenarioRunner::with_cache(&fig4_spec(&base), &cache).run();
+        let dep = result.single();
+        let dr = |metric: MetricKind, d: f64| {
+            let cell = dep.find_cell(metric, "dec-bounded", d, 0.10).unwrap();
+            dep.detection_rate(cell, 0.10)
         };
-        assert!(dr("D=160 diff") + 1e-9 >= dr("D=80 diff"));
+        // Detection gets easier as D grows (compare Diff curves at FP <= 10%).
+        assert!(dr(MetricKind::Diff, 160.0) + 1e-9 >= dr(MetricKind::Diff, 80.0));
 
         // The Diff metric should dominate (or at least not lose badly to) the
         // probability metric at the large-damage operating point.
-        let diff_set = ctx.score_set(
-            MetricKind::Diff,
-            lad_attack::AttackClass::DecBounded,
-            160.0,
-            0.10,
-        );
-        let prob_set = ctx.score_set(
-            MetricKind::Probability,
-            lad_attack::AttackClass::DecBounded,
-            160.0,
-            0.10,
-        );
-        assert!(diff_set.roc().auc() + 0.05 >= prob_set.roc().auc());
+        let auc = |metric: MetricKind| {
+            let cell = dep.find_cell(metric, "dec-bounded", 160.0, 0.10).unwrap();
+            dep.roc(cell).auc()
+        };
+        assert!(auc(MetricKind::Diff) + 0.05 >= auc(MetricKind::Probability));
     }
 }

@@ -2,36 +2,60 @@
 //!
 //! Setup (paper §7.5): x = 10 %, m = 300, Diff metric; one panel per degree
 //! of damage D ∈ {40, 80} (Figure 5) and D ∈ {120, 160} (Figure 6); one curve
-//! per attack class.
+//! per attack class. Declared as a `{Diff} × classes × D × {0.1}` grid.
 
-use crate::experiments::PAPER_COMPROMISED_FRACTION;
+use crate::config::EvalConfig;
+use crate::experiments::{standard_axis, PAPER_COMPROMISED_FRACTION};
 use crate::report::{FigureReport, Series};
-use crate::runner::EvalContext;
+use crate::scenario::{AttackMix, ParamGrid, ScenarioRunner, ScenarioSpec, SubstrateCache};
 use lad_attack::AttackClass;
 use lad_core::MetricKind;
 
 /// Degrees of damage shown across Figures 5 and 6.
 pub const DAMAGE_LEVELS: [f64; 4] = [40.0, 80.0, 120.0, 160.0];
 
-/// Reproduces Figures 5 and 6 (one combined report; the CSV carries all four
-/// panels).
-pub fn fig56_roc_attacks(ctx: &EvalContext) -> FigureReport {
-    let mut report = FigureReport::new(
+/// The scenario Figures 5–6 sweep.
+pub fn fig56_spec(base: &EvalConfig) -> ScenarioSpec {
+    ScenarioSpec::new(
         "fig5_6",
         "ROC curves for Dec-Bounded vs Dec-Only attacks (DR-FP-T-D)",
-        "false positive rate",
-        "detection rate",
-    );
+        standard_axis(base),
+        ParamGrid {
+            metrics: vec![MetricKind::Diff],
+            attacks: AttackClass::ALL.map(AttackMix::pure).to_vec(),
+            damages: DAMAGE_LEVELS.to_vec(),
+            fractions: vec![PAPER_COMPROMISED_FRACTION],
+        },
+        base.sampling_plan(),
+    )
+}
+
+/// Reproduces Figures 5 and 6 (one combined report; the CSV carries all four
+/// panels).
+pub fn fig56_roc_attacks(base: &EvalConfig, cache: &SubstrateCache) -> FigureReport {
+    let spec = fig56_spec(base);
+    let result = ScenarioRunner::with_cache(&spec, cache).run();
+    let dep = result.single();
+
+    let mut report =
+        FigureReport::new(spec.id, spec.title, "false positive rate", "detection rate");
     report.push_note(format!(
         "x = {:.0}%, m = {}, M = Diff metric",
         PAPER_COMPROMISED_FRACTION * 100.0,
-        ctx.knowledge().group_size()
+        dep.substrate.knowledge().group_size()
     ));
 
     for &d in &DAMAGE_LEVELS {
         for class in AttackClass::ALL {
-            let set = ctx.score_set(MetricKind::Diff, class, d, PAPER_COMPROMISED_FRACTION);
-            let roc = set.roc();
+            let cell = dep
+                .find_cell(
+                    MetricKind::Diff,
+                    class.name(),
+                    d,
+                    PAPER_COMPROMISED_FRACTION,
+                )
+                .expect("cell is in the grid");
+            let roc = dep.roc(cell);
             let points: Vec<(f64, f64)> = roc
                 .points()
                 .iter()
@@ -52,22 +76,27 @@ pub fn fig56_roc_attacks(ctx: &EvalContext) -> FigureReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::EvalConfig;
 
     #[test]
     fn fig56_shape_matches_the_paper() {
-        let ctx = EvalContext::new(EvalConfig::bench());
-        let report = fig56_roc_attacks(&ctx);
+        let base = EvalConfig::bench();
+        let cache = SubstrateCache::new();
+        let report = fig56_roc_attacks(&base, &cache);
         assert_eq!(report.series.len(), 8);
+
+        let result = ScenarioRunner::with_cache(&fig56_spec(&base), &cache).run();
+        let dep = result.single();
+        let dr = |class: AttackClass, d: f64| {
+            let cell = dep
+                .find_cell(MetricKind::Diff, class.name(), d, 0.10)
+                .unwrap();
+            dep.detection_rate(cell, 0.10)
+        };
 
         // Dec-Only is never harder to detect than Dec-Bounded at the same D.
         for &d in &[40.0, 120.0] {
-            let bounded = ctx
-                .score_set(MetricKind::Diff, AttackClass::DecBounded, d, 0.10)
-                .detection_rate_at_fp(0.10);
-            let only = ctx
-                .score_set(MetricKind::Diff, AttackClass::DecOnly, d, 0.10)
-                .detection_rate_at_fp(0.10);
+            let bounded = dr(AttackClass::DecBounded, d);
+            let only = dr(AttackClass::DecOnly, d);
             assert!(
                 only + 1e-9 >= bounded,
                 "D={d}: dec-only DR {only} should be >= dec-bounded DR {bounded}"
@@ -76,12 +105,8 @@ mod tests {
 
         // At large D the two classes converge (paper: the expensive defences
         // stop mattering once the damage is big).
-        let bounded = ctx
-            .score_set(MetricKind::Diff, AttackClass::DecBounded, 160.0, 0.10)
-            .detection_rate_at_fp(0.10);
-        let only = ctx
-            .score_set(MetricKind::Diff, AttackClass::DecOnly, 160.0, 0.10)
-            .detection_rate_at_fp(0.10);
+        let bounded = dr(AttackClass::DecBounded, 160.0);
+        let only = dr(AttackClass::DecOnly, 160.0);
         assert!(
             (only - bounded).abs() < 0.25,
             "classes should converge at D=160"

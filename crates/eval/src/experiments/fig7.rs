@@ -1,11 +1,14 @@
 //! Figure 7: detection rate vs degree of damage (DR-D-x).
 //!
 //! Setup (paper §7.6): FP = 1 %, m = 300, Diff metric, Dec-Bounded attacks;
-//! one curve per compromised-neighbour fraction x ∈ {10, 20, 30}%.
+//! one curve per compromised-neighbour fraction x ∈ {10, 20, 30}%. Declared
+//! as a `{Diff} × {Dec-Bounded} × D × x` grid — all 21 cells evaluate in
+//! parallel on one pool.
 
-use crate::experiments::PAPER_FP_BUDGET;
+use crate::config::EvalConfig;
+use crate::experiments::{standard_axis, PAPER_FP_BUDGET};
 use crate::report::{FigureReport, Series};
-use crate::runner::EvalContext;
+use crate::scenario::{AttackMix, ParamGrid, ScenarioRunner, ScenarioSpec, SubstrateCache};
 use lad_attack::AttackClass;
 use lad_core::MetricKind;
 
@@ -15,34 +18,48 @@ pub const DAMAGE_SWEEP: [f64; 7] = [40.0, 60.0, 80.0, 100.0, 120.0, 140.0, 160.0
 /// Compromised-neighbour fractions, one per curve.
 pub const FRACTIONS: [f64; 3] = [0.10, 0.20, 0.30];
 
-/// Reproduces Figure 7.
-pub fn fig7_dr_vs_damage(ctx: &EvalContext) -> FigureReport {
-    let mut report = FigureReport::new(
+/// The scenario Figure 7 sweeps.
+pub fn fig7_spec(base: &EvalConfig) -> ScenarioSpec {
+    ScenarioSpec::new(
         "fig7",
         "Detection rate vs degree of damage (DR-D-x)",
+        standard_axis(base),
+        ParamGrid {
+            metrics: vec![MetricKind::Diff],
+            attacks: vec![AttackMix::pure(AttackClass::DecBounded)],
+            damages: DAMAGE_SWEEP.to_vec(),
+            fractions: FRACTIONS.to_vec(),
+        },
+        base.sampling_plan(),
+    )
+}
+
+/// Reproduces Figure 7.
+pub fn fig7_dr_vs_damage(base: &EvalConfig, cache: &SubstrateCache) -> FigureReport {
+    let spec = fig7_spec(base);
+    let result = ScenarioRunner::with_cache(&spec, cache).run();
+    let dep = result.single();
+
+    let mut report = FigureReport::new(
+        spec.id,
+        spec.title,
         "degree of damage D (m)",
         "detection rate",
     );
     report.push_note(format!(
         "FP = {:.0}%, m = {}, M = Diff metric, T = Dec-Bounded",
         PAPER_FP_BUDGET * 100.0,
-        ctx.knowledge().group_size()
+        dep.substrate.knowledge().group_size()
     ));
 
     for &x in &FRACTIONS {
         let points: Vec<(f64, f64)> = DAMAGE_SWEEP
             .iter()
             .map(|&d| {
-                (
-                    d,
-                    ctx.detection_rate(
-                        MetricKind::Diff,
-                        AttackClass::DecBounded,
-                        d,
-                        x,
-                        PAPER_FP_BUDGET,
-                    ),
-                )
+                let cell = dep
+                    .find_cell(MetricKind::Diff, "dec-bounded", d, x)
+                    .expect("cell is in the grid");
+                (d, dep.detection_rate(cell, PAPER_FP_BUDGET))
             })
             .collect();
         report.push_series(Series::new(format!("x={:.0}%", x * 100.0), points));
@@ -53,12 +70,10 @@ pub fn fig7_dr_vs_damage(ctx: &EvalContext) -> FigureReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::EvalConfig;
 
     #[test]
     fn detection_rate_rises_with_damage_and_reaches_high_values() {
-        let ctx = EvalContext::new(EvalConfig::bench());
-        let report = fig7_dr_vs_damage(&ctx);
+        let report = fig7_dr_vs_damage(&EvalConfig::bench(), &SubstrateCache::new());
         assert_eq!(report.series.len(), 3);
         let x10 = report.series_by_label("x=10%").unwrap();
         assert_eq!(x10.points.len(), DAMAGE_SWEEP.len());

@@ -2,10 +2,12 @@
 //!
 //! Setup (paper §7.7): FP = 1 %, m = 300, Diff metric, Dec-Bounded attacks;
 //! one curve per degree of damage D ∈ {80, 120, 160}; x sweeps 0 … 60 %.
+//! Declared as a `{Diff} × {Dec-Bounded} × D × x` grid.
 
-use crate::experiments::PAPER_FP_BUDGET;
+use crate::config::EvalConfig;
+use crate::experiments::{standard_axis, PAPER_FP_BUDGET};
 use crate::report::{FigureReport, Series};
-use crate::runner::EvalContext;
+use crate::scenario::{AttackMix, ParamGrid, ScenarioRunner, ScenarioSpec, SubstrateCache};
 use lad_attack::AttackClass;
 use lad_core::MetricKind;
 
@@ -15,34 +17,48 @@ pub const FRACTION_SWEEP: [f64; 7] = [0.0, 0.10, 0.20, 0.30, 0.40, 0.50, 0.60];
 /// Degrees of damage, one per curve.
 pub const DAMAGE_LEVELS: [f64; 3] = [80.0, 120.0, 160.0];
 
-/// Reproduces Figure 8.
-pub fn fig8_dr_vs_compromise(ctx: &EvalContext) -> FigureReport {
-    let mut report = FigureReport::new(
+/// The scenario Figure 8 sweeps.
+pub fn fig8_spec(base: &EvalConfig) -> ScenarioSpec {
+    ScenarioSpec::new(
         "fig8",
         "Detection rate vs percentage of compromised nodes (DR-x-D)",
+        standard_axis(base),
+        ParamGrid {
+            metrics: vec![MetricKind::Diff],
+            attacks: vec![AttackMix::pure(AttackClass::DecBounded)],
+            damages: DAMAGE_LEVELS.to_vec(),
+            fractions: FRACTION_SWEEP.to_vec(),
+        },
+        base.sampling_plan(),
+    )
+}
+
+/// Reproduces Figure 8.
+pub fn fig8_dr_vs_compromise(base: &EvalConfig, cache: &SubstrateCache) -> FigureReport {
+    let spec = fig8_spec(base);
+    let result = ScenarioRunner::with_cache(&spec, cache).run();
+    let dep = result.single();
+
+    let mut report = FigureReport::new(
+        spec.id,
+        spec.title,
         "compromised neighbours (%)",
         "detection rate",
     );
     report.push_note(format!(
         "FP = {:.0}%, m = {}, M = Diff metric, T = Dec-Bounded",
         PAPER_FP_BUDGET * 100.0,
-        ctx.knowledge().group_size()
+        dep.substrate.knowledge().group_size()
     ));
 
     for &d in &DAMAGE_LEVELS {
         let points: Vec<(f64, f64)> = FRACTION_SWEEP
             .iter()
             .map(|&x| {
-                (
-                    x * 100.0,
-                    ctx.detection_rate(
-                        MetricKind::Diff,
-                        AttackClass::DecBounded,
-                        d,
-                        x,
-                        PAPER_FP_BUDGET,
-                    ),
-                )
+                let cell = dep
+                    .find_cell(MetricKind::Diff, "dec-bounded", d, x)
+                    .expect("cell is in the grid");
+                (x * 100.0, dep.detection_rate(cell, PAPER_FP_BUDGET))
             })
             .collect();
         report.push_series(Series::new(format!("D={d:.0}"), points));
@@ -53,12 +69,10 @@ pub fn fig8_dr_vs_compromise(ctx: &EvalContext) -> FigureReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::EvalConfig;
 
     #[test]
     fn higher_damage_tolerates_more_compromise() {
-        let ctx = EvalContext::new(EvalConfig::bench());
-        let report = fig8_dr_vs_compromise(&ctx);
+        let report = fig8_dr_vs_compromise(&EvalConfig::bench(), &SubstrateCache::new());
         assert_eq!(report.series.len(), 3);
         let d80 = report.series_by_label("D=80").unwrap();
         let d160 = report.series_by_label("D=160").unwrap();

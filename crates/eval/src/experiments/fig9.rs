@@ -2,14 +2,18 @@
 //!
 //! Setup (paper §7.8): FP = 1 %, Diff metric, Dec-Bounded attacks; panels for
 //! D ∈ {80, 100, 160}, curves for x ∈ {10, 20, 30}%, and the x axis sweeps
-//! the group size m. Unlike the other figures this one needs a separate
-//! deployment (and separate clean-score collection) per density, so it builds
-//! its own [`EvalContext`] per m value.
+//! the group size m. Each density is one **deployment axis** of a single
+//! scenario — re-training the clean scores per density is what makes
+//! localization accuracy (and therefore the thresholds) density-dependent,
+//! the effect §7.8 describes — and the whole `densities × D × x` grid fans
+//! out on one pool.
 
 use crate::config::EvalConfig;
 use crate::experiments::PAPER_FP_BUDGET;
 use crate::report::{FigureReport, Series};
-use crate::runner::EvalContext;
+use crate::scenario::{
+    AttackMix, DeploymentAxis, ParamGrid, ScenarioRunner, ScenarioSpec, SubstrateCache,
+};
 use lad_attack::AttackClass;
 use lad_core::MetricKind;
 
@@ -19,14 +23,43 @@ pub const DAMAGE_LEVELS: [f64; 3] = [80.0, 100.0, 160.0];
 /// Compromised-neighbour fractions (one curve each).
 pub const FRACTIONS: [f64; 3] = [0.10, 0.20, 0.30];
 
+/// The scenario Figure 9 sweeps: one deployment axis per density.
+pub fn fig9_spec(base: &EvalConfig, group_sizes: &[usize]) -> ScenarioSpec {
+    let axes: Vec<DeploymentAxis> = group_sizes
+        .iter()
+        .map(|&m| DeploymentAxis::new(format!("m={m}"), base.deployment.with_group_size(m)))
+        .collect();
+    ScenarioSpec::new(
+        "fig9",
+        "Detection rate vs network density (DR-m-x-D)",
+        axes[0].clone(),
+        ParamGrid {
+            metrics: vec![MetricKind::Diff],
+            attacks: vec![AttackMix::pure(AttackClass::DecBounded)],
+            damages: DAMAGE_LEVELS.to_vec(),
+            fractions: FRACTIONS.to_vec(),
+        },
+        base.sampling_plan(),
+    )
+    .with_deployments(axes)
+}
+
 /// Reproduces Figure 9 for the given densities (group sizes m).
 ///
 /// The paper sweeps m from below 100 up to 1000; the `reproduce` binary uses
 /// `[100, 300, 600, 1000]` in paper mode and a reduced list in quick mode.
-pub fn fig9_dr_vs_density(base: &EvalConfig, group_sizes: &[usize]) -> FigureReport {
+pub fn fig9_dr_vs_density(
+    base: &EvalConfig,
+    group_sizes: &[usize],
+    cache: &SubstrateCache,
+) -> FigureReport {
+    assert!(!group_sizes.is_empty(), "need at least one density");
+    let spec = fig9_spec(base, group_sizes);
+    let result = ScenarioRunner::with_cache(&spec, cache).run();
+
     let mut report = FigureReport::new(
-        "fig9",
-        "Detection rate vs network density (DR-m-x-D)",
+        spec.id,
+        spec.title,
         "nodes per deployment group m",
         "detection rate",
     );
@@ -35,41 +68,27 @@ pub fn fig9_dr_vs_density(base: &EvalConfig, group_sizes: &[usize]) -> FigureRep
         PAPER_FP_BUDGET * 100.0
     ));
 
-    // One context per density; each context re-trains the clean scores, which
-    // is what makes localization accuracy (and therefore the thresholds)
-    // density-dependent — the effect §7.8 describes.
-    let contexts: Vec<(usize, EvalContext)> = group_sizes
-        .iter()
-        .map(|&m| (m, EvalContext::new(base.with_group_size(m))))
-        .collect();
-
     for &d in &DAMAGE_LEVELS {
         for &x in &FRACTIONS {
-            let points: Vec<(f64, f64)> = contexts
+            let points: Vec<(f64, f64)> = group_sizes
                 .iter()
-                .map(|(m, ctx)| {
-                    (
-                        *m as f64,
-                        ctx.detection_rate(
-                            MetricKind::Diff,
-                            AttackClass::DecBounded,
-                            d,
-                            x,
-                            PAPER_FP_BUDGET,
-                        ),
-                    )
+                .zip(&result.deployments)
+                .map(|(&m, dep)| {
+                    let cell = dep
+                        .find_cell(MetricKind::Diff, "dec-bounded", d, x)
+                        .expect("cell is in the grid");
+                    (m as f64, dep.detection_rate(cell, PAPER_FP_BUDGET))
                 })
                 .collect();
             report.push_series(Series::new(format!("D={d:.0} x={:.0}%", x * 100.0), points));
         }
     }
 
-    for (m, ctx) in &contexts {
-        let errors = ctx.clean_localization_errors();
-        let mean_err = errors.iter().sum::<f64>() / errors.len().max(1) as f64;
+    for (m, dep) in group_sizes.iter().zip(&result.deployments) {
+        let errors = dep.substrate.clean_error_summary();
         report.push_note(format!(
-            "m = {m}: mean clean localization error = {mean_err:.1} m over {} samples",
-            errors.len()
+            "m = {m}: mean clean localization error = {:.1} m over {} samples",
+            errors.mean, errors.count
         ));
     }
     report
@@ -82,7 +101,7 @@ mod tests {
     #[test]
     fn density_improves_detection_for_moderate_damage() {
         let base = EvalConfig::bench();
-        let report = fig9_dr_vs_density(&base, &[40, 120]);
+        let report = fig9_dr_vs_density(&base, &[40, 120], &SubstrateCache::new());
         // 3 damage levels × 3 fractions.
         assert_eq!(report.series.len(), 9);
         let s = report.series_by_label("D=100 x=10%").unwrap();

@@ -1,0 +1,126 @@
+//! Joint D×x detection-rate heatmap (grid-native scenario E12).
+//!
+//! Figures 7 and 8 each sweep one of `D` (degree of damage) and `x`
+//! (compromised fraction) while pinning the other; the joint surface —
+//! which `(D, x)` combinations the detector actually covers at the paper's
+//! FP = 1 % budget — was too expensive to hand-roll per point. As a
+//! scenario it is one 7 × 7 grid whose 49 cells share a single clean-score
+//! collection and evaluate concurrently.
+
+use crate::config::EvalConfig;
+use crate::experiments::{standard_axis, PAPER_FP_BUDGET};
+use crate::report::{FigureReport, Series};
+use crate::scenario::{AttackMix, ParamGrid, ScenarioRunner, ScenarioSpec, SubstrateCache};
+use lad_attack::AttackClass;
+use lad_core::MetricKind;
+
+/// Degrees of damage on one heatmap axis.
+pub const DAMAGE_SWEEP: [f64; 7] = [40.0, 60.0, 80.0, 100.0, 120.0, 140.0, 160.0];
+
+/// Compromised fractions on the other axis.
+pub const FRACTION_SWEEP: [f64; 7] = [0.0, 0.10, 0.20, 0.30, 0.40, 0.50, 0.60];
+
+/// The detection-rate level whose frontier the notes report.
+pub const FRONTIER_DR: f64 = 0.9;
+
+/// The joint D×x scenario.
+pub fn heatmap_spec(base: &EvalConfig) -> ScenarioSpec {
+    ScenarioSpec::new(
+        "heatmap_dx",
+        "Joint detection-rate surface over degree of damage and compromised fraction",
+        standard_axis(base),
+        ParamGrid {
+            metrics: vec![MetricKind::Diff],
+            attacks: vec![AttackMix::pure(AttackClass::DecBounded)],
+            damages: DAMAGE_SWEEP.to_vec(),
+            fractions: FRACTION_SWEEP.to_vec(),
+        },
+        base.sampling_plan(),
+    )
+}
+
+/// Evaluates the joint D×x heatmap: one series per damage level (the
+/// heatmap's rows), points over the compromised fraction, plus notes giving
+/// the detection frontier — the smallest D reaching `FRONTIER_DR` at each
+/// x.
+pub fn heatmap_damage_compromise(base: &EvalConfig, cache: &SubstrateCache) -> FigureReport {
+    let spec = heatmap_spec(base);
+    let result = ScenarioRunner::with_cache(&spec, cache).run();
+    let dep = result.single();
+
+    let mut report = FigureReport::new(
+        spec.id,
+        spec.title,
+        "compromised neighbours (%)",
+        "detection rate at FP <= 1%",
+    );
+    report.push_note(format!(
+        "FP = {:.0}%, m = {}, M = Diff metric, T = Dec-Bounded; {} grid cells",
+        PAPER_FP_BUDGET * 100.0,
+        dep.substrate.knowledge().group_size(),
+        spec.grid.len()
+    ));
+
+    let dr_at = |d: f64, x: f64| {
+        let cell = dep
+            .find_cell(MetricKind::Diff, "dec-bounded", d, x)
+            .expect("cell is in the grid");
+        dep.detection_rate(cell, PAPER_FP_BUDGET)
+    };
+
+    for &d in &DAMAGE_SWEEP {
+        let points: Vec<(f64, f64)> = FRACTION_SWEEP
+            .iter()
+            .map(|&x| (x * 100.0, dr_at(d, x)))
+            .collect();
+        report.push_series(Series::new(format!("D={d:.0}"), points));
+    }
+
+    // The frontier: how much damage the adversary must accept to stay
+    // undetected, as a function of its compromise budget.
+    for &x in &FRACTION_SWEEP {
+        let frontier = DAMAGE_SWEEP.iter().find(|&&d| dr_at(d, x) >= FRONTIER_DR);
+        report.push_note(match frontier {
+            Some(d) => format!(
+                "x = {:.0}%: smallest D with DR >= {FRONTIER_DR} is {d:.0} m",
+                x * 100.0
+            ),
+            None => format!(
+                "x = {:.0}%: no swept D reaches DR >= {FRONTIER_DR}",
+                x * 100.0
+            ),
+        });
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heatmap_covers_the_full_grid_and_is_monotone_in_damage() {
+        let report = heatmap_damage_compromise(&EvalConfig::bench(), &SubstrateCache::new());
+        assert_eq!(report.series.len(), DAMAGE_SWEEP.len());
+        for series in &report.series {
+            assert_eq!(series.points.len(), FRACTION_SWEEP.len());
+            for (_, dr) in &series.points {
+                assert!((0.0..=1.0).contains(dr));
+            }
+        }
+        // At the paper's x = 10% column, more damage must not detect worse.
+        let col = |label: &str| {
+            report.series_by_label(label).unwrap().points[1].1 // x = 10%
+        };
+        assert!(col("D=160") + 0.1 >= col("D=40"));
+        // One frontier note per fraction.
+        assert_eq!(
+            report
+                .notes
+                .iter()
+                .filter(|n| n.starts_with("x = "))
+                .count(),
+            FRACTION_SWEEP.len()
+        );
+    }
+}

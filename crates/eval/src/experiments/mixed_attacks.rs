@@ -1,0 +1,126 @@
+//! Mixed-attack-class workload (grid-native scenario E13).
+//!
+//! The paper evaluates each attack class in isolation, but a deployed
+//! detector faces a *population* of adversaries: some constrained to
+//! silence-only capabilities (Dec-Only), some with full forging power
+//! (Dec-Bounded). An [`AttackMix`] assigns classes to victims by weight
+//! inside one score distribution — a workload the old per-point harness
+//! could only fake by running every class separately and re-weighting
+//! offline (which mis-states any non-linear operating point, e.g. DR at a
+//! shared threshold). One grid compares the pure classes against two
+//! mixtures across the damage sweep.
+
+use crate::config::EvalConfig;
+use crate::experiments::{standard_axis, PAPER_COMPROMISED_FRACTION, PAPER_FP_BUDGET};
+use crate::report::{FigureReport, Series};
+use crate::scenario::{AttackMix, ParamGrid, ScenarioRunner, ScenarioSpec, SubstrateCache};
+use lad_attack::AttackClass;
+use lad_core::MetricKind;
+
+/// Degrees of damage swept.
+pub const DAMAGE_SWEEP: [f64; 4] = [40.0, 80.0, 120.0, 160.0];
+
+/// The attack mixes compared (two pure, two genuinely mixed).
+pub fn workload_mixes() -> Vec<AttackMix> {
+    vec![
+        AttackMix::pure(AttackClass::DecBounded),
+        AttackMix::pure(AttackClass::DecOnly),
+        AttackMix::weighted(
+            "mixed-50-50",
+            vec![(AttackClass::DecBounded, 1), (AttackClass::DecOnly, 1)],
+        ),
+        AttackMix::weighted(
+            "bounded-heavy-3-1",
+            vec![(AttackClass::DecBounded, 3), (AttackClass::DecOnly, 1)],
+        ),
+    ]
+}
+
+/// The mixed-workload scenario.
+pub fn mixed_attacks_spec(base: &EvalConfig) -> ScenarioSpec {
+    ScenarioSpec::new(
+        "mixed_attacks",
+        "Detection rate under mixed attack-class workloads",
+        standard_axis(base),
+        ParamGrid {
+            metrics: vec![MetricKind::Diff],
+            attacks: workload_mixes(),
+            damages: DAMAGE_SWEEP.to_vec(),
+            fractions: vec![PAPER_COMPROMISED_FRACTION],
+        },
+        base.sampling_plan(),
+    )
+}
+
+/// Evaluates the mixed-attack workload: one series per mix over the damage
+/// sweep, detection rate at the paper's FP = 1 % budget.
+pub fn mixed_attack_workload(base: &EvalConfig, cache: &SubstrateCache) -> FigureReport {
+    let spec = mixed_attacks_spec(base);
+    let result = ScenarioRunner::with_cache(&spec, cache).run();
+    let dep = result.single();
+
+    let mut report = FigureReport::new(
+        spec.id,
+        spec.title,
+        "degree of damage D (m)",
+        "detection rate at FP <= 1%",
+    );
+    report.push_note(format!(
+        "FP = {:.0}%, x = {:.0}%, m = {}, M = Diff metric",
+        PAPER_FP_BUDGET * 100.0,
+        PAPER_COMPROMISED_FRACTION * 100.0,
+        dep.substrate.knowledge().group_size()
+    ));
+
+    for mix in workload_mixes() {
+        let points: Vec<(f64, f64)> = DAMAGE_SWEEP
+            .iter()
+            .map(|&d| {
+                let cell = dep
+                    .find_cell(MetricKind::Diff, mix.label(), d, PAPER_COMPROMISED_FRACTION)
+                    .expect("cell is in the grid");
+                (d, dep.detection_rate(cell, PAPER_FP_BUDGET))
+            })
+            .collect();
+        report.push_series(Series::new(mix.label().to_string(), points));
+    }
+
+    // Headline: the AUC gap between the pure classes and the 50/50 mix at a
+    // representative damage level.
+    let auc = |label: &str| {
+        let cell = dep
+            .find_cell(MetricKind::Diff, label, 120.0, PAPER_COMPROMISED_FRACTION)
+            .expect("cell is in the grid");
+        dep.roc(cell).auc()
+    };
+    report.push_note(format!(
+        "AUC at D=120: dec-bounded {:.3}, mixed-50-50 {:.3}, dec-only {:.3}",
+        auc("dec-bounded"),
+        auc("mixed-50-50"),
+        auc("dec-only")
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixed_workloads_sit_between_the_pure_classes() {
+        let report = mixed_attack_workload(&EvalConfig::bench(), &SubstrateCache::new());
+        assert_eq!(report.series.len(), 4);
+        let at_d = |label: &str, idx: usize| report.series_by_label(label).unwrap().points[idx].1;
+        for (idx, d) in DAMAGE_SWEEP.iter().enumerate() {
+            let (bounded, only) = (at_d("dec-bounded", idx), at_d("dec-only", idx));
+            let mixed = at_d("mixed-50-50", idx);
+            // Dec-Only is the easier class; a mix must not beat it or lose to
+            // the harder pure class by more than sampling noise.
+            assert!(
+                mixed + 0.15 >= bounded.min(only) && mixed <= bounded.max(only) + 0.15,
+                "D={d}: mixed {mixed} outside [{bounded}, {only}]"
+            );
+        }
+        assert!(report.notes.iter().any(|n| n.starts_with("AUC at D=120")));
+    }
+}

@@ -1,4 +1,13 @@
 //! One module per reproduced figure / ablation (see the crate-level table).
+//!
+//! Every Monte-Carlo experiment is declared as a
+//! [`ScenarioSpec`](crate::scenario::ScenarioSpec) and executed by the
+//! [`ScenarioRunner`](crate::scenario::ScenarioRunner); the modules here
+//! only declare grids and render reports. Experiments share deployments
+//! through a [`SubstrateCache`], so the standard deployment point is
+//! simulated once per process no matter how many figures sweep it.
+//!
+//! [`SubstrateCache`]: crate::scenario::SubstrateCache
 
 mod ablation_gz;
 mod ablation_localizers;
@@ -10,6 +19,8 @@ mod fig56;
 mod fig7;
 mod fig8;
 mod fig9;
+mod heatmap_dx;
+mod mixed_attacks;
 
 pub use ablation_gz::ablation_gz_table;
 pub use ablation_localizers::ablation_localizers;
@@ -21,9 +32,32 @@ pub use fig56::fig56_roc_attacks;
 pub use fig7::fig7_dr_vs_damage;
 pub use fig8::fig8_dr_vs_compromise;
 pub use fig9::fig9_dr_vs_density;
+pub use heatmap_dx::heatmap_damage_compromise;
+pub use mixed_attacks::mixed_attack_workload;
+
+use crate::config::EvalConfig;
+use crate::scenario::{DeploymentAxis, Substrate, SubstrateCache};
+use lad_stats::AccumulatorConfig;
+use std::sync::Arc;
 
 /// The false-positive budget the paper fixes for Figures 7–9.
 pub const PAPER_FP_BUDGET: f64 = 0.01;
 
 /// The compromised-neighbour fraction used by most figures (x = 10 %).
 pub const PAPER_COMPROMISED_FRACTION: f64 = 0.10;
+
+/// The deployment axis most figures share (labelled by its group size).
+pub fn standard_axis(base: &EvalConfig) -> DeploymentAxis {
+    base.deployment_axis(format!("m={}", base.deployment.group_size))
+}
+
+/// The shared substrate of [`standard_axis`] — what the non-sweep
+/// experiments (Figures 1–3, the g(z) ablation) read networks and
+/// deployment knowledge from.
+pub fn standard_substrate(base: &EvalConfig, cache: &SubstrateCache) -> Arc<Substrate> {
+    cache.substrate(
+        &standard_axis(base),
+        &base.sampling_plan(),
+        AccumulatorConfig::default(),
+    )
+}

@@ -1,33 +1,24 @@
-//! Deterministic, parallel Monte-Carlo score collection.
+//! `EvalContext` — a thin compatibility layer over the scenario substrate.
 //!
-//! Every figure of §7 boils down to comparing two score distributions for a
-//! detection metric:
+//! The experiments themselves are declared as [`ScenarioSpec`]s and executed
+//! by the [`ScenarioRunner`](crate::scenario::ScenarioRunner); this module
+//! keeps the older buffered, raw-`Vec<f64>` interface alive for callers that
+//! want direct access to score samples (examples, tests, ad-hoc analysis).
+//! Everything is delegated to [`Substrate`]: `EvalContext` is one substrate
+//! built with an exact (never-spilling) accumulator layout, so its slices
+//! are the exact distributions, at the cost of O(samples) memory — the
+//! streaming scenario path is the scalable one.
 //!
-//! * **clean scores** — metric values of honest nodes whose location was
-//!   estimated by the localization scheme (these set the thresholds and the
-//!   false-positive axis), and
-//! * **attacked scores** — metric values of victims subjected to the §7.1
-//!   attack-simulation procedure (D-anomaly plus greedy taint).
-//!
-//! [`EvalContext`] pre-generates the deployments and the clean scores once,
-//! then serves attacked-score queries for arbitrary `(metric, class, D, x)`
-//! combinations. Scoring goes through a score-only
-//! [`LadEngine`](lad_core::engine::LadEngine) configured with all three
-//! metrics, so `µ(L_e)` is computed once per estimate; the simulation loops
-//! are Rayon-parallel with per-trial seeds derived from the master seed, so
-//! results are independent of thread scheduling.
+//! [`ScenarioSpec`]: crate::scenario::ScenarioSpec
 
 use crate::config::EvalConfig;
-use lad_attack::{simulate_attack, AttackClass, AttackConfig};
-use lad_core::engine::{DetectionRequest, LadEngine};
+use crate::scenario::{AttackMix, CellParams, Substrate};
+use lad_attack::AttackClass;
+use lad_core::engine::LadEngine;
 use lad_core::MetricKind;
 use lad_deployment::DeploymentKnowledge;
-use lad_net::{Network, NodeId};
-use lad_stats::seeds::derive_seed;
-use lad_stats::RocCurve;
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
-use rayon::prelude::*;
+use lad_net::Network;
+use lad_stats::{AccumulatorConfig, RocCurve, Summary};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -54,79 +45,38 @@ impl ScoreSet {
     }
 }
 
-/// Pre-generated deployments plus cached clean scores for one [`EvalConfig`].
+/// Pre-generated deployments plus exact cached clean scores for one
+/// [`EvalConfig`] — the buffered compatibility view of a scenario
+/// [`Substrate`].
 pub struct EvalContext {
     config: EvalConfig,
-    engine: LadEngine,
-    networks: Vec<Network>,
-    clean_scores: [Vec<f64>; 3],
-    clean_localization_errors: Vec<f64>,
+    substrate: Arc<Substrate>,
 }
 
 impl EvalContext {
-    /// Generates the deployments and computes the clean score distributions.
+    /// Generates the deployments and computes the clean score distributions
+    /// (exact accumulator layout: every score is retained).
     pub fn new(config: EvalConfig) -> Self {
-        let engine = LadEngine::builder()
-            .deployment(&config.deployment)
-            .metrics(&MetricKind::ALL)
-            .score_only()
-            .build()
-            .expect("evaluation deployment is valid");
-        let knowledge = engine.knowledge().clone();
-        let networks: Vec<Network> = (0..config.networks)
-            .map(|i| {
-                Network::generate(
-                    knowledge.clone(),
-                    derive_seed(config.seed, &[0xC1EA, i as u64]),
-                )
-            })
-            .collect();
+        let substrate = Arc::new(Substrate::new(
+            &config.deployment_axis("eval"),
+            &config.sampling_plan(),
+            AccumulatorConfig::exact(),
+        ));
+        Self { config, substrate }
+    }
 
-        // Stage 1 (parallel): localize the sampled nodes, producing one
-        // detection request and one localization error per localizable node.
-        let localizer = engine.localizer();
-        let samples: Vec<(DetectionRequest, f64)> = networks
-            .par_iter()
-            .enumerate()
-            .flat_map(|(net_idx, network)| {
-                let ids = sample_node_ids(
-                    network,
-                    config.clean_samples_per_network,
-                    derive_seed(config.seed, &[0x5A3D, net_idx as u64]),
-                );
-                ids.into_par_iter()
-                    .filter_map(move |id| {
-                        let obs = network.true_observation(id);
-                        let estimate = localizer.estimate(network.knowledge(), &obs)?;
-                        let error = estimate.distance(network.node(id).resident_point);
-                        Some((DetectionRequest::new(obs, estimate), error))
-                    })
-                    .collect::<Vec<_>>()
-            })
-            .collect();
-
-        // Stage 2: one batched scoring pass — µ(L_e) once per estimate,
-        // shared by all three metrics.
-        let (requests, clean_localization_errors): (Vec<_>, Vec<_>) = samples.into_iter().unzip();
-        let scored = engine.score_batch(&requests);
-        let mut clean_scores: [Vec<f64>; 3] = [
-            Vec::with_capacity(scored.len()),
-            Vec::with_capacity(scored.len()),
-            Vec::with_capacity(scored.len()),
-        ];
-        for s in &scored {
-            clean_scores[0].push(s[0]);
-            clean_scores[1].push(s[1]);
-            clean_scores[2].push(s[2]);
-        }
-
-        Self {
-            config,
-            engine,
-            networks,
-            clean_scores,
-            clean_localization_errors,
-        }
+    /// Wraps an existing exact-mode substrate (e.g. one shared through a
+    /// [`SubstrateCache`](crate::scenario::SubstrateCache)).
+    ///
+    /// # Panics
+    /// Panics when the substrate was built with a spilling accumulator
+    /// layout (its clean scores are then no longer exact).
+    pub fn from_substrate(config: EvalConfig, substrate: Arc<Substrate>) -> Self {
+        assert!(
+            substrate.clean(MetricKind::Diff).is_exact(),
+            "EvalContext needs an exact-mode substrate"
+        );
+        Self { config, substrate }
     }
 
     /// The evaluation configuration.
@@ -134,30 +84,38 @@ impl EvalContext {
         &self.config
     }
 
+    /// The underlying scenario substrate.
+    pub fn substrate(&self) -> &Arc<Substrate> {
+        &self.substrate
+    }
+
     /// The score-only engine (all three metrics) the context scores with.
     pub fn engine(&self) -> &LadEngine {
-        &self.engine
+        self.substrate.engine()
     }
 
     /// The shared deployment knowledge.
     pub fn knowledge(&self) -> &Arc<DeploymentKnowledge> {
-        self.engine.knowledge()
+        self.substrate.knowledge()
     }
 
     /// The pre-generated deployments.
     pub fn networks(&self) -> &[Network] {
-        &self.networks
+        self.substrate.networks()
     }
 
     /// Clean score distribution for `metric`.
     pub fn clean_scores(&self, metric: MetricKind) -> &[f64] {
-        &self.clean_scores[metric_index(metric)]
+        self.substrate
+            .clean(metric)
+            .exact_scores()
+            .expect("EvalContext substrates are exact")
     }
 
-    /// Localization errors `|L_e − L_a|` of the clean samples (no attack) —
-    /// used to report the substrate's baseline accuracy.
-    pub fn clean_localization_errors(&self) -> &[f64] {
-        &self.clean_localization_errors
+    /// Summary of the localization errors `|L_e − L_a|` of the clean samples
+    /// (no attack) — the substrate's baseline accuracy.
+    pub fn clean_localization_errors(&self) -> Summary {
+        self.substrate.clean_error_summary()
     }
 
     /// Attacked score distribution for `metric` under `class` with degree of
@@ -169,60 +127,16 @@ impl EvalContext {
         degree: f64,
         fraction: f64,
     ) -> Vec<f64> {
-        let attack = AttackConfig {
-            degree_of_damage: degree,
-            compromised_fraction: fraction,
-            class,
-            targeted_metric: metric,
+        let cell = CellParams {
+            metric,
+            attack: AttackMix::pure(class),
+            damage: degree,
+            fraction,
         };
-        // Stage 1 (parallel): simulate the attacks, producing one detection
-        // request per victim, with per-victim seeds derived from the master
-        // seed so results are scheduling-independent.
-        let requests: Vec<DetectionRequest> = self
-            .networks
-            .par_iter()
-            .enumerate()
-            .flat_map(|(net_idx, network)| {
-                let point_seed = derive_seed(
-                    self.config.seed,
-                    &[
-                        0xA77A,
-                        net_idx as u64,
-                        degree.to_bits(),
-                        (fraction * 1e6) as u64,
-                        class as u64,
-                        metric_index(metric) as u64,
-                    ],
-                );
-                let ids = sample_node_ids(
-                    network,
-                    self.config.victims_per_network,
-                    derive_seed(point_seed, &[1]),
-                );
-                ids.into_par_iter()
-                    .enumerate()
-                    .map(move |(k, victim)| {
-                        let mut rng =
-                            ChaCha8Rng::seed_from_u64(derive_seed(point_seed, &[2, k as u64]));
-                        let outcome = simulate_attack(network, victim, &attack, &mut rng);
-                        DetectionRequest::new(outcome.tainted_observation, outcome.forged_location)
-                    })
-                    .collect::<Vec<_>>()
-            })
-            .collect();
-
-        // Stage 2: one batched scoring pass; keep the targeted metric's
-        // column (resolved through the engine so the column always matches
-        // its configured metric order).
-        let column = self
-            .engine
-            .metric_index(metric)
-            .expect("EvalContext engine scores all metrics");
-        self.engine
-            .score_batch(&requests)
-            .into_iter()
-            .map(|scores| scores[column])
-            .collect()
+        self.substrate
+            .collect_attacked(&cell, AccumulatorConfig::exact())
+            .into_exact_scores()
+            .expect("exact layout never spills")
     }
 
     /// Convenience: the full [`ScoreSet`] for one parameter point.
@@ -255,21 +169,6 @@ impl EvalContext {
     }
 }
 
-fn metric_index(metric: MetricKind) -> usize {
-    match metric {
-        MetricKind::Diff => 0,
-        MetricKind::AddAll => 1,
-        MetricKind::Probability => 2,
-    }
-}
-
-fn sample_node_ids(network: &Network, count: usize, seed: u64) -> Vec<NodeId> {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    (0..count)
-        .map(|_| NodeId(rng.gen_range(0..network.node_count() as u32)))
-        .collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -287,7 +186,7 @@ mod tests {
             assert!(scores.iter().all(|s| s.is_finite() && *s >= 0.0));
         }
         assert_eq!(
-            ctx.clean_localization_errors().len(),
+            ctx.clean_localization_errors().count,
             ctx.clean_scores(MetricKind::Diff).len()
         );
     }
@@ -298,6 +197,30 @@ mod tests {
         let b = ctx().attacked_scores(MetricKind::Diff, AttackClass::DecBounded, 120.0, 0.1);
         assert_eq!(a, b);
         assert_eq!(a.len(), EvalConfig::bench().total_victims());
+    }
+
+    #[test]
+    fn nearby_fractions_use_distinct_seed_streams() {
+        // Regression: seeds were once derived from `(fraction * 1e6) as u64`,
+        // which collides for fractions closer than 1e-6; `to_bits` keeps the
+        // streams distinct.
+        let ctx = ctx();
+        let a = ctx.attacked_scores(MetricKind::Diff, AttackClass::DecBounded, 120.0, 0.1);
+        let b = ctx.attacked_scores(MetricKind::Diff, AttackClass::DecBounded, 120.0, 0.1 + 1e-9);
+        assert_ne!(a, b, "nearby fractions must not share trial seeds");
+    }
+
+    #[test]
+    fn victims_are_sampled_without_replacement() {
+        use crate::scenario::sample_node_ids;
+        let ctx = ctx();
+        let network = &ctx.networks()[0];
+        let ids = sample_node_ids(network, network.node_count() / 2, 77);
+        let mut seen = std::collections::HashSet::new();
+        assert!(ids.iter().all(|id| seen.insert(*id)), "duplicates sampled");
+        // Oversampling returns every node exactly once.
+        let all = sample_node_ids(network, network.node_count() * 3, 77);
+        assert_eq!(all.len(), network.node_count());
     }
 
     #[test]

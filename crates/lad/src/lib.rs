@@ -15,8 +15,9 @@
 //!   [`LadEngine`](lad_core::engine::LadEngine) front door,
 //! * [`attack`] — the adversary: attack primitives, Dec-Bounded / Dec-Only
 //!   classes, greedy metric-minimising taints, DoS attacks,
-//! * [`eval`] — the harness that regenerates every figure of the paper's
-//!   evaluation section,
+//! * [`eval`] — the evaluation harness: declarative scenario specs
+//!   (`lad_eval::scenario`), a grid-parallel streaming Monte-Carlo runner,
+//!   and every figure of the paper's evaluation section,
 //! * [`geometry`] / [`stats`] — the numeric substrates underneath it all.
 //!
 //! The [`prelude`] re-exports the types most applications need. See the
@@ -46,6 +47,10 @@ pub mod prelude {
         TrainedThresholds, Trainer, TrainingConfig, Verdict,
     };
     pub use lad_deployment::{DeploymentConfig, DeploymentKnowledge, GzTable};
+    pub use lad_eval::scenario::{
+        AttackMix, DeploymentAxis, LocalizerChoice, ParamGrid, SamplingPlan, ScenarioRunner,
+        ScenarioSpec, SubstrateCache,
+    };
     pub use lad_eval::{EvalConfig, EvalContext};
     pub use lad_geometry::{Point2, Rect};
     pub use lad_localization::{

@@ -1,5 +1,5 @@
 //! The beaconless, deployment-knowledge localization scheme (paper reference
-//! [8], Fang/Du/Ning) — the scheme the LAD evaluation runs on top of.
+//! \[8\], Fang/Du/Ning) — the scheme the LAD evaluation runs on top of.
 //!
 //! A sensor hears the group ids of its neighbours and therefore knows its
 //! observation `o = (o_1, …, o_n)`. Under the deployment model, `o_i` is

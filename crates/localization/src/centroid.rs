@@ -1,4 +1,4 @@
-//! Centroid localization (Bulusu, Heidemann, Estrin — paper reference [4]).
+//! Centroid localization (Bulusu, Heidemann, Estrin — paper reference \[4\]).
 //!
 //! A sensor estimates its location as the centroid of the declared positions
 //! of all anchors whose beacons it hears. "It induces low overhead, but high

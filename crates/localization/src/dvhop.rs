@@ -1,4 +1,4 @@
-//! DV-Hop localization (Niculescu & Nath — paper reference [32]).
+//! DV-Hop localization (Niculescu & Nath — paper reference \[32\]).
 //!
 //! Anchors flood the network; every node records its minimum hop count to
 //! each anchor. Each anchor then computes an average metres-per-hop

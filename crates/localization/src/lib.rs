@@ -3,7 +3,7 @@
 //! LAD itself is localization-agnostic (§7.2 of the paper): it takes an
 //! already-estimated location `L_e` and decides whether it is consistent with
 //! the node's observation. The paper evaluates LAD on top of the beaconless
-//! localization scheme of its companion paper (reference [8]); this crate
+//! localization scheme of its companion paper (reference \[8\]); this crate
 //! provides that scheme plus the classic beacon-based baselines discussed in
 //! the related-work section, so the "scheme independence" ablation (DESIGN.md
 //! E10) can be run:

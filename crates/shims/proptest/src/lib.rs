@@ -87,7 +87,7 @@ pub mod strategy {
 pub mod collection {
     use super::strategy::Strategy;
 
-    /// The size argument of [`vec`]: a fixed length or a length range.
+    /// The size argument of [`vec()`](fn@vec): a fixed length or a length range.
     pub trait IntoSizeRange {
         /// Lower and upper bound (exclusive) of the length.
         fn bounds(&self) -> (usize, usize);

@@ -10,7 +10,8 @@
 //!   distance is **Rayleigh** ([`gaussian`], [`rayleigh`], [`erf`]),
 //! * threshold training uses **percentiles** ([`percentile`]) over sampled
 //!   metric values ([`histogram`], [`summary`]),
-//! * the evaluation section is built around **ROC curves** ([`roc`]),
+//! * the evaluation section is built around **ROC curves** ([`roc`]) and
+//!   their O(bins)-memory **streaming accumulators** ([`streaming`]),
 //! * reproducible parallel Monte-Carlo needs **seed derivation** ([`seeds`]).
 //!
 //! Everything is implemented from scratch on top of `std` + `rand`, so the
@@ -30,6 +31,7 @@ pub mod percentile;
 pub mod rayleigh;
 pub mod roc;
 pub mod seeds;
+pub mod streaming;
 pub mod summary;
 
 pub use binomial::Binomial;
@@ -38,4 +40,5 @@ pub use histogram::Histogram;
 pub use lookup::LookupTable;
 pub use rayleigh::Rayleigh;
 pub use roc::{RocCurve, RocPoint};
+pub use streaming::{streaming_ks, streaming_roc, AccumulatorConfig, ScoreAccumulator};
 pub use summary::{OnlineStats, Summary};

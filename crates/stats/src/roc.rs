@@ -86,6 +86,41 @@ impl RocCurve {
         Self { points }
     }
 
+    /// Builds a curve directly from pre-computed operating points (used by
+    /// the streaming-accumulator layer in [`crate::streaming`], whose points
+    /// come from binned counts rather than raw score vectors).
+    ///
+    /// The points are sorted by increasing false-positive rate (ties broken
+    /// by detection rate); consecutive duplicates of the same `(fp, dr)`
+    /// operating point are collapsed to the one with the largest threshold.
+    pub fn from_points(mut points: Vec<RocPoint>) -> Self {
+        assert!(!points.is_empty(), "a ROC curve needs at least one point");
+        points.sort_by(|a, b| {
+            a.false_positive_rate
+                .partial_cmp(&b.false_positive_rate)
+                .expect("NaN false-positive rate")
+                .then(
+                    a.detection_rate
+                        .partial_cmp(&b.detection_rate)
+                        .expect("NaN detection rate"),
+                )
+                .then(
+                    a.threshold
+                        .partial_cmp(&b.threshold)
+                        .expect("NaN threshold"),
+                )
+        });
+        points.dedup_by(|next, kept| {
+            let same = next.false_positive_rate == kept.false_positive_rate
+                && next.detection_rate == kept.detection_rate;
+            if same {
+                kept.threshold = kept.threshold.max(next.threshold);
+            }
+            same
+        });
+        Self { points }
+    }
+
     /// The operating points, ordered by increasing false-positive rate.
     pub fn points(&self) -> &[RocPoint] {
         &self.points

@@ -1,72 +1,60 @@
 //! Scheme independence: LAD on top of three localization schemes.
 //!
 //! LAD only needs an estimated location and an observation, so it can sit on
-//! top of any localization scheme (§7.2). This example compares the baseline
-//! accuracy of the beaconless MLE, centroid and DV-Hop schemes on the same
-//! deployment, and shows how the accuracy of the underlying scheme changes
-//! the Diff-metric threshold LAD has to use.
+//! top of any localization scheme (§7.2). This example declares one scenario
+//! with three deployment axes — identical deployments, different
+//! [`LocalizerChoice`] — and compares the baseline accuracy of the
+//! beaconless MLE, centroid and DV-Hop schemes, the Diff-metric threshold
+//! LAD has to use on top of each, and the resulting detection rate against
+//! the same D = 120 m attack.
 //!
 //! ```text
 //! cargo run --release --example localizer_comparison
 //! ```
 
-use lad::localization::error::evaluate_strided;
-use lad::localization::AnchorField;
+use lad::eval::scenario::{LocalizerChoice, ParamGrid, ScenarioRunner, ScenarioSpec};
+use lad::eval::EvalConfig;
 use lad::prelude::*;
-use lad::stats::percentile;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 
 fn main() {
-    let config = DeploymentConfig::small_test();
-    let knowledge = DeploymentKnowledge::shared(&config);
-    let network = Network::generate(knowledge.clone(), 3);
+    let base = EvalConfig::quick();
+    let axes: Vec<_> = [
+        LocalizerChoice::BeaconlessMle,
+        LocalizerChoice::Centroid { anchors: 16 },
+        LocalizerChoice::DvHop { anchors: 16 },
+    ]
+    .into_iter()
+    .map(|choice| base.deployment_axis(choice.name()).with_localizer(choice))
+    .collect();
 
-    // A shared anchor field for the beacon-based baselines.
-    let mut rng = ChaCha8Rng::seed_from_u64(8);
-    let anchors = AnchorField::random(&network, 16, config.area_side / 3.0, &mut rng);
-    let mle = BeaconlessMle::new();
-    let centroid = CentroidLocalizer::new(anchors.clone());
-    let dvhop = DvHopLocalizer::build(&network, &anchors);
-    let schemes: Vec<&dyn Localizer> = vec![&mle, &centroid, &dvhop];
+    // One attack cell, three localization substrates: the clean (threshold)
+    // side retrains per scheme, the adversary is identical everywhere.
+    let spec = ScenarioSpec::new(
+        "localizer_comparison",
+        "LAD on top of three localization schemes",
+        axes[0].clone(),
+        ParamGrid::single(MetricKind::Diff, AttackClass::DecBounded, 120.0, 0.1),
+        base.sampling_plan(),
+    )
+    .with_deployments(axes);
+    let result = ScenarioRunner::new(&spec).run();
 
     println!(
-        "{:>16} {:>12} {:>12} {:>14} {:>20}",
-        "scheme", "localized", "mean err", "max err", "Diff 99% threshold"
+        "{:>16} {:>12} {:>12} {:>20} {:>12}",
+        "scheme", "localized", "mean err", "Diff 99% threshold", "DR@FP<=1%"
     );
-    // A score-only engine: LAD is localization-agnostic, so the same engine
-    // scores estimates produced by any scheme (one batched pass per scheme).
-    let scorer = LadEngine::builder()
-        .deployment(&config)
-        .metric(MetricKind::Diff)
-        .score_only()
-        .build()
-        .expect("engine builds");
-    for scheme in schemes {
-        // Baseline localization accuracy.
-        let report = evaluate_strided(scheme, &network, 7);
-
-        // The clean Diff-score distribution LAD would train on for this scheme.
-        let requests: Vec<DetectionRequest> = (0..network.node_count())
-            .step_by(7)
-            .filter_map(|i| {
-                let id = NodeId(i as u32);
-                let estimate = scheme.localize(&network, id)?;
-                Some(DetectionRequest::new(
-                    network.true_observation(id),
-                    estimate,
-                ))
-            })
-            .collect();
-        let clean_scores: Vec<f64> = scorer
-            .score_batch(&requests)
-            .into_iter()
-            .map(|s| s[0])
-            .collect();
-        let threshold = percentile::tau_threshold(&clean_scores, 0.99).unwrap_or(f64::NAN);
+    for dep in &result.deployments {
+        let clean = dep.clean(MetricKind::Diff);
+        if clean.count() == 0 {
+            println!("{:>16} {:>12}", dep.label, "none");
+            continue;
+        }
+        let errors = dep.substrate.clean_error_summary();
+        let threshold = clean.quantile(0.99).unwrap_or(f64::NAN);
+        let dr = dep.detection_rate(&dep.cells[0], 0.01);
         println!(
-            "{:>16} {:>12} {:>11.1}m {:>13.1}m {:>20.1}",
-            report.scheme, report.localized, report.error.mean, report.error.max, threshold
+            "{:>16} {:>12} {:>11.1}m {:>20.1} {:>12.3}",
+            dep.label, errors.count, errors.mean, threshold, dr
         );
     }
 

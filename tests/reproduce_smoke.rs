@@ -1,8 +1,10 @@
 //! Smoke test of the figure-reproduction harness: every experiment runs on
-//! the reduced configuration, produces well-formed reports, and the headline
-//! qualitative claims of the paper hold.
+//! the reduced configuration through the scenario layer, produces
+//! well-formed reports, and the headline qualitative claims of the paper
+//! hold.
 
 use lad::eval::experiments;
+use lad::eval::scenario::SubstrateCache;
 use lad::eval::{EvalConfig, EvalContext};
 use lad::prelude::*;
 
@@ -12,20 +14,25 @@ fn context() -> EvalContext {
 
 #[test]
 fn all_experiments_produce_saveable_reports() {
-    let ctx = context();
+    let base = EvalConfig::bench();
+    let cache = SubstrateCache::new();
+    let substrate = experiments::standard_substrate(&base, &cache);
     let dir = std::env::temp_dir().join("lad-reproduce-smoke");
     let _ = std::fs::remove_dir_all(&dir);
 
     let reports = vec![
-        experiments::deployment_figures(&ctx),
-        experiments::attack_showcase(&ctx),
-        experiments::fig4_roc_metrics(&ctx),
-        experiments::fig56_roc_attacks(&ctx),
-        experiments::fig7_dr_vs_damage(&ctx),
-        experiments::fig8_dr_vs_compromise(&ctx),
-        experiments::fig9_dr_vs_density(ctx.config(), &[40, 100]),
-        experiments::ablation_gz_table(&ctx),
-        experiments::ablation_localizers(&ctx),
+        experiments::deployment_figures(&substrate),
+        experiments::attack_showcase(&substrate),
+        experiments::fig4_roc_metrics(&base, &cache),
+        experiments::fig56_roc_attacks(&base, &cache),
+        experiments::fig7_dr_vs_damage(&base, &cache),
+        experiments::fig8_dr_vs_compromise(&base, &cache),
+        experiments::fig9_dr_vs_density(&base, &[40, 100], &cache),
+        experiments::heatmap_damage_compromise(&base, &cache),
+        experiments::mixed_attack_workload(&base, &cache),
+        experiments::ablation_gz_table(&substrate),
+        experiments::ablation_localizers(&base, &cache),
+        experiments::ablation_model_mismatch(&base, &cache),
     ];
 
     for report in &reports {
@@ -50,6 +57,15 @@ fn all_experiments_produce_saveable_reports() {
             .expect("experiment artefacts can be written");
         assert!(dir.join(format!("{}.csv", report.id)).exists());
     }
+    // The standard deployment point was shared: far fewer substrates than
+    // experiments (standard + fig9's two densities + localizer/mismatch
+    // axes).
+    assert!(
+        cache.len() < reports.len(),
+        "cache holds {} substrates for {} experiments",
+        cache.len(),
+        reports.len()
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -98,4 +114,37 @@ fn roc_curves_are_valid_probability_curves() {
             prev_fp = p.false_positive_rate;
         }
     }
+}
+
+#[test]
+fn streaming_scenario_results_agree_with_the_buffered_compat_layer() {
+    use lad::eval::scenario::{ParamGrid, ScenarioRunner, ScenarioSpec};
+
+    // The same single point, once through the exact EvalContext and once
+    // through a (forced binned) streaming scenario: DR within the streaming
+    // layer's documented bound.
+    let base = EvalConfig::bench();
+    let ctx = context();
+    let exact_dr = ctx.detection_rate(MetricKind::Diff, AttackClass::DecBounded, 120.0, 0.10, 0.05);
+
+    let spec = ScenarioSpec::new(
+        "smoke_point",
+        "single point",
+        lad::eval::experiments::standard_axis(&base),
+        ParamGrid::single(MetricKind::Diff, AttackClass::DecBounded, 120.0, 0.10),
+        base.sampling_plan(),
+    )
+    .with_accumulator(lad::stats::AccumulatorConfig {
+        exact_limit: 0,
+        ..Default::default()
+    });
+    let result = ScenarioRunner::new(&spec).run();
+    let dep = result.single();
+    let cell = &dep.cells[0];
+    let streamed_dr = dep.detection_rate(cell, 0.05);
+    let eps = cell.attacked.max_bin_fraction();
+    assert!(
+        streamed_dr <= exact_dr + 1e-9 && streamed_dr >= exact_dr - eps - 1e-9,
+        "streamed {streamed_dr} vs exact {exact_dr} (eps {eps})"
+    );
 }
