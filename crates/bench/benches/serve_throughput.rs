@@ -1,0 +1,97 @@
+//! Serving throughput vs shard count.
+//!
+//! Pre-generates a fixed clean traffic trace (so traffic generation cost is
+//! outside the timed region), then measures sustained `submit_batch` →
+//! score → decide throughput at 1 / 2 / 4 / 8 shards. Each shard scores its
+//! own partition with the engine's sequential flat kernel on its own
+//! thread, so on a multicore host throughput scales with the shard count
+//! until the cores run out (the per-request work is µ(L_e) construction —
+//! O(groups) — plus an O(1) detector update).
+//!
+//! ```text
+//! cargo bench -p lad_bench --bench serve_throughput
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lad_core::engine::{DetectionRequest, LadEngine};
+use lad_core::MetricKind;
+use lad_deployment::DeploymentConfig;
+use lad_net::{Network, NodeId};
+use lad_serve::{ServeConfig, ServeRuntime, TrafficModel};
+use lad_stats::SequentialDetector;
+use std::sync::Arc;
+use std::time::Instant;
+
+const ROUNDS: u64 = 8;
+const POPULATION: u32 = 512;
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+type Round = Vec<(NodeId, DetectionRequest)>;
+
+fn prebuilt() -> (Arc<LadEngine>, SequentialDetector, Vec<Round>) {
+    let engine = Arc::new(
+        LadEngine::builder()
+            .deployment(&DeploymentConfig::small_test())
+            .metrics(&MetricKind::ALL)
+            .score_only()
+            .build()
+            .expect("engine builds"),
+    );
+    let network = Network::generate(engine.knowledge().clone(), 0xBE7C);
+    let nodes: Vec<NodeId> = (0..POPULATION).map(NodeId).collect();
+    let traffic = TrafficModel::clean(&network, &engine, nodes, 0x7A5E);
+    let streams = traffic.score_streams(&network, &engine, MetricKind::Diff, 0..6);
+    let detector = SequentialDetector::calibrate_cusum(streams.iter().map(Vec::as_slice), 0.01);
+    let rounds: Vec<Round> = (0..ROUNDS).map(|r| traffic.round(&network, r)).collect();
+    (engine, detector, rounds)
+}
+
+fn bench_serve_throughput(c: &mut Criterion) {
+    let (engine, detector, rounds) = prebuilt();
+    let reports_per_iter: usize = rounds.iter().map(Vec::len).sum();
+
+    let mut group = c.benchmark_group("serve_throughput");
+    group.sample_size(10);
+    for &shards in &SHARD_COUNTS {
+        // One long-lived runtime per shard count: the timed region is pure
+        // sustained ingestion (partition + queue + score + decide), not
+        // thread start-up.
+        let runtime = ServeRuntime::start(
+            engine.clone(),
+            ServeConfig::new(MetricKind::Diff, detector)
+                .with_shards(shards)
+                .with_queue_depth(4),
+        )
+        .expect("runtime starts");
+        let mut round_counter = 0u64;
+        group.bench_function(
+            &format!("submit_{reports_per_iter}_reports/shards={shards}"),
+            |b| {
+                b.iter(|| {
+                    for batch in &rounds {
+                        runtime.submit_batch(round_counter, batch.clone());
+                        round_counter += 1;
+                    }
+                    runtime.sync();
+                })
+            },
+        );
+        // Headline number: sustained reports/s at this shard count.
+        let t0 = Instant::now();
+        let reps = 5;
+        for _ in 0..reps {
+            for batch in &rounds {
+                runtime.submit_batch(round_counter, batch.clone());
+                round_counter += 1;
+            }
+        }
+        runtime.sync();
+        let rate = (reports_per_iter * reps) as f64 / t0.elapsed().as_secs_f64();
+        println!("    sustained: {rate:>12.0} reports/s at {shards} shard(s)");
+        runtime.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve_throughput);
+criterion_main!(benches);

@@ -505,6 +505,30 @@ impl LadEngine {
     }
 
     /// Computes the per-metric scores for one request against a
+    /// caller-supplied µ scratch buffer, writing them into `out` (one slot
+    /// per configured metric) — the allocation-free core of every scoring
+    /// path.
+    fn scores_with_into(
+        &self,
+        expected: &mut ExpectedObservation,
+        observation: &Observation,
+        estimate: Point2,
+        out: &mut [f64],
+    ) {
+        debug_assert_eq!(out.len(), self.scorers.len());
+        expected.fill(&self.knowledge, estimate);
+        if self.fused {
+            let scores =
+                crate::metrics::score_all_fused(observation, expected.mu(), expected.group_size());
+            out.copy_from_slice(&scores);
+        } else {
+            for (slot, scorer) in out.iter_mut().zip(&self.scorers) {
+                *slot = scorer.score_from_expected(expected, observation);
+            }
+        }
+    }
+
+    /// Computes the per-metric scores for one request against a
     /// caller-supplied µ scratch buffer.
     fn scores_with(
         &self,
@@ -512,17 +536,9 @@ impl LadEngine {
         observation: &Observation,
         estimate: Point2,
     ) -> Vec<f64> {
-        if self.fused {
-            expected.fill(&self.knowledge, estimate);
-            crate::metrics::score_all_fused(observation, expected.mu(), expected.group_size())
-                .to_vec()
-        } else {
-            expected.fill(&self.knowledge, estimate);
-            self.scorers
-                .iter()
-                .map(|s| s.score_from_expected(expected, observation))
-                .collect()
-        }
+        let mut out = vec![0.0; self.scorers.len()];
+        self.scores_with_into(expected, observation, estimate, &mut out);
+        out
     }
 
     /// Verifies one `(observation, estimate)` pair against every configured
@@ -590,6 +606,76 @@ impl LadEngine {
                 })
             })
             .collect()
+    }
+
+    /// Raw anomaly scores for a batch of requests, written into a flat
+    /// caller-owned buffer: row-major, `self.metrics().len()` scores per
+    /// request, in request order. The buffer is cleared and resized to
+    /// exactly `requests.len() * metrics.len()`.
+    ///
+    /// This is the zero-garbage sibling of [`Self::score_batch`]: where
+    /// `score_batch` allocates an inner `Vec<f64>` per request (a hot-path
+    /// cost when a serving loop scores millions of requests per second),
+    /// this writes every score into one flat allocation the caller reuses
+    /// across batches. The work fans out over the same chunked Rayon pool,
+    /// each worker writing its chunk's disjoint output range in place.
+    pub fn score_batch_into(&self, requests: &[DetectionRequest], out: &mut Vec<f64>) {
+        let width = self.scorers.len();
+        out.clear();
+        out.resize(requests.len() * width, 0.0);
+        if requests.is_empty() {
+            return;
+        }
+        let chunk = Self::batch_chunk_size(requests.len());
+        let chunk_count = requests.len().div_ceil(chunk);
+
+        /// Raw output base pointer, shareable across the worker threads.
+        struct OutBase(*mut f64);
+        unsafe impl Send for OutBase {}
+        unsafe impl Sync for OutBase {}
+        let base = OutBase(out.as_mut_ptr());
+        let base = &base;
+
+        (0..chunk_count).into_par_iter().for_each(|ci| {
+            let start = ci * chunk;
+            let reqs = &requests[start..requests.len().min(start + chunk)];
+            // SAFETY: chunk `ci` covers rows `start .. start + reqs.len()`,
+            // so the `[start * width, (start + reqs.len()) * width)` ranges
+            // of `out` are pairwise disjoint across chunks and in bounds
+            // (`out` was resized to `requests.len() * width` above and is
+            // not touched by anything else while the workers run).
+            let rows = unsafe {
+                std::slice::from_raw_parts_mut(base.0.add(start * width), reqs.len() * width)
+            };
+            self.score_seq_into(reqs, rows);
+        });
+    }
+
+    /// Scores `requests` sequentially on the calling thread into `out`
+    /// (row-major, `self.metrics().len()` scores per request; `out` must be
+    /// exactly `requests.len() * metrics.len()` long).
+    ///
+    /// This is the building block of [`Self::score_batch_into`] and the
+    /// scoring path a `lad_serve` shard runs on its own partition of a
+    /// batch: no allocation beyond the thread's µ scratch, no nested
+    /// thread pool underneath a shard thread.
+    ///
+    /// # Panics
+    /// Panics when `out.len() != requests.len() * self.metrics().len()`.
+    pub fn score_seq_into(&self, requests: &[DetectionRequest], out: &mut [f64]) {
+        let width = self.scorers.len();
+        assert_eq!(
+            out.len(),
+            requests.len() * width,
+            "output buffer must hold {} scores per request",
+            width
+        );
+        MU_SCRATCH.with(|cell| {
+            let expected = &mut *cell.borrow_mut();
+            for (req, row) in requests.iter().zip(out.chunks_exact_mut(width)) {
+                self.scores_with_into(expected, &req.observation, req.estimate, row);
+            }
+        });
     }
 
     /// Upper bound on the number of requests each worker-thread chunk
@@ -848,6 +934,34 @@ mod tests {
                 batch[0][i]
             );
         }
+    }
+
+    #[test]
+    fn score_batch_into_matches_score_batch_row_by_row() {
+        let engine = engine();
+        let network = Network::generate(engine.knowledge().clone(), 77);
+        let requests: Vec<DetectionRequest> = (0..700u32)
+            .map(|i| {
+                let node = NodeId(i % network.node_count() as u32);
+                let obs = network.true_observation(node);
+                let at = Point2::new(20.0 + (i as f64 * 7.3) % 400.0, (i as f64 * 11.9) % 400.0);
+                DetectionRequest::new(obs, at)
+            })
+            .collect();
+        let nested = engine.score_batch(&requests);
+        let mut flat = vec![42.0; 3]; // pre-existing garbage must be cleared
+        engine.score_batch_into(&requests, &mut flat);
+        assert_eq!(flat.len(), requests.len() * engine.metrics().len());
+        for (row, nested_row) in flat.chunks(engine.metrics().len()).zip(&nested) {
+            assert_eq!(row, nested_row.as_slice());
+        }
+        // The sequential primitive produces the same rows.
+        let mut seq = vec![0.0; requests.len() * engine.metrics().len()];
+        engine.score_seq_into(&requests, &mut seq);
+        assert_eq!(seq, flat);
+        // Empty batches leave an empty buffer.
+        engine.score_batch_into(&[], &mut flat);
+        assert!(flat.is_empty());
     }
 
     #[test]

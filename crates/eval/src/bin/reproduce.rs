@@ -7,8 +7,8 @@
 //!   --quick   reduced sample counts (default); curve shapes in ~a minute
 //!   --paper   paper-scale sample counts; takes several minutes
 //!   --only    run only the listed experiments (fig1_2, fig3, fig4, fig5_6,
-//!             fig7, fig8, fig9, heatmap_dx, mixed_attacks, ablation_gz,
-//!             ablation_localizers, ablation_mismatch)
+//!             fig7, fig8, fig9, heatmap_dx, mixed_attacks, temporal,
+//!             ablation_gz, ablation_localizers, ablation_mismatch)
 //!   --out     output directory for CSV/JSON artefacts (default: results/)
 //! ```
 //!
@@ -146,6 +146,9 @@ fn main() {
     });
     run("mixed_attacks", &|| {
         experiments::mixed_attack_workload(&config, &cache)
+    });
+    run("temporal", &|| {
+        experiments::temporal_detection(&config, &cache)
     });
     run("ablation_gz", &|| {
         experiments::ablation_gz_table(&experiments::standard_substrate(&config, &cache))

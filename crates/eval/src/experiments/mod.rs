@@ -21,6 +21,7 @@ mod fig8;
 mod fig9;
 mod heatmap_dx;
 mod mixed_attacks;
+mod temporal;
 
 pub use ablation_gz::ablation_gz_table;
 pub use ablation_localizers::ablation_localizers;
@@ -34,6 +35,7 @@ pub use fig8::fig8_dr_vs_compromise;
 pub use fig9::fig9_dr_vs_density;
 pub use heatmap_dx::heatmap_damage_compromise;
 pub use mixed_attacks::mixed_attack_workload;
+pub use temporal::temporal_detection;
 
 use crate::config::EvalConfig;
 use crate::scenario::{DeploymentAxis, Substrate, SubstrateCache};

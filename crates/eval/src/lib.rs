@@ -23,6 +23,7 @@
 //! | E11 | §8 deployment-model-mismatch study | [`experiments::ablation_model_mismatch`] |
 //! | E12 | joint D×x detection-rate heatmap (grid-native) | [`experiments::heatmap_damage_compromise`] |
 //! | E13 | mixed-attack-class workload (grid-native) | [`experiments::mixed_attack_workload`] |
+//! | E14 | temporal: time-to-detection of sequential detectors (serving-native) | [`experiments::temporal_detection`] |
 //!
 //! # Define your own scenario
 //!

@@ -18,27 +18,23 @@ use lad_localization::{AnchorField, CentroidLocalizer, DvHopLocalizer, Localizer
 use lad_net::{Network, NodeId};
 use lad_stats::seeds::derive_seed;
 use lad_stats::{AccumulatorConfig, OnlineStats, ScoreAccumulator, Summary};
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
-/// Samples `count` distinct node ids **without replacement** (a partial
-/// Fisher–Yates shuffle seeded by `seed`). Sampling with replacement would
-/// let the same node appear several times in one Monte-Carlo batch, which
-/// silently correlates "independent" trials on small networks; without
-/// replacement every sampled victim is unique. When `count` exceeds the
-/// network size, every node is returned (in shuffled order).
+/// Samples `count` distinct node ids **without replacement** (the shared
+/// [`seeded_partial_shuffle`](lad_stats::seeds::seeded_partial_shuffle)
+/// primitive). Sampling with replacement would let the same node appear
+/// several times in one Monte-Carlo batch, which silently correlates
+/// "independent" trials on small networks; without replacement every
+/// sampled victim is unique. When `count` exceeds the network size, every
+/// node is returned (in shuffled order).
 pub fn sample_node_ids(network: &Network, count: usize, seed: u64) -> Vec<NodeId> {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let n = network.node_count();
     let count = count.min(n);
-    let mut pool: Vec<u32> = (0..n as u32).collect();
-    for i in 0..count {
-        let j = rng.gen_range(i..n);
-        pool.swap(i, j);
-    }
+    let mut pool = lad_stats::seeds::seeded_partial_shuffle(n, count, seed);
     pool.truncate(count);
     pool.into_iter().map(NodeId).collect()
 }
@@ -182,6 +178,7 @@ impl Substrate {
             .metric_index(cell.metric)
             .expect("substrate engine scores all metrics");
         let mut out = ScoreAccumulator::new(accumulator);
+        let mut scores: Vec<f64> = Vec::new();
         for (net_idx, network) in self.networks.iter().enumerate() {
             let point_seed = derive_seed(
                 self.sampling.seed,
@@ -199,9 +196,9 @@ impl Substrate {
                 self.sampling.victims_per_network,
                 derive_seed(point_seed, &[1]),
             );
-            // One network's worth of trials: simulate, batch-score, stream.
-            // Buffers are bounded by victims_per_network, not the cell's
-            // total sample count.
+            // One network's worth of trials: simulate, batch-score into a
+            // flat reused buffer, stream. Buffers are bounded by
+            // victims_per_network, not the cell's total sample count.
             let requests: Vec<DetectionRequest> = ids
                 .into_par_iter()
                 .enumerate()
@@ -219,12 +216,9 @@ impl Substrate {
                     DetectionRequest::new(outcome.tainted_observation, outcome.forged_location)
                 })
                 .collect();
-            out.extend(
-                self.engine
-                    .score_batch(&requests)
-                    .into_iter()
-                    .map(|scores| scores[column]),
-            );
+            let width = self.engine.metrics().len();
+            self.engine.score_batch_into(&requests, &mut scores);
+            out.extend(scores.chunks_exact(width).map(|row| row[column]));
         }
         out
     }
@@ -278,12 +272,13 @@ fn clean_partial(
         requests.push(DetectionRequest::new(obs, estimate));
     }
 
-    let scored = engine.score_batch(&requests);
+    let mut scored = Vec::new();
+    engine.score_batch_into(&requests, &mut scored);
     let mut accs: Vec<ScoreAccumulator> = MetricKind::ALL
         .iter()
         .map(|_| ScoreAccumulator::new(accumulator))
         .collect();
-    for row in &scored {
+    for row in scored.chunks_exact(engine.metrics().len()) {
         for (acc, &score) in accs.iter_mut().zip(row) {
             acc.add(score);
         }

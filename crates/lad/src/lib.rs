@@ -18,6 +18,10 @@
 //! * [`eval`] — the evaluation harness: declarative scenario specs
 //!   (`lad_eval::scenario`), a grid-parallel streaming Monte-Carlo runner,
 //!   and every figure of the paper's evaluation section,
+//! * [`serve`] — the sharded online detection runtime: per-node sequential
+//!   decisions ([`stats::sequential`]) over streaming LAD scores, with
+//!   deterministic traffic generation for evaluating and benchmarking the
+//!   serving path,
 //! * [`geometry`] / [`stats`] — the numeric substrates underneath it all.
 //!
 //! The [`prelude`] re-exports the types most applications need. See the
@@ -34,6 +38,7 @@ pub use lad_eval as eval;
 pub use lad_geometry as geometry;
 pub use lad_localization as localization;
 pub use lad_net as net;
+pub use lad_serve as serve;
 pub use lad_stats as stats;
 
 /// The most commonly used types, re-exported flat.
@@ -57,6 +62,10 @@ pub mod prelude {
         BeaconlessMle, CentroidLocalizer, DvHopLocalizer, LocalizationScheme, Localizer,
     };
     pub use lad_net::{GroupId, Network, NodeId, Observation};
+    pub use lad_serve::{
+        Alarm, AttackTimeline, ServeConfig, ServeRuntime, ServeSnapshot, TrafficModel,
+    };
+    pub use lad_stats::{SequentialDetector, SequentialState};
 }
 
 #[cfg(test)]

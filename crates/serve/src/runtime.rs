@@ -1,0 +1,841 @@
+//! The sharded online runtime: batched ingestion, per-node sequential
+//! decisions, alarms, counters, snapshots.
+//!
+//! # Architecture
+//!
+//! [`ServeRuntime::start`] spawns `shards` worker threads, each owning
+//!
+//! * a bounded ingest queue (`std::sync::mpsc::sync_channel`, capacity
+//!   [`ServeConfig::queue_depth`] batches — a full queue blocks
+//!   [`ServeRuntime::submit_batch`], which is the backpressure story:
+//!   ingestion can never outrun detection by more than the configured
+//!   number of in-flight batches per shard),
+//! * the per-node [`SequentialState`] map of its node partition, and
+//! * a clone of the shared [`LadEngine`].
+//!
+//! [`ServeRuntime::submit_batch`] partitions a round's reports by
+//! [`shard_of`] (a pure hash of the node id — no coordination, no
+//! rebalancing) and hands each shard its slice. The shard scores its slice
+//! with the engine's sequential flat kernel
+//! ([`LadEngine::score_seq_into`]) **on its own thread** — scoring work
+//! scales with the shard count instead of funnelling through a central
+//! pool — then folds each score into the node's detector state and emits an
+//! [`Alarm`] whenever the rule fires. Alarm *sets* are therefore
+//! bit-deterministic in the shard count; only the interleaving of the alarm
+//! stream varies.
+//!
+//! [`SequentialState`]: lad_stats::SequentialState
+
+use crate::snapshot::{NodeDetectorState, ServeError, ServeSnapshot, SNAPSHOT_VERSION};
+use lad_core::engine::{DetectionRequest, LadEngine};
+use lad_core::MetricKind;
+use lad_net::NodeId;
+use lad_stats::seeds::splitmix64;
+use lad_stats::{SequentialDetector, SequentialState};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender, SyncSender};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Deterministic node → shard assignment: a pure SplitMix64 hash of the
+/// node id, so the partition is stable across runs, machines and restarts
+/// (snapshots restored into a runtime with a different shard count land on
+/// the right shards automatically).
+pub fn shard_of(node: NodeId, shards: usize) -> usize {
+    (splitmix64(node.0 as u64) % shards as u64) as usize
+}
+
+/// Configuration of a [`ServeRuntime`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Number of worker shards (≥ 1).
+    pub shards: usize,
+    /// Bounded ingest-queue capacity per shard, in batches (≥ 1). A full
+    /// queue blocks `submit_batch` — backpressure instead of unbounded
+    /// buffering.
+    pub queue_depth: usize,
+    /// The engine metric whose score drives the sequential decision.
+    pub metric: MetricKind,
+    /// The sequential decision rule every node runs.
+    pub detector: SequentialDetector,
+    /// Reset a node's state after it alarms (so a persistent anomaly
+    /// re-alarms at the detector's cadence instead of every round, and a
+    /// cleaned node starts fresh). Defaults to `true`.
+    pub reset_on_alarm: bool,
+}
+
+impl ServeConfig {
+    /// A single-shard configuration with the given decision metric and
+    /// rule (queue depth 4, reset-on-alarm).
+    pub fn new(metric: MetricKind, detector: SequentialDetector) -> Self {
+        Self {
+            shards: 1,
+            queue_depth: 4,
+            metric,
+            detector,
+            reset_on_alarm: true,
+        }
+    }
+
+    /// Returns a copy with a different shard count.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Returns a copy with a different per-shard queue depth.
+    pub fn with_queue_depth(mut self, queue_depth: usize) -> Self {
+        self.queue_depth = queue_depth;
+        self
+    }
+
+    /// Returns a copy that keeps detector state across alarms.
+    pub fn keep_state_on_alarm(mut self) -> Self {
+        self.reset_on_alarm = false;
+        self
+    }
+}
+
+/// One fired detection: the node, the round it fired in, the raw per-round
+/// score and the decision statistic that crossed the threshold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Alarm {
+    /// The node the rule fired for.
+    pub node: NodeId,
+    /// The round whose report fired it.
+    pub round: u64,
+    /// The round's raw anomaly score (the configured metric).
+    pub score: f64,
+    /// The decision statistic at firing time (CUSUM sum / EWMA value /
+    /// window count).
+    pub statistic: f64,
+}
+
+/// A consistent view of the runtime's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeCounters {
+    /// Reports accepted by `submit_batch` so far.
+    pub submitted: u64,
+    /// Reports fully processed (scored + decided) by the shards.
+    pub processed: u64,
+    /// Alarms raised.
+    pub alarms: u64,
+    /// Batches submitted.
+    pub batches: u64,
+    /// Highest round number submitted.
+    pub last_round: u64,
+}
+
+impl ServeCounters {
+    /// Reports currently sitting in shard queues (submitted − processed).
+    pub fn queue_depth(&self) -> u64 {
+        self.submitted.saturating_sub(self.processed)
+    }
+}
+
+#[derive(Default)]
+struct SharedCounters {
+    submitted: AtomicU64,
+    processed: AtomicU64,
+    alarms: AtomicU64,
+    batches: AtomicU64,
+    last_round: AtomicU64,
+}
+
+impl SharedCounters {
+    fn load(&self) -> ServeCounters {
+        ServeCounters {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            processed: self.processed.load(Ordering::Relaxed),
+            alarms: self.alarms.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            last_round: self.last_round.load(Ordering::Relaxed),
+        }
+    }
+}
+
+enum ShardMsg {
+    /// One round's partition for this shard (parallel node / request vecs).
+    Batch {
+        round: u64,
+        nodes: Vec<NodeId>,
+        requests: Vec<DetectionRequest>,
+    },
+    /// Barrier: reply once every earlier message has been processed.
+    Sync(Sender<()>),
+    /// Reply with this shard's states, sorted by node id.
+    Snapshot(Sender<Vec<NodeDetectorState>>),
+    /// Install these states (restore path).
+    Restore(Vec<NodeDetectorState>),
+}
+
+/// The sharded online detection runtime. See the [module docs](self) for
+/// the architecture and `lad_serve`'s crate docs for an end-to-end example.
+pub struct ServeRuntime {
+    config: ServeConfig,
+    engine_fingerprint: u64,
+    senders: Vec<SyncSender<ShardMsg>>,
+    workers: Vec<JoinHandle<Vec<NodeDetectorState>>>,
+    alarm_rx: Mutex<Receiver<Alarm>>,
+    counters: Arc<SharedCounters>,
+}
+
+/// Everything a runtime hands back when it shuts down.
+#[derive(Debug, Clone)]
+pub struct ShutdownReport {
+    /// The final detector state of every tracked node (restorable).
+    pub snapshot: ServeSnapshot,
+    /// Alarms not yet drained when the runtime stopped.
+    pub alarms: Vec<Alarm>,
+    /// Final counter values.
+    pub counters: ServeCounters,
+}
+
+impl ServeRuntime {
+    /// Starts the runtime: validates the configuration against the engine
+    /// and spawns the worker shards.
+    pub fn start(engine: Arc<LadEngine>, config: ServeConfig) -> Result<Self, ServeError> {
+        if config.shards == 0 {
+            return Err(ServeError::InvalidConfig("shards must be ≥ 1".into()));
+        }
+        if config.queue_depth == 0 {
+            return Err(ServeError::InvalidConfig("queue_depth must be ≥ 1".into()));
+        }
+        let column = engine
+            .metric_index(config.metric)
+            .ok_or(ServeError::MetricNotConfigured(config.metric))?;
+
+        let counters = Arc::new(SharedCounters::default());
+        let (alarm_tx, alarm_rx) = mpsc::channel();
+        let mut senders = Vec::with_capacity(config.shards);
+        let mut workers = Vec::with_capacity(config.shards);
+        for _ in 0..config.shards {
+            let (tx, rx) = mpsc::sync_channel(config.queue_depth);
+            senders.push(tx);
+            let worker = ShardWorker {
+                engine: engine.clone(),
+                detector: config.detector,
+                column,
+                width: engine.metrics().len(),
+                reset_on_alarm: config.reset_on_alarm,
+                alarm_tx: alarm_tx.clone(),
+                counters: counters.clone(),
+            };
+            workers.push(std::thread::spawn(move || worker.run(rx)));
+        }
+        Ok(Self {
+            config,
+            engine_fingerprint: crate::snapshot::engine_fingerprint(&engine),
+            senders,
+            workers,
+            alarm_rx: Mutex::new(alarm_rx),
+            counters,
+        })
+    }
+
+    /// The runtime's configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Submits one round of reports. The batch is partitioned by
+    /// [`shard_of`] and handed to the shards; the call blocks while any
+    /// destination shard's queue is full (backpressure). Rounds must be
+    /// submitted in nondecreasing order for the per-node decision sequences
+    /// to be meaningful.
+    pub fn submit_batch(&self, round: u64, batch: Vec<(NodeId, DetectionRequest)>) {
+        let shards = self.senders.len();
+        self.counters
+            .submitted
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        self.counters.batches.fetch_add(1, Ordering::Relaxed);
+        self.counters.last_round.fetch_max(round, Ordering::Relaxed);
+        let mut nodes: Vec<Vec<NodeId>> = vec![Vec::new(); shards];
+        let mut requests: Vec<Vec<DetectionRequest>> = vec![Vec::new(); shards];
+        for (node, request) in batch {
+            let s = shard_of(node, shards);
+            nodes[s].push(node);
+            requests[s].push(request);
+        }
+        for (shard, (nodes, requests)) in nodes.into_iter().zip(requests).enumerate() {
+            if nodes.is_empty() {
+                continue;
+            }
+            self.senders[shard]
+                .send(ShardMsg::Batch {
+                    round,
+                    nodes,
+                    requests,
+                })
+                .expect("shard thread alive while runtime exists");
+        }
+    }
+
+    /// Blocks until every report submitted so far has been scored and
+    /// decided.
+    pub fn sync(&self) {
+        let replies: Vec<Receiver<()>> = self
+            .senders
+            .iter()
+            .map(|sender| {
+                let (tx, rx) = mpsc::channel();
+                sender
+                    .send(ShardMsg::Sync(tx))
+                    .expect("shard thread alive while runtime exists");
+                rx
+            })
+            .collect();
+        for rx in replies {
+            rx.recv().expect("shard answers sync barrier");
+        }
+    }
+
+    /// A consistent snapshot of the runtime counters (does not sync; call
+    /// [`Self::sync`] first for quiescent numbers).
+    pub fn counters(&self) -> ServeCounters {
+        self.counters.load()
+    }
+
+    /// Drains every alarm raised by reports submitted so far (syncs first,
+    /// so the result covers all submitted rounds).
+    ///
+    /// The alarm stream is deliberately **unbounded**: a shard must never
+    /// stall detection because nobody is reading alarms (a bounded alarm
+    /// queue would deadlock ingestion against the bounded shard queues).
+    /// The flip side is that a caller who never drains — via this method,
+    /// [`Self::poll_alarms`] or [`Self::shutdown`] — accrues memory for
+    /// every alarm raised, so long-running operators should drain on a
+    /// cadence ([`ServeCounters::alarms`] counts them either way).
+    pub fn drain_alarms(&self) -> Vec<Alarm> {
+        self.sync();
+        self.poll_alarms()
+    }
+
+    /// Drains whatever alarms are currently in the output stream without
+    /// waiting for in-flight batches.
+    pub fn poll_alarms(&self) -> Vec<Alarm> {
+        let rx = self.alarm_rx.lock().expect("alarm receiver lock");
+        let mut out = Vec::new();
+        while let Ok(alarm) = rx.try_recv() {
+            out.push(alarm);
+        }
+        out
+    }
+
+    /// Takes a consistent, restorable snapshot of every node's detector
+    /// state (syncs, then gathers each shard's sorted partition).
+    pub fn snapshot(&self) -> ServeSnapshot {
+        self.sync();
+        let replies: Vec<Receiver<Vec<NodeDetectorState>>> = self
+            .senders
+            .iter()
+            .map(|sender| {
+                let (tx, rx) = mpsc::channel();
+                sender
+                    .send(ShardMsg::Snapshot(tx))
+                    .expect("shard thread alive while runtime exists");
+                rx
+            })
+            .collect();
+        let mut states = Vec::new();
+        for rx in replies {
+            states.extend(rx.recv().expect("shard answers snapshot request"));
+        }
+        states.sort_by_key(|s| s.node);
+        build_snapshot(
+            &self.config,
+            self.engine_fingerprint,
+            &self.counters(),
+            states,
+        )
+    }
+
+    /// Installs the per-node states of `snapshot` into a **fresh** runtime
+    /// (one that has not ingested anything yet — restoring over live state
+    /// would merge two unrelated traffic histories, so it is rejected) and
+    /// resumes the snapshot's ingestion counters (`submitted`/`processed`
+    /// pick up from its `requests_ingested`, `last_round` from its
+    /// `last_round`), so a later [`Self::snapshot`] stays consistent with
+    /// the whole traffic history. The snapshot must have been taken with
+    /// the same decision metric and detector; its states are routed by
+    /// [`shard_of`], so the shard count may differ from the snapshot-time
+    /// runtime's.
+    pub fn restore(&self, snapshot: &ServeSnapshot) -> Result<(), ServeError> {
+        if snapshot.version != SNAPSHOT_VERSION {
+            return Err(ServeError::UnsupportedVersion {
+                found: snapshot.version as u64,
+            });
+        }
+        if self.counters().submitted != 0 {
+            return Err(ServeError::SnapshotMismatch(
+                "restore requires a fresh runtime (reports have already been ingested)".into(),
+            ));
+        }
+        if snapshot.metric != self.config.metric {
+            return Err(ServeError::SnapshotMismatch(format!(
+                "snapshot decides on {}, runtime on {}",
+                snapshot.metric.name(),
+                self.config.metric.name()
+            )));
+        }
+        if snapshot.detector != self.config.detector {
+            return Err(ServeError::SnapshotMismatch(
+                "snapshot was taken with a different detector".into(),
+            ));
+        }
+        if snapshot.engine_fingerprint != self.engine_fingerprint {
+            return Err(ServeError::SnapshotMismatch(
+                "snapshot was taken under a different engine (deployment model or thresholds \
+                 differ), so its detector states are not comparable"
+                    .into(),
+            ));
+        }
+        let shards = self.senders.len();
+        let mut partitions: Vec<Vec<NodeDetectorState>> = vec![Vec::new(); shards];
+        for state in &snapshot.states {
+            partitions[shard_of(NodeId(state.node), shards)].push(*state);
+        }
+        for (sender, partition) in self.senders.iter().zip(partitions) {
+            sender
+                .send(ShardMsg::Restore(partition))
+                .expect("shard thread alive while runtime exists");
+        }
+        self.counters
+            .submitted
+            .fetch_add(snapshot.requests_ingested, Ordering::Relaxed);
+        self.counters
+            .processed
+            .fetch_add(snapshot.requests_ingested, Ordering::Relaxed);
+        self.counters
+            .last_round
+            .fetch_max(snapshot.last_round, Ordering::Relaxed);
+        self.sync();
+        Ok(())
+    }
+
+    /// Graceful shutdown: processes everything in flight, stops the shards,
+    /// and returns the final snapshot, the undrained alarms and the final
+    /// counters.
+    pub fn shutdown(self) -> ShutdownReport {
+        let ServeRuntime {
+            config,
+            engine_fingerprint,
+            senders,
+            workers,
+            alarm_rx,
+            counters: shared,
+        } = self;
+        // Dropping the senders closes the queues; each worker drains what is
+        // left and returns its sorted states.
+        drop(senders);
+        let mut states = Vec::new();
+        for worker in workers {
+            states.extend(worker.join().expect("shard thread exits cleanly"));
+        }
+        states.sort_by_key(|s| s.node);
+        let counters = shared.load();
+        let mut alarms = Vec::new();
+        {
+            let rx = alarm_rx.lock().expect("alarm receiver lock");
+            while let Ok(alarm) = rx.try_recv() {
+                alarms.push(alarm);
+            }
+        }
+        ShutdownReport {
+            snapshot: build_snapshot(&config, engine_fingerprint, &counters, states),
+            alarms,
+            counters,
+        }
+    }
+}
+
+/// The single place a [`ServeSnapshot`] is assembled from live runtime
+/// state — `snapshot()` and `shutdown()` both go through it, so a new
+/// snapshot field cannot be populated in one path and forgotten in the
+/// other.
+fn build_snapshot(
+    config: &ServeConfig,
+    engine_fingerprint: u64,
+    counters: &ServeCounters,
+    states: Vec<NodeDetectorState>,
+) -> ServeSnapshot {
+    ServeSnapshot {
+        version: SNAPSHOT_VERSION,
+        metric: config.metric,
+        engine_fingerprint,
+        detector: config.detector,
+        requests_ingested: counters.processed,
+        last_round: counters.last_round,
+        states,
+    }
+}
+
+/// The per-shard worker: scores its partition with the engine's sequential
+/// kernel and folds scores into per-node detector state.
+struct ShardWorker {
+    engine: Arc<LadEngine>,
+    detector: SequentialDetector,
+    column: usize,
+    width: usize,
+    reset_on_alarm: bool,
+    alarm_tx: Sender<Alarm>,
+    counters: Arc<SharedCounters>,
+}
+
+impl ShardWorker {
+    fn run(self, rx: Receiver<ShardMsg>) -> Vec<NodeDetectorState> {
+        let mut states: HashMap<u32, SequentialState> = HashMap::new();
+        let mut scores: Vec<f64> = Vec::new();
+        while let Ok(msg) = rx.recv() {
+            match msg {
+                ShardMsg::Batch {
+                    round,
+                    nodes,
+                    requests,
+                } => {
+                    scores.clear();
+                    scores.resize(requests.len() * self.width, 0.0);
+                    self.engine.score_seq_into(&requests, &mut scores);
+                    for (node, row) in nodes.iter().zip(scores.chunks_exact(self.width)) {
+                        let score = row[self.column];
+                        let state = states
+                            .entry(node.0)
+                            .or_insert_with(|| self.detector.initial_state());
+                        if self.detector.update(state, score) {
+                            self.counters.alarms.fetch_add(1, Ordering::Relaxed);
+                            let _ = self.alarm_tx.send(Alarm {
+                                node: *node,
+                                round,
+                                score,
+                                statistic: self.detector.statistic(state),
+                            });
+                            if self.reset_on_alarm {
+                                self.detector.reset(state);
+                            }
+                        }
+                    }
+                    self.counters
+                        .processed
+                        .fetch_add(requests.len() as u64, Ordering::Relaxed);
+                }
+                ShardMsg::Sync(reply) => {
+                    let _ = reply.send(());
+                }
+                ShardMsg::Snapshot(reply) => {
+                    let _ = reply.send(Self::sorted_states(&states));
+                }
+                ShardMsg::Restore(partition) => {
+                    for entry in partition {
+                        states.insert(entry.node, entry.state);
+                    }
+                }
+            }
+        }
+        Self::sorted_states(&states)
+    }
+
+    fn sorted_states(states: &HashMap<u32, SequentialState>) -> Vec<NodeDetectorState> {
+        let mut out: Vec<NodeDetectorState> = states
+            .iter()
+            .map(|(&node, &state)| NodeDetectorState { node, state })
+            .collect();
+        out.sort_by_key(|s| s.node);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::{AttackTimeline, TrafficModel};
+    use lad_attack::{AttackClass, AttackConfig};
+    use lad_deployment::DeploymentConfig;
+    use lad_net::Network;
+
+    fn engine() -> Arc<LadEngine> {
+        Arc::new(
+            LadEngine::builder()
+                .deployment(&DeploymentConfig::small_test())
+                .metrics(&MetricKind::ALL)
+                .score_only()
+                .build()
+                .unwrap(),
+        )
+    }
+
+    fn calibrated(
+        model: &TrafficModel,
+        network: &Network,
+        engine: &LadEngine,
+    ) -> SequentialDetector {
+        let streams = model.score_streams(network, engine, MetricKind::Diff, 0..12);
+        SequentialDetector::calibrate_cusum(streams.iter().map(Vec::as_slice), 0.01)
+    }
+
+    fn traffic(engine: &LadEngine, network: &Network) -> (TrafficModel, TrafficModel) {
+        let nodes: Vec<NodeId> = (0..48u32).map(|i| NodeId(i * 11)).collect();
+        let clean = TrafficModel::clean(network, engine, nodes, 0x5EED);
+        let attacked = clean.with_attack(
+            AttackTimeline::Onset { at: 6 },
+            AttackConfig {
+                degree_of_damage: 180.0,
+                compromised_fraction: 0.2,
+                class: AttackClass::DecBounded,
+                targeted_metric: MetricKind::Diff,
+            },
+            0.5,
+        );
+        (clean, attacked)
+    }
+
+    fn run_rounds(runtime: &ServeRuntime, model: &TrafficModel, network: &Network, rounds: u64) {
+        for round in 0..rounds {
+            runtime.submit_batch(round, model.round(network, round));
+        }
+    }
+
+    #[test]
+    fn runtime_decisions_match_an_offline_replay() {
+        let engine = engine();
+        let network = Network::generate(engine.knowledge().clone(), 21);
+        let (clean, attacked) = traffic(&engine, &network);
+        let detector = calibrated(&clean, &network, &engine);
+
+        let runtime = ServeRuntime::start(
+            engine.clone(),
+            ServeConfig::new(MetricKind::Diff, detector).with_shards(3),
+        )
+        .unwrap();
+        run_rounds(&runtime, &attacked, &network, 14);
+        let mut alarms: Vec<(u32, u64)> = runtime
+            .drain_alarms()
+            .into_iter()
+            .map(|a| (a.node.0, a.round))
+            .collect();
+        alarms.sort_unstable();
+
+        // Offline replay with the same detector over the same streams.
+        let streams = attacked.score_streams(&network, &engine, MetricKind::Diff, 0..14);
+        let mut expected: Vec<(u32, u64)> = Vec::new();
+        for (node, stream) in attacked.nodes().iter().zip(&streams) {
+            let mut state = detector.initial_state();
+            for (round, &score) in stream.iter().enumerate() {
+                if detector.update(&mut state, score) {
+                    expected.push((node.0, round as u64));
+                    detector.reset(&mut state);
+                }
+            }
+        }
+        expected.sort_unstable();
+        assert_eq!(alarms, expected);
+        assert!(
+            alarms.iter().any(|&(_, round)| round >= 6),
+            "the onset attack must be detected"
+        );
+        assert!(
+            alarms.iter().all(|&(_, round)| round < 14),
+            "alarm rounds are within the trace"
+        );
+
+        let report = runtime.shutdown();
+        assert_eq!(report.counters.processed, report.counters.submitted);
+        assert_eq!(report.counters.queue_depth(), 0);
+        assert_eq!(report.counters.alarms as usize, alarms.len());
+        assert_eq!(report.counters.last_round, 13);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bit_identically() {
+        let engine = engine();
+        let network = Network::generate(engine.knowledge().clone(), 22);
+        let (clean, attacked) = traffic(&engine, &network);
+        let detector = calibrated(&clean, &network, &engine);
+        let config = ServeConfig::new(MetricKind::Diff, detector).with_shards(2);
+
+        // Reference: one uninterrupted run.
+        let reference = ServeRuntime::start(engine.clone(), config.clone()).unwrap();
+        run_rounds(&reference, &attacked, &network, 12);
+        let mut ref_alarms: Vec<(u32, u64)> = reference
+            .drain_alarms()
+            .into_iter()
+            .map(|a| (a.node.0, a.round))
+            .collect();
+        ref_alarms.sort_unstable();
+        let ref_snapshot = reference.shutdown().snapshot;
+
+        // Interrupted: run 7 rounds, snapshot to JSON, restore into a fresh
+        // runtime with a *different* shard count, run the rest.
+        let first = ServeRuntime::start(engine.clone(), config.clone()).unwrap();
+        run_rounds(&first, &attacked, &network, 7);
+        let mut alarms: Vec<(u32, u64)> = first
+            .drain_alarms()
+            .into_iter()
+            .map(|a| (a.node.0, a.round))
+            .collect();
+        let json = first.snapshot().to_json();
+        drop(first.shutdown());
+
+        let resumed = ServeSnapshot::from_json(&json).expect("snapshot parses");
+        let second = ServeRuntime::start(engine.clone(), config.with_shards(5)).unwrap();
+        second.restore(&resumed).expect("snapshot restores");
+        for round in 7..12 {
+            second.submit_batch(round, attacked.round(&network, round));
+        }
+        alarms.extend(
+            second
+                .drain_alarms()
+                .into_iter()
+                .map(|a| (a.node.0, a.round)),
+        );
+        alarms.sort_unstable();
+        assert_eq!(alarms, ref_alarms, "resumed run raises the same alarms");
+        let resumed_snapshot = second.shutdown().snapshot;
+        assert_eq!(
+            resumed_snapshot.states, ref_snapshot.states,
+            "resumed run ends in the same per-node states"
+        );
+        // restore() resumed the ingestion counters, so snapshot metadata
+        // covers the whole traffic history, not just the post-resume part.
+        assert_eq!(
+            resumed_snapshot.requests_ingested,
+            ref_snapshot.requests_ingested
+        );
+        assert_eq!(resumed_snapshot.last_round, ref_snapshot.last_round);
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_snapshots() {
+        let engine = engine();
+        let detector = SequentialDetector::Cusum {
+            reference: 1.0,
+            threshold: 5.0,
+        };
+        let runtime =
+            ServeRuntime::start(engine.clone(), ServeConfig::new(MetricKind::Diff, detector))
+                .unwrap();
+        let mut snapshot = runtime.snapshot();
+        snapshot.metric = MetricKind::AddAll;
+        assert!(matches!(
+            runtime.restore(&snapshot),
+            Err(ServeError::SnapshotMismatch(_))
+        ));
+        let mut wrong_version = runtime.snapshot();
+        wrong_version.version = 3;
+        assert!(matches!(
+            runtime.restore(&wrong_version),
+            Err(ServeError::UnsupportedVersion { found: 3 })
+        ));
+        let mut wrong_detector = runtime.snapshot();
+        wrong_detector.detector = SequentialDetector::Cusum {
+            reference: 2.0,
+            threshold: 5.0,
+        };
+        assert!(matches!(
+            runtime.restore(&wrong_detector),
+            Err(ServeError::SnapshotMismatch(_))
+        ));
+
+        // A snapshot taken under a different engine carries incomparable
+        // detector states.
+        let mut wrong_engine = runtime.snapshot();
+        wrong_engine.engine_fingerprint ^= 1;
+        assert!(matches!(
+            runtime.restore(&wrong_engine),
+            Err(ServeError::SnapshotMismatch(_))
+        ));
+
+        // Restoring over live state would merge two traffic histories:
+        // rejected once anything has been ingested.
+        let valid = runtime.snapshot();
+        let obs = lad_net::Observation::zeros(engine.knowledge().group_count());
+        runtime.submit_batch(
+            0,
+            vec![(
+                NodeId(0),
+                DetectionRequest::new(obs, lad_geometry::Point2::new(100.0, 100.0)),
+            )],
+        );
+        runtime.sync();
+        assert!(matches!(
+            runtime.restore(&valid),
+            Err(ServeError::SnapshotMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn start_rejects_invalid_configurations() {
+        let engine = engine();
+        let detector = SequentialDetector::Cusum {
+            reference: 1.0,
+            threshold: 5.0,
+        };
+        assert!(matches!(
+            ServeRuntime::start(
+                engine.clone(),
+                ServeConfig::new(MetricKind::Diff, detector).with_shards(0)
+            ),
+            Err(ServeError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            ServeRuntime::start(
+                engine.clone(),
+                ServeConfig::new(MetricKind::Diff, detector).with_queue_depth(0)
+            ),
+            Err(ServeError::InvalidConfig(_))
+        ));
+        let diff_only = Arc::new(
+            LadEngine::builder()
+                .deployment(&DeploymentConfig::small_test())
+                .metric(MetricKind::Diff)
+                .score_only()
+                .build()
+                .unwrap(),
+        );
+        assert!(matches!(
+            ServeRuntime::start(
+                diff_only,
+                ServeConfig::new(MetricKind::Probability, detector)
+            ),
+            Err(ServeError::MetricNotConfigured(MetricKind::Probability))
+        ));
+    }
+
+    #[test]
+    fn tiny_queues_still_complete_via_backpressure() {
+        let engine = engine();
+        let network = Network::generate(engine.knowledge().clone(), 23);
+        let (clean, _) = traffic(&engine, &network);
+        let detector = calibrated(&clean, &network, &engine);
+        let runtime = ServeRuntime::start(
+            engine.clone(),
+            ServeConfig::new(MetricKind::Diff, detector)
+                .with_shards(2)
+                .with_queue_depth(1),
+        )
+        .unwrap();
+        run_rounds(&runtime, &clean, &network, 20);
+        runtime.sync();
+        let counters = runtime.counters();
+        assert_eq!(counters.queue_depth(), 0);
+        assert_eq!(counters.submitted, 20 * clean.nodes().len() as u64);
+        runtime.shutdown();
+    }
+
+    #[test]
+    fn shard_assignment_is_stable_and_total() {
+        for shards in [1usize, 2, 3, 8] {
+            for node in 0..500u32 {
+                let s = shard_of(NodeId(node), shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(NodeId(node), shards));
+            }
+        }
+        // All shards of an 8-way runtime actually receive nodes.
+        let mut seen = [false; 8];
+        for node in 0..500u32 {
+            seen[shard_of(NodeId(node), 8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,578 @@
+//! Deterministic traffic generation: replaying attack timelines over a
+//! simulated network.
+//!
+//! A [`TrafficModel`] models the serving workload: every round, each
+//! sensor in the population hears its neighbourhood through radio loss
+//! (each true neighbour is heard with the hear probability), re-runs
+//! localization on what it heard, and reports the resulting
+//! `(observation, estimate)` pair — the paper's one-shot pipeline applied
+//! round after round, which is what makes the per-round clean score
+//! streams (approximately) independent draws from the substrate's clean
+//! distribution rather than a frozen per-node constant. An
+//! [`AttackTimeline`] then turns part of the population hostile: from
+//! attack onset, compromised nodes submit the paper's §7.1 attack (forged
+//! location at distance `D`, greedily tainted observation) instead of
+//! their honest report.
+//!
+//! Everything derives from one master seed via `lad_stats::seeds`, so a
+//! traffic trace is a pure function of `(network, model, round)` — the
+//! serving runtime's determinism tests and the temporal evaluation both
+//! rely on this.
+
+use lad_attack::{displaced_location, taint_observation, AttackConfig};
+use lad_core::engine::{DetectionRequest, LadEngine};
+use lad_core::MetricKind;
+use lad_geometry::Point2;
+use lad_net::{Network, NodeId, Observation};
+use lad_stats::seeds::derive_seed;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+
+/// Seed-path tags, distinct from the evaluation harness's so traffic
+/// streams never collide with Monte-Carlo trial streams.
+const TAG_ROUND: u64 = 0x7_AFF1C;
+const TAG_COMPROMISE: u64 = 0xC0_413D;
+const TAG_FORGE: u64 = 0xF0_46ED;
+
+/// When (and how broadly) the adversary is active.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AttackTimeline {
+    /// No attack, ever: pure clean traffic (warm-up / calibration runs).
+    Clean,
+    /// The full compromised set attacks every round from `at` onwards.
+    Onset {
+        /// First attacked round.
+        at: u64,
+    },
+    /// From `at` onwards the compromised set attacks in bursts: `active`
+    /// rounds out of every `period` (an adversary evading detection by
+    /// going quiet).
+    Intermittent {
+        /// First attacked round.
+        at: u64,
+        /// Cycle length in rounds.
+        period: u64,
+        /// Attacked rounds at the start of each cycle (`1..=period`).
+        active: u64,
+    },
+    /// The compromised set grows linearly from empty at `at` to the full
+    /// set at `full_at` (a spreading compromise).
+    Ramp {
+        /// First attacked round.
+        at: u64,
+        /// Round at which the whole compromised set is active.
+        full_at: u64,
+    },
+}
+
+impl AttackTimeline {
+    /// The first round at which any node attacks, or `None` for
+    /// [`AttackTimeline::Clean`].
+    pub fn onset(&self) -> Option<u64> {
+        match *self {
+            AttackTimeline::Clean => None,
+            AttackTimeline::Onset { at }
+            | AttackTimeline::Intermittent { at, .. }
+            | AttackTimeline::Ramp { at, .. } => Some(at),
+        }
+    }
+
+    /// How many of the `compromised` nodes (ordered by compromise rank) are
+    /// actively attacking in `round`.
+    fn active_count(&self, compromised: usize, round: u64) -> usize {
+        match *self {
+            AttackTimeline::Clean => 0,
+            AttackTimeline::Onset { at } => {
+                if round >= at {
+                    compromised
+                } else {
+                    0
+                }
+            }
+            AttackTimeline::Intermittent { at, period, active } => {
+                if round >= at && (round - at) % period.max(1) < active {
+                    compromised
+                } else {
+                    0
+                }
+            }
+            AttackTimeline::Ramp { at, full_at } => {
+                if round < at {
+                    0
+                } else if round >= full_at {
+                    compromised
+                } else {
+                    let span = (full_at - at) as f64;
+                    let progress = (round - at + 1) as f64 / (span + 1.0);
+                    (compromised as f64 * progress).ceil() as usize
+                }
+            }
+        }
+    }
+}
+
+/// One reporting sensor: its true (clean) observation, from which each
+/// round's heard observation is derived, plus a fallback estimate for the
+/// rare round whose thinned observation cannot be localized.
+#[derive(Debug, Clone)]
+struct Reporter {
+    node: NodeId,
+    fallback_estimate: Point2,
+    clean_observation: Observation,
+    /// Position in the seeded compromise shuffle: rank < k ⇒ among the
+    /// first k nodes to turn hostile.
+    compromise_rank: usize,
+}
+
+/// A deterministic load generator over one simulated network. See the
+/// [module docs](self) for the model.
+#[derive(Clone)]
+pub struct TrafficModel {
+    reporters: Vec<Reporter>,
+    localizer: std::sync::Arc<dyn lad_localization::LocalizationScheme>,
+    knowledge: std::sync::Arc<lad_deployment::DeploymentKnowledge>,
+    timeline: AttackTimeline,
+    attack: Option<AttackConfig>,
+    /// Number of reporters in the compromised set (the timeline activates
+    /// them gradually or all at once).
+    compromised: usize,
+    hear_prob: f64,
+    seed: u64,
+}
+
+impl std::fmt::Debug for TrafficModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrafficModel")
+            .field("reporters", &self.reporters.len())
+            .field("timeline", &self.timeline)
+            .field("attack", &self.attack)
+            .field("compromised", &self.compromised)
+            .field("hear_prob", &self.hear_prob)
+            .field("seed", &self.seed)
+            .finish()
+    }
+}
+
+impl TrafficModel {
+    /// Builds a clean traffic model over `nodes`: every round each node
+    /// re-localizes with the engine's scheme (against the engine's
+    /// *assumed* deployment knowledge — exactly what a deployed sensor
+    /// holds) from that round's heard observation. Nodes whose full
+    /// observation the scheme cannot localize are dropped at construction.
+    ///
+    /// # Panics
+    /// Panics when `nodes` contains a duplicate id: the serving runtime
+    /// keys detector state by node, so a duplicated reporter would fold
+    /// two report streams into one node's state — silently diverging from
+    /// any per-stream offline replay (and a duplicate could end up both
+    /// clean and compromised at once).
+    pub fn clean(network: &Network, engine: &LadEngine, nodes: Vec<NodeId>, seed: u64) -> Self {
+        let mut unique: Vec<u32> = nodes.iter().map(|n| n.0).collect();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(
+            unique.len(),
+            nodes.len(),
+            "traffic population contains duplicate node ids"
+        );
+        let knowledge = engine.knowledge();
+        let mut reporters: Vec<Reporter> = nodes
+            .into_iter()
+            .filter_map(|node| {
+                let clean_observation = network.true_observation(node);
+                let fallback_estimate =
+                    engine.localizer().estimate(knowledge, &clean_observation)?;
+                Some(Reporter {
+                    node,
+                    fallback_estimate,
+                    clean_observation,
+                    compromise_rank: 0,
+                })
+            })
+            .collect();
+
+        // Seeded shuffle rank assignment: rank r means "the (r+1)-th node
+        // to turn hostile", fixed for the model's lifetime so ramps grow
+        // monotonically.
+        let n = reporters.len();
+        let order = lad_stats::seeds::seeded_partial_shuffle(
+            n,
+            n.saturating_sub(1),
+            derive_seed(seed, &[TAG_COMPROMISE]),
+        );
+        for (rank, &idx) in order.iter().enumerate() {
+            reporters[idx as usize].compromise_rank = rank;
+        }
+
+        Self {
+            reporters,
+            localizer: engine.localizer().clone(),
+            knowledge: knowledge.clone(),
+            timeline: AttackTimeline::Clean,
+            attack: None,
+            compromised: 0,
+            hear_prob: DEFAULT_HEAR_PROB,
+            seed,
+        }
+    }
+
+    /// Returns a copy with a different per-round hear probability (the
+    /// chance each true neighbour is heard in a given round). 1.0 disables
+    /// radio loss entirely — every clean report is then identical.
+    pub fn with_hear_prob(mut self, hear_prob: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&hear_prob),
+            "hear probability must be in [0, 1], got {hear_prob}"
+        );
+        self.hear_prob = hear_prob;
+        self
+    }
+
+    /// Returns a copy in which a `node_fraction` of the population turns
+    /// hostile according to `timeline`. Each active attacker claims one
+    /// consistent forged location (the §7.1 D-anomaly, drawn once per
+    /// node) and re-runs the `attack`'s greedy taint against every
+    /// attacked round's heard neighbourhood.
+    ///
+    /// # Panics
+    /// Panics when `node_fraction ∉ [0, 1]`, when an
+    /// [`AttackTimeline::Intermittent`] has `period = 0` or
+    /// `active ∉ 1..=period`, or when an [`AttackTimeline::Ramp`] has
+    /// `full_at < at` — each of those would silently describe a different
+    /// attack than the caller believes (e.g. `active = 0` never attacks
+    /// while `onset()` still reports an onset round).
+    pub fn with_attack(
+        &self,
+        timeline: AttackTimeline,
+        attack: AttackConfig,
+        node_fraction: f64,
+    ) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&node_fraction),
+            "compromised node fraction must be in [0, 1], got {node_fraction}"
+        );
+        match timeline {
+            AttackTimeline::Intermittent { period, active, .. } => {
+                assert!(period >= 1, "intermittent timeline needs period >= 1");
+                assert!(
+                    (1..=period).contains(&active),
+                    "intermittent timeline needs active in 1..=period, got {active} of {period}"
+                );
+            }
+            AttackTimeline::Ramp { at, full_at } => {
+                assert!(
+                    full_at >= at,
+                    "ramp timeline needs full_at >= at, got {full_at} < {at}"
+                );
+            }
+            AttackTimeline::Clean | AttackTimeline::Onset { .. } => {}
+        }
+        let mut model = self.clone();
+        model.timeline = timeline;
+        model.attack = Some(attack);
+        model.compromised = (node_fraction * self.reporters.len() as f64).ceil() as usize;
+        model
+    }
+
+    /// The reporting population (after localization drops), in submission
+    /// order.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        self.reporters.iter().map(|r| r.node).collect()
+    }
+
+    /// The number of reporters in the (eventually) compromised set.
+    pub fn compromised_count(&self) -> usize {
+        self.compromised
+    }
+
+    /// The timeline's first attacked round, or `None` for clean traffic.
+    pub fn onset(&self) -> Option<u64> {
+        match self.attack {
+            Some(_) => self.timeline.onset(),
+            None => None,
+        }
+    }
+
+    /// One flag per reporter, in population order ([`Self::nodes`]):
+    /// whether it submits an attacked report in `round`. One O(population)
+    /// pass — prefer this over calling [`Self::is_attacked`] per node.
+    pub fn attacked_mask(&self, round: u64) -> Vec<bool> {
+        let active = self.timeline.active_count(self.compromised, round);
+        self.reporters
+            .iter()
+            .map(|r| r.compromise_rank < active)
+            .collect()
+    }
+
+    /// Whether `node` submits an attacked report in `round`.
+    pub fn is_attacked(&self, node: NodeId, round: u64) -> bool {
+        let active = self.timeline.active_count(self.compromised, round);
+        self.reporters
+            .iter()
+            .any(|r| r.node == node && r.compromise_rank < active)
+    }
+
+    /// Generates one round of reports, in population order. `network` must
+    /// be the network the model was built from (attacked reports re-run the
+    /// §7.1 simulation against it).
+    pub fn round(&self, network: &Network, round: u64) -> Vec<(NodeId, DetectionRequest)> {
+        let active = self.timeline.active_count(self.compromised, round);
+        self.reporters
+            .iter()
+            .map(|reporter| {
+                let mut rng = ChaCha8Rng::seed_from_u64(derive_seed(
+                    self.seed,
+                    &[TAG_ROUND, round, reporter.node.0 as u64],
+                ));
+                let request = if reporter.compromise_rank < active {
+                    // §7.1 attack, served: the adversary commits to ONE
+                    // forged location per victim (a consistent lie, drawn
+                    // once from a per-node seed) and re-runs the greedy
+                    // taint against each round's heard neighbourhood.
+                    let attack = self.attack.expect("active attacker implies attack config");
+                    let knowledge = network.knowledge();
+                    let mut forge_rng = ChaCha8Rng::seed_from_u64(derive_seed(
+                        self.seed,
+                        &[TAG_FORGE, reporter.node.0 as u64],
+                    ));
+                    let forged = displaced_location(
+                        &mut forge_rng,
+                        network.node(reporter.node).resident_point,
+                        attack.degree_of_damage,
+                        knowledge.config().area(),
+                    );
+                    let heard = self.thin(&reporter.clean_observation, &mut rng);
+                    let budget =
+                        (attack.compromised_fraction * heard.total() as f64).round() as usize;
+                    let mu = knowledge.expected_observation(forged);
+                    let tainted = taint_observation(
+                        attack.class,
+                        attack.targeted_metric,
+                        &heard,
+                        &mu,
+                        budget,
+                        knowledge.group_size(),
+                    );
+                    DetectionRequest::new(tainted, forged)
+                } else {
+                    // Honest report: hear the neighbourhood through radio
+                    // loss, re-localize from what was heard.
+                    let observation = self.thin(&reporter.clean_observation, &mut rng);
+                    let estimate = self
+                        .localizer
+                        .estimate(&self.knowledge, &observation)
+                        .unwrap_or(reporter.fallback_estimate);
+                    DetectionRequest::new(observation, estimate)
+                };
+                (reporter.node, request)
+            })
+            .collect()
+    }
+
+    /// Radio loss: each observed neighbour survives the round independently
+    /// with the hear probability.
+    fn thin(&self, observation: &Observation, rng: &mut ChaCha8Rng) -> Observation {
+        if self.hear_prob >= 1.0 {
+            return observation.clone();
+        }
+        Observation::from_counts(
+            observation
+                .counts()
+                .iter()
+                .map(|&c| {
+                    (0..c)
+                        .filter(|_| rng.gen_range(0.0..1.0) < self.hear_prob)
+                        .count() as u32
+                })
+                .collect(),
+        )
+    }
+
+    /// Convenience for calibration and offline evaluation: generates rounds
+    /// `rounds`, scores every report with `engine`, and returns one
+    /// per-node score stream (for `metric`) per reporter, in population
+    /// order — ready for `SequentialDetector::calibrate_*`.
+    ///
+    /// # Panics
+    /// Panics when the engine does not score `metric`.
+    pub fn score_streams(
+        &self,
+        network: &Network,
+        engine: &LadEngine,
+        metric: MetricKind,
+        rounds: Range<u64>,
+    ) -> Vec<Vec<f64>> {
+        let column = engine
+            .metric_index(metric)
+            .expect("engine scores the requested metric");
+        let width = engine.metrics().len();
+        let mut streams = vec![Vec::with_capacity(rounds.clone().count()); self.reporters.len()];
+        let mut scores = Vec::new();
+        let mut requests = Vec::new();
+        for round in rounds {
+            requests.clear();
+            requests.extend(self.round(network, round).into_iter().map(|(_, r)| r));
+            engine.score_batch_into(&requests, &mut scores);
+            for (stream, row) in streams.iter_mut().zip(scores.chunks_exact(width)) {
+                stream.push(row[column]);
+            }
+        }
+        streams
+    }
+}
+
+/// Default per-round hear probability: light radio loss, enough to make
+/// clean score streams fluctuate round to round.
+pub const DEFAULT_HEAR_PROB: f64 = 0.9;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lad_attack::AttackClass;
+    use lad_deployment::DeploymentConfig;
+    use std::sync::Arc;
+
+    fn engine() -> Arc<LadEngine> {
+        Arc::new(
+            LadEngine::builder()
+                .deployment(&DeploymentConfig::small_test())
+                .metrics(&MetricKind::ALL)
+                .score_only()
+                .build()
+                .unwrap(),
+        )
+    }
+
+    fn attack(damage: f64) -> AttackConfig {
+        AttackConfig {
+            degree_of_damage: damage,
+            compromised_fraction: 0.2,
+            class: AttackClass::DecBounded,
+            targeted_metric: MetricKind::Diff,
+        }
+    }
+
+    fn model(engine: &LadEngine, network: &Network) -> TrafficModel {
+        let nodes: Vec<NodeId> = (0..40u32).map(|i| NodeId(i * 13)).collect();
+        TrafficModel::clean(network, engine, nodes, 0xBEEF)
+    }
+
+    #[test]
+    fn rounds_are_deterministic_and_vary_round_to_round() {
+        let engine = engine();
+        let network = Network::generate(engine.knowledge().clone(), 3);
+        let model = model(&engine, &network);
+        assert!(!model.nodes().is_empty());
+        let a = model.round(&network, 5);
+        let b = model.round(&network, 5);
+        assert_eq!(a, b, "same round twice is bit-identical");
+        let c = model.round(&network, 6);
+        assert_ne!(a, c, "radio loss varies between rounds");
+    }
+
+    #[test]
+    fn onset_timeline_switches_the_compromised_set_only() {
+        let engine = engine();
+        let network = Network::generate(engine.knowledge().clone(), 4);
+        let clean = model(&engine, &network);
+        let attacked = clean.with_attack(AttackTimeline::Onset { at: 10 }, attack(150.0), 0.5);
+        assert_eq!(attacked.onset(), Some(10));
+        let population = attacked.nodes();
+        assert!(attacked.compromised_count() > 0);
+        assert!(attacked.compromised_count() < population.len());
+
+        // Before onset nobody attacks; afterwards exactly the compromised
+        // set does, and their estimates move (forged locations).
+        assert!(population.iter().all(|&n| !attacked.is_attacked(n, 9)));
+        let hostile: Vec<NodeId> = population
+            .iter()
+            .copied()
+            .filter(|&n| attacked.is_attacked(n, 10))
+            .collect();
+        assert_eq!(hostile.len(), attacked.compromised_count());
+        let pre = attacked.round(&network, 9);
+        let clean_round = clean.round(&network, 9);
+        assert_eq!(pre, clean_round, "pre-onset traffic is exactly clean");
+        let post = attacked.round(&network, 10);
+        for ((node, clean_req), (_, post_req)) in clean.round(&network, 10).iter().zip(&post) {
+            if attacked.is_attacked(*node, 10) {
+                assert_ne!(clean_req.estimate, post_req.estimate, "forged location");
+            } else {
+                assert_eq!(clean_req, post_req, "clean nodes are untouched");
+            }
+        }
+    }
+
+    #[test]
+    fn intermittent_and_ramp_timelines_modulate_the_active_set() {
+        let engine = engine();
+        let network = Network::generate(engine.knowledge().clone(), 5);
+        let clean = model(&engine, &network);
+        let burst = clean.with_attack(
+            AttackTimeline::Intermittent {
+                at: 4,
+                period: 4,
+                active: 2,
+            },
+            attack(120.0),
+            0.4,
+        );
+        let node = burst
+            .nodes()
+            .into_iter()
+            .find(|&n| burst.is_attacked(n, 4))
+            .expect("someone attacks at onset");
+        assert!(burst.is_attacked(node, 5), "second round of the burst");
+        assert!(!burst.is_attacked(node, 6), "quiet part of the cycle");
+        assert!(burst.is_attacked(node, 8), "next cycle");
+
+        let ramp = clean.with_attack(
+            AttackTimeline::Ramp { at: 0, full_at: 10 },
+            attack(120.0),
+            1.0,
+        );
+        let counts: Vec<usize> = (0..12)
+            .map(|r| {
+                ramp.nodes()
+                    .iter()
+                    .filter(|&&n| ramp.is_attacked(n, r))
+                    .count()
+            })
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]), "ramp is monotone");
+        assert!(counts[0] > 0 && counts[0] < ramp.nodes().len());
+        assert_eq!(counts[11], ramp.nodes().len(), "fully compromised");
+    }
+
+    #[test]
+    fn score_streams_reflect_the_attack() {
+        let engine = engine();
+        let network = Network::generate(engine.knowledge().clone(), 6);
+        let clean = model(&engine, &network);
+        let attacked = clean.with_attack(AttackTimeline::Onset { at: 0 }, attack(200.0), 1.0);
+        let clean_streams = clean.score_streams(&network, &engine, MetricKind::Diff, 0..6);
+        let attacked_streams = attacked.score_streams(&network, &engine, MetricKind::Diff, 0..6);
+        assert_eq!(clean_streams.len(), clean.nodes().len());
+        let mean = |streams: &[Vec<f64>]| {
+            let (sum, n) = streams
+                .iter()
+                .flatten()
+                .fold((0.0, 0usize), |(s, n), &v| (s + v, n + 1));
+            sum / n as f64
+        };
+        assert!(
+            mean(&attacked_streams) > 2.0 * mean(&clean_streams),
+            "a D=200 full compromise must dominate clean scores"
+        );
+    }
+
+    #[test]
+    fn hear_prob_one_freezes_clean_reports() {
+        let engine = engine();
+        let network = Network::generate(engine.knowledge().clone(), 8);
+        let frozen = model(&engine, &network).with_hear_prob(1.0);
+        assert_eq!(frozen.round(&network, 0), frozen.round(&network, 17));
+    }
+}

@@ -12,6 +12,8 @@
 //!   metric values ([`histogram`], [`summary`]),
 //! * the evaluation section is built around **ROC curves** ([`roc`]) and
 //!   their O(bins)-memory **streaming accumulators** ([`streaming`]),
+//! * the online serving runtime needs **sequential detectors** over
+//!   per-round score streams ([`sequential`]),
 //! * reproducible parallel Monte-Carlo needs **seed derivation** ([`seeds`]).
 //!
 //! Everything is implemented from scratch on top of `std` + `rand`, so the
@@ -31,6 +33,7 @@ pub mod percentile;
 pub mod rayleigh;
 pub mod roc;
 pub mod seeds;
+pub mod sequential;
 pub mod streaming;
 pub mod summary;
 
@@ -40,5 +43,6 @@ pub use histogram::Histogram;
 pub use lookup::LookupTable;
 pub use rayleigh::Rayleigh;
 pub use roc::{RocCurve, RocPoint};
+pub use sequential::{SequentialDetector, SequentialState};
 pub use streaming::{streaming_ks, streaming_roc, AccumulatorConfig, ScoreAccumulator};
 pub use summary::{OnlineStats, Summary};

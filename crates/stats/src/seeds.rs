@@ -29,6 +29,27 @@ pub fn derive_seed(master: u64, indices: &[u64]) -> u64 {
     state
 }
 
+/// A seeded partial Fisher–Yates shuffle of `0..n`: after the call, the
+/// first `prefix` positions are an unbiased uniform sample-without-
+/// replacement ordering (ChaCha8 stream seeded by `seed`, one
+/// `gen_range(i..n)` draw per prefix position).
+///
+/// This is the shared primitive behind the evaluation harness's
+/// sample-without-replacement node sampling (`prefix = count`, then
+/// truncate) and the serving traffic model's compromise-rank assignment
+/// (`prefix = n - 1`, a full shuffle) — one implementation, so the two
+/// cannot drift apart.
+pub fn seeded_partial_shuffle(n: usize, prefix: usize, seed: u64) -> Vec<u32> {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let mut pool: Vec<u32> = (0..n as u32).collect();
+    for i in 0..prefix.min(n) {
+        let j = rng.gen_range(i..n);
+        pool.swap(i, j);
+    }
+    pool
+}
+
 /// A small helper bundling a master seed, offering ergonomic derivation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SeedSequence {

@@ -30,6 +30,7 @@ fn all_experiments_produce_saveable_reports() {
         experiments::fig9_dr_vs_density(&base, &[40, 100], &cache),
         experiments::heatmap_damage_compromise(&base, &cache),
         experiments::mixed_attack_workload(&base, &cache),
+        experiments::temporal_detection(&base, &cache),
         experiments::ablation_gz_table(&substrate),
         experiments::ablation_localizers(&base, &cache),
         experiments::ablation_model_mismatch(&base, &cache),
