@@ -73,6 +73,12 @@ impl AttackOutcome {
     }
 }
 
+thread_local! {
+    /// Per-thread µ(L_e) scratch for the greedy taint (no allocation per
+    /// simulated attack after a thread's first trial).
+    static MU_SCRATCH: std::cell::RefCell<Vec<f64>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
 /// Runs the §7.1 attack-simulation procedure on `victim`.
 pub fn simulate_attack<R: Rng + ?Sized>(
     network: &Network,
@@ -96,17 +102,23 @@ pub fn simulate_attack<R: Rng + ?Sized>(
         knowledge.config().area(),
     );
 
-    // Step 3: the greedy taint with budget x · |neighbourhood|.
+    // Step 3: the greedy taint with budget x · |neighbourhood|. µ(L_e) is
+    // computed into a per-thread scratch — Monte-Carlo harnesses call this
+    // in tight per-victim loops, so the adversary model should not allocate
+    // a fresh µ vector per trial.
     let budget = (config.compromised_fraction * clean.total() as f64).round() as usize;
-    let mu = knowledge.expected_observation(forged);
-    let tainted = taint_observation(
-        config.class,
-        config.targeted_metric,
-        &clean,
-        &mu,
-        budget,
-        knowledge.group_size(),
-    );
+    let tainted = MU_SCRATCH.with(|cell| {
+        let mu = &mut *cell.borrow_mut();
+        knowledge.expected_observation_into(forged, mu);
+        taint_observation(
+            config.class,
+            config.targeted_metric,
+            &clean,
+            mu,
+            budget,
+            knowledge.group_size(),
+        )
+    });
 
     AttackOutcome {
         victim,

@@ -8,11 +8,12 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use lad_attack::{taint_observation, AttackClass};
 use lad_core::engine::{DetectionRequest, LadEngine};
+use lad_core::metrics::{score_all_fused, score_all_fused_sparse, score_all_fused_sparse_obs};
 use lad_core::{ExpectedObservation, LadDetector, MetricKind};
-use lad_deployment::{gz_exact, DeploymentConfig, DeploymentKnowledge, GzTable};
+use lad_deployment::{gz_exact, DeploymentConfig, DeploymentKnowledge, GzTable, SparseMu};
 use lad_geometry::Point2;
 use lad_localization::BeaconlessMle;
-use lad_net::{Network, NodeId};
+use lad_net::{Network, NodeId, ObservationBatch};
 
 fn bench_kernels(c: &mut Criterion) {
     let config = DeploymentConfig::small_test();
@@ -79,6 +80,76 @@ fn bench_kernels(c: &mut Criterion) {
             b.iter(|| metric.score_from_expected(black_box(&paper_expected), black_box(&paper_obs)))
         });
     }
+    // The headline kernel comparison: the full per-request fused scoring
+    // path at paper scale (n = 100 groups), dense vs sparse. Dense fills the
+    // n-entry µ vector and scans all n `(o, µ)` pairs; sparse enumerates the
+    // O(k) g(z) support via the spatial index and merges it against the
+    // observation's nonzeros (CSR row). Scores are bit-identical.
+    let paper_at = Point2::new(500.0, 400.0);
+    let mut paper_batch = ObservationBatch::new(paper_knowledge.group_count());
+    paper_batch.push(&paper_obs, paper_at);
+    let paper_row_m = paper_knowledge.group_size();
+    group.bench_function("fused_score_dense_paper_scale", |b| {
+        let mut scratch = ExpectedObservation::new();
+        b.iter(|| {
+            scratch.fill(&paper_knowledge, black_box(paper_at));
+            score_all_fused(black_box(&paper_obs), scratch.mu(), paper_row_m)
+        })
+    });
+    group.bench_function("fused_score_sparse_paper_scale", |b| {
+        let mut smu = SparseMu::new();
+        b.iter(|| {
+            paper_knowledge.expected_sparse_into(black_box(paper_at), &mut smu);
+            score_all_fused_sparse(black_box(paper_batch.row(0)), &smu)
+        })
+    });
+    group.bench_function("fused_score_sparse_dense_obs_paper_scale", |b| {
+        let mut smu = SparseMu::new();
+        b.iter(|| {
+            paper_knowledge.expected_sparse_into(black_box(paper_at), &mut smu);
+            score_all_fused_sparse_obs(black_box(&paper_obs), &smu)
+        })
+    });
+    group.bench_function("expected_sparse_into_paper_scale", |b| {
+        let mut smu = SparseMu::new();
+        b.iter(|| {
+            paper_knowledge.expected_sparse_into(black_box(paper_at), &mut smu);
+            smu.len()
+        })
+    });
+    // Same comparison on a 4× deployment (20×20 groups over 2000 m at the
+    // paper's density): the support size k is set by the g(z) tail and the
+    // deployment-point density, not n, so the sparse path's cost stays flat
+    // while the dense path scales with n. This is where O(k) vs O(n)
+    // separates — and the scale the serving roadmap grows toward.
+    let big = DeploymentConfig {
+        area_side: 2000.0,
+        grid_cols: 20,
+        grid_rows: 20,
+        ..DeploymentConfig::paper_default()
+    };
+    let big_knowledge = DeploymentKnowledge::shared(&big);
+    let big_at = Point2::new(980.0, 1110.0);
+    let big_obs = {
+        let mu = big_knowledge.expected_observation(Point2::new(1000.0, 1100.0));
+        lad_core::expected::rounded_expected(&mu)
+    };
+    let mut big_batch = ObservationBatch::new(big_knowledge.group_count());
+    big_batch.push(&big_obs, big_at);
+    group.bench_function("fused_score_dense_4x_scale", |b| {
+        let mut scratch = ExpectedObservation::new();
+        b.iter(|| {
+            scratch.fill(&big_knowledge, black_box(big_at));
+            score_all_fused(black_box(&big_obs), scratch.mu(), big.group_size)
+        })
+    });
+    group.bench_function("fused_score_sparse_4x_scale", |b| {
+        let mut smu = SparseMu::new();
+        b.iter(|| {
+            big_knowledge.expected_sparse_into(black_box(big_at), &mut smu);
+            score_all_fused_sparse(black_box(big_batch.row(0)), &smu)
+        })
+    });
     group.bench_function("greedy_taint_diff_dec_bounded", |b| {
         b.iter(|| {
             taint_observation(
@@ -168,6 +239,26 @@ fn bench_engine_batch(c: &mut Criterion) {
     });
     group.bench_function("score_batch_100k", |b| {
         b.iter(|| engine.score_batch(black_box(&requests_100k)))
+    });
+    // The flat entry points: dense requests vs CSR rows, scores written
+    // into one reused buffer (the serving ingest shape).
+    let mut rows_100k = ObservationBatch::new(knowledge.group_count());
+    for request in &requests_100k {
+        rows_100k.push(&request.observation, request.estimate);
+    }
+    group.bench_function("score_batch_into_100k", |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            engine.score_batch_into(black_box(&requests_100k), &mut out);
+            out.len()
+        })
+    });
+    group.bench_function("score_rows_into_100k", |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            engine.score_rows_into(black_box(&rows_100k), &mut out);
+            out.len()
+        })
     });
     group.finish();
 }

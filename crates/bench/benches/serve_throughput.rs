@@ -1,22 +1,24 @@
 //! Serving throughput vs shard count.
 //!
 //! Pre-generates a fixed clean traffic trace (so traffic generation cost is
-//! outside the timed region), then measures sustained `submit_batch` →
-//! score → decide throughput at 1 / 2 / 4 / 8 shards. Each shard scores its
-//! own partition with the engine's sequential flat kernel on its own
-//! thread, so on a multicore host throughput scales with the shard count
-//! until the cores run out (the per-request work is µ(L_e) construction —
-//! O(groups) — plus an O(1) detector update).
+//! outside the timed region) as flat CSR rounds, then measures sustained
+//! `submit_rows` → score → decide throughput at 1 / 2 / 4 / 8 shards. Each
+//! shard scores its own partition with the engine's sequential sparse
+//! kernel on its own thread, so on a multicore host throughput scales with
+//! the shard count until the cores run out (the per-request work is the
+//! O(k) sparse µ(L_e) support — k = groups within the g(z) tail, not the
+//! group count — plus an O(1) detector update; no per-report heap objects
+//! anywhere on the path).
 //!
 //! ```text
 //! cargo bench -p lad_bench --bench serve_throughput
 //! ```
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use lad_core::engine::{DetectionRequest, LadEngine};
+use lad_core::engine::LadEngine;
 use lad_core::MetricKind;
 use lad_deployment::DeploymentConfig;
-use lad_net::{Network, NodeId};
+use lad_net::{Network, NodeId, ObservationBatch};
 use lad_serve::{ServeConfig, ServeRuntime, TrafficModel};
 use lad_stats::SequentialDetector;
 use std::sync::Arc;
@@ -26,7 +28,7 @@ const ROUNDS: u64 = 8;
 const POPULATION: u32 = 512;
 const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
-type Round = Vec<(NodeId, DetectionRequest)>;
+type Round = (Vec<NodeId>, ObservationBatch);
 
 fn prebuilt() -> (Arc<LadEngine>, SequentialDetector, Vec<Round>) {
     let engine = Arc::new(
@@ -42,13 +44,20 @@ fn prebuilt() -> (Arc<LadEngine>, SequentialDetector, Vec<Round>) {
     let traffic = TrafficModel::clean(&network, &engine, nodes, 0x7A5E);
     let streams = traffic.score_streams(&network, &engine, MetricKind::Diff, 0..6);
     let detector = SequentialDetector::calibrate_cusum(streams.iter().map(Vec::as_slice), 0.01);
-    let rounds: Vec<Round> = (0..ROUNDS).map(|r| traffic.round(&network, r)).collect();
+    let rounds: Vec<Round> = (0..ROUNDS)
+        .map(|r| {
+            let mut nodes = Vec::new();
+            let mut rows = ObservationBatch::new(engine.knowledge().group_count());
+            traffic.round_rows(&network, r, &mut nodes, &mut rows);
+            (nodes, rows)
+        })
+        .collect();
     (engine, detector, rounds)
 }
 
 fn bench_serve_throughput(c: &mut Criterion) {
     let (engine, detector, rounds) = prebuilt();
-    let reports_per_iter: usize = rounds.iter().map(Vec::len).sum();
+    let reports_per_iter: usize = rounds.iter().map(|(nodes, _)| nodes.len()).sum();
 
     let mut group = c.benchmark_group("serve_throughput");
     group.sample_size(10);
@@ -68,8 +77,8 @@ fn bench_serve_throughput(c: &mut Criterion) {
             &format!("submit_{reports_per_iter}_reports/shards={shards}"),
             |b| {
                 b.iter(|| {
-                    for batch in &rounds {
-                        runtime.submit_batch(round_counter, batch.clone());
+                    for (nodes, rows) in &rounds {
+                        runtime.submit_rows(round_counter, nodes, rows);
                         round_counter += 1;
                     }
                     runtime.sync();
@@ -80,8 +89,8 @@ fn bench_serve_throughput(c: &mut Criterion) {
         let t0 = Instant::now();
         let reps = 5;
         for _ in 0..reps {
-            for batch in &rounds {
-                runtime.submit_batch(round_counter, batch.clone());
+            for (nodes, rows) in &rounds {
+                runtime.submit_rows(round_counter, nodes, rows);
                 round_counter += 1;
             }
         }

@@ -1,0 +1,195 @@
+//! `bench_snapshot` — the perf-trajectory snapshot binary.
+//!
+//! Runs the two headline microbenches in quick mode — the fused scoring
+//! kernel (dense vs sparse, paper scale and a 4× same-density deployment)
+//! and sustained serve throughput — and writes the numbers to a
+//! `BENCH_<pr>.json` at the repo root, so every PR leaves a comparable
+//! perf record behind.
+//!
+//! ```text
+//! cargo run --release -p lad_bench --bin bench_snapshot -- [--out BENCH_4.json]
+//! ```
+
+use lad_core::engine::LadEngine;
+use lad_core::expected::rounded_expected;
+use lad_core::metrics::{score_all_fused, score_all_fused_sparse};
+use lad_core::{ExpectedObservation, MetricKind};
+use lad_deployment::{DeploymentConfig, DeploymentKnowledge, SparseMu};
+use lad_geometry::Point2;
+use lad_net::{Network, NodeId, ObservationBatch};
+use lad_serve::{ServeConfig, ServeRuntime, TrafficModel};
+use lad_stats::SequentialDetector;
+use serde::Serialize;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One dense-vs-sparse kernel measurement.
+#[derive(Debug, Serialize)]
+struct KernelScale {
+    /// Number of deployment groups `n`.
+    groups: usize,
+    /// Support size `k` at the probed estimate.
+    support: usize,
+    /// Full per-request dense path: µ fill + fused scan, ns.
+    dense_ns_per_score: f64,
+    /// Full per-request sparse path: support fill + sparse fused scan, ns.
+    sparse_ns_per_score: f64,
+    /// dense / sparse.
+    speedup: f64,
+}
+
+/// Sustained serve throughput at one shard count.
+#[derive(Debug, Serialize)]
+struct ServeRate {
+    shards: usize,
+    reports_per_sec: f64,
+}
+
+/// The whole snapshot (`BENCH_<pr>.json`).
+#[derive(Debug, Serialize)]
+struct Snapshot {
+    pr: u32,
+    unix_time: u64,
+    kernel_paper_scale: KernelScale,
+    kernel_4x_scale: KernelScale,
+    serve: Vec<ServeRate>,
+}
+
+fn time_ns<F: FnMut() -> f64>(mut f: F) -> f64 {
+    // Warm up, then time enough iterations for a stable mean.
+    let mut sink = 0.0;
+    for _ in 0..10_000 {
+        sink += f();
+    }
+    let iters = 200_000u32;
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        sink += f();
+    }
+    black_box(sink);
+    t0.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn kernel_scale(cfg: &DeploymentConfig, at: Point2, obs_at: Point2) -> KernelScale {
+    let knowledge = DeploymentKnowledge::shared(cfg);
+    let obs = rounded_expected(&knowledge.expected_observation(obs_at));
+    let mut batch = ObservationBatch::new(knowledge.group_count());
+    batch.push(&obs, at);
+    let mut smu = SparseMu::new();
+    knowledge.expected_sparse_into(at, &mut smu);
+    let support = smu.len();
+
+    let mut dense = ExpectedObservation::new();
+    let dense_ns = time_ns(|| {
+        dense.fill(&knowledge, black_box(at));
+        score_all_fused(black_box(&obs), dense.mu(), cfg.group_size)[0]
+    });
+    let sparse_ns = time_ns(|| {
+        knowledge.expected_sparse_into(black_box(at), &mut smu);
+        score_all_fused_sparse(black_box(batch.row(0)), &smu)[0]
+    });
+    KernelScale {
+        groups: knowledge.group_count(),
+        support,
+        dense_ns_per_score: dense_ns,
+        sparse_ns_per_score: sparse_ns,
+        speedup: dense_ns / sparse_ns,
+    }
+}
+
+fn serve_rate(shards: usize) -> ServeRate {
+    let engine = Arc::new(
+        LadEngine::builder()
+            .deployment(&DeploymentConfig::small_test())
+            .metrics(&MetricKind::ALL)
+            .score_only()
+            .build()
+            .expect("engine builds"),
+    );
+    let network = Network::generate(engine.knowledge().clone(), 0xBE7C);
+    let nodes: Vec<NodeId> = (0..512u32).map(NodeId).collect();
+    let traffic = TrafficModel::clean(&network, &engine, nodes, 0x7A5E);
+    let streams = traffic.score_streams(&network, &engine, MetricKind::Diff, 0..4);
+    let detector = SequentialDetector::calibrate_cusum(streams.iter().map(Vec::as_slice), 0.01);
+    let rounds: Vec<(Vec<NodeId>, ObservationBatch)> = (0..8u64)
+        .map(|r| {
+            let mut nodes = Vec::new();
+            let mut rows = ObservationBatch::new(engine.knowledge().group_count());
+            traffic.round_rows(&network, r, &mut nodes, &mut rows);
+            (nodes, rows)
+        })
+        .collect();
+    let reports_per_pass: usize = rounds.iter().map(|(nodes, _)| nodes.len()).sum();
+
+    let runtime = ServeRuntime::start(
+        engine,
+        ServeConfig::new(MetricKind::Diff, detector)
+            .with_shards(shards)
+            .with_queue_depth(4),
+    )
+    .expect("runtime starts");
+    let mut round_counter = 0u64;
+    // Warm-up pass, then the timed passes.
+    for (nodes, rows) in &rounds {
+        runtime.submit_rows(round_counter, nodes, rows);
+        round_counter += 1;
+    }
+    runtime.sync();
+    let passes = 12;
+    let t0 = Instant::now();
+    for _ in 0..passes {
+        for (nodes, rows) in &rounds {
+            runtime.submit_rows(round_counter, nodes, rows);
+            round_counter += 1;
+        }
+    }
+    runtime.sync();
+    let rate = (reports_per_pass * passes) as f64 / t0.elapsed().as_secs_f64();
+    runtime.shutdown();
+    ServeRate {
+        shards,
+        reports_per_sec: rate,
+    }
+}
+
+fn main() {
+    let mut out = String::from("BENCH_4.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out = args.next().expect("--out needs a path"),
+            other => panic!("unknown argument {other} (supported: --out <path>)"),
+        }
+    }
+
+    let paper = DeploymentConfig::paper_default();
+    let big = DeploymentConfig {
+        area_side: 2000.0,
+        grid_cols: 20,
+        grid_rows: 20,
+        ..paper
+    };
+    let snapshot = Snapshot {
+        pr: 4,
+        unix_time: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+        kernel_paper_scale: kernel_scale(
+            &paper,
+            Point2::new(500.0, 400.0),
+            Point2::new(480.0, 410.0),
+        ),
+        kernel_4x_scale: kernel_scale(
+            &big,
+            Point2::new(980.0, 1110.0),
+            Point2::new(1000.0, 1100.0),
+        ),
+        serve: vec![serve_rate(1), serve_rate(2)],
+    };
+    let json = serde_json::to_string_pretty(&snapshot).expect("snapshot serialises");
+    std::fs::write(&out, format!("{json}\n")).expect("snapshot written");
+    println!("{json}");
+    println!("wrote {out}");
+}

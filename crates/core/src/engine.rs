@@ -52,10 +52,10 @@ use crate::expected::ExpectedObservation;
 use crate::metrics::{DetectionMetric, MetricKind};
 use crate::threshold::TrainedThresholds;
 use crate::training::{Trainer, TrainingConfig};
-use lad_deployment::{DeploymentConfig, DeploymentKnowledge};
+use lad_deployment::{DeploymentConfig, DeploymentKnowledge, SparseMu};
 use lad_geometry::Point2;
 pub use lad_localization::LocalizationScheme;
-use lad_net::{Network, NodeId, Observation};
+use lad_net::{Network, NodeId, Observation, ObservationBatch};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
@@ -326,8 +326,11 @@ impl LadEngineBuilder {
 thread_local! {
     /// Per-thread µ scratch: `verify_batch`/`score_batch` fill this once per
     /// request and hand it to every metric, so the hot path performs no
-    /// allocation after each worker thread's first request.
-    static MU_SCRATCH: RefCell<ExpectedObservation> = RefCell::new(ExpectedObservation::new());
+    /// allocation after each worker thread's first request. The sparse
+    /// buffer is the hot one (every scoring path fills it per estimate);
+    /// the dense buffer only backs the non-fused legacy path.
+    static MU_SCRATCH: RefCell<(SparseMu, ExpectedObservation)> =
+        RefCell::new((SparseMu::new(), ExpectedObservation::new()));
 }
 
 /// The batched, pluggable, versioned LAD detection engine.
@@ -453,24 +456,42 @@ impl LadEngine {
 
     // ---- the hot path ------------------------------------------------------
 
+    /// Validates a batch's observation lengths once, at the boundary, so
+    /// the per-score kernels can run on `debug_assert!`s only.
+    ///
+    /// # Panics
+    /// Panics when any request's observation is over a different number of
+    /// groups than the engine's deployment.
+    fn validate_requests(&self, requests: &[DetectionRequest]) {
+        let n = self.knowledge.group_count();
+        if let Some(bad) = requests
+            .iter()
+            .position(|r| r.observation.group_count() != n)
+        {
+            panic!(
+                "request {bad}: observation spans {} groups, engine deployment has {n}",
+                requests[bad].observation.group_count()
+            );
+        }
+    }
+
     /// Computes the verdict for one request against a caller-supplied µ
     /// scratch buffer (filled in place — no allocation besides the output).
     fn verdict_with(
         &self,
-        expected: &mut ExpectedObservation,
+        scratch: &mut (SparseMu, ExpectedObservation),
         observation: &Observation,
         estimate: Point2,
     ) -> MultiVerdict {
         let mut verdicts = Vec::with_capacity(self.scorers.len());
         let mut anomalous = false;
         if self.fused {
-            // Fused kernel: fill the µ scratch once, then score all three
-            // metrics in a single pass over the slices (this two-pass shape
-            // measures faster than streaming µ through the accumulators —
-            // the contiguous array vectorises better).
-            expected.fill(&self.knowledge, estimate);
-            let scores =
-                crate::metrics::score_all_fused(observation, expected.mu(), expected.group_size());
+            // Sparse fused kernel: fill the O(k) µ support once, then score
+            // all three metrics in a single merged pass over the support and
+            // the observation's nonzeros (bit-identical to the dense pass).
+            let smu = &mut scratch.0;
+            self.knowledge.expected_sparse_into(estimate, smu);
+            let scores = crate::metrics::score_all_fused_sparse_obs(observation, smu);
             for (i, (&score, &threshold)) in
                 scores.iter().zip(&self.artifact.thresholds).enumerate()
             {
@@ -484,6 +505,7 @@ impl LadEngine {
                 });
             }
         } else {
+            let expected = &mut scratch.1;
             expected.fill(&self.knowledge, estimate);
             for (scorer, &threshold) in self.scorers.iter().zip(&self.artifact.thresholds) {
                 let score = scorer.score_from_expected(expected, observation);
@@ -510,18 +532,20 @@ impl LadEngine {
     /// path.
     fn scores_with_into(
         &self,
-        expected: &mut ExpectedObservation,
+        scratch: &mut (SparseMu, ExpectedObservation),
         observation: &Observation,
         estimate: Point2,
         out: &mut [f64],
     ) {
         debug_assert_eq!(out.len(), self.scorers.len());
-        expected.fill(&self.knowledge, estimate);
         if self.fused {
-            let scores =
-                crate::metrics::score_all_fused(observation, expected.mu(), expected.group_size());
+            let smu = &mut scratch.0;
+            self.knowledge.expected_sparse_into(estimate, smu);
+            let scores = crate::metrics::score_all_fused_sparse_obs(observation, smu);
             out.copy_from_slice(&scores);
         } else {
+            let expected = &mut scratch.1;
+            expected.fill(&self.knowledge, estimate);
             for (slot, scorer) in out.iter_mut().zip(&self.scorers) {
                 *slot = scorer.score_from_expected(expected, observation);
             }
@@ -532,12 +556,12 @@ impl LadEngine {
     /// caller-supplied µ scratch buffer.
     fn scores_with(
         &self,
-        expected: &mut ExpectedObservation,
+        scratch: &mut (SparseMu, ExpectedObservation),
         observation: &Observation,
         estimate: Point2,
     ) -> Vec<f64> {
         let mut out = vec![0.0; self.scorers.len()];
-        self.scores_with_into(expected, observation, estimate, &mut out);
+        self.scores_with_into(scratch, observation, estimate, &mut out);
         out
     }
 
@@ -551,6 +575,11 @@ impl LadEngine {
             !self.artifact.thresholds.is_empty(),
             "score-only engine has no thresholds; build with tau() or thresholds()"
         );
+        assert_eq!(
+            observation.group_count(),
+            self.knowledge.group_count(),
+            "observation/deployment group-count mismatch"
+        );
         MU_SCRATCH.with(|cell| self.verdict_with(&mut cell.borrow_mut(), observation, estimate))
     }
 
@@ -563,6 +592,7 @@ impl LadEngine {
             !self.artifact.thresholds.is_empty(),
             "score-only engine has no thresholds; build with tau() or thresholds()"
         );
+        self.validate_requests(requests);
         let chunks: Vec<&[DetectionRequest]> = requests
             .chunks(Self::batch_chunk_size(requests.len()))
             .collect();
@@ -584,6 +614,11 @@ impl LadEngine {
     /// in [`Self::metrics`] order — without thresholding. `µ(L_e)` is
     /// computed once and shared by all metrics.
     pub fn score(&self, observation: &Observation, estimate: Point2) -> Vec<f64> {
+        assert_eq!(
+            observation.group_count(),
+            self.knowledge.group_count(),
+            "observation/deployment group-count mismatch"
+        );
         MU_SCRATCH.with(|cell| self.scores_with(&mut cell.borrow_mut(), observation, estimate))
     }
 
@@ -591,6 +626,7 @@ impl LadEngine {
     /// the entry point for ROC sweeps: collect scores once, then sweep
     /// thresholds offline.
     pub fn score_batch(&self, requests: &[DetectionRequest]) -> Vec<Vec<f64>> {
+        self.validate_requests(requests);
         let chunks: Vec<&[DetectionRequest]> = requests
             .chunks(Self::batch_chunk_size(requests.len()))
             .collect();
@@ -620,14 +656,26 @@ impl LadEngine {
     /// across batches. The work fans out over the same chunked Rayon pool,
     /// each worker writing its chunk's disjoint output range in place.
     pub fn score_batch_into(&self, requests: &[DetectionRequest], out: &mut Vec<f64>) {
-        let width = self.scorers.len();
+        Self::par_fill_rows(requests.len(), self.scorers.len(), out, |range, rows| {
+            self.score_seq_into(&requests[range], rows)
+        });
+    }
+
+    /// The shared parallel fan-out of the flat scoring entry points: sizes
+    /// `out` to `len * width`, splits `0..len` into the usual chunks, and
+    /// has `fill(range, rows)` write each chunk's disjoint output range in
+    /// place from a worker thread.
+    fn par_fill_rows<F>(len: usize, width: usize, out: &mut Vec<f64>, fill: F)
+    where
+        F: Fn(std::ops::Range<usize>, &mut [f64]) + Send + Sync,
+    {
         out.clear();
-        out.resize(requests.len() * width, 0.0);
-        if requests.is_empty() {
+        out.resize(len * width, 0.0);
+        if len == 0 {
             return;
         }
-        let chunk = Self::batch_chunk_size(requests.len());
-        let chunk_count = requests.len().div_ceil(chunk);
+        let chunk = Self::batch_chunk_size(len);
+        let chunk_count = len.div_ceil(chunk);
 
         /// Raw output base pointer, shareable across the worker threads.
         struct OutBase(*mut f64);
@@ -638,16 +686,16 @@ impl LadEngine {
 
         (0..chunk_count).into_par_iter().for_each(|ci| {
             let start = ci * chunk;
-            let reqs = &requests[start..requests.len().min(start + chunk)];
-            // SAFETY: chunk `ci` covers rows `start .. start + reqs.len()`,
-            // so the `[start * width, (start + reqs.len()) * width)` ranges
-            // of `out` are pairwise disjoint across chunks and in bounds
-            // (`out` was resized to `requests.len() * width` above and is
-            // not touched by anything else while the workers run).
+            let end = len.min(start + chunk);
+            // SAFETY: chunk `ci` covers rows `start .. end`, so the
+            // `[start * width, end * width)` ranges of `out` are pairwise
+            // disjoint across chunks and in bounds (`out` was resized to
+            // `len * width` above and is not touched by anything else while
+            // the workers run).
             let rows = unsafe {
-                std::slice::from_raw_parts_mut(base.0.add(start * width), reqs.len() * width)
+                std::slice::from_raw_parts_mut(base.0.add(start * width), (end - start) * width)
             };
-            self.score_seq_into(reqs, rows);
+            fill(start..end, rows);
         });
     }
 
@@ -670,12 +718,92 @@ impl LadEngine {
             "output buffer must hold {} scores per request",
             width
         );
+        self.validate_requests(requests);
         MU_SCRATCH.with(|cell| {
-            let expected = &mut *cell.borrow_mut();
+            let scratch = &mut *cell.borrow_mut();
             for (req, row) in requests.iter().zip(out.chunks_exact_mut(width)) {
-                self.scores_with_into(expected, &req.observation, req.estimate, row);
+                self.scores_with_into(scratch, &req.observation, req.estimate, row);
             }
         });
+    }
+
+    /// Raw anomaly scores for a CSR observation batch, written into a flat
+    /// caller-owned buffer: row-major, `self.metrics().len()` scores per
+    /// row, in row order. The buffer is cleared and resized to exactly
+    /// `batch.len() * metrics.len()`.
+    ///
+    /// This is the fully sparse sibling of [`Self::score_batch_into`]:
+    /// the batch stores only observation nonzeros (no per-report
+    /// `Observation` heap objects), the expected observation is enumerated
+    /// over its O(k) support, and the fused kernel merges the two sparse
+    /// sides directly. Scores are bit-identical to the dense entry points.
+    /// The work fans out over the same chunked Rayon pool as
+    /// [`Self::score_batch_into`], each worker writing its chunk's disjoint
+    /// output range in place.
+    ///
+    /// # Panics
+    /// Panics when the batch's group count differs from the engine's
+    /// deployment (the once-per-batch boundary check; rows are validated at
+    /// [`ObservationBatch::push`] time).
+    pub fn score_rows_into(&self, batch: &ObservationBatch, out: &mut Vec<f64>) {
+        Self::par_fill_rows(batch.len(), self.scorers.len(), out, |range, rows| {
+            self.score_rows_range_into(batch, range, rows)
+        });
+    }
+
+    /// Scores rows `lo..hi` of `batch` sequentially on the calling thread
+    /// into `out` (row-major; `out` must be exactly
+    /// `(hi - lo) * metrics.len()` long). The whole-batch form
+    /// [`Self::score_rows_seq_into`] is what a `lad_serve` shard runs on
+    /// its partition.
+    fn score_rows_range_into(
+        &self,
+        batch: &ObservationBatch,
+        range: std::ops::Range<usize>,
+        out: &mut [f64],
+    ) {
+        let width = self.scorers.len();
+        assert_eq!(
+            batch.group_count(),
+            self.knowledge.group_count(),
+            "batch/deployment group-count mismatch"
+        );
+        assert_eq!(
+            out.len(),
+            range.len() * width,
+            "output buffer must hold {width} scores per row"
+        );
+        MU_SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            let smu = &mut scratch.0;
+            for (r, row_out) in range.zip(out.chunks_exact_mut(width)) {
+                self.knowledge.expected_sparse_into(batch.estimate(r), smu);
+                let row = batch.row(r);
+                if self.fused {
+                    let scores = crate::metrics::score_all_fused_sparse(row, smu);
+                    row_out.copy_from_slice(&scores);
+                } else {
+                    for (slot, scorer) in row_out.iter_mut().zip(&self.scorers) {
+                        *slot = scorer.score_sparse(row, smu);
+                    }
+                }
+            }
+        });
+    }
+
+    /// Scores a CSR batch sequentially on the calling thread into `out`
+    /// (row-major, `self.metrics().len()` scores per row; `out` must be
+    /// exactly `batch.len() * metrics.len()` long).
+    ///
+    /// This is the allocation-free kernel a `lad_serve` shard runs on its
+    /// own partition of a round: no per-report heap objects in, one flat
+    /// score buffer out, no nested thread pool underneath a shard thread.
+    ///
+    /// # Panics
+    /// Panics when `out.len() != batch.len() * self.metrics().len()` or the
+    /// batch's group count differs from the engine's deployment.
+    pub fn score_rows_seq_into(&self, batch: &ObservationBatch, out: &mut [f64]) {
+        self.score_rows_range_into(batch, 0..batch.len(), out);
     }
 
     /// Upper bound on the number of requests each worker-thread chunk

@@ -77,7 +77,9 @@ pub fn rounded_expected(mu: &[f64]) -> Observation {
 /// The L1 deviation `Σ |o_i − µ_i|` between an integer observation and an
 /// expected (real-valued) observation — the Diff metric's core quantity.
 pub fn l1_deviation(obs: &Observation, mu: &[f64]) -> f64 {
-    assert_eq!(
+    // Hot loop: lengths are validated once per batch at the engine boundary
+    // (and by `ObservationBatch::push`), not per score.
+    debug_assert_eq!(
         obs.group_count(),
         mu.len(),
         "observation/expectation length mismatch"
@@ -120,6 +122,7 @@ mod tests {
 
     #[test]
     #[should_panic]
+    #[cfg(debug_assertions)] // length checks are debug-only in the hot loop
     fn mismatched_lengths_panic() {
         let _ = l1_deviation(&Observation::zeros(2), &[1.0, 2.0, 3.0]);
     }

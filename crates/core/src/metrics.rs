@@ -8,9 +8,9 @@
 //! per-group likelihood.
 
 use crate::expected::{l1_deviation, ExpectedObservation};
-use lad_deployment::DeploymentKnowledge;
+use lad_deployment::{DeploymentKnowledge, SparseMu};
 use lad_geometry::Point2;
-use lad_net::Observation;
+use lad_net::{ObsRow, Observation};
 use lad_stats::Binomial;
 use serde::{Deserialize, Serialize};
 
@@ -71,6 +71,19 @@ pub trait DetectionMetric: Send + Sync {
         self.score(obs, expected.mu(), expected.group_size())
     }
 
+    /// Scores a sparse batch row against a sparse expected observation in
+    /// O(k + nnz) — k support groups plus the observation's nonzeros —
+    /// instead of O(n).
+    ///
+    /// Bit-identical to densifying both sides and calling [`Self::score`]
+    /// (see the [sparse-kernel notes](score_all_fused_sparse)). The default
+    /// implementation does exactly that densification as a correctness
+    /// fallback; the three built-in metrics override it with allocation-free
+    /// sparse kernels.
+    fn score_sparse(&self, row: ObsRow<'_>, mu: &SparseMu) -> f64 {
+        self.score(&row.to_observation(), &mu.to_dense(), mu.group_size())
+    }
+
     /// Convenience: compute `µ(L_e)` from the knowledge and score against it.
     fn score_at(
         &self,
@@ -80,6 +93,42 @@ pub trait DetectionMetric: Send + Sync {
     ) -> f64 {
         let mu = knowledge.expected_observation(estimate);
         self.score(obs, &mu, knowledge.group_size())
+    }
+}
+
+/// Visits `(o_i, µ_i)` for every group in `support(µ) ∪ nonzero(o)`, in
+/// ascending group order, given a **sparse** observation row.
+///
+/// This is the iteration pattern all sparse kernels share. Every group it
+/// skips has `o_i = 0` and `µ_i = 0.0` exactly, so a sum of non-negative
+/// per-group terms that are zero at `(0, 0.0)` — the Diff and Add-all
+/// metrics — accumulates the *same bits* as the dense pass over all `n`
+/// groups (adding `+0.0` to a non-negative IEEE accumulator is the
+/// identity), and a min over per-group likelihoods skips exactly the groups
+/// the dense kernel's `(o, µ) = (0, 0)` guard skips.
+#[inline]
+fn for_each_scored_group<F: FnMut(u32, f64)>(row: ObsRow<'_>, mu: &SparseMu, mut f: F) {
+    debug_assert_eq!(
+        row.group_count,
+        mu.group_count(),
+        "observation/expectation group-count mismatch"
+    );
+    let mut oi = 0usize;
+    for &(g, mui) in mu.entries() {
+        while oi < row.groups.len() && row.groups[oi] < g {
+            f(row.counts[oi], 0.0);
+            oi += 1;
+        }
+        if oi < row.groups.len() && row.groups[oi] == g {
+            f(row.counts[oi], mui);
+            oi += 1;
+        } else {
+            f(0, mui);
+        }
+    }
+    while oi < row.groups.len() {
+        f(row.counts[oi], 0.0);
+        oi += 1;
     }
 }
 
@@ -94,6 +143,14 @@ impl DetectionMetric for DiffMetric {
 
     fn score(&self, obs: &Observation, mu: &[f64], _group_size: usize) -> f64 {
         l1_deviation(obs, mu)
+    }
+
+    /// O(k + nnz) sparse kernel: groups outside `support ∪ nonzero(o)`
+    /// contribute exactly `|0 − 0.0| = 0.0` and are skipped.
+    fn score_sparse(&self, row: ObsRow<'_>, mu: &SparseMu) -> f64 {
+        let mut dm = 0.0f64;
+        for_each_scored_group(row, mu, |o, mui| dm += (o as f64 - mui).abs());
+        dm
     }
 }
 
@@ -111,7 +168,9 @@ impl DetectionMetric for AddAllMetric {
     }
 
     fn score(&self, obs: &Observation, mu: &[f64], _group_size: usize) -> f64 {
-        assert_eq!(
+        // Hot loop: lengths are validated once per batch at the engine
+        // boundary (and by `ObservationBatch::push`), not per score.
+        debug_assert_eq!(
             obs.group_count(),
             mu.len(),
             "observation/expectation length mismatch"
@@ -121,6 +180,14 @@ impl DetectionMetric for AddAllMetric {
             .zip(mu)
             .map(|(&o, &m)| (o as f64).max(m))
             .sum()
+    }
+
+    /// O(k + nnz) sparse kernel: groups outside `support ∪ nonzero(o)`
+    /// contribute exactly `max(0, 0.0) = 0.0` and are skipped.
+    fn score_sparse(&self, row: ObsRow<'_>, mu: &SparseMu) -> f64 {
+        let mut am = 0.0f64;
+        for_each_scored_group(row, mu, |o, mui| am += (o as f64).max(mui));
+        am
     }
 }
 
@@ -137,18 +204,31 @@ impl ProbabilityMetric {
     /// The smallest per-group `ln Pr(X_i = o_i | L_e)` — the hot-path
     /// quantity. Working in log space keeps the whole scan to one `exp`-free
     /// pass (minimising `ln Pr` and minimising `Pr` pick the same group).
+    ///
+    /// Groups with `o_i = 0` are reduced to a **single** pmf evaluation:
+    /// `ln Pr(X = 0 | µ) = m·ln(1 − µ/m)` is monotonically decreasing in
+    /// `µ`, so among zero-observation groups only the largest `µ` can
+    /// attain the min (see the `ZeroObsMin` helper). That turns the former
+    /// one-`ln`-per-visible-group scan into `nnz(o)` full evaluations plus
+    /// one, and every kernel — this one, the fused pass, and the sparse
+    /// variants — applies the identical reduction, so their scores agree
+    /// bit for bit by construction.
     pub fn min_ln_probability(obs: &Observation, mu: &[f64], group_size: usize) -> f64 {
-        assert_eq!(
+        // Hot loop: lengths are validated once per batch at the engine
+        // boundary (and by `ObservationBatch::push`), not per score.
+        debug_assert_eq!(
             obs.group_count(),
             mu.len(),
             "observation/expectation length mismatch"
         );
         let pmf = TabledLnPmf::new(group_size);
         let mut min_ln_p = 0.0f64;
+        let mut zero_obs = ZeroObsMin::new();
         for (&o, &mui) in obs.counts().iter().zip(mu) {
-            // Most groups are far from L_e: g = 0 and o = 0 gives Pr = 1,
-            // which can never be the minimum — skip before any division.
-            if mui <= 0.0 && o == 0 {
+            if o == 0 {
+                // Pr(X = 0) = 1 for µ = 0 can never be the minimum; for
+                // µ > 0 only the largest µ can (monotonicity) — defer it.
+                zero_obs.see(mui);
                 continue;
             }
             let ln_p = pmf.eval(o, mui);
@@ -156,12 +236,35 @@ impl ProbabilityMetric {
                 min_ln_p = ln_p;
             }
         }
-        min_ln_p
+        zero_obs.fold_into(&pmf, min_ln_p)
     }
 
     /// The raw metric of §5.4: the smallest `Pr(X_i = o_i | L_e)` over groups.
     pub fn min_probability(obs: &Observation, mu: &[f64], group_size: usize) -> f64 {
         Self::min_ln_probability(obs, mu, group_size).exp()
+    }
+
+    /// O(k + nnz) sparse sibling of [`Self::min_ln_probability`].
+    ///
+    /// Groups outside `support ∪ nonzero(o)` have `o = 0` and `µ = 0.0`,
+    /// which the dense kernel's zero-p guard skips anyway (`Pr = 1` can
+    /// never be the minimum), so the min ranges over the identical set of
+    /// evaluations and the result is bit-identical.
+    pub fn min_ln_probability_sparse(row: ObsRow<'_>, mu: &SparseMu) -> f64 {
+        let pmf = TabledLnPmf::new(mu.group_size());
+        let mut min_ln_p = 0.0f64;
+        let mut zero_obs = ZeroObsMin::new();
+        for_each_scored_group(row, mu, |o, mui| {
+            if o == 0 {
+                zero_obs.see(mui);
+                return;
+            }
+            let ln_p = pmf.eval(o, mui);
+            if ln_p < min_ln_p {
+                min_ln_p = ln_p;
+            }
+        });
+        zero_obs.fold_into(&pmf, min_ln_p)
     }
 }
 
@@ -173,11 +276,61 @@ impl DetectionMetric for ProbabilityMetric {
     fn score(&self, obs: &Observation, mu: &[f64], group_size: usize) -> f64 {
         (-Self::min_ln_probability(obs, mu, group_size)).min(NEG_LN_FLOOR)
     }
+
+    /// O(k + nnz) sparse kernel; see [`ProbabilityMetric::min_ln_probability_sparse`].
+    fn score_sparse(&self, row: ObsRow<'_>, mu: &SparseMu) -> f64 {
+        (-Self::min_ln_probability_sparse(row, mu)).min(NEG_LN_FLOOR)
+    }
 }
 
 /// Score cap of the probability metric: `−ln(1e-300)`, i.e. the minimum
 /// likelihood is floored at 1e-300 as the pre-log-space implementation did.
 const NEG_LN_FLOOR: f64 = 690.775_527_898_213_7;
+
+/// Deferred minimum over the zero-observation groups of the probability
+/// metric: tracks the largest µ seen with `o = 0` and evaluates the pmf for
+/// it **once** at the end.
+///
+/// Correctness: `ln Pr(X = 0 | µ) = m·ln(1 − µ/m)` is monotonically
+/// decreasing in `µ`, and every floating-point step of
+/// [`TabledLnPmf::eval`]'s `k = 0` path (division by the positive constant
+/// `m`, clamp, the `1 − g` complement, `ln`/the small-`g` series, the final
+/// positive scaling) is weakly monotone under IEEE round-to-nearest, so the
+/// minimum over all zero-observation groups is exactly the evaluation at
+/// the largest µ. Every kernel (dense, fused, sparse) routes its
+/// zero-observation groups through this same reduction, so their scores are
+/// identical bit for bit by construction.
+struct ZeroObsMin {
+    max_mu: f64,
+}
+
+impl ZeroObsMin {
+    fn new() -> Self {
+        Self { max_mu: 0.0 }
+    }
+
+    /// Records one zero-observation group's µ.
+    #[inline(always)]
+    fn see(&mut self, mui: f64) {
+        if mui > self.max_mu {
+            self.max_mu = mui;
+        }
+    }
+
+    /// Folds the deferred evaluation into `min_ln_p`. Groups with `µ = 0`
+    /// were `Pr = 1` and can never be the minimum, matching the old
+    /// per-group skip.
+    #[inline]
+    fn fold_into(self, pmf: &TabledLnPmf, min_ln_p: f64) -> f64 {
+        if self.max_mu > 0.0 {
+            let ln_p = pmf.eval(0, self.max_mu);
+            if ln_p < min_ln_p {
+                return ln_p;
+            }
+        }
+        min_ln_p
+    }
+}
 
 /// The binomial `ln Pr(X = o)` evaluator shared by the per-metric and fused
 /// hot loops — one definition, so the two paths are the same float program.
@@ -240,7 +393,9 @@ impl TabledLnPmf {
 /// built-in metrics: the observation and the expected observation are then
 /// loaded once per request instead of once per metric.
 pub fn score_all_fused(obs: &Observation, mu: &[f64], group_size: usize) -> [f64; 3] {
-    assert_eq!(
+    // Hot loop: lengths are validated once per batch at the engine boundary
+    // (and by `ObservationBatch::push`), not per score.
+    debug_assert_eq!(
         obs.group_count(),
         mu.len(),
         "observation/expectation length mismatch"
@@ -252,6 +407,159 @@ pub fn score_all_fused(obs: &Observation, mu: &[f64], group_size: usize) -> [f64
     acc.finish()
 }
 
+/// All three paper metrics in one **O(k + nnz)** pass over a sparse batch
+/// row and a sparse expected observation — the serving hot path's kernel.
+///
+/// Only the µ support (`k` groups within the g(z) tail `z_max` of the
+/// estimate) and the observation's nonzeros are visited; every skipped
+/// group contributes exactly `(o, µ) = (0, 0.0)`, which adds `+0.0` to the
+/// Diff/Add-all accumulators (the IEEE identity) and is excluded from the
+/// probability min by the dense kernel's own zero-p guard. The result is
+/// therefore **bit-identical** to [`score_all_fused`] over the densified
+/// inputs — asserted by proptest in `tests/sparse_exactness.rs` — while the
+/// work no longer scales with the group count `n`.
+pub fn score_all_fused_sparse(row: ObsRow<'_>, mu: &SparseMu) -> [f64; 3] {
+    // Two specialised passes instead of one merged accumulator: the first
+    // carries only cheap float ops (predictable, small loop body), the
+    // second carries the expensive pmf evaluations over exactly the groups
+    // that need one — `nnz(o)` full evaluations plus the single deferred
+    // zero-observation one. Merging them into one loop triples the inlined
+    // pmf call sites and measurably slows the merge.
+    let entries = mu.entries();
+    let (og, oc) = (row.groups, row.counts);
+
+    // Pass 1 — Diff/Add-all over `support ∪ nonzero(o)` in ascending group
+    // order, plus the largest zero-observation µ. For groups outside the
+    // support, `(o − 0.0).abs()` and `o.max(0.0)` are exactly `o as f64`.
+    let mut dm = 0.0f64;
+    let mut am = 0.0f64;
+    let mut zero_obs = ZeroObsMin::new();
+    let mut oi = 0usize;
+    for &(g, mui) in entries {
+        while oi < og.len() && og[oi] < g {
+            let of = oc[oi] as f64;
+            dm += of;
+            am += of;
+            oi += 1;
+        }
+        let o = if oi < og.len() && og[oi] == g {
+            let c = oc[oi];
+            oi += 1;
+            c
+        } else {
+            0
+        };
+        let of = o as f64;
+        dm += (of - mui).abs();
+        am += of.max(mui);
+        if o == 0 {
+            zero_obs.see(mui);
+        }
+    }
+    while oi < og.len() {
+        let of = oc[oi] as f64;
+        dm += of;
+        am += of;
+        oi += 1;
+    }
+
+    // Pass 2 — probability: one full pmf evaluation per observation
+    // nonzero (µ looked up by a second merge walk; 0.0 when the group is
+    // outside the support), then the deferred zero-observation evaluation.
+    let pmf = TabledLnPmf::new(mu.group_size());
+    let mut min_ln_p = 0.0f64;
+    let mut si = 0usize;
+    for (&g, &o) in og.iter().zip(oc) {
+        while si < entries.len() && entries[si].0 < g {
+            si += 1;
+        }
+        let mui = if si < entries.len() && entries[si].0 == g {
+            entries[si].1
+        } else {
+            0.0
+        };
+        let ln_p = pmf.eval(o, mui);
+        if ln_p < min_ln_p {
+            min_ln_p = ln_p;
+        }
+    }
+    let min_ln_p = zero_obs.fold_into(&pmf, min_ln_p);
+    [dm, am, (-min_ln_p).min(NEG_LN_FLOOR)]
+}
+
+/// [`score_all_fused_sparse`] for a **dense** observation: the sparse µ
+/// support bounds the float work at O(k) while the observation nonzeros are
+/// found with a cheap integer scan. Bit-identical to [`score_all_fused`].
+///
+/// This is what the engine's `DetectionRequest` entry points run; batch
+/// ingestion via [`lad_net::ObservationBatch`] uses
+/// [`score_all_fused_sparse`] and skips the scan too.
+pub fn score_all_fused_sparse_obs(obs: &Observation, mu: &SparseMu) -> [f64; 3] {
+    let counts = obs.counts();
+    let entries = mu.entries();
+
+    // Pass 1 — Diff/Add-all (cheap ops only), as in the CSR variant but
+    // scanning the dense counts for nonzeros.
+    let mut dm = 0.0f64;
+    let mut am = 0.0f64;
+    let mut zero_obs = ZeroObsMin::new();
+    let mut i = 0usize;
+    for &(g, mui) in entries {
+        let g = g as usize;
+        while i < g {
+            let o = counts[i];
+            if o != 0 {
+                let of = o as f64;
+                dm += of;
+                am += of;
+            }
+            i += 1;
+        }
+        let o = counts[g];
+        let of = o as f64;
+        dm += (of - mui).abs();
+        am += of.max(mui);
+        if o == 0 {
+            zero_obs.see(mui);
+        }
+        i = g + 1;
+    }
+    while i < counts.len() {
+        let o = counts[i];
+        if o != 0 {
+            let of = o as f64;
+            dm += of;
+            am += of;
+        }
+        i += 1;
+    }
+
+    // Pass 2 — probability over the observation nonzeros.
+    let pmf = TabledLnPmf::new(mu.group_size());
+    let mut min_ln_p = 0.0f64;
+    let mut si = 0usize;
+    for (g, &o) in counts.iter().enumerate() {
+        if o == 0 {
+            continue;
+        }
+        let g = g as u32;
+        while si < entries.len() && entries[si].0 < g {
+            si += 1;
+        }
+        let mui = if si < entries.len() && entries[si].0 == g {
+            entries[si].1
+        } else {
+            0.0
+        };
+        let ln_p = pmf.eval(o, mui);
+        if ln_p < min_ln_p {
+            min_ln_p = ln_p;
+        }
+    }
+    let min_ln_p = zero_obs.fold_into(&pmf, min_ln_p);
+    [dm, am, (-min_ln_p).min(NEG_LN_FLOOR)]
+}
+
 /// The per-group accumulation of the fused scoring kernel; the binomial part
 /// goes through the same [`TabledLnPmf`] as the stand-alone probability
 /// metric, so fused and per-metric scores are the same float program.
@@ -260,6 +568,7 @@ struct FusedAccumulator {
     dm: f64,
     am: f64,
     min_ln_p: f64,
+    zero_obs: ZeroObsMin,
 }
 
 impl FusedAccumulator {
@@ -269,6 +578,7 @@ impl FusedAccumulator {
             dm: 0.0,
             am: 0.0,
             min_ln_p: 0.0,
+            zero_obs: ZeroObsMin::new(),
         }
     }
 
@@ -277,7 +587,10 @@ impl FusedAccumulator {
         let of = o as f64;
         self.dm += (of - mui).abs();
         self.am += of.max(mui);
-        if mui <= 0.0 && o == 0 {
+        if o == 0 {
+            // Deferred: only the largest zero-observation µ can attain the
+            // probability min (see `ZeroObsMin`).
+            self.zero_obs.see(mui);
             return;
         }
         let ln_p = self.pmf.eval(o, mui);
@@ -287,7 +600,8 @@ impl FusedAccumulator {
     }
 
     fn finish(self) -> [f64; 3] {
-        [self.dm, self.am, (-self.min_ln_p).min(NEG_LN_FLOOR)]
+        let min_ln_p = self.zero_obs.fold_into(&self.pmf, self.min_ln_p);
+        [self.dm, self.am, (-min_ln_p).min(NEG_LN_FLOOR)]
     }
 }
 

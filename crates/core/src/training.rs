@@ -13,7 +13,8 @@
 //! the master seed); [`TrainedThresholds`] implements step 4 lazily so τ can
 //! be swept without retraining.
 
-use crate::metrics::MetricKind;
+use crate::expected::ExpectedObservation;
+use crate::metrics::{score_all_fused, MetricKind};
 use crate::threshold::TrainedThresholds;
 use lad_deployment::DeploymentKnowledge;
 use lad_localization::BeaconlessMle;
@@ -24,6 +25,12 @@ use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
+
+thread_local! {
+    /// Per-thread µ(L_e) scratch for training-sample scoring.
+    static MU_SCRATCH: std::cell::RefCell<ExpectedObservation> =
+        std::cell::RefCell::new(ExpectedObservation::new());
+}
 
 /// Parameters of the training procedure.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -89,8 +96,15 @@ impl Trainer {
                 let ids: Vec<NodeId> = (0..cfg.samples_per_network)
                     .map(|_| NodeId(rng.gen_range(0..network.node_count() as u32)))
                     .collect();
+                // Samples stay parallel within a network; each worker
+                // thread reuses one µ scratch, so the per-sample work is a
+                // fill + one fused pass with no allocation.
                 ids.into_par_iter()
-                    .filter_map(|id| sample_node(&network, id, &cfg.localizer))
+                    .filter_map(|id| {
+                        MU_SCRATCH.with(|cell| {
+                            sample_node(&network, id, &cfg.localizer, &mut cell.borrow_mut())
+                        })
+                    })
                     .collect::<Vec<_>>()
             })
             .collect()
@@ -107,17 +121,19 @@ impl Trainer {
     }
 }
 
-fn sample_node(network: &Network, id: NodeId, localizer: &BeaconlessMle) -> Option<TrainingSample> {
+fn sample_node(
+    network: &Network,
+    id: NodeId,
+    localizer: &BeaconlessMle,
+    expected: &mut ExpectedObservation,
+) -> Option<TrainingSample> {
     let knowledge = network.knowledge();
     let obs = network.true_observation(id);
     let estimate = localizer.estimate(knowledge, &obs)?;
-    let mu = knowledge.expected_observation(estimate);
-    let m = knowledge.group_size();
-    let scores = [
-        MetricKind::Diff.metric().score(&obs, &mu, m),
-        MetricKind::AddAll.metric().score(&obs, &mu, m),
-        MetricKind::Probability.metric().score(&obs, &mu, m),
-    ];
+    // µ(L_e) into the caller's reused scratch, all three metrics in one
+    // fused pass — bit-identical to scoring each metric separately.
+    expected.fill(knowledge, estimate);
+    let scores = score_all_fused(&obs, expected.mu(), expected.group_size());
     Some(TrainingSample {
         scores,
         localization_error: estimate.distance(network.node(id).resident_point),

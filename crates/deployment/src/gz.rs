@@ -125,11 +125,17 @@ impl GzTable {
     /// Interpolated `g(z)` (clamped to `[0, 1]`; 0 beyond the tabulated tail).
     #[inline]
     pub fn eval(&self, z: f64) -> f64 {
-        let z = z.abs();
-        if z >= self.z_max {
-            return 0.0;
+        self.prepared().eval(z)
+    }
+
+    /// A borrowed evaluator with the table invariants hoisted for hot loops
+    /// (bit-identical to [`Self::eval`]).
+    #[inline]
+    pub fn prepared(&self) -> PreparedGz<'_> {
+        PreparedGz {
+            z_max: self.z_max,
+            table: self.table.prepared(),
         }
-        self.table.eval(z).clamp(0.0, 1.0)
     }
 
     /// Maximum absolute interpolation error against the exact quadrature,
@@ -138,6 +144,25 @@ impl GzTable {
     pub fn max_interpolation_error(&self, probes_per_cell: usize) -> f64 {
         self.table
             .max_error_against(|z| gz_exact(z, self.range, self.sigma), probes_per_cell)
+    }
+}
+
+/// The hoisted-invariant `g(z)` evaluator returned by [`GzTable::prepared`].
+#[derive(Debug, Clone, Copy)]
+pub struct PreparedGz<'a> {
+    z_max: f64,
+    table: lad_stats::PreparedLookup<'a>,
+}
+
+impl PreparedGz<'_> {
+    /// Interpolated `g(z)`; bit-identical to [`GzTable::eval`].
+    #[inline(always)]
+    pub fn eval(&self, z: f64) -> f64 {
+        let z = z.abs();
+        if z >= self.z_max {
+            return 0.0;
+        }
+        self.table.eval(z).clamp(0.0, 1.0)
     }
 }
 

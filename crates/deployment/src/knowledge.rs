@@ -11,17 +11,29 @@ use crate::config::DeploymentConfig;
 use crate::gz::GzTable;
 use crate::layout::DeploymentLayout;
 use crate::placement::PlacementModel;
+use crate::sparse::{SparseMu, SupportIndex};
 use lad_geometry::Point2;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Error, Serialize, Value};
 use std::sync::Arc;
 
 /// Pre-deployment knowledge stored on every sensor.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Besides the layout, placement model and g(z) table, the knowledge object
+/// precomputes a spatial support index over the deployment points (per-cell
+/// sorted candidate lists, cells sized from the g(z) tail `z_max`), so the
+/// **support** of `µ(θ)` — the groups within `z_max` of `θ`, the only ones
+/// with `g_i(θ) ≠ 0` — can be enumerated in O(k) by
+/// [`Self::expected_sparse_into`] instead of scanning all `n` groups. The
+/// index is derived state: it is rebuilt (not stored) when a knowledge
+/// object is deserialised.
+#[derive(Debug, Clone)]
 pub struct DeploymentKnowledge {
     config: DeploymentConfig,
     layout: DeploymentLayout,
     placement: PlacementModel,
     gz: GzTable,
+    /// Precomputed per-cell support candidate lists (see [`SupportIndex`]).
+    support: SupportIndex,
 }
 
 impl DeploymentKnowledge {
@@ -40,11 +52,13 @@ impl DeploymentKnowledge {
         placement: PlacementModel,
     ) -> Self {
         let gz = GzTable::build(config.range, placement.spread(), config.gz_table_omega);
+        let support = SupportIndex::build(layout.deployment_points(), layout.area(), gz.z_max());
         Self {
             config,
             layout,
             placement,
             gz,
+            support,
         }
     }
 
@@ -99,10 +113,30 @@ impl DeploymentKnowledge {
     }
 
     /// The vector `(g_1(θ), …, g_n(θ))` for all groups.
+    ///
+    /// Thin allocating wrapper over [`Self::g_iter`]; hot loops should
+    /// consume the iterator (or [`Self::expected_sparse_into`]) directly.
     pub fn g_all(&self, theta: Point2) -> Vec<f64> {
-        (0..self.group_count())
-            .map(|i| self.g_i(i, theta))
-            .collect()
+        self.g_iter(theta).collect()
+    }
+
+    /// Streams `g_i(θ)` group by group without materialising a vector.
+    ///
+    /// A squared-distance early-out skips the `sqrt` and table lookup for
+    /// groups beyond the tabulated g(z) tail (where `g` is 0); the yielded
+    /// values are bit-identical to calling [`Self::g_i`] per group.
+    #[inline]
+    pub fn g_iter(&self, theta: Point2) -> impl Iterator<Item = f64> + '_ {
+        let z_max = self.gz.z_max();
+        let z_max_sq = z_max * z_max;
+        self.layout.deployment_points().iter().map(move |dp| {
+            let d_sq = dp.distance_squared(theta);
+            if d_sq >= z_max_sq {
+                0.0
+            } else {
+                self.gz.eval(d_sq.sqrt())
+            }
+        })
     }
 
     /// The expected observation `µ(θ)` with `µ_i = m · g_i(θ)` (Equation 2 of
@@ -139,21 +173,116 @@ impl DeploymentKnowledge {
     #[inline]
     pub fn expected_iter(&self, theta: Point2) -> impl Iterator<Item = f64> + '_ {
         let m = self.group_size() as f64;
+        self.g_iter(theta).map(move |g| m * g)
+    }
+
+    /// Fills `out` with the **sparse** expected observation at `θ`: the
+    /// `(group, µ_i)` pairs of the g(z) support (groups within `z_max` of
+    /// `θ`), sorted by group index, reusing `out`'s allocation.
+    ///
+    /// This is the O(k) sibling of [`Self::expected_observation_into`]
+    /// (k = support size, not the group count n): the precomputed spatial
+    /// index enumerates the support directly instead of scanning every
+    /// deployment point. The support is **exact**, not approximate — it
+    /// contains every group whose dense µ entry is nonzero, with
+    /// bit-identical values (the same distance → `sqrt` → table-lookup
+    /// float program as [`Self::expected_iter`]), which is what lets the
+    /// sparse scoring kernels reproduce the dense scores bit for bit.
+    pub fn expected_sparse_into(&self, theta: Point2, out: &mut SparseMu) {
+        out.reset(self.group_count(), self.group_size());
+        let m = self.group_size() as f64;
         let z_max = self.gz.z_max();
         let z_max_sq = z_max * z_max;
-        self.layout.deployment_points().iter().map(move |dp| {
-            let d_sq = dp.distance_squared(theta);
-            if d_sq >= z_max_sq {
-                0.0
-            } else {
-                m * self.gz.eval(d_sq.sqrt())
+        let points = self.layout.deployment_points();
+        // Phase 1 — gather: both paths apply the exact early-out predicate
+        // of `expected_iter` (`d² < z_max²`) and visit candidates in
+        // ascending group order, so the entries come out sorted with no
+        // per-query sort (the indexed candidate lists are pre-sorted, the
+        // fallback scans in index order). The squared distance is parked in
+        // the µ slot.
+        match self.support.candidates(theta) {
+            Some(candidates) => {
+                for &g in candidates {
+                    let d_sq = points[g as usize].distance_squared(theta);
+                    if d_sq < z_max_sq {
+                        out.push(g, d_sq);
+                    }
+                }
             }
-        })
+            // θ beyond the padded index bounds (degenerate estimates far
+            // off the area): exact O(n) scan, same filter, same order.
+            None => {
+                for (g, dp) in points.iter().enumerate() {
+                    let d_sq = dp.distance_squared(theta);
+                    if d_sq < z_max_sq {
+                        out.push(g as u32, d_sq);
+                    }
+                }
+            }
+        }
+        // Phase 2 — map distances to µ in one tight branch-free loop: the
+        // divisions inside the table interpolation pipeline across
+        // iterations instead of serialising behind the gather branches.
+        // Same float program as `expected_iter`: µ = m · g(√d²).
+        let gz = self.gz.prepared();
+        for entry in out.entries_mut() {
+            entry.1 = m * gz.eval(entry.1.sqrt());
+        }
+    }
+
+    /// The sparse expected observation at `θ` as a fresh buffer. Thin
+    /// allocating wrapper over [`Self::expected_sparse_into`].
+    pub fn expected_sparse(&self, theta: Point2) -> SparseMu {
+        let mut out = SparseMu::new();
+        self.expected_sparse_into(theta, &mut out);
+        out
+    }
+
+    /// Upper end of the tabulated g(z) domain — the radius of the support
+    /// disk around an estimate (`z_max = R + 6σ`).
+    pub fn support_radius(&self) -> f64 {
+        self.gz.z_max()
     }
 
     /// Expected total number of neighbours at `θ` (sum of `µ_i`).
     pub fn expected_neighbor_count(&self, theta: Point2) -> f64 {
-        self.expected_observation(theta).iter().sum()
+        self.expected_iter(theta).sum()
+    }
+}
+
+// The spatial support index is derived state rebuilt from the serialised
+// fields, so (de)serialisation is implemented by hand instead of derived
+// (the serde shim has no `#[serde(skip)]`); the wire format matches what
+// `#[derive(Serialize)]` produced before the index existed.
+impl Serialize for DeploymentKnowledge {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            (String::from("config"), self.config.to_value()),
+            (String::from("layout"), self.layout.to_value()),
+            (String::from("placement"), self.placement.to_value()),
+            (String::from("gz"), self.gz.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for DeploymentKnowledge {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let field = |name: &str| {
+            v.get(name)
+                .ok_or_else(|| Error::custom(format!("DeploymentKnowledge is missing `{name}`")))
+        };
+        let config: DeploymentConfig = Deserialize::from_value(field("config")?)?;
+        let layout: DeploymentLayout = Deserialize::from_value(field("layout")?)?;
+        let placement: PlacementModel = Deserialize::from_value(field("placement")?)?;
+        let gz: GzTable = Deserialize::from_value(field("gz")?)?;
+        let support = SupportIndex::build(layout.deployment_points(), layout.area(), gz.z_max());
+        Ok(Self {
+            config,
+            layout,
+            placement,
+            gz,
+            support,
+        })
     }
 }
 
@@ -221,6 +350,87 @@ mod tests {
         let p = k.expected_observation(Point2::new(650.0, 450.0));
         let l1: f64 = o.iter().zip(&p).map(|(a, b)| (a - b).abs()).sum();
         assert!(l1 > 100.0, "observations should differ strongly, L1 = {l1}");
+    }
+
+    #[test]
+    fn sparse_expected_matches_dense_bit_for_bit() {
+        let k = knowledge();
+        let mut smu = crate::SparseMu::new();
+        for theta in [
+            Point2::new(430.0, 510.0),
+            Point2::new(5.0, 5.0),       // corner
+            Point2::new(-200.0, 500.0),  // outside the area
+            Point2::new(5000.0, 5000.0), // far outside: empty support
+        ] {
+            let dense = k.expected_observation(theta);
+            k.expected_sparse_into(theta, &mut smu);
+            assert_eq!(smu.group_count(), k.group_count());
+            assert_eq!(smu.group_size(), k.group_size());
+            // Every dense nonzero appears sparsely with the identical bits…
+            assert_eq!(smu.to_dense(), dense, "dense mismatch at {theta:?}");
+            // …and the entries are sorted and unique.
+            assert!(smu.entries().windows(2).all(|w| w[0].0 < w[1].0));
+        }
+        k.expected_sparse_into(Point2::new(5000.0, 5000.0), &mut smu);
+        assert!(smu.is_empty());
+    }
+
+    #[test]
+    fn grid_backed_support_equals_brute_force_within_z_max() {
+        // Regression: the spatial index must enumerate exactly the groups a
+        // brute-force scan finds within z_max (strictly, matching the dense
+        // kernel's early-out).
+        let k = knowledge();
+        let z_max = k.support_radius();
+        assert_eq!(z_max, k.gz_table().z_max());
+        let mut smu = crate::SparseMu::new();
+        for (i, theta) in [
+            Point2::new(500.0, 500.0),
+            Point2::new(0.0, 0.0),
+            Point2::new(999.0, 1.0),
+            Point2::new(-100.0, 1100.0),
+            Point2::new(333.3, 666.6),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            k.expected_sparse_into(theta, &mut smu);
+            let got: Vec<u32> = smu.entries().iter().map(|&(g, _)| g).collect();
+            let brute: Vec<u32> = (0..k.group_count())
+                .filter(|&g| k.layout().deployment_point(g).distance_squared(theta) < z_max * z_max)
+                .map(|g| g as u32)
+                .collect();
+            assert_eq!(got, brute, "support mismatch for probe {i} at {theta:?}");
+        }
+    }
+
+    #[test]
+    fn knowledge_serde_round_trip_rebuilds_the_support_index() {
+        let k = knowledge();
+        let json = serde_json::to_string(&k).expect("knowledge serialises");
+        let back: DeploymentKnowledge = serde_json::from_str(&json).expect("knowledge parses");
+        assert_eq!(back.config(), k.config());
+        assert_eq!(back.layout(), k.layout());
+        let theta = Point2::new(430.0, 510.0);
+        assert_eq!(
+            back.expected_observation(theta),
+            k.expected_observation(theta)
+        );
+        assert_eq!(
+            back.expected_sparse(theta).entries(),
+            k.expected_sparse(theta).entries()
+        );
+    }
+
+    #[test]
+    fn g_iter_matches_g_i_bit_for_bit() {
+        let k = knowledge();
+        let theta = Point2::new(217.0, 488.0);
+        let iterated: Vec<f64> = k.g_iter(theta).collect();
+        assert_eq!(iterated, k.g_all(theta));
+        for (i, &g) in iterated.iter().enumerate() {
+            assert_eq!(g, k.g_i(i, theta), "group {i}");
+        }
     }
 
     #[test]

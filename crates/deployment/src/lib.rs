@@ -29,9 +29,11 @@ pub mod gz;
 pub mod knowledge;
 pub mod layout;
 pub mod placement;
+pub mod sparse;
 
 pub use config::DeploymentConfig;
-pub use gz::{gz_exact, GzTable};
+pub use gz::{gz_exact, GzTable, PreparedGz};
 pub use knowledge::DeploymentKnowledge;
 pub use layout::{DeploymentLayout, LayoutKind};
 pub use placement::PlacementModel;
+pub use sparse::SparseMu;

@@ -11,11 +11,11 @@
 
 use crate::scenario::spec::{CellParams, DeploymentAxis, LocalizerChoice, SamplingPlan};
 use lad_attack::{simulate_attack, AttackConfig};
-use lad_core::engine::{DetectionRequest, LadEngine};
+use lad_core::engine::LadEngine;
 use lad_core::MetricKind;
 use lad_deployment::DeploymentKnowledge;
 use lad_localization::{AnchorField, CentroidLocalizer, DvHopLocalizer, Localizer};
-use lad_net::{Network, NodeId};
+use lad_net::{Network, NodeId, ObservationBatch};
 use lad_stats::seeds::derive_seed;
 use lad_stats::{AccumulatorConfig, OnlineStats, ScoreAccumulator, Summary};
 use rand::SeedableRng;
@@ -179,6 +179,7 @@ impl Substrate {
             .expect("substrate engine scores all metrics");
         let mut out = ScoreAccumulator::new(accumulator);
         let mut scores: Vec<f64> = Vec::new();
+        let mut rows = ObservationBatch::new(self.knowledge().group_count());
         for (net_idx, network) in self.networks.iter().enumerate() {
             let point_seed = derive_seed(
                 self.sampling.seed,
@@ -196,10 +197,11 @@ impl Substrate {
                 self.sampling.victims_per_network,
                 derive_seed(point_seed, &[1]),
             );
-            // One network's worth of trials: simulate, batch-score into a
-            // flat reused buffer, stream. Buffers are bounded by
+            // One network's worth of trials: simulate (parallel), pack the
+            // tainted observations into a flat CSR batch, batch-score into
+            // a flat reused buffer, stream. Buffers are bounded by
             // victims_per_network, not the cell's total sample count.
-            let requests: Vec<DetectionRequest> = ids
+            let outcomes: Vec<_> = ids
                 .into_par_iter()
                 .enumerate()
                 .map(|(k, victim)| {
@@ -212,12 +214,15 @@ impl Substrate {
                     };
                     let mut rng =
                         ChaCha8Rng::seed_from_u64(derive_seed(point_seed, &[2, k as u64]));
-                    let outcome = simulate_attack(network, victim, &attack, &mut rng);
-                    DetectionRequest::new(outcome.tainted_observation, outcome.forged_location)
+                    simulate_attack(network, victim, &attack, &mut rng)
                 })
                 .collect();
+            rows.clear();
+            for outcome in &outcomes {
+                rows.push(&outcome.tainted_observation, outcome.forged_location);
+            }
             let width = self.engine.metrics().len();
-            self.engine.score_batch_into(&requests, &mut scores);
+            self.engine.score_rows_into(&rows, &mut scores);
             out.extend(scores.chunks_exact(width).map(|row| row[column]));
         }
         out
@@ -257,7 +262,7 @@ fn clean_partial(
     };
 
     let knowledge = engine.knowledge();
-    let mut requests = Vec::with_capacity(ids.len());
+    let mut rows = ObservationBatch::new(knowledge.group_count());
     let mut errors = OnlineStats::new();
     for id in ids {
         let obs = network.true_observation(id);
@@ -269,11 +274,11 @@ fn clean_partial(
         };
         let Some(estimate) = estimate else { continue };
         errors.push(estimate.distance(network.node(id).resident_point));
-        requests.push(DetectionRequest::new(obs, estimate));
+        rows.push(&obs, estimate);
     }
 
     let mut scored = Vec::new();
-    engine.score_batch_into(&requests, &mut scored);
+    engine.score_rows_into(&rows, &mut scored);
     let mut accs: Vec<ScoreAccumulator> = MetricKind::ALL
         .iter()
         .map(|_| ScoreAccumulator::new(accumulator))

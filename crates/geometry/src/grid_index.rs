@@ -103,6 +103,19 @@ impl GridIndex {
         radius: f64,
         mut visit: F,
     ) {
+        self.for_each_within_sq(query, radius, |i, _d_sq| visit(i, self.points[i]));
+    }
+
+    /// Like [`Self::for_each_within`], but hands the visitor the already
+    /// computed squared distance `query.distance_squared(point)` instead of
+    /// the point, so callers that need the distance (e.g. a g(z) lookup)
+    /// do not recompute it. Visits points in unspecified order.
+    pub fn for_each_within_sq<F: FnMut(usize, f64)>(
+        &self,
+        query: Point2,
+        radius: f64,
+        mut visit: F,
+    ) {
         let r2 = radius * radius;
         let min_cx = (((query.x - radius - self.bounds.min_x) / self.cell).floor() as isize)
             .clamp(0, self.cols as isize - 1) as usize;
@@ -119,8 +132,9 @@ impl GridIndex {
                 let hi = self.starts[c + 1] as usize;
                 for &e in &self.entries[lo..hi] {
                     let p = self.points[e as usize];
-                    if query.distance_squared(p) <= r2 {
-                        visit(e as usize, p);
+                    let d_sq = query.distance_squared(p);
+                    if d_sq <= r2 {
+                        visit(e as usize, d_sq);
                     }
                 }
             }
@@ -201,6 +215,20 @@ mod tests {
         let got = idx.query_within(Point2::new(50.0, 50.0), 200.0);
         assert_eq!(got.len(), 3);
         assert_eq!(idx.point(2), Point2::new(50.0, 50.0));
+    }
+
+    #[test]
+    fn for_each_within_sq_reports_exact_squared_distances() {
+        let points = random_points(300, 200.0, 11);
+        let idx = GridIndex::build(Rect::square(200.0), 25.0, &points);
+        let q = Point2::new(80.0, 120.0);
+        let mut seen = Vec::new();
+        idx.for_each_within_sq(q, 60.0, |i, d_sq| {
+            assert_eq!(d_sq, q.distance_squared(points[i]), "point {i}");
+            seen.push(i);
+        });
+        seen.sort_unstable();
+        assert_eq!(seen, brute_force(&points, q, 60.0));
     }
 
     #[test]

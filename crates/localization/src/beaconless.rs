@@ -51,6 +51,13 @@ impl BeaconlessMle {
     /// Log-likelihood of observing `obs` at `theta` (additive constants
     /// dropped). Public so the evaluation harness can inspect likelihood
     /// surfaces.
+    ///
+    /// Streams `g_i(θ)` through [`DeploymentKnowledge::g_iter`] — whose
+    /// squared-distance early-out skips the table lookup for groups beyond
+    /// the g(z) tail, most groups at paper scale — instead of calling
+    /// `g_i` per group; the yielded values (and hence the likelihood) are
+    /// identical. The pattern search below evaluates this hundreds of
+    /// times per estimate, so it dominates localization cost.
     pub fn log_likelihood(
         knowledge: &DeploymentKnowledge,
         obs: &Observation,
@@ -58,9 +65,9 @@ impl BeaconlessMle {
     ) -> f64 {
         let m = knowledge.group_size() as f64;
         let mut ll = 0.0;
-        for i in 0..knowledge.group_count() {
-            let g = knowledge.g_i(i, theta).clamp(1e-12, 1.0 - 1e-12);
-            let oi = obs.count(i) as f64;
+        for (g, &o) in knowledge.g_iter(theta).zip(obs.counts()) {
+            let g = g.clamp(1e-12, 1.0 - 1e-12);
+            let oi = o as f64;
             ll += oi * g.ln() + (m - oi) * (1.0 - g).ln();
         }
         ll

@@ -1,0 +1,281 @@
+//! Flat CSR-style observation batches for the detection hot path.
+//!
+//! A [`DetectionRequest`](../../lad_core/engine/struct.DetectionRequest.html)
+//! carries one heap-allocated [`Observation`] (a dense `Vec<u32>` of
+//! `group_count` counts, most of them zero) per report. At serving volume
+//! that is one allocation and one O(n) vector per report. An
+//! [`ObservationBatch`] stores a whole batch in four flat arrays instead —
+//! the classic CSR layout:
+//!
+//! * `offsets[r] .. offsets[r + 1]` delimits row `r` inside
+//! * `groups` / `counts` — the **nonzero** `(group, count)` pairs of every
+//!   row, group-sorted within each row, and
+//! * `estimates[r]` — the location estimate `L_e` the row is verified
+//!   against.
+//!
+//! Pushing a report copies only its nonzero counts; after warm-up the flat
+//! arrays stop growing and a reused batch performs **zero per-report
+//! allocations**. Rows come back as borrowed [`ObsRow`] views, which is the
+//! shape the sparse scoring kernels in `lad_core::metrics` consume directly
+//! (observation nonzeros merge against the sparse µ support without ever
+//! materialising a dense vector).
+
+use crate::observation::Observation;
+use lad_geometry::Point2;
+
+/// A batch of `(sparse observation, estimate)` rows in CSR layout. See the
+/// [module docs](self) for the layout and the allocation story.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ObservationBatch {
+    group_count: usize,
+    /// Row boundaries into `groups`/`counts`; `len() + 1` entries.
+    offsets: Vec<u32>,
+    /// Group indices of the nonzero counts, row-major, sorted within a row.
+    groups: Vec<u32>,
+    /// The nonzero counts, parallel to `groups`.
+    counts: Vec<u32>,
+    /// Per-row total `Σ o_i` (precomputed at push time; exact u32 arithmetic).
+    totals: Vec<u32>,
+    /// Per-row location estimate.
+    estimates: Vec<Point2>,
+}
+
+/// A borrowed view of one batch row: the nonzero `(group, count)` pairs of
+/// an observation plus its precomputed total.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObsRow<'a> {
+    /// Group indices of the nonzero counts, sorted ascending.
+    pub groups: &'a [u32],
+    /// The nonzero counts, parallel to `groups`.
+    pub counts: &'a [u32],
+    /// `Σ o_i` over the whole observation.
+    pub total: u32,
+    /// Number of deployment groups `n` the observation is over.
+    pub group_count: usize,
+}
+
+impl ObsRow<'_> {
+    /// Materialises the dense observation (O(n); tests and interop, not the
+    /// hot path).
+    pub fn to_observation(&self) -> Observation {
+        let mut obs = Observation::zeros(self.group_count);
+        for (&g, &c) in self.groups.iter().zip(self.counts) {
+            obs.set(g as usize, c);
+        }
+        obs
+    }
+}
+
+impl ObservationBatch {
+    /// An empty batch over `group_count` deployment groups.
+    pub fn new(group_count: usize) -> Self {
+        Self {
+            group_count,
+            offsets: vec![0],
+            ..Self::default()
+        }
+    }
+
+    /// Number of deployment groups `n` every row is over.
+    pub fn group_count(&self) -> usize {
+        self.group_count
+    }
+
+    /// Number of rows (reports) in the batch.
+    pub fn len(&self) -> usize {
+        self.estimates.len()
+    }
+
+    /// `true` when the batch holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.estimates.is_empty()
+    }
+
+    /// Total number of stored nonzero `(group, count)` pairs.
+    pub fn nnz(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Removes all rows, keeping every allocation (the steady state of a
+    /// serving loop reuses one batch per ingest cycle).
+    pub fn clear(&mut self) {
+        self.offsets.clear();
+        self.offsets.push(0);
+        self.groups.clear();
+        self.counts.clear();
+        self.totals.clear();
+        self.estimates.clear();
+    }
+
+    /// Re-tags the batch for a deployment with `group_count` groups and
+    /// clears it (allocations kept).
+    pub fn reset(&mut self, group_count: usize) {
+        self.group_count = group_count;
+        self.clear();
+    }
+
+    /// Appends one report from a dense observation, copying only its
+    /// nonzero counts.
+    ///
+    /// # Panics
+    /// Panics when the observation is over a different number of groups
+    /// than the batch — the once-per-row boundary check that lets the
+    /// scoring kernels run on `debug_assert!`s only.
+    pub fn push(&mut self, observation: &Observation, estimate: Point2) {
+        assert_eq!(
+            observation.group_count(),
+            self.group_count,
+            "observation/batch group-count mismatch"
+        );
+        let mut total = 0u32;
+        for (g, &c) in observation.counts().iter().enumerate() {
+            if c != 0 {
+                self.groups.push(g as u32);
+                self.counts.push(c);
+                total += c;
+            }
+        }
+        self.finish_row(total, estimate);
+    }
+
+    /// Appends one report from pre-sorted sparse `(group, count)` pairs
+    /// (e.g. a row copied from another batch).
+    ///
+    /// # Panics
+    /// Panics when a group index is out of range, the groups are not
+    /// strictly ascending, or a count is zero.
+    pub fn push_sparse(&mut self, groups: &[u32], counts: &[u32], estimate: Point2) {
+        assert_eq!(groups.len(), counts.len(), "groups/counts length mismatch");
+        let mut total = 0u32;
+        let mut prev: Option<u32> = None;
+        for (&g, &c) in groups.iter().zip(counts) {
+            assert!(
+                (g as usize) < self.group_count,
+                "group {g} out of range for {} groups",
+                self.group_count
+            );
+            assert!(prev.is_none_or(|p| p < g), "groups must strictly ascend");
+            assert!(c != 0, "sparse rows must not store zero counts");
+            prev = Some(g);
+            total += c;
+        }
+        self.groups.extend_from_slice(groups);
+        self.counts.extend_from_slice(counts);
+        self.finish_row(total, estimate);
+    }
+
+    /// Copies row `row` of `other` into this batch.
+    pub fn push_row(&mut self, other: &ObservationBatch, row: usize) {
+        assert_eq!(
+            other.group_count, self.group_count,
+            "batch group-count mismatch"
+        );
+        let (lo, hi) = other.row_bounds(row);
+        self.groups.extend_from_slice(&other.groups[lo..hi]);
+        self.counts.extend_from_slice(&other.counts[lo..hi]);
+        self.finish_row(other.totals[row], other.estimates[row]);
+    }
+
+    fn finish_row(&mut self, total: u32, estimate: Point2) {
+        self.totals.push(total);
+        self.estimates.push(estimate);
+        self.offsets.push(self.groups.len() as u32);
+    }
+
+    fn row_bounds(&self, row: usize) -> (usize, usize) {
+        (self.offsets[row] as usize, self.offsets[row + 1] as usize)
+    }
+
+    /// The sparse observation of row `row`.
+    pub fn row(&self, row: usize) -> ObsRow<'_> {
+        let (lo, hi) = self.row_bounds(row);
+        ObsRow {
+            groups: &self.groups[lo..hi],
+            counts: &self.counts[lo..hi],
+            total: self.totals[row],
+            group_count: self.group_count,
+        }
+    }
+
+    /// The estimate of row `row`.
+    pub fn estimate(&self, row: usize) -> Point2 {
+        self.estimates[row]
+    }
+
+    /// Iterates `(row, estimate)` over the batch in row order.
+    pub fn rows(&self) -> impl Iterator<Item = (ObsRow<'_>, Point2)> + '_ {
+        (0..self.len()).map(|r| (self.row(r), self.estimates[r]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(counts: Vec<u32>) -> Observation {
+        Observation::from_counts(counts)
+    }
+
+    #[test]
+    fn push_stores_only_nonzeros_and_round_trips() {
+        let mut batch = ObservationBatch::new(5);
+        batch.push(&obs(vec![0, 3, 0, 1, 0]), Point2::new(1.0, 2.0));
+        batch.push(&obs(vec![0, 0, 0, 0, 0]), Point2::new(3.0, 4.0));
+        batch.push(&obs(vec![7, 0, 0, 0, 9]), Point2::new(5.0, 6.0));
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch.nnz(), 4);
+        assert!(!batch.is_empty());
+
+        let r0 = batch.row(0);
+        assert_eq!(r0.groups, &[1, 3]);
+        assert_eq!(r0.counts, &[3, 1]);
+        assert_eq!(r0.total, 4);
+        assert_eq!(r0.to_observation(), obs(vec![0, 3, 0, 1, 0]));
+        assert_eq!(batch.estimate(0), Point2::new(1.0, 2.0));
+
+        let r1 = batch.row(1);
+        assert!(r1.groups.is_empty());
+        assert_eq!(r1.total, 0);
+        assert_eq!(r1.to_observation(), obs(vec![0; 5]));
+
+        let rows: Vec<u32> = batch.rows().map(|(row, _)| row.total).collect();
+        assert_eq!(rows, vec![4, 0, 16]);
+    }
+
+    #[test]
+    fn clear_keeps_capacity_and_reset_retags() {
+        let mut batch = ObservationBatch::new(3);
+        batch.push(&obs(vec![1, 2, 3]), Point2::new(0.0, 0.0));
+        let cap = batch.groups.capacity();
+        batch.clear();
+        assert!(batch.is_empty());
+        assert_eq!(batch.nnz(), 0);
+        assert_eq!(batch.groups.capacity(), cap);
+        batch.reset(7);
+        assert_eq!(batch.group_count(), 7);
+    }
+
+    #[test]
+    fn push_sparse_and_push_row_preserve_rows() {
+        let mut a = ObservationBatch::new(6);
+        a.push_sparse(&[0, 5], &[2, 4], Point2::new(9.0, 9.0));
+        let mut b = ObservationBatch::new(6);
+        b.push_row(&a, 0);
+        assert_eq!(b.row(0), a.row(0));
+        assert_eq!(b.estimate(0), a.estimate(0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn push_rejects_mismatched_group_count() {
+        let mut batch = ObservationBatch::new(4);
+        batch.push(&obs(vec![1, 2]), Point2::new(0.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn push_sparse_rejects_unsorted_groups() {
+        let mut batch = ObservationBatch::new(4);
+        batch.push_sparse(&[2, 1], &[1, 1], Point2::new(0.0, 0.0));
+    }
+}

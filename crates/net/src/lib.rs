@@ -10,6 +10,8 @@
 //! * [`observation`] — the per-group neighbour-count vector
 //!   `o = (o_1, …, o_n)` that a sensor builds after the group-ID broadcast
 //!   (§5.1 of the paper),
+//! * [`batch`] — flat CSR-style batches of `(sparse observation, estimate)`
+//!   rows, the zero-allocation currency of the batched detection hot path,
 //! * [`hello`] — a message-level simulation of that broadcast in which
 //!   compromised neighbours may stay silent, lie about their group, flood
 //!   many identities, or appear from outside the radio range (the raw
@@ -20,12 +22,14 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod batch;
 pub mod hello;
 pub mod network;
 pub mod node;
 pub mod observation;
 pub mod topology;
 
+pub use batch::{ObsRow, ObservationBatch};
 pub use network::Network;
 pub use node::{GroupId, NodeId, SensorNode};
 pub use observation::Observation;

@@ -13,23 +13,23 @@
 //! * the per-node [`SequentialState`] map of its node partition, and
 //! * a clone of the shared [`LadEngine`].
 //!
-//! [`ServeRuntime::submit_batch`] partitions a round's reports by
-//! [`shard_of`] (a pure hash of the node id — no coordination, no
-//! rebalancing) and hands each shard its slice. The shard scores its slice
-//! with the engine's sequential flat kernel
-//! ([`LadEngine::score_seq_into`]) **on its own thread** — scoring work
-//! scales with the shard count instead of funnelling through a central
-//! pool — then folds each score into the node's detector state and emits an
-//! [`Alarm`] whenever the rule fires. Alarm *sets* are therefore
-//! bit-deterministic in the shard count; only the interleaving of the alarm
-//! stream varies.
+//! [`ServeRuntime::submit_rows`] partitions a round's reports — flat CSR
+//! [`ObservationBatch`] rows, no per-report heap objects — by [`shard_of`]
+//! (a pure hash of the node id: no coordination, no rebalancing) and hands
+//! each shard its partition. The shard scores its partition with the
+//! engine's sequential sparse kernel ([`LadEngine::score_rows_seq_into`])
+//! **on its own thread** — scoring work scales with the shard count
+//! instead of funnelling through a central pool — then folds each score
+//! into the node's detector state and emits an [`Alarm`] whenever the rule
+//! fires. Alarm *sets* are therefore bit-deterministic in the shard count;
+//! only the interleaving of the alarm stream varies.
 //!
 //! [`SequentialState`]: lad_stats::SequentialState
 
 use crate::snapshot::{NodeDetectorState, ServeError, ServeSnapshot, SNAPSHOT_VERSION};
 use lad_core::engine::{DetectionRequest, LadEngine};
 use lad_core::MetricKind;
-use lad_net::NodeId;
+use lad_net::{NodeId, ObservationBatch};
 use lad_stats::seeds::splitmix64;
 use lad_stats::{SequentialDetector, SequentialState};
 use std::collections::HashMap;
@@ -156,11 +156,13 @@ impl SharedCounters {
 }
 
 enum ShardMsg {
-    /// One round's partition for this shard (parallel node / request vecs).
+    /// One round's partition for this shard: the nodes (in partition order)
+    /// and their reports as flat CSR rows — no per-report heap objects
+    /// cross the queue.
     Batch {
         round: u64,
         nodes: Vec<NodeId>,
-        requests: Vec<DetectionRequest>,
+        rows: ObservationBatch,
     },
     /// Barrier: reply once every earlier message has been processed.
     Sync(Sender<()>),
@@ -175,6 +177,8 @@ enum ShardMsg {
 pub struct ServeRuntime {
     config: ServeConfig,
     engine_fingerprint: u64,
+    /// Deployment group count, for building per-shard row batches.
+    group_count: usize,
     senders: Vec<SyncSender<ShardMsg>>,
     workers: Vec<JoinHandle<Vec<NodeDetectorState>>>,
     alarm_rx: Mutex<Receiver<Alarm>>,
@@ -227,6 +231,7 @@ impl ServeRuntime {
         Ok(Self {
             config,
             engine_fingerprint: crate::snapshot::engine_fingerprint(&engine),
+            group_count: engine.knowledge().group_count(),
             senders,
             workers,
             alarm_rx: Mutex::new(alarm_rx),
@@ -244,30 +249,65 @@ impl ServeRuntime {
     /// destination shard's queue is full (backpressure). Rounds must be
     /// submitted in nondecreasing order for the per-node decision sequences
     /// to be meaningful.
+    ///
+    /// Convenience wrapper over [`Self::submit_rows`] for callers holding
+    /// per-report `DetectionRequest`s; the flat-row entry point avoids the
+    /// per-report heap objects entirely.
     pub fn submit_batch(&self, round: u64, batch: Vec<(NodeId, DetectionRequest)>) {
+        let group_count = self.group_count;
+        let mut nodes = Vec::with_capacity(batch.len());
+        let mut rows = ObservationBatch::new(group_count);
+        for (node, request) in &batch {
+            nodes.push(*node);
+            rows.push(&request.observation, request.estimate);
+        }
+        self.submit_rows(round, &nodes, &rows);
+    }
+
+    /// Submits one round of reports as flat CSR rows: `nodes[i]` reported
+    /// `rows.row(i)`. The rows are partitioned by [`shard_of`] into
+    /// per-shard [`ObservationBatch`]es (flat copies — the only per-call
+    /// allocations are the per-shard batch buffers handed over the
+    /// queues), and the call blocks while any destination shard's queue is
+    /// full (backpressure).
+    ///
+    /// # Panics
+    /// Panics when `nodes.len() != rows.len()`, or when the batch's group
+    /// count differs from the engine's deployment (the once-per-batch
+    /// boundary check — failing here, with a clear message, instead of on
+    /// a shard thread).
+    pub fn submit_rows(&self, round: u64, nodes: &[NodeId], rows: &ObservationBatch) {
+        assert_eq!(
+            nodes.len(),
+            rows.len(),
+            "one node per observation row required"
+        );
+        assert_eq!(
+            rows.group_count(),
+            self.group_count,
+            "batch/deployment group-count mismatch"
+        );
         let shards = self.senders.len();
         self.counters
             .submitted
-            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+            .fetch_add(nodes.len() as u64, Ordering::Relaxed);
         self.counters.batches.fetch_add(1, Ordering::Relaxed);
         self.counters.last_round.fetch_max(round, Ordering::Relaxed);
-        let mut nodes: Vec<Vec<NodeId>> = vec![Vec::new(); shards];
-        let mut requests: Vec<Vec<DetectionRequest>> = vec![Vec::new(); shards];
-        for (node, request) in batch {
+        let mut shard_nodes: Vec<Vec<NodeId>> = vec![Vec::new(); shards];
+        let mut shard_rows: Vec<ObservationBatch> = (0..shards)
+            .map(|_| ObservationBatch::new(rows.group_count()))
+            .collect();
+        for (i, &node) in nodes.iter().enumerate() {
             let s = shard_of(node, shards);
-            nodes[s].push(node);
-            requests[s].push(request);
+            shard_nodes[s].push(node);
+            shard_rows[s].push_row(rows, i);
         }
-        for (shard, (nodes, requests)) in nodes.into_iter().zip(requests).enumerate() {
+        for (shard, (nodes, rows)) in shard_nodes.into_iter().zip(shard_rows).enumerate() {
             if nodes.is_empty() {
                 continue;
             }
             self.senders[shard]
-                .send(ShardMsg::Batch {
-                    round,
-                    nodes,
-                    requests,
-                })
+                .send(ShardMsg::Batch { round, nodes, rows })
                 .expect("shard thread alive while runtime exists");
         }
     }
@@ -421,6 +461,7 @@ impl ServeRuntime {
         let ServeRuntime {
             config,
             engine_fingerprint,
+            group_count: _,
             senders,
             workers,
             alarm_rx,
@@ -489,14 +530,10 @@ impl ShardWorker {
         let mut scores: Vec<f64> = Vec::new();
         while let Ok(msg) = rx.recv() {
             match msg {
-                ShardMsg::Batch {
-                    round,
-                    nodes,
-                    requests,
-                } => {
+                ShardMsg::Batch { round, nodes, rows } => {
                     scores.clear();
-                    scores.resize(requests.len() * self.width, 0.0);
-                    self.engine.score_seq_into(&requests, &mut scores);
+                    scores.resize(rows.len() * self.width, 0.0);
+                    self.engine.score_rows_seq_into(&rows, &mut scores);
                     for (node, row) in nodes.iter().zip(scores.chunks_exact(self.width)) {
                         let score = row[self.column];
                         let state = states
@@ -517,7 +554,7 @@ impl ShardWorker {
                     }
                     self.counters
                         .processed
-                        .fetch_add(requests.len() as u64, Ordering::Relaxed);
+                        .fetch_add(rows.len() as u64, Ordering::Relaxed);
                 }
                 ShardMsg::Sync(reply) => {
                     let _ = reply.send(());

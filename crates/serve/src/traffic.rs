@@ -23,7 +23,7 @@ use lad_attack::{displaced_location, taint_observation, AttackConfig};
 use lad_core::engine::{DetectionRequest, LadEngine};
 use lad_core::MetricKind;
 use lad_geometry::Point2;
-use lad_net::{Network, NodeId, Observation};
+use lad_net::{Network, NodeId, Observation, ObservationBatch};
 use lad_stats::seeds::derive_seed;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -314,80 +314,114 @@ impl TrafficModel {
             .any(|r| r.node == node && r.compromise_rank < active)
     }
 
+    /// Calls `report(node, observation, estimate)` for every reporter's
+    /// report of `round`, in population order, reusing one thinning scratch
+    /// observation (and one µ scratch for attacked reports) across the
+    /// whole round — the allocation-free core both [`Self::round`] and
+    /// [`Self::round_rows`] drive.
+    fn for_each_report<F: FnMut(NodeId, &Observation, Point2)>(
+        &self,
+        network: &Network,
+        round: u64,
+        mut report: F,
+    ) {
+        let active = self.timeline.active_count(self.compromised, round);
+        let mut heard = Observation::zeros(self.knowledge.group_count());
+        let mut mu_scratch: Vec<f64> = Vec::new();
+        for reporter in &self.reporters {
+            let mut rng = ChaCha8Rng::seed_from_u64(derive_seed(
+                self.seed,
+                &[TAG_ROUND, round, reporter.node.0 as u64],
+            ));
+            if reporter.compromise_rank < active {
+                // §7.1 attack, served: the adversary commits to ONE forged
+                // location per victim (a consistent lie, drawn once from a
+                // per-node seed) and re-runs the greedy taint against every
+                // attacked round's heard neighbourhood.
+                let attack = self.attack.expect("active attacker implies attack config");
+                let knowledge = network.knowledge();
+                let mut forge_rng = ChaCha8Rng::seed_from_u64(derive_seed(
+                    self.seed,
+                    &[TAG_FORGE, reporter.node.0 as u64],
+                ));
+                let forged = displaced_location(
+                    &mut forge_rng,
+                    network.node(reporter.node).resident_point,
+                    attack.degree_of_damage,
+                    knowledge.config().area(),
+                );
+                self.thin_into(&reporter.clean_observation, &mut rng, &mut heard);
+                let budget = (attack.compromised_fraction * heard.total() as f64).round() as usize;
+                knowledge.expected_observation_into(forged, &mut mu_scratch);
+                let tainted = taint_observation(
+                    attack.class,
+                    attack.targeted_metric,
+                    &heard,
+                    &mu_scratch,
+                    budget,
+                    knowledge.group_size(),
+                );
+                report(reporter.node, &tainted, forged);
+            } else {
+                // Honest report: hear the neighbourhood through radio
+                // loss, re-localize from what was heard.
+                self.thin_into(&reporter.clean_observation, &mut rng, &mut heard);
+                let estimate = self
+                    .localizer
+                    .estimate(&self.knowledge, &heard)
+                    .unwrap_or(reporter.fallback_estimate);
+                report(reporter.node, &heard, estimate);
+            }
+        }
+    }
+
     /// Generates one round of reports, in population order. `network` must
     /// be the network the model was built from (attacked reports re-run the
     /// §7.1 simulation against it).
+    ///
+    /// Allocates one `DetectionRequest` (with its dense observation) per
+    /// report; the serving path uses [`Self::round_rows`], which emits a
+    /// flat [`ObservationBatch`] instead.
     pub fn round(&self, network: &Network, round: u64) -> Vec<(NodeId, DetectionRequest)> {
-        let active = self.timeline.active_count(self.compromised, round);
-        self.reporters
-            .iter()
-            .map(|reporter| {
-                let mut rng = ChaCha8Rng::seed_from_u64(derive_seed(
-                    self.seed,
-                    &[TAG_ROUND, round, reporter.node.0 as u64],
-                ));
-                let request = if reporter.compromise_rank < active {
-                    // §7.1 attack, served: the adversary commits to ONE
-                    // forged location per victim (a consistent lie, drawn
-                    // once from a per-node seed) and re-runs the greedy
-                    // taint against each round's heard neighbourhood.
-                    let attack = self.attack.expect("active attacker implies attack config");
-                    let knowledge = network.knowledge();
-                    let mut forge_rng = ChaCha8Rng::seed_from_u64(derive_seed(
-                        self.seed,
-                        &[TAG_FORGE, reporter.node.0 as u64],
-                    ));
-                    let forged = displaced_location(
-                        &mut forge_rng,
-                        network.node(reporter.node).resident_point,
-                        attack.degree_of_damage,
-                        knowledge.config().area(),
-                    );
-                    let heard = self.thin(&reporter.clean_observation, &mut rng);
-                    let budget =
-                        (attack.compromised_fraction * heard.total() as f64).round() as usize;
-                    let mu = knowledge.expected_observation(forged);
-                    let tainted = taint_observation(
-                        attack.class,
-                        attack.targeted_metric,
-                        &heard,
-                        &mu,
-                        budget,
-                        knowledge.group_size(),
-                    );
-                    DetectionRequest::new(tainted, forged)
-                } else {
-                    // Honest report: hear the neighbourhood through radio
-                    // loss, re-localize from what was heard.
-                    let observation = self.thin(&reporter.clean_observation, &mut rng);
-                    let estimate = self
-                        .localizer
-                        .estimate(&self.knowledge, &observation)
-                        .unwrap_or(reporter.fallback_estimate);
-                    DetectionRequest::new(observation, estimate)
-                };
-                (reporter.node, request)
-            })
-            .collect()
+        let mut out = Vec::with_capacity(self.reporters.len());
+        self.for_each_report(network, round, |node, observation, estimate| {
+            out.push((node, DetectionRequest::new(observation.clone(), estimate)));
+        });
+        out
+    }
+
+    /// Generates one round of reports into reusable flat buffers: the
+    /// reporting nodes (population order) and their `(sparse observation,
+    /// estimate)` rows. After warm-up the honest-traffic path performs no
+    /// per-report allocation — this is what the serving loop submits via
+    /// [`ServeRuntime::submit_rows`](crate::ServeRuntime::submit_rows).
+    pub fn round_rows(
+        &self,
+        network: &Network,
+        round: u64,
+        nodes: &mut Vec<NodeId>,
+        rows: &mut ObservationBatch,
+    ) {
+        nodes.clear();
+        rows.reset(self.knowledge.group_count());
+        self.for_each_report(network, round, |node, observation, estimate| {
+            nodes.push(node);
+            rows.push(observation, estimate);
+        });
     }
 
     /// Radio loss: each observed neighbour survives the round independently
-    /// with the hear probability.
-    fn thin(&self, observation: &Observation, rng: &mut ChaCha8Rng) -> Observation {
+    /// with the hear probability. Writes the heard counts into `out`.
+    fn thin_into(&self, observation: &Observation, rng: &mut ChaCha8Rng, out: &mut Observation) {
         if self.hear_prob >= 1.0 {
-            return observation.clone();
+            out.clone_from(observation);
+            return;
         }
-        Observation::from_counts(
-            observation
-                .counts()
-                .iter()
-                .map(|&c| {
-                    (0..c)
-                        .filter(|_| rng.gen_range(0.0..1.0) < self.hear_prob)
-                        .count() as u32
-                })
-                .collect(),
-        )
+        for (slot, &c) in out.counts_mut().iter_mut().zip(observation.counts()) {
+            *slot = (0..c)
+                .filter(|_| rng.gen_range(0.0..1.0) < self.hear_prob)
+                .count() as u32;
+        }
     }
 
     /// Convenience for calibration and offline evaluation: generates rounds
@@ -410,11 +444,11 @@ impl TrafficModel {
         let width = engine.metrics().len();
         let mut streams = vec![Vec::with_capacity(rounds.clone().count()); self.reporters.len()];
         let mut scores = Vec::new();
-        let mut requests = Vec::new();
+        let mut nodes = Vec::new();
+        let mut rows = ObservationBatch::new(self.knowledge.group_count());
         for round in rounds {
-            requests.clear();
-            requests.extend(self.round(network, round).into_iter().map(|(_, r)| r));
-            engine.score_batch_into(&requests, &mut scores);
+            self.round_rows(network, round, &mut nodes, &mut rows);
+            engine.score_rows_into(&rows, &mut scores);
             for (stream, row) in streams.iter_mut().zip(scores.chunks_exact(width)) {
                 stream.push(row[column]);
             }

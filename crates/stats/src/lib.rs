@@ -40,7 +40,7 @@ pub mod summary;
 pub use binomial::Binomial;
 pub use gaussian::{Gaussian1d, IsotropicGaussian2d};
 pub use histogram::Histogram;
-pub use lookup::LookupTable;
+pub use lookup::{LookupTable, PreparedLookup};
 pub use rayleigh::Rayleigh;
 pub use roc::{RocCurve, RocPoint};
 pub use sequential::{SequentialDetector, SequentialState};

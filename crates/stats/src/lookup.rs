@@ -53,19 +53,26 @@ impl LookupTable {
 
     /// Evaluates the table at `x` with linear interpolation. Arguments outside
     /// `[min, max]` are clamped to the nearest endpoint value.
+    #[inline]
     pub fn eval(&self, x: f64) -> f64 {
-        if x <= self.min {
-            return self.values[0];
+        self.prepared().eval(x)
+    }
+
+    /// A borrowed evaluator with the loop-invariant parts (range span, ω,
+    /// value count) hoisted out, for hot loops that evaluate the same table
+    /// many times. Produces bit-identical results to [`Self::eval`] — the
+    /// interpolation arithmetic is unchanged, only recomputed invariants
+    /// are cached.
+    #[inline]
+    pub fn prepared(&self) -> PreparedLookup<'_> {
+        PreparedLookup {
+            min: self.min,
+            max: self.max,
+            span: self.max - self.min,
+            omega: (self.values.len() - 1) as f64,
+            last: self.values.len() - 1,
+            values: &self.values,
         }
-        if x >= self.max {
-            return *self.values.last().expect("table is non-empty");
-        }
-        let omega = self.omega() as f64;
-        let t = (x - self.min) / (self.max - self.min) * omega;
-        let lo = t.floor() as usize;
-        let hi = (lo + 1).min(self.values.len() - 1);
-        let frac = t - lo as f64;
-        self.values[lo] * (1.0 - frac) + self.values[hi] * frac
     }
 
     /// Maximum absolute interpolation error against `f` measured on a probe
@@ -78,6 +85,38 @@ impl LookupTable {
             worst = worst.max((self.eval(x) - f(x)).abs());
         }
         worst
+    }
+}
+
+/// The hoisted-invariant evaluator returned by [`LookupTable::prepared`].
+#[derive(Debug, Clone, Copy)]
+pub struct PreparedLookup<'a> {
+    min: f64,
+    max: f64,
+    span: f64,
+    omega: f64,
+    last: usize,
+    values: &'a [f64],
+}
+
+impl PreparedLookup<'_> {
+    /// Linear interpolation at `x`, clamped to the endpoint values outside
+    /// `[min, max]`. Bit-identical to [`LookupTable::eval`].
+    #[inline(always)]
+    pub fn eval(&self, x: f64) -> f64 {
+        if x <= self.min {
+            return self.values[0];
+        }
+        if x >= self.max {
+            return self.values[self.last];
+        }
+        // `t ∈ [0, ω]`, so the truncating cast equals the old
+        // `t.floor() as usize` and both indices stay in bounds.
+        let t = (x - self.min) / self.span * self.omega;
+        let lo = t as usize;
+        let hi = (lo + 1).min(self.last);
+        let frac = t - lo as f64;
+        self.values[lo] * (1.0 - frac) + self.values[hi] * frac
     }
 }
 
