@@ -1,0 +1,143 @@
+//! Adaptive adversaries: attackers that react to the defender's response.
+//!
+//! The closed-loop response layer (`lad_response`) revokes suspicious nodes
+//! and quarantines alarmed regions. A static attacker — one consistent
+//! forged location, attacking every round — is then contained quickly: its
+//! alarms pile up on one node and one spot. The interesting adversary
+//! *adapts* once it learns (by observing that its reports stop having any
+//! effect, or that the operator broadcast a quarantine) that its region has
+//! been quarantined. [`Evasion`] enumerates the two canonical reactions:
+//!
+//! * [`Evasion::RotateForgery`] — abandon the burnt forged location and
+//!   commit to a fresh one, restarting the spatial evidence while the
+//!   per-node suspicion (which follows the *node*, not the location) keeps
+//!   accumulating;
+//! * [`Evasion::GoIntermittent`] — keep the forged location but attack only
+//!   in short bursts, trading attack throughput for a slower suspicion
+//!   ramp (suspicion decays between bursts).
+//!
+//! The strategy itself is pure decision logic — *when* to attack and *which*
+//! forgery epoch to use — so the traffic layer (`lad_serve::TrafficModel`)
+//! can replay it deterministically from per-node seeds.
+
+use serde::{Deserialize, Serialize};
+
+/// How a compromised node adapts after being told its region was
+/// quarantined. See the [module docs](self) for the threat model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Evasion {
+    /// Rotate to a fresh forged location after every quarantine notice:
+    /// the forgery seed is re-derived per notice, so each rotation draws a
+    /// new D-anomaly displacement.
+    RotateForgery,
+    /// After the first quarantine notice, attack only `active` rounds out
+    /// of every `period` (counted from the notice round), reporting
+    /// honestly otherwise.
+    GoIntermittent {
+        /// Cycle length in rounds (≥ 1).
+        period: u64,
+        /// Attacked rounds at the start of each cycle (`1..=period`).
+        active: u64,
+    },
+}
+
+impl Evasion {
+    /// Short human-readable name for labels and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Evasion::RotateForgery => "rotate-forgery",
+            Evasion::GoIntermittent { .. } => "go-intermittent",
+        }
+    }
+
+    /// Validates the strategy's parameters (used by traffic-model
+    /// constructors so a malformed strategy fails loudly at build time).
+    ///
+    /// # Panics
+    /// Panics when a [`Evasion::GoIntermittent`] has `period = 0` or
+    /// `active ∉ 1..=period`.
+    pub fn validate(&self) {
+        if let Evasion::GoIntermittent { period, active } = *self {
+            assert!(period >= 1, "go-intermittent evasion needs period >= 1");
+            assert!(
+                (1..=period).contains(&active),
+                "go-intermittent evasion needs active in 1..=period, got {active} of {period}"
+            );
+        }
+    }
+
+    /// Whether a notified attacker still attacks in the round that lies
+    /// `rounds_since_notice` rounds after its (most recent) quarantine
+    /// notice. Rotation never goes quiet; intermittence attacks at the
+    /// start of each cycle.
+    pub fn attacks_after_notice(&self, rounds_since_notice: u64) -> bool {
+        match *self {
+            Evasion::RotateForgery => true,
+            Evasion::GoIntermittent { period, active } => {
+                rounds_since_notice % period.max(1) < active
+            }
+        }
+    }
+
+    /// The forgery epoch a node with `notices` accumulated quarantine
+    /// notices uses: epoch 0 is the original forged location, and each
+    /// [`Evasion::RotateForgery`] notice advances it. Intermittence keeps
+    /// the original forgery.
+    pub fn forgery_epoch(&self, notices: u32) -> u32 {
+        match self {
+            Evasion::RotateForgery => notices,
+            Evasion::GoIntermittent { .. } => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_validation() {
+        assert_eq!(Evasion::RotateForgery.name(), "rotate-forgery");
+        let burst = Evasion::GoIntermittent {
+            period: 4,
+            active: 1,
+        };
+        assert_eq!(burst.name(), "go-intermittent");
+        Evasion::RotateForgery.validate();
+        burst.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "active in 1..=period")]
+    fn zero_active_intermittence_is_rejected() {
+        Evasion::GoIntermittent {
+            period: 4,
+            active: 0,
+        }
+        .validate();
+    }
+
+    #[test]
+    fn rotation_changes_the_epoch_but_never_goes_quiet() {
+        let e = Evasion::RotateForgery;
+        assert_eq!(e.forgery_epoch(0), 0);
+        assert_eq!(e.forgery_epoch(3), 3);
+        for r in 0..20 {
+            assert!(e.attacks_after_notice(r));
+        }
+    }
+
+    #[test]
+    fn intermittence_keeps_the_forgery_but_bursts() {
+        let e = Evasion::GoIntermittent {
+            period: 4,
+            active: 2,
+        };
+        assert_eq!(e.forgery_epoch(5), 0);
+        let pattern: Vec<bool> = (0..8).map(|r| e.attacks_after_notice(r)).collect();
+        assert_eq!(
+            pattern,
+            [true, true, false, false, true, true, false, false]
+        );
+    }
+}

@@ -21,10 +21,14 @@
 //! the attack-class constraints. [`dos`] implements the opposite goal —
 //! inflating the metric on an honest node to cause false alarms — and
 //! [`scenario`] packages the full §7.1 attack-simulation procedure.
+//! [`adaptive`] goes beyond the paper: attackers that react to the
+//! closed-loop response layer (rotating their forged location or going
+//! intermittent once their region is quarantined).
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod adaptive;
 pub mod classes;
 pub mod danomaly;
 pub mod dos;
@@ -33,6 +37,7 @@ pub mod greedy;
 pub mod primitives;
 pub mod scenario;
 
+pub use adaptive::Evasion;
 pub use classes::AttackClass;
 pub use danomaly::displaced_location;
 pub use greedy::taint_observation;

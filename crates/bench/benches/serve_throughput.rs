@@ -1,4 +1,4 @@
-//! Serving throughput vs shard count.
+//! Serving throughput vs shard count, with and without the response hook.
 //!
 //! Pre-generates a fixed clean traffic trace (so traffic generation cost is
 //! outside the timed region) as flat CSR rounds, then measures sustained
@@ -9,6 +9,12 @@
 //! O(k) sparse µ(L_e) support — k = groups within the g(z) tail, not the
 //! group count — plus an O(1) detector update; no per-report heap objects
 //! anywhere on the path).
+//!
+//! The `response_idle` case re-runs the single-shard measurement with a
+//! non-empty `ResponseFilter` installed whose entries never match the
+//! traffic: every report pays the full suppression check (binary search
+//! over revoked ids + quarantine-circle scan) and nothing is suppressed —
+//! the worst-case response-path overhead when no alarms fire.
 //!
 //! ```text
 //! cargo bench -p lad_bench --bench serve_throughput
@@ -99,6 +105,45 @@ fn bench_serve_throughput(c: &mut Criterion) {
         println!("    sustained: {rate:>12.0} reports/s at {shards} shard(s)");
         runtime.shutdown();
     }
+
+    // Single shard again, response hook installed but idle.
+    let runtime = ServeRuntime::start(
+        engine.clone(),
+        ServeConfig::new(MetricKind::Diff, detector)
+            .with_shards(1)
+            .with_queue_depth(4),
+    )
+    .expect("runtime starts");
+    runtime.install_response_filter(lad_bench::idle_response_filter());
+    let mut round_counter = 0u64;
+    group.bench_function(
+        &format!("submit_{reports_per_iter}_reports/shards=1+response_idle"),
+        |b| {
+            b.iter(|| {
+                for (nodes, rows) in &rounds {
+                    runtime.submit_rows(round_counter, nodes, rows);
+                    round_counter += 1;
+                }
+                runtime.sync();
+            })
+        },
+    );
+    let t0 = Instant::now();
+    let reps = 5;
+    for _ in 0..reps {
+        for (nodes, rows) in &rounds {
+            runtime.submit_rows(round_counter, nodes, rows);
+            round_counter += 1;
+        }
+    }
+    runtime.sync();
+    let rate = (reports_per_iter * reps) as f64 / t0.elapsed().as_secs_f64();
+    println!("    sustained: {rate:>12.0} reports/s at 1 shard + idle response hook");
+    let report = runtime.shutdown();
+    assert_eq!(
+        report.counters.suppressed, 0,
+        "idle filter suppresses nothing"
+    );
     group.finish();
 }
 

@@ -1,13 +1,13 @@
 //! `bench_snapshot` — the perf-trajectory snapshot binary.
 //!
-//! Runs the two headline microbenches in quick mode — the fused scoring
+//! Runs the headline microbenches in quick mode — the fused scoring
 //! kernel (dense vs sparse, paper scale and a 4× same-density deployment)
-//! and sustained serve throughput — and writes the numbers to a
-//! `BENCH_<pr>.json` at the repo root, so every PR leaves a comparable
-//! perf record behind.
+//! and sustained serve throughput, with and without the response hook
+//! installed — and writes the numbers to a `BENCH_<pr>.json` at the repo
+//! root, so every PR leaves a comparable perf record behind.
 //!
 //! ```text
-//! cargo run --release -p lad_bench --bin bench_snapshot -- [--out BENCH_4.json]
+//! cargo run --release -p lad_bench --bin bench_snapshot -- [--out BENCH_5.json]
 //! ```
 
 use lad_core::engine::LadEngine;
@@ -46,6 +46,21 @@ struct ServeRate {
     reports_per_sec: f64,
 }
 
+/// The idle-response-hook overhead on the serving hot path: the same
+/// single-shard sustained run with a non-empty `ResponseFilter` installed
+/// whose revocations/regions never match the traffic (worst case for the
+/// per-report check: every report pays the binary search + region scan and
+/// nothing is suppressed).
+#[derive(Debug, Serialize)]
+struct ResponseOverhead {
+    /// Single-shard baseline (no filter installed), reports/s.
+    baseline_reports_per_sec: f64,
+    /// Single-shard with the idle filter installed, reports/s.
+    idle_hook_reports_per_sec: f64,
+    /// baseline / idle-hook (1.0x = free).
+    overhead_factor: f64,
+}
+
 /// The whole snapshot (`BENCH_<pr>.json`).
 #[derive(Debug, Serialize)]
 struct Snapshot {
@@ -54,6 +69,7 @@ struct Snapshot {
     kernel_paper_scale: KernelScale,
     kernel_4x_scale: KernelScale,
     serve: Vec<ServeRate>,
+    serve_response_idle: ResponseOverhead,
 }
 
 fn time_ns<F: FnMut() -> f64>(mut f: F) -> f64 {
@@ -99,6 +115,10 @@ fn kernel_scale(cfg: &DeploymentConfig, at: Point2, obs_at: Point2) -> KernelSca
 }
 
 fn serve_rate(shards: usize) -> ServeRate {
+    serve_rate_with(shards, false)
+}
+
+fn serve_rate_with(shards: usize, with_idle_hook: bool) -> ServeRate {
     let engine = Arc::new(
         LadEngine::builder()
             .deployment(&DeploymentConfig::small_test())
@@ -129,6 +149,9 @@ fn serve_rate(shards: usize) -> ServeRate {
             .with_queue_depth(4),
     )
     .expect("runtime starts");
+    if with_idle_hook {
+        runtime.install_response_filter(lad_bench::idle_response_filter());
+    }
     let mut round_counter = 0u64;
     // Warm-up pass, then the timed passes.
     for (nodes, rows) in &rounds {
@@ -146,7 +169,11 @@ fn serve_rate(shards: usize) -> ServeRate {
     }
     runtime.sync();
     let rate = (reports_per_pass * passes) as f64 / t0.elapsed().as_secs_f64();
-    runtime.shutdown();
+    let report = runtime.shutdown();
+    assert_eq!(
+        report.counters.suppressed, 0,
+        "the idle filter must suppress nothing"
+    );
     ServeRate {
         shards,
         reports_per_sec: rate,
@@ -154,7 +181,7 @@ fn serve_rate(shards: usize) -> ServeRate {
 }
 
 fn main() {
-    let mut out = String::from("BENCH_4.json");
+    let mut out = String::from("BENCH_5.json");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -170,8 +197,10 @@ fn main() {
         grid_rows: 20,
         ..paper
     };
+    let serve = vec![serve_rate(1), serve_rate(2)];
+    let idle = serve_rate_with(1, true);
     let snapshot = Snapshot {
-        pr: 4,
+        pr: 5,
         unix_time: std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
             .map(|d| d.as_secs())
@@ -186,7 +215,12 @@ fn main() {
             Point2::new(980.0, 1110.0),
             Point2::new(1000.0, 1100.0),
         ),
-        serve: vec![serve_rate(1), serve_rate(2)],
+        serve_response_idle: ResponseOverhead {
+            baseline_reports_per_sec: serve[0].reports_per_sec,
+            idle_hook_reports_per_sec: idle.reports_per_sec,
+            overhead_factor: serve[0].reports_per_sec / idle.reports_per_sec,
+        },
+        serve,
     };
     let json = serde_json::to_string_pretty(&snapshot).expect("snapshot serialises");
     std::fs::write(&out, format!("{json}\n")).expect("snapshot written");

@@ -31,6 +31,25 @@ pub fn bench_context() -> EvalContext {
     EvalContext::new(bench_config())
 }
 
+/// An installed-but-idle response filter for serve-path overhead
+/// measurements: 16 revoked ids and two quarantined regions, none of which
+/// can ever match benchmark traffic (ids far above any generated node id,
+/// circles far outside any deployment area) — every report pays the full
+/// suppression check, nothing is suppressed. Shared by the
+/// `serve_throughput` bench and the `bench_snapshot` binary so their
+/// overhead numbers stay comparable.
+pub fn idle_response_filter() -> lad_serve::ResponseFilter {
+    use lad_geometry::{Circle, Point2};
+    lad_serve::ResponseFilter::new(
+        1,
+        (0..16u32).map(|i| 100_000 + i * 7).collect(),
+        vec![
+            Circle::new(Point2::new(-5_000.0, -5_000.0), 60.0),
+            Circle::new(Point2::new(9_000.0, 9_000.0), 80.0),
+        ],
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -8,7 +8,8 @@
 //!   --paper   paper-scale sample counts; takes several minutes
 //!   --only    run only the listed experiments (fig1_2, fig3, fig4, fig5_6,
 //!             fig7, fig8, fig9, heatmap_dx, mixed_attacks, temporal,
-//!             ablation_gz, ablation_localizers, ablation_mismatch)
+//!             containment, ablation_gz, ablation_localizers,
+//!             ablation_mismatch)
 //!   --out     output directory for CSV/JSON artefacts (default: results/)
 //! ```
 //!
@@ -150,6 +151,7 @@ fn main() {
     run("temporal", &|| {
         experiments::temporal_detection(&config, &cache)
     });
+    run("containment", &|| experiments::containment(&config, &cache));
     run("ablation_gz", &|| {
         experiments::ablation_gz_table(&experiments::standard_substrate(&config, &cache))
     });

@@ -13,6 +13,7 @@ mod ablation_gz;
 mod ablation_localizers;
 mod ablation_mismatch;
 mod attack_showcase;
+mod containment;
 mod deployment_figures;
 mod fig4;
 mod fig56;
@@ -27,6 +28,7 @@ pub use ablation_gz::ablation_gz_table;
 pub use ablation_localizers::ablation_localizers;
 pub use ablation_mismatch::ablation_model_mismatch;
 pub use attack_showcase::attack_showcase;
+pub use containment::containment;
 pub use deployment_figures::deployment_figures;
 pub use fig4::fig4_roc_metrics;
 pub use fig56::fig56_roc_attacks;
@@ -44,6 +46,18 @@ use std::sync::Arc;
 
 /// The false-positive budget the paper fixes for Figures 7–9.
 pub const PAPER_FP_BUDGET: f64 = 0.01;
+
+/// Upper median over `values` (`None` when empty) — the serving-native
+/// experiments' summary statistic for censored durations: censored values
+/// are fed in at `horizon + 1`, so a mostly-censored cell medians to the
+/// cap instead of interpolating past it.
+pub(crate) fn median(values: &mut [f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    values.sort_by(|a, b| a.partial_cmp(b).expect("no NaN duration"));
+    Some(values[values.len() / 2])
+}
 
 /// The compromised-neighbour fraction used by most figures (x = 10 %).
 pub const PAPER_COMPROMISED_FRACTION: f64 = 0.10;

@@ -22,7 +22,7 @@
 //! column is measured on.
 
 use crate::config::EvalConfig;
-use crate::experiments::standard_substrate;
+use crate::experiments::{median, standard_substrate};
 use crate::report::{FigureReport, Series};
 use crate::scenario::SubstrateCache;
 use lad_attack::{AttackClass, AttackConfig};
@@ -61,16 +61,6 @@ pub const TARGET_FAR: f64 = 0.005;
 
 /// EWMA smoothing factor.
 pub const EWMA_LAMBDA: f64 = 0.25;
-
-/// Median over `values` (`None` when empty). Censored TTDs are fed in as
-/// `HORIZON + 1`, so a mostly-undetected cell medians to the cap.
-fn median(values: &mut [f64]) -> Option<f64> {
-    if values.is_empty() {
-        return None;
-    }
-    values.sort_by(|a, b| a.partial_cmp(b).expect("no NaN TTD"));
-    Some(values[values.len() / 2])
-}
 
 /// Replays one node's full stream (rounds `0..ONSET + HORIZON`) with
 /// reset-on-alarm and returns its time-to-detection: rounds from [`ONSET`]

@@ -24,6 +24,7 @@
 //! | E12 | joint D×x detection-rate heatmap (grid-native) | [`experiments::heatmap_damage_compromise`] |
 //! | E13 | mixed-attack-class workload (grid-native) | [`experiments::mixed_attack_workload`] |
 //! | E14 | temporal: time-to-detection of sequential detectors (serving-native) | [`experiments::temporal_detection`] |
+//! | E15 | containment: closed-loop time-to-containment, precision/recall, collateral (response-native) | [`experiments::containment`] |
 //!
 //! # Define your own scenario
 //!

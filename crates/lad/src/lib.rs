@@ -22,6 +22,10 @@
 //!   decisions ([`stats::sequential`]) over streaming LAD scores, with
 //!   deterministic traffic generation for evaluating and benchmarking the
 //!   serving path,
+//! * [`response`] — the closed loop on top of the alarm stream: alarm
+//!   journalling, per-node suspicion, spatial alarm clustering, calibrated
+//!   revocation/quarantine policies, and the controller that installs the
+//!   resulting filter back into the serving runtime,
 //! * [`geometry`] / [`stats`] — the numeric substrates underneath it all.
 //!
 //! The [`prelude`] re-exports the types most applications need. See the
@@ -38,13 +42,14 @@ pub use lad_eval as eval;
 pub use lad_geometry as geometry;
 pub use lad_localization as localization;
 pub use lad_net as net;
+pub use lad_response as response;
 pub use lad_serve as serve;
 pub use lad_stats as stats;
 
 /// The most commonly used types, re-exported flat.
 pub mod prelude {
     pub use lad_attack::{
-        simulate_attack, taint_observation, AttackClass, AttackConfig, AttackOutcome,
+        simulate_attack, taint_observation, AttackClass, AttackConfig, AttackOutcome, Evasion,
     };
     pub use lad_core::{
         AddAllMetric, DetectionMetric, DetectionRequest, DiffMetric, EngineArtifact, EngineError,
@@ -62,8 +67,13 @@ pub mod prelude {
         BeaconlessMle, CentroidLocalizer, DvHopLocalizer, LocalizationScheme, Localizer,
     };
     pub use lad_net::{GroupId, Network, NodeId, Observation};
+    pub use lad_response::{
+        AlarmJournal, ClusterQuarantine, ResponseConfig, ResponseController, RevocationList,
+        RevocationPolicy, SuspectScorer, ThresholdRevoke,
+    };
     pub use lad_serve::{
-        Alarm, AttackTimeline, ServeConfig, ServeRuntime, ServeSnapshot, TrafficModel,
+        Alarm, AttackTimeline, ResponseFilter, ServeConfig, ServeRuntime, ServeSnapshot,
+        TrafficModel,
     };
     pub use lad_stats::{SequentialDetector, SequentialState};
 }

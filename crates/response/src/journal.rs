@@ -1,0 +1,268 @@
+//! The alarm journal: a bounded, round-ordered record of what fired.
+//!
+//! The serving runtime's alarm stream is ephemeral — drained once, gone.
+//! Attribution needs *history*: how often has this node fired, when, and
+//! **where did its reports claim to be**? [`AlarmJournal`] keeps the last
+//! `capacity` alarms in `(round, node)` order (the canonical order — shard
+//! interleaving of the drained stream is sorted away on ingestion, which
+//! is what makes everything downstream bit-deterministic in the shard
+//! count) plus an unbounded-but-small per-node summary that survives entry
+//! eviction.
+
+use lad_geometry::Point2;
+use lad_serve::Alarm;
+use serde::{Deserialize, Serialize};
+
+/// One journalled alarm (a flattened [`Alarm`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JournalEntry {
+    /// The node that fired (raw id).
+    pub node: u32,
+    /// The round it fired in.
+    pub round: u64,
+    /// The per-round anomaly score at firing time.
+    pub score: f64,
+    /// The decision statistic at firing time.
+    pub statistic: f64,
+    /// The location the firing report claimed — the spatial anchor
+    /// clustering works on.
+    pub estimate: Point2,
+}
+
+impl From<&Alarm> for JournalEntry {
+    fn from(alarm: &Alarm) -> Self {
+        JournalEntry {
+            node: alarm.node.0,
+            round: alarm.round,
+            score: alarm.score,
+            statistic: alarm.statistic,
+            estimate: alarm.estimate,
+        }
+    }
+}
+
+/// The per-node alarm summary (kept even after the node's entries age out
+/// of the bounded journal).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeAlarmHistory {
+    /// The node (raw id).
+    pub node: u32,
+    /// Total alarms this node ever fired.
+    pub alarms: u64,
+    /// Round of its first alarm.
+    pub first_round: u64,
+    /// Round of its most recent alarm.
+    pub last_round: u64,
+}
+
+/// A bounded, round-ordered alarm store with per-node history. See the
+/// [module docs](self).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AlarmJournal {
+    /// Maximum retained entries; the oldest are evicted first.
+    capacity: usize,
+    /// Retained entries, ascending by `(round, node)`.
+    entries: Vec<JournalEntry>,
+    /// Entries evicted so far (so operators can tell the journal window
+    /// from the full history).
+    evicted: u64,
+    /// Per-node summaries, ascending by node id.
+    histories: Vec<NodeAlarmHistory>,
+}
+
+impl AlarmJournal {
+    /// An empty journal retaining at most `capacity` entries.
+    ///
+    /// # Panics
+    /// Panics when `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "journal capacity must be >= 1");
+        Self {
+            capacity,
+            entries: Vec::new(),
+            evicted: 0,
+            histories: Vec::new(),
+        }
+    }
+
+    /// Ingests a drained alarm batch. The batch is canonicalised to
+    /// `(round, node)` order first — the runtime's drained stream
+    /// interleaves shards arbitrarily, and attribution must not depend on
+    /// that interleaving.
+    pub fn ingest(&mut self, alarms: &[Alarm]) {
+        if alarms.is_empty() {
+            return;
+        }
+        let mut batch: Vec<JournalEntry> = alarms.iter().map(JournalEntry::from).collect();
+        batch.sort_by_key(|e| (e.round, e.node));
+        let in_order = self
+            .entries
+            .last()
+            .is_none_or(|last| (last.round, last.node) <= (batch[0].round, batch[0].node));
+        for entry in &batch {
+            match self.histories.binary_search_by_key(&entry.node, |h| h.node) {
+                Ok(i) => {
+                    let h = &mut self.histories[i];
+                    h.alarms += 1;
+                    h.first_round = h.first_round.min(entry.round);
+                    h.last_round = h.last_round.max(entry.round);
+                }
+                Err(i) => self.histories.insert(
+                    i,
+                    NodeAlarmHistory {
+                        node: entry.node,
+                        alarms: 1,
+                        first_round: entry.round,
+                        last_round: entry.round,
+                    },
+                ),
+            }
+        }
+        self.entries.extend(batch);
+        if !in_order {
+            // A late drain delivered alarms older than the newest entry;
+            // restore the canonical order (rare, and the journal is small).
+            self.entries.sort_by_key(|e| (e.round, e.node));
+        }
+        if self.entries.len() > self.capacity {
+            let excess = self.entries.len() - self.capacity;
+            self.entries.drain(..excess);
+            self.evicted += excess as u64;
+        }
+    }
+
+    /// The retained entries, ascending by `(round, node)`.
+    pub fn entries(&self) -> &[JournalEntry] {
+        &self.entries
+    }
+
+    /// The retained entries with `round >= since` (a suffix — entries are
+    /// round-ordered).
+    pub fn entries_since(&self, since: u64) -> &[JournalEntry] {
+        let start = self.entries.partition_point(|e| e.round < since);
+        &self.entries[start..]
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no entries are retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The retention capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Entries evicted by the retention bound so far.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Total alarms ever ingested (retained + evicted).
+    pub fn total_alarms(&self) -> u64 {
+        self.entries.len() as u64 + self.evicted
+    }
+
+    /// The per-node summary of `node`, if it ever alarmed.
+    pub fn history(&self, node: u32) -> Option<&NodeAlarmHistory> {
+        self.histories
+            .binary_search_by_key(&node, |h| h.node)
+            .ok()
+            .map(|i| &self.histories[i])
+    }
+
+    /// All per-node summaries, ascending by node id.
+    pub fn histories(&self) -> &[NodeAlarmHistory] {
+        &self.histories
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lad_net::NodeId;
+
+    fn alarm(node: u32, round: u64, x: f64) -> Alarm {
+        Alarm {
+            node: NodeId(node),
+            round,
+            score: 10.0 + x,
+            statistic: 20.0 + x,
+            estimate: Point2::new(x, x + 1.0),
+        }
+    }
+
+    #[test]
+    fn ingestion_canonicalises_shard_interleaving() {
+        let mut a = AlarmJournal::new(16);
+        let mut b = AlarmJournal::new(16);
+        let batch = vec![alarm(5, 2, 0.0), alarm(1, 1, 1.0), alarm(3, 2, 2.0)];
+        let mut reversed = batch.clone();
+        reversed.reverse();
+        a.ingest(&batch);
+        b.ingest(&reversed);
+        assert_eq!(a, b, "entry order is independent of drain interleaving");
+        let keys: Vec<(u64, u32)> = a.entries().iter().map(|e| (e.round, e.node)).collect();
+        assert_eq!(keys, vec![(1, 1), (2, 3), (2, 5)]);
+    }
+
+    #[test]
+    fn per_node_history_survives_eviction() {
+        let mut journal = AlarmJournal::new(3);
+        for round in 0..10 {
+            journal.ingest(&[alarm(7, round, round as f64)]);
+        }
+        assert_eq!(journal.len(), 3);
+        assert_eq!(journal.evicted(), 7);
+        assert_eq!(journal.total_alarms(), 10);
+        let history = journal.history(7).expect("node 7 alarmed");
+        assert_eq!(history.alarms, 10);
+        assert_eq!(history.first_round, 0);
+        assert_eq!(history.last_round, 9);
+        assert!(journal.history(8).is_none());
+        // The retained window is the newest entries.
+        assert_eq!(journal.entries()[0].round, 7);
+    }
+
+    #[test]
+    fn entries_since_returns_the_round_suffix() {
+        let mut journal = AlarmJournal::new(16);
+        journal.ingest(&[alarm(1, 1, 0.0), alarm(2, 3, 1.0), alarm(3, 5, 2.0)]);
+        assert_eq!(journal.entries_since(0).len(), 3);
+        assert_eq!(journal.entries_since(3).len(), 2);
+        assert_eq!(journal.entries_since(6).len(), 0);
+    }
+
+    #[test]
+    fn late_drains_are_reordered() {
+        let mut journal = AlarmJournal::new(16);
+        journal.ingest(&[alarm(1, 5, 0.0)]);
+        journal.ingest(&[alarm(2, 3, 1.0)]);
+        let keys: Vec<(u64, u32)> = journal
+            .entries()
+            .iter()
+            .map(|e| (e.round, e.node))
+            .collect();
+        assert_eq!(keys, vec![(3, 2), (5, 1)]);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut journal = AlarmJournal::new(4);
+        journal.ingest(&[alarm(1, 1, 0.5), alarm(2, 2, 1.5)]);
+        let json = serde_json::to_string(&journal).unwrap();
+        let back: AlarmJournal = serde_json::from_str(&json).unwrap();
+        assert_eq!(journal, back);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_is_rejected() {
+        AlarmJournal::new(0);
+    }
+}

@@ -1,0 +1,368 @@
+//! Per-node suspicion and spatial alarm clustering — the attribution
+//! layer between raw alarms and revocation decisions.
+//!
+//! Two orthogonal pieces of evidence separate a compromised node from an
+//! honest one that tripped a calibrated false alarm:
+//!
+//! 1. **Repetition.** The detectors are calibrated so a clean node alarms
+//!    rarely; an attacked node alarms at the detector's cadence. The
+//!    [`SuspectScorer`] turns that into a per-node *suspicion* value: `+1`
+//!    per alarm, decayed geometrically per quiet round — one isolated
+//!    false alarm fades back to zero, while a repeat offender ramps
+//!    linearly past any budget.
+//! 2. **Spatial coherence.** A D-anomaly attacker claims a *consistent*
+//!    forged location, so its alarms (and those of co-located victims of a
+//!    spreading compromise) condense into a tight spatial focus, while
+//!    false alarms scatter across the whole deployment. Single-linkage
+//!    clustering of recent alarmed estimates over a
+//!    [`lad_geometry::GridIndex`] (cell size = the linking radius, so a
+//!    link query inspects at most 9 cells) makes that focus explicit.
+//!
+//! Both computations are pure functions of the canonically ordered journal
+//! and the round — no clocks, no randomness — so response decisions stay
+//! bit-deterministic in the serving runtime's shard count.
+
+use crate::journal::JournalEntry;
+use lad_geometry::{GridIndex, Point2, Rect};
+use serde::{Deserialize, Serialize};
+
+/// Tuning of the response layer's evidence accumulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResponseConfig {
+    /// Per-round geometric decay of suspicion (`(0, 1]`; 1 never forgets).
+    /// With the default 0.85, an isolated alarm fades below 0.2 within ten
+    /// quiet rounds.
+    pub decay: f64,
+    /// Alarm-journal retention (entries).
+    pub journal_capacity: usize,
+}
+
+impl Default for ResponseConfig {
+    fn default() -> Self {
+        Self {
+            decay: 0.85,
+            journal_capacity: 4096,
+        }
+    }
+}
+
+impl ResponseConfig {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    /// Panics when `decay ∉ (0, 1]` or `journal_capacity == 0`.
+    pub fn validate(&self) {
+        assert!(
+            self.decay > 0.0 && self.decay <= 1.0,
+            "suspicion decay must be in (0, 1], got {}",
+            self.decay
+        );
+        assert!(self.journal_capacity >= 1, "journal capacity must be >= 1");
+    }
+}
+
+/// One node's suspicion state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeSuspicion {
+    /// The node (raw id).
+    pub node: u32,
+    /// Suspicion as of `last_round` (decay since then is applied on read).
+    pub suspicion: f64,
+    /// The round of the node's most recent alarm.
+    pub last_round: u64,
+    /// Alarms folded into this value.
+    pub alarms: u64,
+}
+
+/// The per-node suspicion accumulator. See the [module docs](self).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SuspectScorer {
+    decay: f64,
+    /// Per-node states, ascending by node id.
+    suspicions: Vec<NodeSuspicion>,
+}
+
+impl SuspectScorer {
+    /// A fresh scorer with the given per-round decay.
+    ///
+    /// # Panics
+    /// Panics when `decay ∉ (0, 1]`.
+    pub fn new(decay: f64) -> Self {
+        assert!(
+            decay > 0.0 && decay <= 1.0,
+            "suspicion decay must be in (0, 1], got {decay}"
+        );
+        Self {
+            decay,
+            suspicions: Vec::new(),
+        }
+    }
+
+    /// The configured per-round decay.
+    pub fn decay(&self) -> f64 {
+        self.decay
+    }
+
+    /// Folds one alarm of `node` at `round` into its suspicion: the
+    /// accumulated value decays over the quiet gap, then gains `+1`.
+    /// Alarms must be fed in canonical journal order; an out-of-order
+    /// round (late drain) is treated as concurrent (no decay, no rewind).
+    pub fn observe_alarm(&mut self, node: u32, round: u64) {
+        match self.suspicions.binary_search_by_key(&node, |s| s.node) {
+            Ok(i) => {
+                let s = &mut self.suspicions[i];
+                let gap = round.saturating_sub(s.last_round);
+                s.suspicion = s.suspicion * self.decay.powi(gap.min(i32::MAX as u64) as i32) + 1.0;
+                s.last_round = s.last_round.max(round);
+                s.alarms += 1;
+            }
+            Err(i) => self.suspicions.insert(
+                i,
+                NodeSuspicion {
+                    node,
+                    suspicion: 1.0,
+                    last_round: round,
+                    alarms: 1,
+                },
+            ),
+        }
+    }
+
+    /// The suspicion of `node` as of `round` (decayed over the quiet gap
+    /// since its last alarm; 0 for a node that never alarmed).
+    pub fn suspicion(&self, node: u32, round: u64) -> f64 {
+        self.suspicions
+            .binary_search_by_key(&node, |s| s.node)
+            .ok()
+            .map(|i| self.decayed(&self.suspicions[i], round))
+            .unwrap_or(0.0)
+    }
+
+    /// The decayed suspicion of an entry from [`Self::suspicions`] as of
+    /// `round` — the lookup-free read for callers already iterating the
+    /// per-node states (a per-round policy pass would otherwise re-search
+    /// the sorted vec for every entry it is holding).
+    pub fn decayed(&self, entry: &NodeSuspicion, round: u64) -> f64 {
+        let gap = round.saturating_sub(entry.last_round);
+        entry.suspicion * self.decay.powi(gap.min(i32::MAX as u64) as i32)
+    }
+
+    /// All per-node suspicion states, ascending by node id.
+    pub fn suspicions(&self) -> &[NodeSuspicion] {
+        &self.suspicions
+    }
+
+    /// Single-linkage clusters of the alarmed estimates in `entries`
+    /// (typically a recent journal window), linking entries within
+    /// `radius` of each other, annotated with the member nodes' total
+    /// suspicion as of `round`. Clusters come back ordered by their first
+    /// entry — a pure function of the canonical journal order.
+    pub fn clusters(&self, entries: &[JournalEntry], radius: f64, round: u64) -> Vec<AlarmCluster> {
+        assert!(radius > 0.0, "cluster linking radius must be positive");
+        if entries.is_empty() {
+            return Vec::new();
+        }
+        let points: Vec<Point2> = entries.iter().map(|e| e.estimate).collect();
+        let (mut min_x, mut min_y, mut max_x, mut max_y) = (
+            f64::INFINITY,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NEG_INFINITY,
+        );
+        for p in &points {
+            min_x = min_x.min(p.x);
+            min_y = min_y.min(p.y);
+            max_x = max_x.max(p.x);
+            max_y = max_y.max(p.y);
+        }
+        let bounds = Rect::new(min_x, min_y, max_x.max(min_x), max_y.max(min_y)).expand(radius);
+        let index = GridIndex::build(bounds, radius, &points);
+
+        let mut cluster_of = vec![usize::MAX; points.len()];
+        let mut clusters = Vec::new();
+        let mut queue = Vec::new();
+        for start in 0..points.len() {
+            if cluster_of[start] != usize::MAX {
+                continue;
+            }
+            let id = clusters.len();
+            cluster_of[start] = id;
+            queue.clear();
+            queue.push(start);
+            let mut members = vec![start];
+            while let Some(i) = queue.pop() {
+                index.for_each_within(points[i], radius, |j, _| {
+                    if cluster_of[j] == usize::MAX {
+                        cluster_of[j] = id;
+                        queue.push(j);
+                        members.push(j);
+                    }
+                });
+            }
+            // Canonical member order (BFS discovery order depends only on
+            // the grid layout, but sorting removes even that).
+            members.sort_unstable();
+            let n = members.len() as f64;
+            let centroid = members.iter().fold(Point2::new(0.0, 0.0), |acc, &i| {
+                Point2::new(acc.x + points[i].x / n, acc.y + points[i].y / n)
+            });
+            let spread = members
+                .iter()
+                .map(|&i| centroid.distance(points[i]))
+                .fold(0.0f64, f64::max);
+            let mut nodes: Vec<u32> = members.iter().map(|&i| entries[i].node).collect();
+            nodes.sort_unstable();
+            nodes.dedup();
+            let suspicion = nodes.iter().map(|&n| self.suspicion(n, round)).sum();
+            let last_round = members.iter().map(|&i| entries[i].round).max().unwrap_or(0);
+            clusters.push(AlarmCluster {
+                centroid,
+                radius: spread,
+                nodes,
+                alarms: members.len(),
+                suspicion,
+                last_round,
+            });
+        }
+        clusters
+    }
+}
+
+/// One spatial cluster of recent alarmed estimates: a candidate attack
+/// focus (tight, suspicion-heavy) or a stretch of diffuse false alarms
+/// (broad, light).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AlarmCluster {
+    /// Mean of the member estimates.
+    pub centroid: Point2,
+    /// Maximum member distance from the centroid.
+    pub radius: f64,
+    /// The distinct nodes whose alarms are in the cluster, ascending.
+    pub nodes: Vec<u32>,
+    /// Member alarms (≥ `nodes.len()` — repeat offenders count per alarm).
+    pub alarms: usize,
+    /// Total member-node suspicion at the evaluation round.
+    pub suspicion: f64,
+    /// The round of the newest member alarm (how *fresh* the focus is —
+    /// quarantine policies skip foci that have already gone quiet).
+    pub last_round: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(node: u32, round: u64, x: f64, y: f64) -> JournalEntry {
+        JournalEntry {
+            node,
+            round,
+            score: 1.0,
+            statistic: 2.0,
+            estimate: Point2::new(x, y),
+        }
+    }
+
+    #[test]
+    fn suspicion_accumulates_and_decays() {
+        let mut scorer = SuspectScorer::new(0.5);
+        scorer.observe_alarm(7, 10);
+        assert_eq!(scorer.suspicion(7, 10), 1.0);
+        // Two quiet rounds: 1.0 * 0.5^2.
+        assert_eq!(scorer.suspicion(7, 12), 0.25);
+        // A second alarm after the gap: decayed + 1.
+        scorer.observe_alarm(7, 12);
+        assert_eq!(scorer.suspicion(7, 12), 1.25);
+        // Back-to-back alarms ramp monotonically toward the steady state
+        // 1/(1 − decay) = 2.
+        scorer.observe_alarm(7, 13);
+        scorer.observe_alarm(7, 14);
+        assert!(scorer.suspicion(7, 14) > 1.8);
+        assert!(scorer.suspicion(7, 14) < 2.0);
+        assert_eq!(scorer.suspicion(99, 14), 0.0, "never-alarmed node");
+        assert_eq!(scorer.suspicions().len(), 1);
+        assert_eq!(scorer.suspicions()[0].alarms, 4);
+    }
+
+    #[test]
+    fn out_of_order_alarms_do_not_rewind() {
+        let mut scorer = SuspectScorer::new(0.5);
+        scorer.observe_alarm(3, 10);
+        scorer.observe_alarm(3, 8); // late drain: treated as concurrent
+        assert_eq!(scorer.suspicions()[0].last_round, 10);
+        assert_eq!(scorer.suspicion(3, 10), 2.0);
+    }
+
+    #[test]
+    fn clustering_separates_a_focus_from_diffuse_alarms() {
+        let mut scorer = SuspectScorer::new(0.9);
+        // A tight focus: three nodes repeatedly alarming near (100, 100)…
+        let mut entries = Vec::new();
+        for (i, node) in [1u32, 2, 3].iter().enumerate() {
+            for r in 0..4u64 {
+                scorer.observe_alarm(*node, r);
+                entries.push(entry(
+                    *node,
+                    r,
+                    100.0 + i as f64 * 5.0,
+                    100.0 + r as f64 * 4.0,
+                ));
+            }
+        }
+        // …and two isolated false alarms far away.
+        scorer.observe_alarm(50, 2);
+        entries.push(entry(50, 2, 700.0, 700.0));
+        scorer.observe_alarm(60, 3);
+        entries.push(entry(60, 3, 400.0, 50.0));
+        entries.sort_by_key(|e| (e.round, e.node));
+
+        let clusters = scorer.clusters(&entries, 30.0, 4);
+        assert_eq!(clusters.len(), 3);
+        let focus = clusters
+            .iter()
+            .max_by(|a, b| a.suspicion.partial_cmp(&b.suspicion).unwrap())
+            .unwrap();
+        assert_eq!(focus.nodes, vec![1, 2, 3]);
+        assert_eq!(focus.alarms, 12);
+        assert!(focus.radius < 30.0, "focus is tight: {}", focus.radius);
+        let lightest = clusters
+            .iter()
+            .map(|c| c.suspicion)
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            focus.suspicion > 3.0 * lightest,
+            "the focus dominates any singleton"
+        );
+        for cluster in &clusters {
+            if cluster.nodes != focus.nodes {
+                assert_eq!(cluster.alarms, 1, "false alarms stay singletons");
+            }
+        }
+    }
+
+    #[test]
+    fn clustering_is_independent_of_entry_interleaving_within_a_round() {
+        let scorer = SuspectScorer::new(0.9);
+        let mut a = vec![
+            entry(1, 0, 10.0, 10.0),
+            entry(2, 0, 20.0, 10.0),
+            entry(3, 0, 500.0, 500.0),
+        ];
+        let clusters_a = scorer.clusters(&a, 25.0, 1);
+        a.swap(0, 1); // non-canonical order of the same set
+        let mut b = a;
+        b.sort_by_key(|e| (e.round, e.node));
+        let clusters_b = scorer.clusters(&b, 25.0, 1);
+        assert_eq!(clusters_a, clusters_b);
+    }
+
+    #[test]
+    fn empty_entries_yield_no_clusters() {
+        let scorer = SuspectScorer::new(0.9);
+        assert!(scorer.clusters(&[], 10.0, 0).is_empty());
+        // A single entry is its own (zero-radius) cluster.
+        let one = scorer.clusters(&[entry(4, 1, 3.0, 4.0)], 10.0, 1);
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0].radius, 0.0);
+        assert_eq!(one[0].nodes, vec![4]);
+    }
+}

@@ -11,6 +11,10 @@
 //! ```text
 //!             submit_batch(round, reports)
 //!                        │
+//!              ResponseFilter (revoked node /
+//!              quarantined region ⇒ suppressed
+//!              before any shard sees the work)
+//!                        │
 //!            deterministic node → shard routing
 //!          ┌─────────────┼─────────────┐
 //!          ▼             ▼             ▼
@@ -23,17 +27,26 @@
 //!      (lad_stats::sequential, O(1) per node)
 //!          │             │             │
 //!          └──────►  alarm stream  ◄───┘
+//!                        │
+//!          lad_response: attribute → revoke →
+//!          install_response_filter (closed loop)
 //! ```
 //!
 //! * [`ServeRuntime`] — the runtime itself: worker shards over bounded
 //!   channels, per-node detector state keyed by [`lad_net::NodeId`],
 //!   batched ingestion through the engine's flat scoring kernel, an alarm
-//!   output stream, live [`ServeCounters`], graceful shutdown, and
-//!   versioned [`ServeSnapshot`] save/restore of all detector state.
+//!   output stream, live [`ServeCounters`], graceful shutdown, versioned
+//!   [`ServeSnapshot`] save/restore of all detector state **and** undrained
+//!   alarms (v2), and a pluggable [`ResponseFilter`] hook that suppresses
+//!   reports from revoked nodes / quarantined regions before they reach a
+//!   shard (the enforcement half of the `lad_response` closed loop).
 //! * [`TrafficModel`] — a deterministic load generator replaying attack
 //!   timelines (clean warm-up, onset at round *t*, intermittent bursts,
 //!   ramping compromise) over a simulated network, for evaluation and
-//!   benchmarking of the serving path.
+//!   benchmarking of the serving path — including *post-revocation*
+//!   behaviour: revoked nodes fall silent, and quarantined attackers adapt
+//!   per [`lad_attack::Evasion`] (rotate the forged location, or go
+//!   intermittent).
 //!
 //! Alarm decisions are **bit-deterministic in the shard count**: routing is
 //! a pure function of the node id, every node's rounds reach its shard in
@@ -103,7 +116,9 @@ pub mod runtime;
 pub mod snapshot;
 pub mod traffic;
 
-pub use runtime::{shard_of, Alarm, ServeConfig, ServeCounters, ServeRuntime, ShutdownReport};
+pub use runtime::{
+    shard_of, Alarm, ResponseFilter, ServeConfig, ServeCounters, ServeRuntime, ShutdownReport,
+};
 pub use snapshot::{
     engine_fingerprint, NodeDetectorState, ServeError, ServeSnapshot, SNAPSHOT_VERSION,
 };

@@ -29,9 +29,11 @@
 use crate::snapshot::{NodeDetectorState, ServeError, ServeSnapshot, SNAPSHOT_VERSION};
 use lad_core::engine::{DetectionRequest, LadEngine};
 use lad_core::MetricKind;
+use lad_geometry::{Circle, Point2};
 use lad_net::{NodeId, ObservationBatch};
 use lad_stats::seeds::splitmix64;
 use lad_stats::{SequentialDetector, SequentialState};
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender, SyncSender};
@@ -98,8 +100,15 @@ impl ServeConfig {
 }
 
 /// One fired detection: the node, the round it fired in, the raw per-round
-/// score and the decision statistic that crossed the threshold.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// score, the decision statistic that crossed the threshold, and the
+/// location the report *claimed* — the spatial anchor the response layer
+/// (`lad_response`) clusters alarms by to separate localized attack foci
+/// from diffuse false alarms.
+///
+/// Serializable: undrained alarms ride through the v2 snapshot path
+/// ([`ServeSnapshot::pending_alarms`](crate::ServeSnapshot)) so a restart
+/// cannot silently lose fired-but-undrained alarms.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Alarm {
     /// The node the rule fired for.
     pub node: NodeId,
@@ -110,6 +119,94 @@ pub struct Alarm {
     /// The decision statistic at firing time (CUSUM sum / EWMA value /
     /// window count).
     pub statistic: f64,
+    /// The location estimate the firing report claimed (`L_e`).
+    pub estimate: Point2,
+}
+
+/// The serve-side view of a revocation decision set: which nodes are
+/// revoked and which regions are quarantined. Reports from revoked nodes —
+/// and reports *claiming* a position inside a quarantined region — are
+/// suppressed in [`ServeRuntime::submit_rows`] **before** they reach a
+/// shard, so quarantined work never touches the scoring hot path.
+///
+/// This type is deliberately policy-free: the response layer
+/// (`lad_response`) decides *what* to revoke and compiles its versioned
+/// `RevocationList` down to this flat filter; the runtime only enforces it.
+/// Suppression happens on the submitting thread with a pure function of
+/// `(node, estimate)`, so alarm and revocation decisions stay
+/// bit-deterministic in the shard count.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ResponseFilter {
+    /// Monotone revision counter of the producing revocation list (0 for
+    /// the empty filter a runtime starts with).
+    pub revision: u64,
+    /// Revoked node ids, ascending (binary-searched per report).
+    pub revoked: Vec<u32>,
+    /// Quarantined regions (linearly scanned per report; policies keep
+    /// this list short by merging overlapping foci).
+    pub quarantined: Vec<Circle>,
+    /// Watched node ids, ascending: nodes with alarm history whose
+    /// *suppressed* claims into a quarantined region count toward that
+    /// region's suppression telemetry ([`ServeRuntime::region_suppression`]).
+    /// Suppression hides in-region alarms by construction, so "the region
+    /// went quiet" must be judged on suppressed attempts by previously
+    /// suspicious nodes — an honest resident's suppressed reports do not
+    /// keep its region quarantined forever.
+    pub watched: Vec<u32>,
+}
+
+impl ResponseFilter {
+    /// Builds a filter, sorting and deduplicating the revoked ids.
+    pub fn new(revision: u64, mut revoked: Vec<u32>, quarantined: Vec<Circle>) -> Self {
+        revoked.sort_unstable();
+        revoked.dedup();
+        Self {
+            revision,
+            revoked,
+            quarantined,
+            watched: Vec::new(),
+        }
+    }
+
+    /// Returns a copy with the watched node set (sorted, deduplicated).
+    pub fn with_watched(mut self, mut watched: Vec<u32>) -> Self {
+        watched.sort_unstable();
+        watched.dedup();
+        self.watched = watched;
+        self
+    }
+
+    /// Whether the filter suppresses nothing (the hot path's fast bail).
+    pub fn is_empty(&self) -> bool {
+        self.revoked.is_empty() && self.quarantined.is_empty()
+    }
+
+    /// Whether a report from `node` claiming `estimate` is suppressed.
+    #[inline]
+    pub fn suppresses(&self, node: NodeId, estimate: Point2) -> bool {
+        self.revoked.binary_search(&node.0).is_ok()
+            || self.quarantined.iter().any(|c| c.contains(estimate))
+    }
+
+    /// The index of the first quarantined region containing `estimate`.
+    #[inline]
+    pub fn suppressing_region(&self, estimate: Point2) -> Option<usize> {
+        self.quarantined.iter().position(|c| c.contains(estimate))
+    }
+
+    /// Whether `node`'s suppressed claims count toward region telemetry.
+    #[inline]
+    pub fn is_watched(&self, node: NodeId) -> bool {
+        self.watched.binary_search(&node.0).is_ok()
+    }
+}
+
+/// The installed filter plus its per-region suppression counters (one per
+/// quarantined circle, same order) — swapped together so the counters
+/// always describe the circles of the filter they were created with.
+struct FilterState {
+    filter: Arc<ResponseFilter>,
+    region_hits: Arc<Vec<AtomicU64>>,
 }
 
 /// A consistent view of the runtime's counters.
@@ -125,6 +222,10 @@ pub struct ServeCounters {
     pub batches: u64,
     /// Highest round number submitted.
     pub last_round: u64,
+    /// Reports suppressed by the installed [`ResponseFilter`] (revoked
+    /// node or quarantined claimed region) before reaching a shard. Not
+    /// counted in `submitted`.
+    pub suppressed: u64,
 }
 
 impl ServeCounters {
@@ -141,6 +242,7 @@ struct SharedCounters {
     alarms: AtomicU64,
     batches: AtomicU64,
     last_round: AtomicU64,
+    suppressed: AtomicU64,
 }
 
 impl SharedCounters {
@@ -151,6 +253,7 @@ impl SharedCounters {
             alarms: self.alarms.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             last_round: self.last_round.load(Ordering::Relaxed),
+            suppressed: self.suppressed.load(Ordering::Relaxed),
         }
     }
 }
@@ -182,6 +285,15 @@ pub struct ServeRuntime {
     senders: Vec<SyncSender<ShardMsg>>,
     workers: Vec<JoinHandle<Vec<NodeDetectorState>>>,
     alarm_rx: Mutex<Receiver<Alarm>>,
+    /// A sender into the alarm stream the runtime itself holds, for
+    /// re-injecting alarms captured non-destructively by [`Self::snapshot`]
+    /// and for restoring a v2 snapshot's pending alarms.
+    alarm_tx: Sender<Alarm>,
+    /// The installed response filter and its per-region suppression
+    /// counters (an empty default until the response layer installs one).
+    /// Swapped as `Arc`s so `submit_rows` pays one lock + pointer clone
+    /// per *batch*, not per report.
+    filter: Mutex<FilterState>,
     counters: Arc<SharedCounters>,
 }
 
@@ -235,6 +347,11 @@ impl ServeRuntime {
             senders,
             workers,
             alarm_rx: Mutex::new(alarm_rx),
+            alarm_tx,
+            filter: Mutex::new(FilterState {
+                filter: Arc::new(ResponseFilter::default()),
+                region_hits: Arc::new(Vec::new()),
+            }),
             counters,
         })
     }
@@ -242,6 +359,53 @@ impl ServeRuntime {
     /// The runtime's configuration.
     pub fn config(&self) -> &ServeConfig {
         &self.config
+    }
+
+    /// Installs (replaces) the response filter. Subsequent
+    /// [`Self::submit_rows`] / [`Self::submit_batch`] calls suppress
+    /// reports from revoked nodes and reports claiming a quarantined
+    /// position before they reach a shard; in-flight batches are not
+    /// re-filtered. Counted in [`ServeCounters::suppressed`]; per-region
+    /// suppression telemetry restarts from zero for the new filter.
+    pub fn install_response_filter(&self, filter: ResponseFilter) {
+        let region_hits = Arc::new(
+            (0..filter.quarantined.len())
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+        );
+        *self.filter.lock().expect("response filter lock") = FilterState {
+            filter: Arc::new(filter),
+            region_hits,
+        };
+    }
+
+    /// The currently installed response filter (the empty default until
+    /// [`Self::install_response_filter`] is called).
+    pub fn response_filter(&self) -> Arc<ResponseFilter> {
+        self.filter
+            .lock()
+            .expect("response filter lock")
+            .filter
+            .clone()
+    }
+
+    /// Per-region suppression telemetry of the installed filter: its
+    /// revision plus, for each of its quarantined circles (same order),
+    /// how many reports from **watched** nodes claimed into that region
+    /// and were suppressed since the filter was installed. This is how the
+    /// response layer tells a region that went genuinely quiet from one
+    /// whose attacker keeps transmitting into the void — suppressed
+    /// reports never reach scoring, so they can never appear as alarms.
+    pub fn region_suppression(&self) -> (u64, Vec<u64>) {
+        let state = self.filter.lock().expect("response filter lock");
+        (
+            state.filter.revision,
+            state
+                .region_hits
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+        )
     }
 
     /// Submits one round of reports. The batch is partitioned by
@@ -265,11 +429,16 @@ impl ServeRuntime {
     }
 
     /// Submits one round of reports as flat CSR rows: `nodes[i]` reported
-    /// `rows.row(i)`. The rows are partitioned by [`shard_of`] into
-    /// per-shard [`ObservationBatch`]es (flat copies — the only per-call
-    /// allocations are the per-shard batch buffers handed over the
-    /// queues), and the call blocks while any destination shard's queue is
-    /// full (backpressure).
+    /// `rows.row(i)`. Reports suppressed by the installed
+    /// [`ResponseFilter`] (revoked node / quarantined claimed position) are
+    /// dropped here — on the submitting thread, as a pure function of
+    /// `(node, estimate)`, so suppression is bit-deterministic in the shard
+    /// count and never costs a shard any scoring work. The surviving rows
+    /// are partitioned by [`shard_of`] into per-shard
+    /// [`ObservationBatch`]es (flat copies — the only per-call allocations
+    /// are the per-shard batch buffers handed over the queues), and the
+    /// call blocks while any destination shard's queue is full
+    /// (backpressure).
     ///
     /// # Panics
     /// Panics when `nodes.len() != rows.len()`, or when the batch's group
@@ -288,19 +457,42 @@ impl ServeRuntime {
             "batch/deployment group-count mismatch"
         );
         let shards = self.senders.len();
-        self.counters
-            .submitted
-            .fetch_add(nodes.len() as u64, Ordering::Relaxed);
+        let (filter, region_hits) = {
+            let state = self.filter.lock().expect("response filter lock");
+            (state.filter.clone(), state.region_hits.clone())
+        };
         self.counters.batches.fetch_add(1, Ordering::Relaxed);
         self.counters.last_round.fetch_max(round, Ordering::Relaxed);
         let mut shard_nodes: Vec<Vec<NodeId>> = vec![Vec::new(); shards];
         let mut shard_rows: Vec<ObservationBatch> = (0..shards)
             .map(|_| ObservationBatch::new(rows.group_count()))
             .collect();
+        let mut suppressed = 0u64;
         for (i, &node) in nodes.iter().enumerate() {
+            if !filter.is_empty() {
+                if filter.revoked.binary_search(&node.0).is_ok() {
+                    suppressed += 1;
+                    continue;
+                }
+                if let Some(region) = filter.suppressing_region(rows.estimate(i)) {
+                    if filter.is_watched(node) {
+                        region_hits[region].fetch_add(1, Ordering::Relaxed);
+                    }
+                    suppressed += 1;
+                    continue;
+                }
+            }
             let s = shard_of(node, shards);
             shard_nodes[s].push(node);
             shard_rows[s].push_row(rows, i);
+        }
+        self.counters
+            .submitted
+            .fetch_add(nodes.len() as u64 - suppressed, Ordering::Relaxed);
+        if suppressed > 0 {
+            self.counters
+                .suppressed
+                .fetch_add(suppressed, Ordering::Relaxed);
         }
         for (shard, (nodes, rows)) in shard_nodes.into_iter().zip(shard_rows).enumerate() {
             if nodes.is_empty() {
@@ -364,7 +556,12 @@ impl ServeRuntime {
     }
 
     /// Takes a consistent, restorable snapshot of every node's detector
-    /// state (syncs, then gathers each shard's sorted partition).
+    /// state (syncs, then gathers each shard's sorted partition) **and**
+    /// every fired-but-undrained alarm — captured non-destructively, so a
+    /// later [`Self::drain_alarms`] still returns them. The capture drains
+    /// the alarm stream and re-injects it in order; `sync` has quiesced the
+    /// shards first, so no freshly fired alarm can interleave (snapshotting
+    /// while another thread is still submitting is racy regardless).
     pub fn snapshot(&self) -> ServeSnapshot {
         self.sync();
         let replies: Vec<Receiver<Vec<NodeDetectorState>>> = self
@@ -383,11 +580,18 @@ impl ServeRuntime {
             states.extend(rx.recv().expect("shard answers snapshot request"));
         }
         states.sort_by_key(|s| s.node);
+        let pending = self.poll_alarms();
+        for &alarm in &pending {
+            self.alarm_tx
+                .send(alarm)
+                .expect("runtime holds the alarm receiver");
+        }
         build_snapshot(
             &self.config,
             self.engine_fingerprint,
             &self.counters(),
             states,
+            pending,
         )
     }
 
@@ -441,6 +645,19 @@ impl ServeRuntime {
                 .send(ShardMsg::Restore(partition))
                 .expect("shard thread alive while runtime exists");
         }
+        // Re-inject the snapshot's fired-but-undrained alarms ahead of
+        // anything the restored run fires (the runtime is fresh, so the
+        // stream is empty), and resume the alarm counter over the whole
+        // snapshot history so alarms-per-request stays consistent across
+        // the restart.
+        for &alarm in &snapshot.pending_alarms {
+            self.alarm_tx
+                .send(alarm)
+                .expect("runtime holds the alarm receiver");
+        }
+        self.counters
+            .alarms
+            .fetch_add(snapshot.alarms_raised, Ordering::Relaxed);
         self.counters
             .submitted
             .fetch_add(snapshot.requests_ingested, Ordering::Relaxed);
@@ -465,11 +682,14 @@ impl ServeRuntime {
             senders,
             workers,
             alarm_rx,
+            alarm_tx,
+            filter: _,
             counters: shared,
         } = self;
         // Dropping the senders closes the queues; each worker drains what is
         // left and returns its sorted states.
         drop(senders);
+        drop(alarm_tx);
         let mut states = Vec::new();
         for worker in workers {
             states.extend(worker.join().expect("shard thread exits cleanly"));
@@ -484,7 +704,13 @@ impl ServeRuntime {
             }
         }
         ShutdownReport {
-            snapshot: build_snapshot(&config, engine_fingerprint, &counters, states),
+            snapshot: build_snapshot(
+                &config,
+                engine_fingerprint,
+                &counters,
+                states,
+                alarms.clone(),
+            ),
             alarms,
             counters,
         }
@@ -500,6 +726,7 @@ fn build_snapshot(
     engine_fingerprint: u64,
     counters: &ServeCounters,
     states: Vec<NodeDetectorState>,
+    pending_alarms: Vec<Alarm>,
 ) -> ServeSnapshot {
     ServeSnapshot {
         version: SNAPSHOT_VERSION,
@@ -507,8 +734,10 @@ fn build_snapshot(
         engine_fingerprint,
         detector: config.detector,
         requests_ingested: counters.processed,
+        alarms_raised: counters.alarms,
         last_round: counters.last_round,
         states,
+        pending_alarms,
     }
 }
 
@@ -534,7 +763,11 @@ impl ShardWorker {
                     scores.clear();
                     scores.resize(rows.len() * self.width, 0.0);
                     self.engine.score_rows_seq_into(&rows, &mut scores);
-                    for (node, row) in nodes.iter().zip(scores.chunks_exact(self.width)) {
+                    for (i, (node, row)) in nodes
+                        .iter()
+                        .zip(scores.chunks_exact(self.width))
+                        .enumerate()
+                    {
                         let score = row[self.column];
                         let state = states
                             .entry(node.0)
@@ -546,6 +779,7 @@ impl ShardWorker {
                                 round,
                                 score,
                                 statistic: self.detector.statistic(state),
+                                estimate: rows.estimate(i),
                             });
                             if self.reset_on_alarm {
                                 self.detector.reset(state);

@@ -1,7 +1,17 @@
 //! Versioned serve-state artifacts: save/restore of per-node detector
 //! state, following the `EngineArtifact` pattern (explicit `version` field,
 //! typed [`ServeError::UnsupportedVersion`] on anything else).
+//!
+//! Version history:
+//!
+//! * **v1** — detector states + ingestion counters.
+//! * **v2** — adds [`ServeSnapshot::pending_alarms`]: alarms fired but not
+//!   yet drained when the snapshot was taken, so a restart cannot silently
+//!   lose them. v1 artifacts are migrated on read (no pending alarms); a
+//!   v1 reader meeting a v2 artifact fails with its typed
+//!   `UnsupportedVersion { found: 2 }`.
 
+use crate::runtime::Alarm;
 use lad_core::engine::LadEngine;
 use lad_core::MetricKind;
 use lad_stats::{SequentialDetector, SequentialState};
@@ -23,8 +33,9 @@ pub fn engine_fingerprint(engine: &LadEngine) -> u64 {
     hash
 }
 
-/// The snapshot format version this build writes and reads.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// The snapshot format version this build writes. Reading accepts this
+/// version and migrates version 1 (see the [module docs](self)).
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// Typed errors of the serving runtime and its snapshot artifacts.
 #[derive(Debug, Clone, PartialEq)]
@@ -79,10 +90,12 @@ pub struct NodeDetectorState {
 /// The serialisable state of a [`ServeRuntime`](crate::ServeRuntime):
 /// the decision rule plus every node's O(1) state, sorted by node id, so
 /// snapshots of the same traffic are byte-identical regardless of shard
-/// count or thread scheduling.
+/// count or thread scheduling — plus (since v2) every fired-but-undrained
+/// alarm, so restoring after a restart loses no detections.
 ///
-/// Serialised snapshots carry `version: 1`; loading rejects other versions
-/// with [`ServeError::UnsupportedVersion`].
+/// Serialised snapshots carry `version: 2`; loading migrates version 1
+/// (empty pending alarms) and rejects anything else with
+/// [`ServeError::UnsupportedVersion`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServeSnapshot {
     /// Snapshot format version (see [`SNAPSHOT_VERSION`]).
@@ -96,10 +109,51 @@ pub struct ServeSnapshot {
     pub detector: SequentialDetector,
     /// Number of reports ingested when the snapshot was taken.
     pub requests_ingested: u64,
+    /// Total alarms raised when the snapshot was taken (drained or not) —
+    /// restored alongside `requests_ingested` so alarms-per-request stays
+    /// consistent across a restart (v2+; 0 after a v1 migration, which
+    /// never recorded it).
+    pub alarms_raised: u64,
     /// The highest round number ingested when the snapshot was taken.
     pub last_round: u64,
     /// Every tracked node's state, ascending by node id.
     pub states: Vec<NodeDetectorState>,
+    /// Alarms fired but not yet drained when the snapshot was taken, in
+    /// firing order. `restore` re-injects them into the alarm stream so a
+    /// post-restart drain still sees them (v2+; empty after a v1
+    /// migration).
+    pub pending_alarms: Vec<Alarm>,
+}
+
+/// The v1 artifact layout (no pending alarms), kept for migration. The
+/// `version` field is checked by `from_json` before this parse, so it is
+/// not re-declared here.
+#[derive(Deserialize)]
+struct ServeSnapshotV1 {
+    metric: MetricKind,
+    engine_fingerprint: u64,
+    detector: SequentialDetector,
+    requests_ingested: u64,
+    last_round: u64,
+    states: Vec<NodeDetectorState>,
+}
+
+impl From<ServeSnapshotV1> for ServeSnapshot {
+    fn from(v1: ServeSnapshotV1) -> Self {
+        ServeSnapshot {
+            version: SNAPSHOT_VERSION,
+            metric: v1.metric,
+            engine_fingerprint: v1.engine_fingerprint,
+            detector: v1.detector,
+            requests_ingested: v1.requests_ingested,
+            // v1 never persisted the alarm total or undrained alarms;
+            // nothing to recover.
+            alarms_raised: 0,
+            last_round: v1.last_round,
+            states: v1.states,
+            pending_alarms: Vec::new(),
+        }
+    }
 }
 
 impl ServeSnapshot {
@@ -113,8 +167,9 @@ impl ServeSnapshot {
         serde_json::to_string_pretty(self).expect("serve snapshot serialises")
     }
 
-    /// Restores a snapshot from [`Self::to_json`] output. Versions other
-    /// than [`SNAPSHOT_VERSION`] are rejected with
+    /// Restores a snapshot from [`Self::to_json`] output. Version 1
+    /// artifacts are migrated (no pending alarms to recover); versions
+    /// other than 1 and [`SNAPSHOT_VERSION`] are rejected with
     /// [`ServeError::UnsupportedVersion`].
     pub fn from_json(json: &str) -> Result<Self, ServeError> {
         let value = serde_json::parse_value(json).map_err(|e| ServeError::Parse(e.to_string()))?;
@@ -123,10 +178,15 @@ impl ServeSnapshot {
             .ok_or_else(|| ServeError::Parse("not a serve snapshot (no `version` field)".into()))?
             .as_u64()
             .ok_or_else(|| ServeError::Parse("`version` must be an integer".into()))?;
-        if found != SNAPSHOT_VERSION as u64 {
-            return Err(ServeError::UnsupportedVersion { found });
+        match found {
+            1 => serde_json::from_value::<ServeSnapshotV1>(&value)
+                .map(ServeSnapshot::from)
+                .map_err(|e| ServeError::Parse(e.to_string())),
+            v if v == SNAPSHOT_VERSION as u64 => {
+                serde_json::from_value(&value).map_err(|e| ServeError::Parse(e.to_string()))
+            }
+            _ => Err(ServeError::UnsupportedVersion { found }),
         }
-        serde_json::from_value(&value).map_err(|e| ServeError::Parse(e.to_string()))
     }
 
     /// The state of one node, if tracked (binary search over the sorted
@@ -142,6 +202,8 @@ impl ServeSnapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lad_geometry::Point2;
+    use lad_net::NodeId;
 
     fn snapshot() -> ServeSnapshot {
         ServeSnapshot {
@@ -153,6 +215,7 @@ mod tests {
                 threshold: 12.0,
             },
             requests_ingested: 640,
+            alarms_raised: 9,
             last_round: 15,
             states: vec![
                 NodeDetectorState {
@@ -172,6 +235,13 @@ mod tests {
                     },
                 },
             ],
+            pending_alarms: vec![Alarm {
+                node: NodeId(3),
+                round: 15,
+                score: 27.5,
+                statistic: 13.0,
+                estimate: Point2::new(120.0, 345.5),
+            }],
         }
     }
 
@@ -187,15 +257,34 @@ mod tests {
     #[test]
     fn unknown_versions_are_rejected_with_the_typed_error() {
         let snap = snapshot();
-        for wrong in [0u32, 2, 9] {
+        for wrong in [0u32, 3, 9] {
             let json = snap
                 .to_json()
-                .replacen("\"version\":1", &format!("\"version\":{wrong}"), 1);
+                .replacen("\"version\":2", &format!("\"version\":{wrong}"), 1);
             match ServeSnapshot::from_json(&json) {
                 Err(ServeError::UnsupportedVersion { found }) => assert_eq!(found, wrong as u64),
                 other => panic!("expected UnsupportedVersion, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn v1_artifacts_migrate_with_empty_pending_alarms() {
+        // A v1 writer never emitted `pending_alarms`; synthesise its JSON
+        // by stripping the field and stamping version 1.
+        let mut v2 = snapshot();
+        v2.pending_alarms.clear();
+        let v1_json = v2
+            .to_json()
+            .replacen("\"version\":2", "\"version\":1", 1)
+            .replace(",\"pending_alarms\":[]", "");
+        assert!(!v1_json.contains("pending_alarms"), "test setup");
+        let migrated = ServeSnapshot::from_json(&v1_json).expect("v1 migrates");
+        assert_eq!(migrated.version, SNAPSHOT_VERSION);
+        assert!(migrated.pending_alarms.is_empty());
+        assert_eq!(migrated.states, v2.states);
+        assert_eq!(migrated.detector, v2.detector);
+        assert_eq!(migrated.requests_ingested, v2.requests_ingested);
     }
 
     #[test]

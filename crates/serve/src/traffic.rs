@@ -19,7 +19,7 @@
 //! serving runtime's determinism tests and the temporal evaluation both
 //! rely on this.
 
-use lad_attack::{displaced_location, taint_observation, AttackConfig};
+use lad_attack::{displaced_location, taint_observation, AttackConfig, Evasion};
 use lad_core::engine::{DetectionRequest, LadEngine};
 use lad_core::MetricKind;
 use lad_geometry::Point2;
@@ -140,6 +140,23 @@ pub struct TrafficModel {
     compromised: usize,
     hear_prob: f64,
     seed: u64,
+    /// Post-revocation behaviour: `(node, round)` pairs, sorted by node —
+    /// from `round` on the node no longer reports at all (a revoked
+    /// attacker falls silent; a revoked honest node is pulled for
+    /// re-attestation). Empty unless the closed loop feeds decisions back
+    /// via [`Self::revoke_nodes`].
+    silenced: Vec<(u32, u64)>,
+    /// Quarantine notices: `(node, rounds the notices arrived in,
+    /// ascending)`, sorted by node. Attackers react per the model's
+    /// [`Evasion`] strategy **from each notice's round on** — querying a
+    /// pre-notice round replays exactly the traffic that was served before
+    /// the notice arrived, so the model stays a pure function of
+    /// `(network, model state, round)` even mid-loop. Honest nodes ignore
+    /// notices (their reports are suppressed server-side, not
+    /// client-side).
+    notices: Vec<(u32, Vec<u64>)>,
+    /// How notified attackers adapt (`None`: they attack on unchanged).
+    evasion: Option<Evasion>,
 }
 
 impl std::fmt::Debug for TrafficModel {
@@ -151,6 +168,9 @@ impl std::fmt::Debug for TrafficModel {
             .field("compromised", &self.compromised)
             .field("hear_prob", &self.hear_prob)
             .field("seed", &self.seed)
+            .field("silenced", &self.silenced.len())
+            .field("notices", &self.notices.len())
+            .field("evasion", &self.evasion)
             .finish()
     }
 }
@@ -215,6 +235,9 @@ impl TrafficModel {
             compromised: 0,
             hear_prob: DEFAULT_HEAR_PROB,
             seed,
+            silenced: Vec::new(),
+            notices: Vec::new(),
+            evasion: None,
         }
     }
 
@@ -276,6 +299,106 @@ impl TrafficModel {
         model
     }
 
+    /// Returns a copy whose attackers *adapt* to quarantine notices with
+    /// the given [`Evasion`] strategy (rotate the forged location, or go
+    /// intermittent). Without a strategy, notified attackers keep attacking
+    /// unchanged.
+    ///
+    /// # Panics
+    /// Panics when the strategy's parameters are invalid (see
+    /// [`Evasion::validate`]).
+    pub fn with_evasion(mut self, evasion: Evasion) -> Self {
+        evasion.validate();
+        self.evasion = Some(evasion);
+        self
+    }
+
+    /// Closed-loop feedback: from `round` on, each of `nodes` no longer
+    /// reports at all — a revoked attacker falls silent (its reports would
+    /// be suppressed server-side anyway, and continuing to transmit only
+    /// feeds the operator evidence), and a revoked honest node is pulled
+    /// for recovery/re-attestation. Revoking an already-silenced node
+    /// keeps its earliest silencing round.
+    pub fn revoke_nodes(&mut self, nodes: &[NodeId], round: u64) {
+        for node in nodes {
+            match self.silenced.binary_search_by_key(&node.0, |e| e.0) {
+                Ok(i) => self.silenced[i].1 = self.silenced[i].1.min(round),
+                Err(i) => self.silenced.insert(i, (node.0, round)),
+            }
+        }
+    }
+
+    /// Closed-loop feedback: each of `nodes` learns in `round` that its
+    /// claimed region was quarantined. Attackers react per the model's
+    /// [`Evasion`] strategy from that round on (each notice advances the
+    /// forgery epoch for rotation); querying earlier rounds still replays
+    /// the pre-notice traffic. Honest nodes ignore notices — their reports
+    /// are suppressed server-side, not client-side.
+    pub fn notify_quarantine(&mut self, nodes: &[NodeId], round: u64) {
+        for node in nodes {
+            match self.notices.binary_search_by_key(&node.0, |e| e.0) {
+                Ok(i) => {
+                    let rounds = &mut self.notices[i].1;
+                    // Idempotent per (node, round): two foci quarantined in
+                    // the same drain deliver ONE logical notice — a
+                    // duplicate would silently advance the rotation epoch
+                    // twice and break replay equivalence with a
+                    // deduplicating caller.
+                    if let Err(at) = rounds.binary_search(&round) {
+                        rounds.insert(at, round);
+                    }
+                }
+                Err(i) => self.notices.insert(i, (node.0, vec![round])),
+            }
+        }
+    }
+
+    /// The round from which `node` is silenced, if any.
+    fn silenced_from(&self, node: u32) -> Option<u64> {
+        self.silenced
+            .binary_search_by_key(&node, |e| e.0)
+            .ok()
+            .map(|i| self.silenced[i].1)
+    }
+
+    /// The `(latest notice round <= round, notices received by round)` of
+    /// `node` **as of** `round` — only notices that had already arrived
+    /// count, so past rounds replay exactly as they were served.
+    fn notice_state(&self, node: u32, round: u64) -> Option<(u64, u32)> {
+        let i = self.notices.binary_search_by_key(&node, |e| e.0).ok()?;
+        let rounds = &self.notices[i].1;
+        let received = rounds.partition_point(|&r| r <= round);
+        (received > 0).then(|| (rounds[received - 1], received as u32))
+    }
+
+    /// Whether `reporter` submits an *attacked* report in `round`, given
+    /// the timeline's active count for that round (silencing is handled by
+    /// the caller — a silenced node submits nothing at all).
+    fn attacks_in_round(&self, reporter: &Reporter, active: usize, round: u64) -> bool {
+        if reporter.compromise_rank >= active {
+            return false;
+        }
+        match (self.evasion, self.notice_state(reporter.node.0, round)) {
+            (Some(evasion), Some((notice_round, _))) => {
+                evasion.attacks_after_notice(round - notice_round)
+            }
+            _ => true,
+        }
+    }
+
+    /// The forgery epoch `reporter` uses in an attacked `round`: 0 until a
+    /// quarantine notice arrives, then per the evasion strategy (rotation
+    /// advances it once per received notice). Epoch 0 derives the same
+    /// per-node forge seed as a notice-free model, so closed-loop traffic
+    /// is bit-identical to open-loop traffic up to each node's first
+    /// notice round.
+    fn forgery_epoch(&self, reporter: &Reporter, round: u64) -> u32 {
+        match (self.evasion, self.notice_state(reporter.node.0, round)) {
+            (Some(evasion), Some((_, count))) => evasion.forgery_epoch(count),
+            _ => 0,
+        }
+    }
+
     /// The reporting population (after localization drops), in submission
     /// order.
     pub fn nodes(&self) -> Vec<NodeId> {
@@ -296,22 +419,30 @@ impl TrafficModel {
     }
 
     /// One flag per reporter, in population order ([`Self::nodes`]):
-    /// whether it submits an attacked report in `round`. One O(population)
-    /// pass — prefer this over calling [`Self::is_attacked`] per node.
+    /// whether it submits an attacked report in `round` (silenced nodes
+    /// submit nothing; notified attackers follow the evasion strategy).
+    /// One O(population) pass — prefer this over calling
+    /// [`Self::is_attacked`] per node.
     pub fn attacked_mask(&self, round: u64) -> Vec<bool> {
         let active = self.timeline.active_count(self.compromised, round);
         self.reporters
             .iter()
-            .map(|r| r.compromise_rank < active)
+            .map(|r| {
+                self.silenced_from(r.node.0).is_none_or(|from| round < from)
+                    && self.attacks_in_round(r, active, round)
+            })
             .collect()
     }
 
     /// Whether `node` submits an attacked report in `round`.
     pub fn is_attacked(&self, node: NodeId, round: u64) -> bool {
         let active = self.timeline.active_count(self.compromised, round);
+        if self.silenced_from(node.0).is_some_and(|from| round >= from) {
+            return false;
+        }
         self.reporters
             .iter()
-            .any(|r| r.node == node && r.compromise_rank < active)
+            .any(|r| r.node == node && self.attacks_in_round(r, active, round))
     }
 
     /// Calls `report(node, observation, estimate)` for every reporter's
@@ -329,21 +460,37 @@ impl TrafficModel {
         let mut heard = Observation::zeros(self.knowledge.group_count());
         let mut mu_scratch: Vec<f64> = Vec::new();
         for reporter in &self.reporters {
+            if self
+                .silenced_from(reporter.node.0)
+                .is_some_and(|from| round >= from)
+            {
+                // Revoked (or recovered) node: no report at all.
+                continue;
+            }
             let mut rng = ChaCha8Rng::seed_from_u64(derive_seed(
                 self.seed,
                 &[TAG_ROUND, round, reporter.node.0 as u64],
             ));
-            if reporter.compromise_rank < active {
+            if self.attacks_in_round(reporter, active, round) {
                 // §7.1 attack, served: the adversary commits to ONE forged
                 // location per victim (a consistent lie, drawn once from a
                 // per-node seed) and re-runs the greedy taint against every
-                // attacked round's heard neighbourhood.
+                // attacked round's heard neighbourhood. A quarantined
+                // rotate-forgery attacker advances to a fresh forgery epoch
+                // (a new seed path) per notice; epoch 0 keeps the original
+                // seed path, so open-loop traffic is unchanged.
                 let attack = self.attack.expect("active attacker implies attack config");
                 let knowledge = network.knowledge();
-                let mut forge_rng = ChaCha8Rng::seed_from_u64(derive_seed(
-                    self.seed,
-                    &[TAG_FORGE, reporter.node.0 as u64],
-                ));
+                let epoch = self.forgery_epoch(reporter, round);
+                let forge_seed = if epoch == 0 {
+                    derive_seed(self.seed, &[TAG_FORGE, reporter.node.0 as u64])
+                } else {
+                    derive_seed(
+                        self.seed,
+                        &[TAG_FORGE, reporter.node.0 as u64, epoch as u64],
+                    )
+                };
+                let mut forge_rng = ChaCha8Rng::seed_from_u64(forge_seed);
                 let forged = displaced_location(
                     &mut forge_rng,
                     network.node(reporter.node).resident_point,
@@ -430,7 +577,10 @@ impl TrafficModel {
     /// order — ready for `SequentialDetector::calibrate_*`.
     ///
     /// # Panics
-    /// Panics when the engine does not score `metric`.
+    /// Panics when the engine does not score `metric`, or when revocation
+    /// feedback has silenced part of the population (the streams are
+    /// indexed by population order, which silencing would desynchronise —
+    /// closed-loop replays must consume rounds directly).
     pub fn score_streams(
         &self,
         network: &Network,
@@ -438,6 +588,10 @@ impl TrafficModel {
         metric: MetricKind,
         rounds: Range<u64>,
     ) -> Vec<Vec<f64>> {
+        assert!(
+            self.silenced.is_empty(),
+            "score_streams requires a model without revocation feedback"
+        );
         let column = engine
             .metric_index(metric)
             .expect("engine scores the requested metric");
@@ -608,5 +762,160 @@ mod tests {
         let network = Network::generate(engine.knowledge().clone(), 8);
         let frozen = model(&engine, &network).with_hear_prob(1.0);
         assert_eq!(frozen.round(&network, 0), frozen.round(&network, 17));
+    }
+
+    #[test]
+    fn ramp_active_count_edge_rounding() {
+        let ramp = AttackTimeline::Ramp { at: 5, full_at: 9 };
+        // Nobody attacks before the onset round.
+        assert_eq!(ramp.active_count(4, 4), 0);
+        // At round == at the first slice is already active: with span 4,
+        // progress is 1/5, and ceil(4 * 1/5) = 1.
+        assert_eq!(ramp.active_count(4, 5), 1);
+        // Ceil rounding can saturate the set *before* full_at:
+        // at round 8, progress is 4/5 and ceil(4 * 0.8) = 4.
+        assert_eq!(ramp.active_count(4, 8), 4);
+        // At round == full_at (and after) the whole set is active.
+        assert_eq!(ramp.active_count(4, 9), 4);
+        assert_eq!(ramp.active_count(4, 100), 4);
+        // Monotone in the round.
+        let counts: Vec<usize> = (0..12).map(|r| ramp.active_count(7, r)).collect();
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]), "{counts:?}");
+
+        // compromised == 0: always zero, at every edge.
+        for round in [0, 5, 7, 9, 20] {
+            assert_eq!(ramp.active_count(0, round), 0);
+        }
+        // compromised == 1: ceil activates the single node at round == at.
+        assert_eq!(ramp.active_count(1, 4), 0);
+        assert_eq!(ramp.active_count(1, 5), 1);
+        assert_eq!(ramp.active_count(1, 9), 1);
+
+        // Degenerate ramp (at == full_at): instant full compromise, i.e.
+        // exactly an onset — the `round >= full_at` arm catches round == at.
+        let instant = AttackTimeline::Ramp { at: 3, full_at: 3 };
+        assert_eq!(instant.active_count(5, 2), 0);
+        assert_eq!(instant.active_count(5, 3), 5);
+        assert_eq!(instant.active_count(5, 4), 5);
+    }
+
+    #[test]
+    fn revoked_nodes_fall_silent_and_keep_their_earliest_round() {
+        let engine = engine();
+        let network = Network::generate(engine.knowledge().clone(), 9);
+        let mut traffic = model(&engine, &network).with_attack(
+            AttackTimeline::Onset { at: 0 },
+            attack(150.0),
+            0.3,
+        );
+        let population = traffic.nodes();
+        let victim = population[0];
+        assert!(traffic.round(&network, 3).iter().any(|(n, _)| *n == victim));
+
+        traffic.revoke_nodes(&[victim], 4);
+        let before: Vec<NodeId> = traffic.round(&network, 3).iter().map(|(n, _)| *n).collect();
+        let after: Vec<NodeId> = traffic.round(&network, 4).iter().map(|(n, _)| *n).collect();
+        assert!(
+            before.contains(&victim),
+            "reports until the revocation round"
+        );
+        assert!(!after.contains(&victim), "silent from the revocation round");
+        assert!(!traffic.is_attacked(victim, 10));
+        assert!(!traffic.attacked_mask(10)[0]);
+
+        // Re-revoking later does not resurrect the node.
+        traffic.revoke_nodes(&[victim], 9);
+        assert!(!traffic.round(&network, 6).iter().any(|(n, _)| *n == victim));
+
+        // The other reporters are untouched, in population order.
+        let expected: Vec<NodeId> = population
+            .iter()
+            .copied()
+            .filter(|n| *n != victim)
+            .collect();
+        assert_eq!(after, expected);
+    }
+
+    #[test]
+    fn rotate_forgery_changes_the_forged_location_after_a_notice() {
+        let engine = engine();
+        let network = Network::generate(engine.knowledge().clone(), 10);
+        let base = model(&engine, &network).with_attack(
+            AttackTimeline::Onset { at: 0 },
+            attack(150.0),
+            0.5,
+        );
+        let mut rotating = base.clone().with_evasion(Evasion::RotateForgery);
+        let attacker = base
+            .nodes()
+            .into_iter()
+            .find(|&n| base.is_attacked(n, 0))
+            .expect("attackers exist");
+        let forged_of = |traffic: &TrafficModel, round| {
+            traffic
+                .round(&network, round)
+                .into_iter()
+                .find(|(n, _)| *n == attacker)
+                .map(|(_, req)| req.estimate)
+                .unwrap()
+        };
+
+        // Without a notice the evasion model is bit-identical to open loop.
+        assert_eq!(base.round(&network, 2), rotating.round(&network, 2));
+        let original = forged_of(&rotating, 2);
+        rotating.notify_quarantine(&[attacker], 3);
+        let rotated = forged_of(&rotating, 3);
+        assert_ne!(original, rotated, "rotation abandons the burnt forgery");
+        assert_eq!(
+            base.round(&network, 2),
+            rotating.round(&network, 2),
+            "pre-notice rounds replay exactly as they were served"
+        );
+        assert_eq!(
+            rotated,
+            forged_of(&rotating, 5),
+            "the rotated forgery is again consistent across rounds"
+        );
+        assert!(
+            rotating.is_attacked(attacker, 4),
+            "rotation never goes quiet"
+        );
+
+        // A second notice rotates again.
+        rotating.notify_quarantine(&[attacker], 6);
+        assert_ne!(forged_of(&rotating, 6), rotated);
+    }
+
+    #[test]
+    fn go_intermittent_bursts_after_a_notice() {
+        let engine = engine();
+        let network = Network::generate(engine.knowledge().clone(), 11);
+        let base = model(&engine, &network).with_attack(
+            AttackTimeline::Onset { at: 0 },
+            attack(150.0),
+            0.5,
+        );
+        let mut bursty = base.clone().with_evasion(Evasion::GoIntermittent {
+            period: 4,
+            active: 1,
+        });
+        let attacker = base
+            .nodes()
+            .into_iter()
+            .find(|&n| base.is_attacked(n, 0))
+            .expect("attackers exist");
+        assert!(bursty.is_attacked(attacker, 2), "attacks until notified");
+        bursty.notify_quarantine(&[attacker], 8);
+        let pattern: Vec<bool> = (8..16).map(|r| bursty.is_attacked(attacker, r)).collect();
+        assert_eq!(
+            pattern,
+            [true, false, false, false, true, false, false, false],
+            "one attacked round per cycle from the notice round"
+        );
+        // Honest rounds still produce a (clean) report.
+        assert!(bursty
+            .round(&network, 9)
+            .iter()
+            .any(|(n, _)| *n == attacker));
     }
 }

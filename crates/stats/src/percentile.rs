@@ -59,6 +59,33 @@ pub fn exceedance_fraction(samples: &[f64], threshold: f64) -> f64 {
     samples.iter().filter(|&&v| v > threshold).count() as f64 / samples.len() as f64
 }
 
+/// The smallest observed value `t` such that at most a `rate` fraction of
+/// `samples` are strictly greater than `t` — the budget-calibration
+/// primitive: with a "value > t ⇒ act" rule, at most `rate` of the clean
+/// population triggers the action.
+///
+/// Always feasible (no sample exceeds the maximum, so the maximum bounds any
+/// rate); returns `None` only for an empty input.
+///
+/// # Panics
+/// Panics when `rate ∉ [0, 1)` or a sample is NaN.
+pub fn exceedance_threshold(samples: &[f64], rate: f64) -> Option<f64> {
+    assert!(
+        (0.0..1.0).contains(&rate),
+        "exceedance rate must be in [0, 1), got {rate}"
+    );
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in exceedance_threshold input"));
+    // At most `allowed` samples may sit strictly above the returned value;
+    // the candidate is the order statistic just below that tail. Ties only
+    // help (equal values do not exceed), so the bound holds exactly.
+    let allowed = (rate * sorted.len() as f64).floor() as usize;
+    Some(sorted[sorted.len() - 1 - allowed])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,6 +137,34 @@ mod tests {
         let tau = 0.99;
         let thr = tau_threshold(&samples, tau).unwrap();
         assert!(exceedance_fraction(&samples, thr) <= 1.0 - tau + 1e-9);
+    }
+
+    #[test]
+    fn exceedance_threshold_bounds_the_acting_fraction() {
+        let s = [1.0, 2.0, 3.0, 4.0, 5.0];
+        // rate 0: nothing may exceed -> the maximum.
+        assert_eq!(exceedance_threshold(&s, 0.0), Some(5.0));
+        // rate 0.2: exactly one sample may exceed.
+        assert_eq!(exceedance_threshold(&s, 0.2), Some(4.0));
+        assert_eq!(exceedance_threshold(&s, 0.5), Some(3.0));
+        assert!(exceedance_threshold(&[], 0.1).is_none());
+        // Ties do not exceed: a run of equal maxima still satisfies rate 0.
+        let tied = [1.0, 7.0, 7.0, 7.0];
+        assert_eq!(exceedance_threshold(&tied, 0.0), Some(7.0));
+        assert_eq!(exceedance_fraction(&tied, 7.0), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_exceedance_threshold_honours_rate(
+            xs in proptest::collection::vec(-1e3f64..1e3, 1..200),
+            rate in 0.0f64..0.99,
+        ) {
+            let t = exceedance_threshold(&xs, rate).unwrap();
+            prop_assert!(exceedance_fraction(&xs, t) <= rate + 1e-12);
+            // And it is one of the samples (the smallest feasible one).
+            prop_assert!(xs.contains(&t));
+        }
     }
 
     proptest! {

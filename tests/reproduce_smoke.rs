@@ -31,6 +31,7 @@ fn all_experiments_produce_saveable_reports() {
         experiments::heatmap_damage_compromise(&base, &cache),
         experiments::mixed_attack_workload(&base, &cache),
         experiments::temporal_detection(&base, &cache),
+        experiments::containment(&base, &cache),
         experiments::ablation_gz_table(&substrate),
         experiments::ablation_localizers(&base, &cache),
         experiments::ablation_model_mismatch(&base, &cache),

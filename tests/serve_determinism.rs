@@ -3,6 +3,11 @@
 //! per-node detector states — are identical at 1, 2 and 8 shards. Routing
 //! is a pure function of the node id and every node's rounds reach its
 //! shard in submission order, so parallelism must never change a decision.
+//! With the response loop closed (journal → suspicion → revoke/quarantine
+//! → filter → traffic feedback), the *revocation* decisions must be just
+//! as shard-invariant, and the full per-node alarm sequences — scores,
+//! statistics and claimed estimates included — must match bit for bit
+//! once the drained stream is sorted by `(node, round)`.
 
 use lad::prelude::*;
 use std::sync::Arc;
@@ -93,4 +98,128 @@ fn alarm_sets_and_final_states_are_identical_at_1_2_and_8_shards() {
     let (again, snapshot_again) = run_trace(&engine, &network, &traffic, detector, 2, rounds);
     assert_eq!(alarms_1, again);
     assert_eq!(snapshot_1.states, snapshot_again.states);
+}
+
+/// Runs the full closed loop at a given shard count and returns the
+/// complete journalled alarm records sorted by `(node, round)` — every
+/// field, not just the key — the final revocation list, and the
+/// suppression counter. With `respond`, the loop runs through the
+/// production path ([`ResponseController::step`]: drain → telemetry fold →
+/// observe → install); without it, the hook stays installed-but-empty and
+/// alarms are drained manually.
+fn run_closed_loop(
+    engine: &Arc<LadEngine>,
+    network: &Network,
+    traffic: &TrafficModel,
+    detector: SequentialDetector,
+    shards: usize,
+    rounds: u64,
+    respond: bool,
+) -> (Vec<lad::response::JournalEntry>, RevocationList, u64) {
+    use lad::response::{ClusterQuarantine, JournalEntry, ResponseSnapshot};
+
+    let runtime = ServeRuntime::start(
+        engine.clone(),
+        ServeConfig::new(MetricKind::Diff, detector).with_shards(shards),
+    )
+    .expect("runtime starts");
+    let mut traffic = traffic.clone();
+    let mut controller = ResponseController::new(ResponseConfig {
+        decay: 0.9,
+        ..ResponseConfig::default()
+    })
+    .with_policy(Box::new(ThresholdRevoke { budget: 1.8 }))
+    .with_policy(Box::new(ClusterQuarantine {
+        link_radius: 75.0,
+        window: 10,
+        min_alarms: 3,
+        suspicion_budget: 1.5,
+        margin: 50.0,
+        lift_after: 6,
+    }));
+    let mut alarms: Vec<JournalEntry> = Vec::new();
+    for round in 0..rounds {
+        runtime.submit_batch(round, traffic.round(network, round));
+        if respond {
+            let outcome = controller.step(&runtime, round);
+            if !outcome.newly_revoked.is_empty() {
+                traffic.revoke_nodes(&outcome.newly_revoked, round + 1);
+            }
+            for region in &outcome.newly_quarantined {
+                let members: Vec<NodeId> = region.nodes.iter().map(|&n| NodeId(n)).collect();
+                traffic.notify_quarantine(&members, round);
+            }
+        } else {
+            alarms.extend(runtime.drain_alarms().iter().map(JournalEntry::from));
+        }
+    }
+    let suppressed = runtime.counters().suppressed;
+    runtime.shutdown();
+    if respond {
+        // step() journalled every drained alarm; the journal's capacity
+        // exceeds anything this trace fires.
+        assert_eq!(controller.journal().evicted(), 0);
+        alarms = controller.journal().entries().to_vec();
+    }
+    alarms.sort_by_key(|a| (a.node, a.round));
+    // Round-trip the controller state so the comparison also covers the
+    // serialised form (bit-equal f64s survive the JSON path).
+    let list = ResponseSnapshot::from_json(&controller.snapshot().to_json())
+        .expect("response snapshot round-trips")
+        .list;
+    (alarms, list, suppressed)
+}
+
+#[test]
+fn per_node_alarm_order_and_revocations_are_shard_invariant() {
+    let engine = engine();
+    let network = Network::generate(engine.knowledge().clone(), 0xD38);
+    let nodes: Vec<NodeId> = (0..64u32).map(|i| NodeId(i * 9)).collect();
+    let clean = TrafficModel::clean(&network, &engine, nodes, 0xFACADE);
+    let traffic = clean
+        .with_attack(
+            AttackTimeline::Onset { at: 6 },
+            AttackConfig {
+                degree_of_damage: 170.0,
+                compromised_fraction: 0.2,
+                class: AttackClass::DecBounded,
+                targeted_metric: MetricKind::Diff,
+            },
+            0.3,
+        )
+        .with_evasion(Evasion::RotateForgery);
+    let streams = clean.score_streams(&network, &engine, MetricKind::Diff, 0..16);
+    let detector = SequentialDetector::calibrate_cusum(streams.iter().map(Vec::as_slice), 0.01);
+    let rounds = 24;
+
+    for respond in [false, true] {
+        let (alarms_1, list_1, suppressed_1) =
+            run_closed_loop(&engine, &network, &traffic, detector, 1, rounds, respond);
+        assert!(
+            !alarms_1.is_empty(),
+            "the attack must alarm (respond={respond})"
+        );
+        if respond {
+            assert!(!list_1.revoked.is_empty(), "the loop must revoke attackers");
+            assert!(suppressed_1 > 0, "revoked traffic must be suppressed");
+        } else {
+            assert!(list_1.revoked.is_empty() && suppressed_1 == 0);
+        }
+        for shards in [2usize, 8] {
+            let (alarms_n, list_n, suppressed_n) = run_closed_loop(
+                &engine, &network, &traffic, detector, shards, rounds, respond,
+            );
+            // Full alarm records — score, statistic, claimed estimate —
+            // in per-node round order, not just the (node, round) set.
+            assert_eq!(
+                alarms_1, alarms_n,
+                "per-node alarm sequences differ at {shards} shards (respond={respond})"
+            );
+            assert_eq!(
+                list_1, list_n,
+                "revocation decisions differ at {shards} shards (respond={respond})"
+            );
+            assert_eq!(suppressed_1, suppressed_n);
+        }
+    }
 }
