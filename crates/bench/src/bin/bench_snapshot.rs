@@ -1,13 +1,15 @@
 //! `bench_snapshot` — the perf-trajectory snapshot binary.
 //!
 //! Runs the headline microbenches in quick mode — the fused scoring
-//! kernel (dense vs sparse, paper scale and a 4× same-density deployment)
-//! and sustained serve throughput, with and without the response hook
-//! installed — and writes the numbers to a `BENCH_<pr>.json` at the repo
-//! root, so every PR leaves a comparable perf record behind.
+//! kernel (dense vs sparse, paper scale and a 4× same-density deployment),
+//! sustained serve throughput with and without the response hook
+//! installed, and the end-to-end wire path (TCP loopback through
+//! `lad_wire`, full and degraded fidelity, plus the shed fraction under a
+//! 2× overload) — and writes the numbers to a `BENCH_<pr>.json` at the
+//! repo root, so every PR leaves a comparable perf record behind.
 //!
 //! ```text
-//! cargo run --release -p lad_bench --bin bench_snapshot -- [--out BENCH_5.json]
+//! cargo run --release -p lad_bench --bin bench_snapshot -- [--out BENCH_6.json]
 //! ```
 
 use lad_core::engine::LadEngine;
@@ -19,6 +21,7 @@ use lad_geometry::Point2;
 use lad_net::{Network, NodeId, ObservationBatch};
 use lad_serve::{ServeConfig, ServeRuntime, TrafficModel};
 use lad_stats::SequentialDetector;
+use lad_wire::{DeliveryStatus, OverloadPolicy, WireClient, WireServer, WireServerConfig};
 use serde::Serialize;
 use std::hint::black_box;
 use std::sync::Arc;
@@ -61,6 +64,29 @@ struct ResponseOverhead {
     overhead_factor: f64,
 }
 
+/// End-to-end wire ingest (TCP loopback through `lad_wire`, one shard,
+/// pipelined client): every report is encoded to a binary frame, crosses
+/// a real socket, is decoded/validated once at the boundary, passes the
+/// ingest gate, and lands on the same shard queues as the in-process
+/// baseline.
+#[derive(Debug, Serialize)]
+struct WireRate {
+    /// Full-fidelity wire path (all metrics scored), reports/s.
+    reports_per_sec: f64,
+    /// Degraded wire path (decision metric only, forced via a
+    /// degrade-depth-0 policy), reports/s.
+    degraded_reports_per_sec: f64,
+    /// Single-shard in-process `submit_rows` baseline on the identical
+    /// workload, reports/s.
+    in_process_reports_per_sec: f64,
+    /// wire / in-process (1.0 = the socket boundary is free).
+    wire_vs_in_process: f64,
+    /// Fraction of offered reports shed (typed NACKs) when the client
+    /// offers at full speed against a rate limit set to half the measured
+    /// wire capacity — the ≥2× saturation point.
+    shed_fraction_at_2x_overload: f64,
+}
+
 /// The whole snapshot (`BENCH_<pr>.json`).
 #[derive(Debug, Serialize)]
 struct Snapshot {
@@ -70,6 +96,7 @@ struct Snapshot {
     kernel_4x_scale: KernelScale,
     serve: Vec<ServeRate>,
     serve_response_idle: ResponseOverhead,
+    wire: WireRate,
 }
 
 fn time_ns<F: FnMut() -> f64>(mut f: F) -> f64 {
@@ -114,11 +141,17 @@ fn kernel_scale(cfg: &DeploymentConfig, at: Point2, obs_at: Point2) -> KernelSca
     }
 }
 
-fn serve_rate(shards: usize) -> ServeRate {
-    serve_rate_with(shards, false)
+/// The shared serving workload: a calibrated single-metric detector plus
+/// 8 pre-built rounds of clean traffic from 512 nodes. Both the in-process
+/// and the wire measurements replay exactly these batches.
+struct Workload {
+    engine: Arc<LadEngine>,
+    detector: SequentialDetector,
+    rounds: Vec<(Vec<NodeId>, ObservationBatch)>,
+    reports_per_pass: usize,
 }
 
-fn serve_rate_with(shards: usize, with_idle_hook: bool) -> ServeRate {
+fn serve_workload() -> Workload {
     let engine = Arc::new(
         LadEngine::builder()
             .deployment(&DeploymentConfig::small_test())
@@ -141,6 +174,25 @@ fn serve_rate_with(shards: usize, with_idle_hook: bool) -> ServeRate {
         })
         .collect();
     let reports_per_pass: usize = rounds.iter().map(|(nodes, _)| nodes.len()).sum();
+    Workload {
+        engine,
+        detector,
+        rounds,
+        reports_per_pass,
+    }
+}
+
+fn serve_rate(shards: usize) -> ServeRate {
+    serve_rate_with(shards, false)
+}
+
+fn serve_rate_with(shards: usize, with_idle_hook: bool) -> ServeRate {
+    let Workload {
+        engine,
+        detector,
+        rounds,
+        reports_per_pass,
+    } = serve_workload();
 
     let runtime = ServeRuntime::start(
         engine,
@@ -180,8 +232,77 @@ fn serve_rate_with(shards: usize, with_idle_hook: bool) -> ServeRate {
     }
 }
 
+/// One end-to-end wire measurement: a single-shard runtime behind a TCP
+/// `WireServer`, fed by a pipelined `WireClient` replaying the shared
+/// workload for `passes` passes (after one warm-up pass). Returns the
+/// accepted-report rate plus the offered/accepted totals so the overload
+/// run can derive its shed fraction.
+fn wire_run(policy: OverloadPolicy, passes: u64) -> (f64, u64, u64) {
+    let Workload {
+        engine,
+        detector,
+        rounds,
+        ..
+    } = serve_workload();
+    let runtime = Arc::new(
+        ServeRuntime::start(
+            engine,
+            ServeConfig::new(MetricKind::Diff, detector)
+                .with_shards(1)
+                .with_queue_depth(4),
+        )
+        .expect("runtime starts"),
+    );
+    let server = WireServer::start(
+        runtime.clone(),
+        WireServerConfig::tcp("127.0.0.1:0").with_policy(policy),
+    )
+    .expect("server binds");
+    let addr = server.tcp_addr().expect("tcp listener bound");
+    let mut client = WireClient::connect_tcp(addr).expect("client connects");
+
+    // Warm-up pass (lockstep), then the timed pipelined passes: ship every
+    // batch, then drain the receipts. In-flight stays bounded by
+    // passes × rounds tiny receipts, so the socket never deadlocks.
+    let mut round = 0u64;
+    for (nodes, rows) in &rounds {
+        client
+            .send_rows(round, nodes, rows)
+            .expect("warm-up receipt");
+        round += 1;
+    }
+    runtime.sync();
+    let mut offered = 0u64;
+    let mut accepted = 0u64;
+    let t0 = Instant::now();
+    for _ in 0..passes {
+        for (nodes, rows) in &rounds {
+            client
+                .send_rows_nowait(round, nodes, rows)
+                .expect("batch ships");
+            offered += nodes.len() as u64;
+            round += 1;
+        }
+    }
+    while client.in_flight() > 0 {
+        let receipt = client.recv_delivery().expect("receipt arrives");
+        if let DeliveryStatus::Accepted { .. } = receipt.status {
+            accepted += receipt.rows as u64;
+        }
+    }
+    runtime.sync();
+    let rate = accepted as f64 / t0.elapsed().as_secs_f64();
+
+    server.shutdown();
+    let runtime = Arc::into_inner(runtime).expect("server released its runtime handle");
+    let report = runtime.shutdown();
+    assert_eq!(report.counters.decode_errors, 0, "well-formed frames only");
+    assert_eq!(report.counters.processed, report.counters.submitted);
+    (rate, accepted, offered)
+}
+
 fn main() {
-    let mut out = String::from("BENCH_5.json");
+    let mut out = String::from("BENCH_6.json");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -199,8 +320,28 @@ fn main() {
     };
     let serve = vec![serve_rate(1), serve_rate(2)];
     let idle = serve_rate_with(1, true);
+    // Longer windows than the in-process runs: the wire path shares the
+    // core with its client, so short windows are scheduler-noise-bound.
+    let (wire_rps, _, _) = wire_run(OverloadPolicy::default(), 48);
+    let (degraded_rps, _, _) = wire_run(OverloadPolicy::default().with_degrade_depth(0), 48);
+    // Offer at full client speed against a budget of half the measured
+    // wire capacity: a ≥2× saturation by construction.
+    let burst = serve_workload().reports_per_pass as f64;
+    let (_, overload_accepted, overload_offered) = wire_run(
+        OverloadPolicy::default().with_rate_limit(wire_rps * 0.5, burst),
+        48,
+    );
+    let in_process = serve[0].reports_per_sec;
+    let wire = WireRate {
+        reports_per_sec: wire_rps,
+        degraded_reports_per_sec: degraded_rps,
+        in_process_reports_per_sec: in_process,
+        wire_vs_in_process: wire_rps / in_process,
+        shed_fraction_at_2x_overload: (overload_offered - overload_accepted) as f64
+            / overload_offered as f64,
+    };
     let snapshot = Snapshot {
-        pr: 5,
+        pr: 6,
         unix_time: std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
             .map(|d| d.as_secs())
@@ -221,6 +362,7 @@ fn main() {
             overhead_factor: serve[0].reports_per_sec / idle.reports_per_sec,
         },
         serve,
+        wire,
     };
     let json = serde_json::to_string_pretty(&snapshot).expect("snapshot serialises");
     std::fs::write(&out, format!("{json}\n")).expect("snapshot written");

@@ -806,6 +806,54 @@ impl LadEngine {
         self.score_rows_range_into(batch, 0..batch.len(), out);
     }
 
+    /// Scores a CSR batch sequentially with **one** configured metric — one
+    /// score per row into `out` — via that metric's sparse kernel.
+    ///
+    /// This is the *degraded* serving kernel behind `lad_serve`'s load-shed
+    /// mode: under overload a shard stops paying for the full
+    /// all-metrics fused pass and keeps only the column its sequential
+    /// decision consumes. The value is **bit-identical** to the same
+    /// metric's column of [`Self::score_rows_seq_into`] (the fused kernel
+    /// is bit-identical to the per-metric kernels by construction, asserted
+    /// in `tests/sparse_exactness.rs`), so degrading changes *cost*, never
+    /// *decisions*. For [`MetricKind::Diff`] / [`MetricKind::AddAll`] the
+    /// kernel touches no pmf table at all — the cheap half of the fused
+    /// filter — which is where the degraded mode's headroom comes from.
+    ///
+    /// # Panics
+    /// Panics when `metric` is not configured on this engine, when
+    /// `out.len() != batch.len()`, or when the batch's group count differs
+    /// from the engine's deployment.
+    pub fn score_rows_seq_one_into(
+        &self,
+        batch: &ObservationBatch,
+        metric: MetricKind,
+        out: &mut [f64],
+    ) {
+        let idx = self
+            .metric_index(metric)
+            .unwrap_or_else(|| panic!("metric {} not configured on this engine", metric.name()));
+        assert_eq!(
+            batch.group_count(),
+            self.knowledge.group_count(),
+            "batch/deployment group-count mismatch"
+        );
+        assert_eq!(
+            out.len(),
+            batch.len(),
+            "output buffer must hold one score per row"
+        );
+        let scorer = &self.scorers[idx];
+        MU_SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            let smu = &mut scratch.0;
+            for (r, slot) in out.iter_mut().enumerate() {
+                self.knowledge.expected_sparse_into(batch.estimate(r), smu);
+                *slot = scorer.score_sparse(batch.row(r), smu);
+            }
+        });
+    }
+
     /// Upper bound on the number of requests each worker-thread chunk
     /// processes between scratch borrows.
     pub const MAX_BATCH_CHUNK: usize = 512;

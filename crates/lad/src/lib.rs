@@ -22,6 +22,10 @@
 //!   decisions ([`stats::sequential`]) over streaming LAD scores, with
 //!   deterministic traffic generation for evaluating and benchmarking the
 //!   serving path,
+//! * [`wire`] — the network boundary in front of the runtime: a versioned
+//!   binary frame format for observation batches, a TCP/Unix-domain framed
+//!   stream server with per-connection reader threads, and an explicit
+//!   load-shed policy (rate-limit → degrade → shed-with-NACK),
 //! * [`response`] — the closed loop on top of the alarm stream: alarm
 //!   journalling, per-node suspicion, spatial alarm clustering, calibrated
 //!   revocation/quarantine policies, and the controller that installs the
@@ -45,6 +49,7 @@ pub use lad_net as net;
 pub use lad_response as response;
 pub use lad_serve as serve;
 pub use lad_stats as stats;
+pub use lad_wire as wire;
 
 /// The most commonly used types, re-exported flat.
 pub mod prelude {
@@ -76,6 +81,10 @@ pub mod prelude {
         TrafficModel,
     };
     pub use lad_stats::{SequentialDetector, SequentialState};
+    pub use lad_wire::{
+        Delivery, DeliveryStatus, OverloadPolicy, ShedReason, WireClient, WireError, WireServer,
+        WireServerConfig,
+    };
 }
 
 #[cfg(test)]

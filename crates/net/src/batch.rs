@@ -22,6 +22,133 @@
 
 use crate::observation::Observation;
 use lad_geometry::Point2;
+use std::fmt;
+
+/// A borrowed view of a batch's raw CSR arrays, in the exact layout
+/// [`ObservationBatch`] stores them. This is the encode side of the wire
+/// adapters: a frame encoder serialises these five slices verbatim (totals
+/// excepted — they are derived data and recomputed on decode), and the
+/// decode side lands back in the same layout through
+/// [`ObservationBatch::try_extend_csr`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchCsr<'a> {
+    /// Row boundaries into `groups`/`counts` (`len() + 1` entries, first 0).
+    pub offsets: &'a [u32],
+    /// Group indices of the nonzero counts, row-major, sorted within a row.
+    pub groups: &'a [u32],
+    /// The nonzero counts, parallel to `groups`.
+    pub counts: &'a [u32],
+    /// Per-row totals `Σ o_i`.
+    pub totals: &'a [u32],
+    /// Per-row location estimates.
+    pub estimates: &'a [Point2],
+}
+
+/// Typed rejection of an invalid CSR payload handed to
+/// [`ObservationBatch::try_extend_csr`] — the boundary check a network
+/// decoder relies on, so a malformed frame can never panic the hot path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsrError {
+    /// `offsets` must hold exactly one more entry than `estimates`.
+    OffsetCount {
+        /// Number of offset entries supplied.
+        offsets: usize,
+        /// Number of rows (estimates) supplied.
+        rows: usize,
+    },
+    /// The first offset must be 0 and offsets must be nondecreasing.
+    OffsetsNotMonotone,
+    /// The final offset must equal the number of `(group, count)` pairs.
+    OffsetOverrun {
+        /// The final offset.
+        last: u32,
+        /// The number of pairs actually supplied.
+        nnz: usize,
+    },
+    /// `groups` and `counts` must be the same length.
+    PairMismatch {
+        /// `groups.len()`.
+        groups: usize,
+        /// `counts.len()`.
+        counts: usize,
+    },
+    /// A group index is out of range for the batch's deployment.
+    GroupOutOfRange {
+        /// The offending row.
+        row: usize,
+        /// The offending group index.
+        group: u32,
+        /// The batch's group count.
+        group_count: usize,
+    },
+    /// Groups within a row must be strictly ascending (sorted, no dupes).
+    GroupsNotSorted {
+        /// The offending row.
+        row: usize,
+    },
+    /// Sparse rows must not store zero counts.
+    ZeroCount {
+        /// The offending row.
+        row: usize,
+    },
+    /// A row's counts overflow the u32 total.
+    TotalOverflow {
+        /// The offending row.
+        row: usize,
+    },
+    /// Appending these rows would push the batch past `u32::MAX` stored
+    /// pairs — the offset index space.
+    CapacityOverflow {
+        /// Pairs already stored in the batch.
+        existing: usize,
+        /// Pairs the rejected payload would add.
+        adding: usize,
+    },
+}
+
+impl fmt::Display for CsrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsrError::OffsetCount { offsets, rows } => {
+                write!(f, "{offsets} offsets for {rows} rows (need rows + 1)")
+            }
+            CsrError::OffsetsNotMonotone => {
+                write!(f, "offsets must start at 0 and be nondecreasing")
+            }
+            CsrError::OffsetOverrun { last, nnz } => {
+                write!(f, "final offset {last} does not match {nnz} stored pairs")
+            }
+            CsrError::PairMismatch { groups, counts } => {
+                write!(f, "{groups} groups vs {counts} counts")
+            }
+            CsrError::GroupOutOfRange {
+                row,
+                group,
+                group_count,
+            } => write!(
+                f,
+                "row {row}: group {group} out of range for {group_count} groups"
+            ),
+            CsrError::GroupsNotSorted { row } => {
+                write!(f, "row {row}: groups must strictly ascend")
+            }
+            CsrError::ZeroCount { row } => {
+                write!(f, "row {row}: sparse rows must not store zero counts")
+            }
+            CsrError::TotalOverflow { row } => {
+                write!(f, "row {row}: counts overflow the u32 row total")
+            }
+            CsrError::CapacityOverflow { existing, adding } => {
+                write!(
+                    f,
+                    "appending {adding} pairs to {existing} overflows the u32 offset space"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsrError {}
 
 /// A batch of `(sparse observation, estimate)` rows in CSR layout. See the
 /// [module docs](self) for the layout and the allocation story.
@@ -206,6 +333,104 @@ impl ObservationBatch {
     pub fn rows(&self) -> impl Iterator<Item = (ObsRow<'_>, Point2)> + '_ {
         (0..self.len()).map(|r| (self.row(r), self.estimates[r]))
     }
+
+    /// A borrowed view of the raw CSR arrays — the encode side of the wire
+    /// adapters (`lad_wire` serialises these slices verbatim).
+    pub fn as_csr(&self) -> BatchCsr<'_> {
+        BatchCsr {
+            offsets: &self.offsets,
+            groups: &self.groups,
+            counts: &self.counts,
+            totals: &self.totals,
+            estimates: &self.estimates,
+        }
+    }
+
+    /// Validates a raw CSR payload and appends its rows to the batch —
+    /// the decode side of the wire adapters. The payload's row boundaries
+    /// are `offsets` (`estimates.len() + 1` entries, local to the payload:
+    /// first entry 0); totals are **recomputed** here, so a decoder never
+    /// trusts derived data off the wire.
+    ///
+    /// The whole payload is validated before anything is written: on `Err`
+    /// the batch is untouched, and on `Ok` every appended row satisfies the
+    /// same invariants [`Self::push_sparse`] enforces — which is what lets
+    /// the scoring kernels run on `debug_assert!`s only even when the rows
+    /// arrived from an untrusted network peer. Appending performs no
+    /// per-report allocation (flat `extend_from_slice` into the reused
+    /// arrays).
+    pub fn try_extend_csr(
+        &mut self,
+        offsets: &[u32],
+        groups: &[u32],
+        counts: &[u32],
+        estimates: &[Point2],
+    ) -> Result<(), CsrError> {
+        let rows = estimates.len();
+        if offsets.len() != rows + 1 {
+            return Err(CsrError::OffsetCount {
+                offsets: offsets.len(),
+                rows,
+            });
+        }
+        if groups.len() != counts.len() {
+            return Err(CsrError::PairMismatch {
+                groups: groups.len(),
+                counts: counts.len(),
+            });
+        }
+        if offsets[0] != 0 || offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(CsrError::OffsetsNotMonotone);
+        }
+        if offsets[rows] as usize != groups.len() {
+            return Err(CsrError::OffsetOverrun {
+                last: offsets[rows],
+                nnz: groups.len(),
+            });
+        }
+        if self.groups.len() + groups.len() > u32::MAX as usize {
+            return Err(CsrError::CapacityOverflow {
+                existing: self.groups.len(),
+                adding: groups.len(),
+            });
+        }
+        // Validate every row before mutating anything.
+        for row in 0..rows {
+            let (lo, hi) = (offsets[row] as usize, offsets[row + 1] as usize);
+            let mut prev: Option<u32> = None;
+            let mut total = 0u32;
+            for (&g, &c) in groups[lo..hi].iter().zip(&counts[lo..hi]) {
+                if g as usize >= self.group_count {
+                    return Err(CsrError::GroupOutOfRange {
+                        row,
+                        group: g,
+                        group_count: self.group_count,
+                    });
+                }
+                if prev.is_some_and(|p| p >= g) {
+                    return Err(CsrError::GroupsNotSorted { row });
+                }
+                if c == 0 {
+                    return Err(CsrError::ZeroCount { row });
+                }
+                total = total
+                    .checked_add(c)
+                    .ok_or(CsrError::TotalOverflow { row })?;
+                prev = Some(g);
+            }
+        }
+        // Infallible from here: land the payload in the flat arrays.
+        let base = self.groups.len() as u32;
+        self.groups.extend_from_slice(groups);
+        self.counts.extend_from_slice(counts);
+        self.estimates.extend_from_slice(estimates);
+        for row in 0..rows {
+            let (lo, hi) = (offsets[row] as usize, offsets[row + 1] as usize);
+            self.totals.push(counts[lo..hi].iter().sum());
+            self.offsets.push(base + offsets[row + 1]);
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -263,6 +488,98 @@ mod tests {
         b.push_row(&a, 0);
         assert_eq!(b.row(0), a.row(0));
         assert_eq!(b.estimate(0), a.estimate(0));
+    }
+
+    #[test]
+    fn csr_view_extends_bit_identically() {
+        let mut a = ObservationBatch::new(5);
+        a.push(&obs(vec![0, 3, 0, 1, 0]), Point2::new(1.0, 2.0));
+        a.push(&obs(vec![0, 0, 0, 0, 0]), Point2::new(3.0, 4.0));
+        a.push(&obs(vec![7, 0, 0, 0, 9]), Point2::new(5.0, 6.0));
+
+        // Decode side: a fresh batch fed the raw arrays equals the source,
+        // offsets and totals included.
+        let csr = a.as_csr();
+        let mut b = ObservationBatch::new(5);
+        b.try_extend_csr(csr.offsets, csr.groups, csr.counts, csr.estimates)
+            .expect("valid payload extends");
+        assert_eq!(a, b);
+
+        // Extending a non-empty batch rebases offsets correctly.
+        let csr = a.as_csr();
+        b.try_extend_csr(csr.offsets, csr.groups, csr.counts, csr.estimates)
+            .expect("second extend");
+        assert_eq!(b.len(), 6);
+        assert_eq!(b.row(3), a.row(0));
+        assert_eq!(b.row(5), a.row(2));
+        assert_eq!(b.estimate(4), a.estimate(1));
+    }
+
+    #[test]
+    fn try_extend_csr_rejects_malformed_payloads_untouched() {
+        let mut batch = ObservationBatch::new(4);
+        batch.push(&obs(vec![1, 0, 0, 0]), Point2::new(0.0, 0.0));
+        let pristine = batch.clone();
+        let est = [Point2::new(1.0, 1.0)];
+
+        // One offset entry too few / too many.
+        let err = batch.try_extend_csr(&[0], &[1], &[2], &est);
+        assert_eq!(
+            err,
+            Err(CsrError::OffsetCount {
+                offsets: 1,
+                rows: 1
+            })
+        );
+        // Offsets must start at zero and be nondecreasing.
+        assert_eq!(
+            batch.try_extend_csr(&[1, 1], &[1], &[2], &est),
+            Err(CsrError::OffsetsNotMonotone)
+        );
+        assert_eq!(
+            batch.try_extend_csr(&[0, 2, 1], &[1, 2], &[2, 2], &[est[0]; 2]),
+            Err(CsrError::OffsetsNotMonotone)
+        );
+        // Final offset must cover the pair arrays exactly.
+        assert_eq!(
+            batch.try_extend_csr(&[0, 1], &[1, 2], &[2, 2], &est),
+            Err(CsrError::OffsetOverrun { last: 1, nnz: 2 })
+        );
+        // groups/counts must be parallel.
+        assert_eq!(
+            batch.try_extend_csr(&[0, 2], &[1, 2], &[2], &est),
+            Err(CsrError::PairMismatch {
+                groups: 2,
+                counts: 1
+            })
+        );
+        // Row-level invariants: range, order, zero counts, total overflow.
+        assert_eq!(
+            batch.try_extend_csr(&[0, 1], &[4], &[2], &est),
+            Err(CsrError::GroupOutOfRange {
+                row: 0,
+                group: 4,
+                group_count: 4
+            })
+        );
+        assert_eq!(
+            batch.try_extend_csr(&[0, 2], &[2, 1], &[2, 2], &est),
+            Err(CsrError::GroupsNotSorted { row: 0 })
+        );
+        assert_eq!(
+            batch.try_extend_csr(&[0, 2], &[1, 1], &[2, 2], &est),
+            Err(CsrError::GroupsNotSorted { row: 0 })
+        );
+        assert_eq!(
+            batch.try_extend_csr(&[0, 1], &[1], &[0], &est),
+            Err(CsrError::ZeroCount { row: 0 })
+        );
+        assert_eq!(
+            batch.try_extend_csr(&[0, 2], &[1, 2], &[u32::MAX, 1], &est),
+            Err(CsrError::TotalOverflow { row: 0 })
+        );
+        // A failed extend never mutates the batch.
+        assert_eq!(batch, pristine);
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub mod node;
 pub mod observation;
 pub mod topology;
 
-pub use batch::{ObsRow, ObservationBatch};
+pub use batch::{BatchCsr, CsrError, ObsRow, ObservationBatch};
 pub use network::Network;
 pub use node::{GroupId, NodeId, SensorNode};
 pub use observation::Observation;

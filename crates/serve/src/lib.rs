@@ -48,6 +48,12 @@
 //!   per [`lad_attack::Evasion`] (rotate the forged location, or go
 //!   intermittent).
 //!
+//! For ingest across a process boundary, the `lad_wire` crate puts a
+//! framed binary front door (TCP / Unix-domain, validate-once decoding,
+//! explicit rate-limit → degrade → shed overload policy) in front of
+//! [`ServeRuntime::submit_rows`]; the `degraded` / `shed` /
+//! `decode_errors` members of [`ServeCounters`] are fed by that path.
+//!
 //! Alarm decisions are **bit-deterministic in the shard count**: routing is
 //! a pure function of the node id, every node's rounds reach its shard in
 //! submission order, and scoring is identical on every thread — so the set

@@ -209,10 +209,21 @@ struct FilterState {
     region_hits: Arc<Vec<AtomicU64>>,
 }
 
-/// A consistent view of the runtime's counters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// A point-in-time snapshot of the runtime's counters — the single
+/// coherent view telemetry pollers read (and serialise: the struct is
+/// serde-round-trippable, so an operator endpoint can ship it as JSON)
+/// instead of racing the individual atomics one read at a time.
+///
+/// Coherence guarantee: within one snapshot, `processed ≤ submitted`
+/// always holds ([`Self::queue_depth`] never underflows and never
+/// fabricates phantom backlog from a torn read) — [`ServeRuntime::counters`]
+/// loads the counters in an order that preserves the invariant even while
+/// submitters and shards are running. The remaining fields are each exact
+/// at some instant during the call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct ServeCounters {
-    /// Reports accepted by `submit_batch` so far.
+    /// Reports accepted into the scoring pipeline so far (full or
+    /// degraded; shed and suppressed reports are not counted here).
     pub submitted: u64,
     /// Reports fully processed (scored + decided) by the shards.
     pub processed: u64,
@@ -226,6 +237,19 @@ pub struct ServeCounters {
     /// node or quarantined claimed region) before reaching a shard. Not
     /// counted in `submitted`.
     pub suppressed: u64,
+    /// Reports accepted in **degraded** mode
+    /// ([`ServeRuntime::submit_rows_degraded`]): scored with the decision
+    /// metric's cheap kernel only. Counted in `submitted` too — this field
+    /// tells how much of the accepted traffic paid the reduced price.
+    pub degraded: u64,
+    /// Reports shed at the ingest boundary (rate-limited or overloaded —
+    /// NACKed back to the client, never queued). Recorded via
+    /// [`ServeRuntime::record_shed`]; not counted in `submitted`.
+    pub shed: u64,
+    /// Wire frames that failed to decode (truncated, bad checksum, bad
+    /// version, invalid CSR payload). Recorded via
+    /// [`ServeRuntime::record_decode_error`].
+    pub decode_errors: u64,
 }
 
 impl ServeCounters {
@@ -243,17 +267,29 @@ struct SharedCounters {
     batches: AtomicU64,
     last_round: AtomicU64,
     suppressed: AtomicU64,
+    degraded: AtomicU64,
+    shed: AtomicU64,
+    decode_errors: AtomicU64,
 }
 
 impl SharedCounters {
     fn load(&self) -> ServeCounters {
+        // `processed` is loaded *before* `submitted`: a report is only ever
+        // processed after it was submitted and both counters are monotone,
+        // so processed_read ≤ processed_now ≤ submitted_now ≤ submitted_read
+        // — the snapshot's queue_depth can overestimate a draining queue by
+        // the reports that landed mid-call, but never underflow.
+        let processed = self.processed.load(Ordering::Acquire);
         ServeCounters {
-            submitted: self.submitted.load(Ordering::Relaxed),
-            processed: self.processed.load(Ordering::Relaxed),
+            processed,
             alarms: self.alarms.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             last_round: self.last_round.load(Ordering::Relaxed),
             suppressed: self.suppressed.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            decode_errors: self.decode_errors.load(Ordering::Relaxed),
+            submitted: self.submitted.load(Ordering::Acquire),
         }
     }
 }
@@ -266,6 +302,10 @@ enum ShardMsg {
         round: u64,
         nodes: Vec<NodeId>,
         rows: ObservationBatch,
+        /// Score with the decision metric's cheap kernel only (load-shed
+        /// degraded mode) instead of the full fused pass. Decisions are
+        /// bit-identical either way.
+        degraded: bool,
     },
     /// Barrier: reply once every earlier message has been processed.
     Sync(Sender<()>),
@@ -332,6 +372,7 @@ impl ServeRuntime {
             let worker = ShardWorker {
                 engine: engine.clone(),
                 detector: config.detector,
+                metric: config.metric,
                 column,
                 width: engine.metrics().len(),
                 reset_on_alarm: config.reset_on_alarm,
@@ -446,6 +487,29 @@ impl ServeRuntime {
     /// boundary check — failing here, with a clear message, instead of on
     /// a shard thread).
     pub fn submit_rows(&self, round: u64, nodes: &[NodeId], rows: &ObservationBatch) {
+        self.submit_rows_mode(round, nodes, rows, false);
+    }
+
+    /// [`Self::submit_rows`] in **degraded** mode: the shards score the
+    /// accepted rows with the decision metric's cheap sparse kernel
+    /// ([`LadEngine::score_rows_seq_one_into`]) instead of the full
+    /// all-metrics fused pass. Alarm decisions are **bit-identical** to the
+    /// full path — the sequential rule only ever consumes the decision
+    /// column, and the single-metric kernel reproduces that column bit for
+    /// bit — so a load-shed front door can degrade under pressure without
+    /// changing what fires. Accepted rows are counted in both
+    /// [`ServeCounters::submitted`] and [`ServeCounters::degraded`].
+    pub fn submit_rows_degraded(&self, round: u64, nodes: &[NodeId], rows: &ObservationBatch) {
+        self.submit_rows_mode(round, nodes, rows, true);
+    }
+
+    fn submit_rows_mode(
+        &self,
+        round: u64,
+        nodes: &[NodeId],
+        rows: &ObservationBatch,
+        degraded: bool,
+    ) {
         assert_eq!(
             nodes.len(),
             rows.len(),
@@ -486,9 +550,15 @@ impl ServeRuntime {
             shard_nodes[s].push(node);
             shard_rows[s].push_row(rows, i);
         }
+        let accepted = nodes.len() as u64 - suppressed;
         self.counters
             .submitted
-            .fetch_add(nodes.len() as u64 - suppressed, Ordering::Relaxed);
+            .fetch_add(accepted, Ordering::Release);
+        if degraded {
+            self.counters
+                .degraded
+                .fetch_add(accepted, Ordering::Relaxed);
+        }
         if suppressed > 0 {
             self.counters
                 .suppressed
@@ -499,9 +569,37 @@ impl ServeRuntime {
                 continue;
             }
             self.senders[shard]
-                .send(ShardMsg::Batch { round, nodes, rows })
+                .send(ShardMsg::Batch {
+                    round,
+                    nodes,
+                    rows,
+                    degraded,
+                })
                 .expect("shard thread alive while runtime exists");
         }
+    }
+
+    /// Records `reports` shed at the ingest boundary (rate-limited or
+    /// overloaded — NACKed, never queued). The wire front door (`lad_wire`)
+    /// calls this so shed traffic shows up in [`ServeCounters::shed`] and
+    /// the [`ShutdownReport`] next to everything that was accepted.
+    pub fn record_shed(&self, reports: u64) {
+        self.counters.shed.fetch_add(reports, Ordering::Relaxed);
+    }
+
+    /// Records one wire frame that failed to decode (truncated, bad
+    /// checksum, bad version, invalid CSR payload) —
+    /// [`ServeCounters::decode_errors`] telemetry for the ingest boundary.
+    pub fn record_decode_error(&self) {
+        self.counters.decode_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The deployment group count every submitted batch must be over
+    /// (from the engine the runtime was started with). The wire decoder
+    /// validates frames against this before they can reach
+    /// [`Self::submit_rows`].
+    pub fn group_count(&self) -> usize {
+        self.group_count
     }
 
     /// Blocks until every report submitted so far has been scored and
@@ -746,6 +844,7 @@ fn build_snapshot(
 struct ShardWorker {
     engine: Arc<LadEngine>,
     detector: SequentialDetector,
+    metric: MetricKind,
     column: usize,
     width: usize,
     reset_on_alarm: bool,
@@ -759,16 +858,31 @@ impl ShardWorker {
         let mut scores: Vec<f64> = Vec::new();
         while let Ok(msg) = rx.recv() {
             match msg {
-                ShardMsg::Batch { round, nodes, rows } => {
+                ShardMsg::Batch {
+                    round,
+                    nodes,
+                    rows,
+                    degraded,
+                } => {
+                    // Degraded mode keeps only the decision column (same
+                    // bits, a fraction of the scoring cost); the full mode
+                    // runs the all-metrics fused pass.
+                    let (width, column) = if degraded {
+                        (1, 0)
+                    } else {
+                        (self.width, self.column)
+                    };
                     scores.clear();
-                    scores.resize(rows.len() * self.width, 0.0);
-                    self.engine.score_rows_seq_into(&rows, &mut scores);
-                    for (i, (node, row)) in nodes
-                        .iter()
-                        .zip(scores.chunks_exact(self.width))
-                        .enumerate()
+                    scores.resize(rows.len() * width, 0.0);
+                    if degraded {
+                        self.engine
+                            .score_rows_seq_one_into(&rows, self.metric, &mut scores);
+                    } else {
+                        self.engine.score_rows_seq_into(&rows, &mut scores);
+                    }
+                    for (i, (node, row)) in nodes.iter().zip(scores.chunks_exact(width)).enumerate()
                     {
-                        let score = row[self.column];
+                        let score = row[column];
                         let state = states
                             .entry(node.0)
                             .or_insert_with(|| self.detector.initial_state());
@@ -786,9 +900,12 @@ impl ShardWorker {
                             }
                         }
                     }
+                    // Release pairs with the Acquire loads in
+                    // `SharedCounters::load`: a reader that sees these
+                    // reports as processed also sees them as submitted.
                     self.counters
                         .processed
-                        .fetch_add(rows.len() as u64, Ordering::Relaxed);
+                        .fetch_add(rows.len() as u64, Ordering::Release);
                 }
                 ShardMsg::Sync(reply) => {
                     let _ = reply.send(());
@@ -1090,6 +1207,82 @@ mod tests {
         let counters = runtime.counters();
         assert_eq!(counters.queue_depth(), 0);
         assert_eq!(counters.submitted, 20 * clean.nodes().len() as u64);
+        runtime.shutdown();
+    }
+
+    #[test]
+    fn degraded_mode_decisions_are_bit_identical_and_counted() {
+        let engine = engine();
+        let network = Network::generate(engine.knowledge().clone(), 24);
+        let (clean, attacked) = traffic(&engine, &network);
+        let detector = calibrated(&clean, &network, &engine);
+        let config = ServeConfig::new(MetricKind::Diff, detector).with_shards(2);
+
+        let alarms_of = |degraded: bool| {
+            let runtime = ServeRuntime::start(engine.clone(), config.clone()).unwrap();
+            let mut nodes = Vec::new();
+            let mut rows = ObservationBatch::new(engine.knowledge().group_count());
+            for round in 0..14 {
+                nodes.clear();
+                rows.reset(engine.knowledge().group_count());
+                attacked.round_rows(&network, round, &mut nodes, &mut rows);
+                if degraded {
+                    runtime.submit_rows_degraded(round, &nodes, &rows);
+                } else {
+                    runtime.submit_rows(round, &nodes, &rows);
+                }
+            }
+            let mut alarms: Vec<(u32, u64, u64, u64)> = runtime
+                .drain_alarms()
+                .into_iter()
+                .map(|a| (a.node.0, a.round, a.score.to_bits(), a.statistic.to_bits()))
+                .collect();
+            alarms.sort_unstable();
+            (alarms, runtime.shutdown().counters)
+        };
+
+        let (full_alarms, full_counters) = alarms_of(false);
+        let (deg_alarms, deg_counters) = alarms_of(true);
+        assert!(!full_alarms.is_empty(), "the attack must fire");
+        assert_eq!(
+            full_alarms, deg_alarms,
+            "degraded scoring must not change any decision bit"
+        );
+        assert_eq!(full_counters.degraded, 0);
+        assert_eq!(deg_counters.degraded, deg_counters.submitted);
+        assert_eq!(deg_counters.submitted, full_counters.submitted);
+    }
+
+    #[test]
+    fn counters_snapshot_round_trips_through_serde_and_stays_coherent() {
+        let engine = engine();
+        let detector = SequentialDetector::Cusum {
+            reference: 1.0,
+            threshold: 5.0,
+        };
+        let runtime =
+            ServeRuntime::start(engine.clone(), ServeConfig::new(MetricKind::Diff, detector))
+                .unwrap();
+        let obs = lad_net::Observation::zeros(engine.knowledge().group_count());
+        runtime.submit_batch(
+            0,
+            vec![(
+                NodeId(7),
+                DetectionRequest::new(obs, lad_geometry::Point2::new(100.0, 100.0)),
+            )],
+        );
+        runtime.record_shed(5);
+        runtime.record_decode_error();
+        runtime.sync();
+        let counters = runtime.counters();
+        assert_eq!(counters.submitted, 1);
+        assert_eq!(counters.shed, 5);
+        assert_eq!(counters.decode_errors, 1);
+        assert!(counters.processed <= counters.submitted);
+
+        let json = serde_json::to_string(&counters).expect("counters serialise");
+        let back: ServeCounters = serde_json::from_str(&json).expect("counters parse");
+        assert_eq!(counters, back);
         runtime.shutdown();
     }
 

@@ -1,0 +1,177 @@
+//! The client-side encoder half: a thin framed connection that ships
+//! observation batches and reads back typed delivery receipts.
+//!
+//! [`WireClient`] is what tests, benches and `examples/wire_serve.rs` use
+//! to drive a [`WireServer`](crate::WireServer). It reuses one encode
+//! buffer and one streaming decoder, so a steady-state sender performs no
+//! per-report allocation either. [`WireClient::send_rows_nowait`] +
+//! [`WireClient::recv_delivery`] pipeline multiple batches over one
+//! connection (the bench path — a strict send/await-ACK lockstep would
+//! measure round trips, not throughput).
+
+use crate::frame::{encode_batch, FramePoll, WireDecoder, WireError, WireFrame};
+use crate::shed::ShedReason;
+use lad_net::{NodeId, ObservationBatch};
+use std::io::Write;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+/// How the server disposed of one batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeliveryStatus {
+    /// The batch entered the scoring pipeline.
+    Accepted {
+        /// It was scored on the degraded (cheap, bit-identical) path.
+        degraded: bool,
+    },
+    /// The batch was NACKed — nothing was queued or scored.
+    Shed(ShedReason),
+}
+
+/// One delivery receipt (an Ack or Nack frame, decoded).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivery {
+    /// The round of the batch this receipt answers.
+    pub round: u64,
+    /// The batch's row count, echoed by the server.
+    pub rows: u32,
+    /// Accepted (full or degraded) or shed (typed reason).
+    pub status: DeliveryStatus,
+}
+
+enum ClientStream {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl std::io::Read for ClientStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            ClientStream::Tcp(s) => s.read(buf),
+            ClientStream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for ClientStream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            ClientStream::Tcp(s) => s.write(buf),
+            ClientStream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            ClientStream::Tcp(s) => s.flush(),
+            ClientStream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// A framed client connection to a wire server.
+pub struct WireClient {
+    stream: ClientStream,
+    buf: Vec<u8>,
+    /// Receipt decoder. Ack/Nack frames carry no CSR payload, so the
+    /// group count is irrelevant (0).
+    decoder: WireDecoder,
+    in_flight: usize,
+}
+
+impl WireClient {
+    /// Connects over TCP (Nagle disabled — receipts are small).
+    pub fn connect_tcp(addr: impl ToSocketAddrs) -> Result<Self, WireError> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Self::new(ClientStream::Tcp(stream)))
+    }
+
+    /// Connects over a Unix-domain socket.
+    pub fn connect_uds(path: impl AsRef<Path>) -> Result<Self, WireError> {
+        Ok(Self::new(ClientStream::Unix(UnixStream::connect(path)?)))
+    }
+
+    fn new(stream: ClientStream) -> Self {
+        Self {
+            stream,
+            buf: Vec::new(),
+            decoder: WireDecoder::new(0),
+            in_flight: 0,
+        }
+    }
+
+    /// Batches sent whose receipts have not been read yet.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Encodes and ships one batch without waiting for its receipt — the
+    /// pipelining half. Pair with [`Self::recv_delivery`]; receipts come
+    /// back in send order (one connection is one ordered stream).
+    pub fn send_rows_nowait(
+        &mut self,
+        round: u64,
+        nodes: &[NodeId],
+        batch: &ObservationBatch,
+    ) -> Result<(), WireError> {
+        self.buf.clear();
+        encode_batch(&mut self.buf, round, nodes, batch);
+        self.stream.write_all(&self.buf)?;
+        self.in_flight += 1;
+        Ok(())
+    }
+
+    /// Blocks for the next delivery receipt.
+    pub fn recv_delivery(&mut self) -> Result<Delivery, WireError> {
+        loop {
+            match self.decoder.poll_frame(&mut self.stream)? {
+                FramePoll::Pending => continue,
+                FramePoll::Closed => return Err(WireError::ConnectionClosed),
+                FramePoll::Frame(WireFrame::Ack {
+                    round,
+                    rows,
+                    degraded,
+                }) => {
+                    self.in_flight = self.in_flight.saturating_sub(1);
+                    return Ok(Delivery {
+                        round,
+                        rows,
+                        status: DeliveryStatus::Accepted { degraded },
+                    });
+                }
+                FramePoll::Frame(WireFrame::Nack {
+                    round,
+                    rows,
+                    reason,
+                }) => {
+                    self.in_flight = self.in_flight.saturating_sub(1);
+                    return Ok(Delivery {
+                        round,
+                        rows,
+                        status: DeliveryStatus::Shed(reason),
+                    });
+                }
+                FramePoll::Frame(WireFrame::Batch { .. }) => {
+                    return Err(WireError::UnexpectedFrame {
+                        context: "awaiting a delivery receipt",
+                        found: crate::FrameKind::Batch,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Ships one batch and blocks for its receipt — the simple lockstep
+    /// call sites that don't pipeline use.
+    pub fn send_rows(
+        &mut self,
+        round: u64,
+        nodes: &[NodeId],
+        batch: &ObservationBatch,
+    ) -> Result<Delivery, WireError> {
+        self.send_rows_nowait(round, nodes, batch)?;
+        self.recv_delivery()
+    }
+}

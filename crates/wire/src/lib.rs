@@ -1,0 +1,46 @@
+//! Binary wire ingest for the LAD serve runtime: the network boundary in
+//! front of `lad_serve`.
+//!
+//! Three layers, one per module:
+//!
+//! * [`frame`] — the versioned, checksummed binary frame format for
+//!   [`ObservationBatch`](lad_net::ObservationBatch)es and its streaming
+//!   codec. Frames carry the batch's CSR arrays verbatim; the decoder
+//!   validates once at the boundary and lands rows with zero per-report
+//!   allocation. Everything malformed maps to a typed [`WireError`].
+//! * [`shed`] — the explicit overload policy: per-source token-bucket
+//!   rate limits, then degrade-to-cheap-kernel, then shed-with-NACK.
+//!   Queues never collapse; overload becomes receipts and counters.
+//! * [`server`] / [`client`] — a std-only framed stream server (TCP and
+//!   Unix-domain accept loops, one reader thread per connection, graceful
+//!   drain) and the matching client used by tests, benches and
+//!   `examples/wire_serve.rs`.
+//!
+//! ```no_run
+//! use lad_wire::{WireClient, WireServer, WireServerConfig};
+//! # fn demo(runtime: std::sync::Arc<lad_serve::ServeRuntime>,
+//! #         nodes: &[lad_net::NodeId], rows: &lad_net::ObservationBatch)
+//! #         -> Result<(), lad_wire::WireError> {
+//! let server = WireServer::start(runtime, WireServerConfig::tcp("127.0.0.1:0"))?;
+//! let mut client = WireClient::connect_tcp(server.tcp_addr().unwrap())?;
+//! let receipt = client.send_rows(0, nodes, rows)?;
+//! println!("round {} -> {:?}", receipt.round, receipt.status);
+//! server.shutdown();
+//! # Ok(()) }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod client;
+pub mod frame;
+pub mod server;
+pub mod shed;
+
+pub use client::{Delivery, DeliveryStatus, WireClient};
+pub use frame::{
+    checksum, encode_ack, encode_batch, encode_nack, FrameKind, FramePoll, WireDecoder, WireError,
+    WireFrame, HEADER_LEN, MAX_FRAME_PAYLOAD, WIRE_MAGIC, WIRE_VERSION,
+};
+pub use server::{WireServer, WireServerConfig};
+pub use shed::{GateDecision, IngestGate, OverloadPolicy, RateLimit, ShedReason, TokenBucket};

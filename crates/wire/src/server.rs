@@ -1,0 +1,285 @@
+//! The framed-stream server front end: TCP and Unix-domain accept loops
+//! feeding the serve runtime through the overload gate.
+//!
+//! One reader thread per connection decodes frames with the streaming
+//! [`WireDecoder`] (read timeouts make every blocking
+//! read resumable, so shutdown is never stuck behind a silent peer), runs
+//! each batch through its connection's [`IngestGate`], and either submits
+//! to the runtime (full or degraded) and ACKs, or NACKs with a typed
+//! [`ShedReason`] — the bounded shard queues still provide backpressure,
+//! but a shed decision never touches them, so overload shows up as NACKs
+//! and counters instead of unbounded latency.
+//!
+//! Shutdown is a drain, not a drop: the flag flips, accept loops stop,
+//! connections finish (within a grace period) the frame they are mid-way
+//! through — NACKing it `Draining` rather than processing it — and the
+//! runtime is handed back to the caller untouched, ready for its own
+//! graceful [`ServeRuntime::shutdown`].
+
+use crate::frame::{encode_ack, encode_nack, FramePoll, WireDecoder, WireError, WireFrame};
+use crate::shed::{GateDecision, IngestGate, OverloadPolicy, ShedReason};
+use lad_serve::ServeRuntime;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Configuration of a [`WireServer`]. At least one listener (TCP or UDS)
+/// must be set.
+#[derive(Debug, Clone, Default)]
+pub struct WireServerConfig {
+    /// TCP listen address (e.g. `"127.0.0.1:0"` to let the OS pick).
+    pub tcp_addr: Option<String>,
+    /// Unix-domain socket path (removed on shutdown).
+    pub uds_path: Option<PathBuf>,
+    /// The overload policy every connection's gate enforces.
+    pub policy: OverloadPolicy,
+    /// Read-timeout granularity of the connection threads — the latency
+    /// with which an idle connection notices shutdown. Default 25 ms.
+    pub poll_interval: Option<Duration>,
+    /// How long shutdown waits for a connection's *partial* frame to
+    /// finish arriving before closing on it. Default 500 ms.
+    pub drain_grace: Option<Duration>,
+}
+
+impl WireServerConfig {
+    /// A TCP-only configuration with the default policy (accept all).
+    pub fn tcp(addr: impl Into<String>) -> Self {
+        Self {
+            tcp_addr: Some(addr.into()),
+            ..Self::default()
+        }
+    }
+
+    /// A Unix-domain-only configuration with the default policy.
+    pub fn uds(path: impl Into<PathBuf>) -> Self {
+        Self {
+            uds_path: Some(path.into()),
+            ..Self::default()
+        }
+    }
+
+    /// Returns a copy with an overload policy.
+    pub fn with_policy(mut self, policy: OverloadPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+}
+
+struct ServerShared {
+    runtime: Arc<ServeRuntime>,
+    policy: OverloadPolicy,
+    shutdown: AtomicBool,
+    poll_interval: Duration,
+    drain_grace: Duration,
+    /// Reader threads of accepted connections. Joined on shutdown.
+    conns: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// The wire front door: accept loops plus per-connection reader threads
+/// around a shared [`ServeRuntime`]. Start with [`WireServer::start`],
+/// stop with [`WireServer::shutdown`] — the runtime itself is left
+/// running either way (callers own its lifecycle).
+pub struct WireServer {
+    shared: Arc<ServerShared>,
+    tcp_addr: Option<SocketAddr>,
+    uds_path: Option<PathBuf>,
+    acceptors: Vec<JoinHandle<()>>,
+}
+
+impl WireServer {
+    /// Binds the configured listeners and starts accepting connections
+    /// that feed `runtime`.
+    pub fn start(runtime: Arc<ServeRuntime>, config: WireServerConfig) -> Result<Self, WireError> {
+        if config.tcp_addr.is_none() && config.uds_path.is_none() {
+            return Err(WireError::Config(
+                "at least one of tcp_addr / uds_path must be set".into(),
+            ));
+        }
+        let shared = Arc::new(ServerShared {
+            runtime,
+            policy: config.policy,
+            shutdown: AtomicBool::new(false),
+            poll_interval: config.poll_interval.unwrap_or(Duration::from_millis(25)),
+            drain_grace: config.drain_grace.unwrap_or(Duration::from_millis(500)),
+            conns: Mutex::new(Vec::new()),
+        });
+        let mut acceptors = Vec::new();
+        let mut tcp_addr = None;
+        if let Some(addr) = &config.tcp_addr {
+            let listener = TcpListener::bind(addr)?;
+            listener.set_nonblocking(true)?;
+            tcp_addr = Some(listener.local_addr()?);
+            let shared = Arc::clone(&shared);
+            acceptors.push(std::thread::spawn(move || {
+                accept_loop(&shared, || {
+                    let (stream, _) = listener.accept()?;
+                    let _ = stream.set_nodelay(true);
+                    Ok(stream)
+                });
+            }));
+        }
+        let mut uds_path = None;
+        if let Some(path) = &config.uds_path {
+            // A stale socket file from a crashed predecessor would make
+            // bind fail; remove it (nothing can be listening on it now).
+            let _ = std::fs::remove_file(path);
+            let listener = UnixListener::bind(path)?;
+            listener.set_nonblocking(true)?;
+            uds_path = Some(path.clone());
+            let shared = Arc::clone(&shared);
+            acceptors.push(std::thread::spawn(move || {
+                accept_loop(&shared, || listener.accept().map(|(s, _)| s));
+            }));
+        }
+        Ok(Self {
+            shared,
+            tcp_addr,
+            uds_path,
+            acceptors,
+        })
+    }
+
+    /// The bound TCP address (with the OS-assigned port when the config
+    /// asked for port 0), if a TCP listener was configured.
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.tcp_addr
+    }
+
+    /// The bound Unix-domain socket path, if one was configured.
+    pub fn uds_path(&self) -> Option<&PathBuf> {
+        self.uds_path.as_ref()
+    }
+
+    /// Graceful drain: stop accepting, let every connection finish (or
+    /// NACK `Draining`) its in-flight frame, join all threads, remove the
+    /// UDS file. The serve runtime keeps running — shut it down separately
+    /// to collect its [`ShutdownReport`](lad_serve::ShutdownReport).
+    pub fn shutdown(self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        for acceptor in self.acceptors {
+            let _ = acceptor.join();
+        }
+        let conns = std::mem::take(&mut *self.shared.conns.lock().expect("conns lock"));
+        for conn in conns {
+            let _ = conn.join();
+        }
+        if let Some(path) = &self.uds_path {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// Polls a nonblocking `accept` until the shutdown flag flips, spawning a
+/// reader thread per connection.
+fn accept_loop<S>(shared: &Arc<ServerShared>, mut accept: impl FnMut() -> std::io::Result<S>)
+where
+    S: ConnStream + Send + 'static,
+{
+    while !shared.shutdown.load(Ordering::Acquire) {
+        match accept() {
+            Ok(stream) => {
+                let shared2 = Arc::clone(shared);
+                let handle = std::thread::spawn(move || {
+                    serve_conn(&shared2, stream);
+                });
+                shared.conns.lock().expect("conns lock").push(handle);
+            }
+            // WouldBlock is the idle case; other accept errors (e.g. a peer
+            // resetting mid-handshake) are transient and must not kill the
+            // listener. Both just wait out the next tick.
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+/// The two stream types a connection thread handles, unified so
+/// `serve_conn` is written once.
+trait ConnStream: Read + Write {
+    fn set_read_timeout_(&self, timeout: Duration) -> std::io::Result<()>;
+}
+
+impl ConnStream for TcpStream {
+    fn set_read_timeout_(&self, timeout: Duration) -> std::io::Result<()> {
+        self.set_read_timeout(Some(timeout))
+    }
+}
+
+impl ConnStream for UnixStream {
+    fn set_read_timeout_(&self, timeout: Duration) -> std::io::Result<()> {
+        self.set_read_timeout(Some(timeout))
+    }
+}
+
+/// One connection's read-decode-gate-submit loop.
+fn serve_conn<S: ConnStream>(shared: &ServerShared, mut stream: S) {
+    if stream.set_read_timeout_(shared.poll_interval).is_err() {
+        return;
+    }
+    let runtime = &shared.runtime;
+    let mut decoder = WireDecoder::new(runtime.group_count());
+    let mut gate = IngestGate::new(shared.policy);
+    let mut out = Vec::new();
+    let epoch = Instant::now();
+    // Once the shutdown flag is seen, a partial frame gets until `deadline`
+    // to finish arriving (it will be NACKed `Draining`) before the
+    // connection closes on it.
+    let mut drain_deadline: Option<Instant> = None;
+    loop {
+        if drain_deadline.is_none() && shared.shutdown.load(Ordering::Acquire) {
+            if !decoder.has_partial() {
+                return;
+            }
+            drain_deadline = Some(Instant::now() + shared.drain_grace);
+        }
+        if let Some(deadline) = drain_deadline {
+            if Instant::now() >= deadline {
+                return;
+            }
+        }
+        match decoder.poll_frame(&mut stream) {
+            Ok(FramePoll::Pending) => continue,
+            Ok(FramePoll::Closed) => return,
+            Ok(FramePoll::Frame(WireFrame::Batch { round, rows })) => {
+                out.clear();
+                if drain_deadline.is_some() {
+                    runtime.record_shed(rows as u64);
+                    encode_nack(&mut out, round, rows, ShedReason::Draining);
+                    let _ = stream.write_all(&out);
+                    return;
+                }
+                let now_nanos = epoch.elapsed().as_nanos() as u64;
+                let depth = runtime.counters().queue_depth();
+                match gate.decide(rows as u64, depth, now_nanos) {
+                    GateDecision::Accept => {
+                        runtime.submit_rows(round, decoder.nodes(), decoder.batch());
+                        encode_ack(&mut out, round, rows, false);
+                    }
+                    GateDecision::Degrade => {
+                        runtime.submit_rows_degraded(round, decoder.nodes(), decoder.batch());
+                        encode_ack(&mut out, round, rows, true);
+                    }
+                    GateDecision::Shed(reason) => {
+                        runtime.record_shed(rows as u64);
+                        encode_nack(&mut out, round, rows, reason);
+                    }
+                }
+                if stream.write_all(&out).is_err() {
+                    return;
+                }
+            }
+            // A client must not send Ack/Nack; treat it as a protocol error.
+            Ok(FramePoll::Frame(_)) | Err(_) => {
+                // A length-prefixed stream cannot resynchronise after a bad
+                // frame: count it and close (the client sees EOF and its
+                // typed error locally).
+                runtime.record_decode_error();
+                return;
+            }
+        }
+    }
+}

@@ -184,6 +184,22 @@ fn engine_row_scoring_matches_dense_request_scoring_bitwise() {
     engine.score_rows_seq_into(&rows, &mut seq_rows);
     assert_eq!(flat_rows, flat_requests);
     assert_eq!(flat_rows, seq_rows);
+    // The degraded-serving kernel: each single-metric column reproduces
+    // the fused pass's column bit for bit (what lets the wire front door
+    // degrade under load without changing any alarm decision).
+    let width = engine.metrics().len();
+    for (k, &kind) in engine.metrics().iter().enumerate() {
+        let mut one = vec![0.0; rows.len()];
+        engine.score_rows_seq_one_into(&rows, kind, &mut one);
+        for (r, &score) in one.iter().enumerate() {
+            assert_eq!(
+                score.to_bits(),
+                seq_rows[r * width + k].to_bits(),
+                "single-metric column {} row {r}",
+                kind.name()
+            );
+        }
+    }
     for (row, nested_row) in flat_rows.chunks(engine.metrics().len()).zip(&nested) {
         assert_eq!(row, nested_row.as_slice());
     }

@@ -1,0 +1,397 @@
+//! Wire-format round-trip and malformed-frame properties.
+//!
+//! * Random `ObservationBatch`es encode → decode **bit-identically** —
+//!   nodes, CSR offsets, pairs, recomputed totals and estimate bits — over
+//!   arbitrary read chunkings (the streaming decoder must not care how the
+//!   bytes arrive).
+//! * The malformed-frame corpus — truncations at every byte, random
+//!   single-byte corruption, bad magic/version/kind, oversized and lying
+//!   length fields, invalid CSR payloads, undefined enum bytes — always
+//!   yields a **typed** [`WireError`], never a panic.
+
+use lad_geometry::Point2;
+use lad_net::{CsrError, NodeId, ObservationBatch};
+use lad_wire::{
+    checksum, encode_ack, encode_batch, encode_nack, FrameKind, FramePoll, ShedReason, WireDecoder,
+    WireError, WireFrame, HEADER_LEN, MAX_FRAME_PAYLOAD, WIRE_MAGIC, WIRE_VERSION,
+};
+use proptest::prelude::*;
+use std::io::{Cursor, Read};
+
+/// A reader that hands out at most `chunk` bytes per `read` call — the
+/// adversarial fragmentation a TCP stream is allowed to produce.
+struct Chunked<'a> {
+    data: &'a [u8],
+    at: usize,
+    chunk: usize,
+}
+
+impl Read for Chunked<'_> {
+    fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+        let n = (self.data.len() - self.at).min(self.chunk).min(out.len());
+        out[..n].copy_from_slice(&self.data[self.at..self.at + n]);
+        self.at += n;
+        Ok(n)
+    }
+}
+
+/// Builds a batch of `rows` rows over `group_count` groups from flat
+/// random material (dense counts row-chunked, estimates paired up).
+fn build_batch(
+    group_count: usize,
+    rows: usize,
+    dense: &[u32],
+    coords: &[f64],
+) -> (Vec<NodeId>, ObservationBatch) {
+    let mut batch = ObservationBatch::new(group_count);
+    let mut nodes = Vec::new();
+    for r in 0..rows {
+        let mut groups = Vec::new();
+        let mut counts = Vec::new();
+        for g in 0..group_count {
+            let c = dense[(r * group_count + g) % dense.len().max(1)];
+            if c != 0 {
+                groups.push(g as u32);
+                counts.push(c);
+            }
+        }
+        let x = coords[(2 * r) % coords.len()];
+        let y = coords[(2 * r + 1) % coords.len()];
+        batch.push_sparse(&groups, &counts, Point2::new(x, y));
+        nodes.push(NodeId(
+            dense[r % dense.len().max(1)].wrapping_mul(2_654_435_761),
+        ));
+    }
+    (nodes, batch)
+}
+
+/// A raw frame around an arbitrary payload, with a *correct* checksum —
+/// for corpus entries whose defect lives in the payload, not the framing.
+fn raw_frame(kind_code: u8, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&WIRE_MAGIC);
+    out.extend_from_slice(&WIRE_VERSION.to_le_bytes());
+    out.push(kind_code);
+    out.push(0);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&checksum(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// A batch payload built field by field, so every field can lie.
+#[allow(clippy::too_many_arguments)]
+fn batch_payload(
+    round: u64,
+    group_count: u32,
+    rows: u32,
+    nnz: u32,
+    nodes: &[u32],
+    offsets: &[u32],
+    groups: &[u32],
+    counts: &[u32],
+    estimates: &[(f64, f64)],
+) -> Vec<u8> {
+    let mut p = Vec::new();
+    p.extend_from_slice(&round.to_le_bytes());
+    p.extend_from_slice(&group_count.to_le_bytes());
+    p.extend_from_slice(&rows.to_le_bytes());
+    p.extend_from_slice(&nnz.to_le_bytes());
+    for v in nodes {
+        p.extend_from_slice(&v.to_le_bytes());
+    }
+    for v in offsets {
+        p.extend_from_slice(&v.to_le_bytes());
+    }
+    for v in groups {
+        p.extend_from_slice(&v.to_le_bytes());
+    }
+    for v in counts {
+        p.extend_from_slice(&v.to_le_bytes());
+    }
+    for (x, y) in estimates {
+        p.extend_from_slice(&x.to_le_bytes());
+        p.extend_from_slice(&y.to_le_bytes());
+    }
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn prop_batches_round_trip_bit_identically_over_any_chunking(
+        group_count in 1usize..40,
+        rows in 0usize..24,
+        dense in proptest::collection::vec(0u32..7, 1..600),
+        coords in proptest::collection::vec(-1e6f64..1e6, 2..64),
+        round in 0u64..u64::MAX,
+        chunk in 1usize..96,
+    ) {
+        let (nodes, batch) = build_batch(group_count, rows, &dense, &coords);
+        let mut wire = Vec::new();
+        encode_batch(&mut wire, round, &nodes, &batch);
+
+        let mut decoder = WireDecoder::new(group_count);
+        let mut reader = Chunked { data: &wire, at: 0, chunk };
+        let polled = decoder.poll_frame(&mut reader).expect("valid frame decodes");
+        prop_assert_eq!(
+            polled,
+            FramePoll::Frame(WireFrame::Batch { round, rows: rows as u32 })
+        );
+        prop_assert_eq!(decoder.nodes(), &nodes[..]);
+
+        // Bit-level identity of the full CSR layout, offsets included.
+        let (a, b) = (batch.as_csr(), decoder.batch().as_csr());
+        prop_assert_eq!(a.offsets, b.offsets);
+        prop_assert_eq!(a.groups, b.groups);
+        prop_assert_eq!(a.counts, b.counts);
+        // Totals are not on the wire; the decoder recomputes the encoder's.
+        prop_assert_eq!(a.totals, b.totals);
+        prop_assert_eq!(a.estimates.len(), b.estimates.len());
+        for (ea, eb) in a.estimates.iter().zip(b.estimates) {
+            prop_assert_eq!(ea.x.to_bits(), eb.x.to_bits());
+            prop_assert_eq!(ea.y.to_bits(), eb.y.to_bits());
+        }
+        prop_assert_eq!(decoder.poll_frame(&mut reader).expect("clean EOF"), FramePoll::Closed);
+    }
+
+    #[test]
+    fn prop_corrupted_frames_yield_typed_errors_never_panics(
+        group_count in 1usize..12,
+        rows in 0usize..8,
+        dense in proptest::collection::vec(0u32..5, 1..80),
+        coords in proptest::collection::vec(-1e3f64..1e3, 2..16),
+        victim_frac in 0.0f64..1.0,
+        xor in 1u8..255,
+    ) {
+        let (nodes, batch) = build_batch(group_count, rows, &dense, &coords);
+        let mut wire = Vec::new();
+        encode_batch(&mut wire, 9, &nodes, &batch);
+        encode_ack(&mut wire, 9, rows as u32, false);
+        encode_nack(&mut wire, 10, rows as u32, ShedReason::Overloaded);
+
+        // Flip one byte anywhere in the three-frame stream: every outcome
+        // must be a decoded frame or a typed error — the decode loop below
+        // completing at all *is* the no-panic assertion.
+        let victim = ((wire.len() - 1) as f64 * victim_frac) as usize;
+        wire[victim] ^= xor;
+        let mut decoder = WireDecoder::new(group_count);
+        let mut cursor = Cursor::new(&wire);
+        loop {
+            match decoder.poll_frame(&mut cursor) {
+                Ok(FramePoll::Closed) => break,
+                Ok(_) => continue,
+                Err(err) => {
+                    prop_assert!(!err.to_string().is_empty());
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prop_truncations_are_always_typed(
+        group_count in 1usize..12,
+        rows in 1usize..8,
+        dense in proptest::collection::vec(0u32..5, 1..80),
+        coords in proptest::collection::vec(-1e3f64..1e3, 2..16),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let (nodes, batch) = build_batch(group_count, rows, &dense, &coords);
+        let mut wire = Vec::new();
+        encode_batch(&mut wire, 1, &nodes, &batch);
+        // Cut strictly inside the frame: 1 ≤ cut ≤ len − 1.
+        let cut = 1 + ((wire.len() - 2) as f64 * cut_frac) as usize;
+        let err = WireDecoder::new(group_count)
+            .poll_frame(&mut Cursor::new(&wire[..cut]))
+            .expect_err("mid-frame EOF is an error");
+        prop_assert!(
+            matches!(err, WireError::Truncated { .. }),
+            "cut at {}: {:?}", cut, err
+        );
+    }
+}
+
+#[test]
+fn malformed_frame_corpus_yields_exactly_the_right_errors() {
+    let est = [(5.0f64, 6.0f64)];
+
+    // --- Framing defects ---------------------------------------------------
+    let valid = raw_frame(2, &batch_payload(0, 0, 0, 0, &[], &[], &[], &[], &[])[..13]);
+    let mut bad_magic = valid.clone();
+    bad_magic[2] = b'!';
+    assert!(matches!(
+        WireDecoder::new(4).poll_frame(&mut Cursor::new(&bad_magic)),
+        Err(WireError::BadMagic { .. })
+    ));
+
+    let mut bad_version = valid.clone();
+    bad_version[4..6].copy_from_slice(&7u16.to_le_bytes());
+    assert_eq!(
+        WireDecoder::new(4)
+            .poll_frame(&mut Cursor::new(&bad_version))
+            .unwrap_err(),
+        WireError::UnsupportedVersion { found: 7 }
+    );
+
+    let mut bad_kind = valid.clone();
+    bad_kind[6] = 0;
+    assert_eq!(
+        WireDecoder::new(4)
+            .poll_frame(&mut Cursor::new(&bad_kind))
+            .unwrap_err(),
+        WireError::UnknownKind { found: 0 }
+    );
+
+    // An oversized declared length is rejected from the header alone —
+    // before any payload is read or buffered.
+    let mut huge = valid.clone();
+    huge[8..12].copy_from_slice(&(MAX_FRAME_PAYLOAD + 1).to_le_bytes());
+    assert_eq!(
+        WireDecoder::new(4)
+            .poll_frame(&mut Cursor::new(&huge))
+            .unwrap_err(),
+        WireError::OversizedFrame {
+            len: MAX_FRAME_PAYLOAD + 1,
+            max: MAX_FRAME_PAYLOAD
+        }
+    );
+
+    let mut corrupt = valid.clone();
+    *corrupt.last_mut().unwrap() ^= 0x80;
+    assert!(matches!(
+        WireDecoder::new(4).poll_frame(&mut Cursor::new(&corrupt)),
+        Err(WireError::ChecksumMismatch { .. })
+    ));
+
+    // --- Payload defects (framing valid, checksum correct) -----------------
+    // Ack payload of the wrong fixed size.
+    let frame = raw_frame(2, &[0u8; 12]);
+    assert_eq!(
+        WireDecoder::new(4)
+            .poll_frame(&mut Cursor::new(&frame))
+            .unwrap_err(),
+        WireError::BadPayload {
+            kind: FrameKind::Ack,
+            len: 12
+        }
+    );
+    // Batch payload shorter than its own preamble.
+    let frame = raw_frame(1, &[0u8; 19]);
+    assert_eq!(
+        WireDecoder::new(4)
+            .poll_frame(&mut Cursor::new(&frame))
+            .unwrap_err(),
+        WireError::BadPayload {
+            kind: FrameKind::Batch,
+            len: 19
+        }
+    );
+
+    // Lying row/pair counts, including ones whose byte size overflows u32
+    // arithmetic — validated in u64, rejected typed.
+    for (rows, nnz) in [(2u32, 1u32), (1, 5), (u32::MAX, u32::MAX), (0, 1)] {
+        let payload = batch_payload(1, 4, rows, nnz, &[8], &[0, 1], &[2], &[3], &est);
+        let err = WireDecoder::new(4)
+            .poll_frame(&mut Cursor::new(&raw_frame(1, &payload)))
+            .unwrap_err();
+        assert!(
+            matches!(err, WireError::LengthOverflow { .. }),
+            "rows={rows} nnz={nnz}: {err:?}"
+        );
+    }
+
+    // Frame encoded for a different deployment.
+    let payload = batch_payload(1, 9, 1, 1, &[8], &[0, 1], &[2], &[3], &est);
+    assert_eq!(
+        WireDecoder::new(4)
+            .poll_frame(&mut Cursor::new(&raw_frame(1, &payload)))
+            .unwrap_err(),
+        WireError::GroupCountMismatch {
+            frame: 9,
+            engine: 4
+        }
+    );
+
+    // CSR invariant violations surface as typed `Csr` errors and leave the
+    // decoder's batch empty.
+    let csr_cases = [
+        (
+            batch_payload(1, 4, 1, 2, &[8], &[0, 2], &[2, 1], &[1, 1], &est),
+            CsrError::GroupsNotSorted { row: 0 },
+        ),
+        (
+            batch_payload(1, 4, 1, 2, &[8], &[0, 2], &[1, 2], &[1, 0], &est),
+            CsrError::ZeroCount { row: 0 },
+        ),
+        (
+            batch_payload(1, 4, 1, 1, &[8], &[0, 1], &[7], &[1], &est),
+            CsrError::GroupOutOfRange {
+                row: 0,
+                group: 7,
+                group_count: 4,
+            },
+        ),
+        (
+            batch_payload(1, 4, 1, 2, &[8], &[0, 2], &[1, 2], &[u32::MAX, 1], &est),
+            CsrError::TotalOverflow { row: 0 },
+        ),
+        (
+            batch_payload(1, 4, 1, 1, &[8], &[1, 1], &[1], &[1], &est),
+            CsrError::OffsetsNotMonotone,
+        ),
+    ];
+    for (payload, expected) in csr_cases {
+        let mut decoder = WireDecoder::new(4);
+        let err = decoder
+            .poll_frame(&mut Cursor::new(&raw_frame(1, &payload)))
+            .unwrap_err();
+        assert_eq!(err, WireError::Csr(expected));
+        assert!(decoder.batch().is_empty(), "failed decode lands no rows");
+    }
+
+    // Undefined enum bytes in receipts.
+    let mut ack13 = batch_payload(0, 0, 0, 0, &[], &[], &[], &[], &[]);
+    ack13.truncate(12);
+    ack13.push(2); // degraded flag ∉ {0, 1}
+    assert_eq!(
+        WireDecoder::new(4)
+            .poll_frame(&mut Cursor::new(&raw_frame(2, &ack13)))
+            .unwrap_err(),
+        WireError::InvalidEnum {
+            field: "ack degraded flag",
+            found: 2
+        }
+    );
+    *ack13.last_mut().unwrap() = 0; // shed reason 0 is undefined
+    assert_eq!(
+        WireDecoder::new(4)
+            .poll_frame(&mut Cursor::new(&raw_frame(3, &ack13)))
+            .unwrap_err(),
+        WireError::InvalidEnum {
+            field: "nack shed reason",
+            found: 0
+        }
+    );
+}
+
+#[test]
+fn decoder_recovers_rows_reusing_buffers_across_frames() {
+    // Two different batches over one stream: the second decode must fully
+    // replace the first (reused buffers must not leak rows across frames).
+    let (nodes_a, batch_a) = build_batch(5, 4, &[1, 0, 3, 2, 0, 4, 1], &[1.0, 2.0, 3.0]);
+    let (nodes_b, batch_b) = build_batch(5, 2, &[2, 2], &[9.0, -9.0]);
+    let mut wire = Vec::new();
+    encode_batch(&mut wire, 0, &nodes_a, &batch_a);
+    encode_batch(&mut wire, 1, &nodes_b, &batch_b);
+
+    let mut decoder = WireDecoder::new(5);
+    let mut cursor = Cursor::new(&wire);
+    decoder.poll_frame(&mut cursor).unwrap();
+    assert_eq!(decoder.batch(), &batch_a);
+    decoder.poll_frame(&mut cursor).unwrap();
+    assert_eq!(decoder.nodes(), &nodes_b[..]);
+    assert_eq!(decoder.batch(), &batch_b);
+    assert_eq!(decoder.batch().len(), 2);
+}
