@@ -1,33 +1,43 @@
 //! `bench_snapshot` — the perf-trajectory snapshot binary.
 //!
 //! Runs the headline microbenches in quick mode — the fused scoring
-//! kernel (dense vs sparse, paper scale and a 4× same-density deployment),
-//! sustained serve throughput with and without the response hook
-//! installed, and the end-to-end wire path (TCP loopback through
-//! `lad_wire`, full and degraded fidelity, plus the shed fraction under a
-//! 2× overload) — and writes the numbers to a `BENCH_<pr>.json` at the
-//! repo root, so every PR leaves a comparable perf record behind.
+//! kernel (dense vs scalar-sparse vs SoA-sparse vs memoized, paper scale
+//! and a 4× same-density deployment), sustained serve throughput over a
+//! cores-aware shard curve with the µ cache on and off, the
+//! response-hook idle overhead (with an asserted bound), and the
+//! end-to-end wire path (TCP loopback through `lad_wire`, full and
+//! degraded fidelity, plus the shed fraction under a 2× overload) — and
+//! writes the numbers to a `BENCH_<pr>.json` at the repo root, so every
+//! PR leaves a comparable perf record behind.
 //!
 //! ```text
-//! cargo run --release -p lad_bench --bin bench_snapshot -- [--out BENCH_6.json]
+//! cargo run --release -p lad_bench --bin bench_snapshot -- \
+//!     [--out BENCH_7.json] [--quick] [--compare BENCH_6.json]
 //! ```
+//!
+//! `--quick` shrinks iteration counts for CI; `--compare` prints
+//! per-section deltas against a previous snapshot and flags anything that
+//! got more than 10% worse, so perf regressions stop hiding between PRs.
 
 use lad_core::engine::LadEngine;
 use lad_core::expected::rounded_expected;
-use lad_core::metrics::{score_all_fused, score_all_fused_sparse};
+use lad_core::metrics::{
+    score_all_fused, score_all_fused_sparse, score_all_fused_sparse_soa, FusedSoaScratch,
+};
 use lad_core::{ExpectedObservation, MetricKind};
-use lad_deployment::{DeploymentConfig, DeploymentKnowledge, SparseMu};
+use lad_deployment::{DeploymentConfig, DeploymentKnowledge, MuCache, SparseMu};
 use lad_geometry::Point2;
 use lad_net::{Network, NodeId, ObservationBatch};
 use lad_serve::{ServeConfig, ServeRuntime, TrafficModel};
 use lad_stats::SequentialDetector;
 use lad_wire::{DeliveryStatus, OverloadPolicy, WireClient, WireServer, WireServerConfig};
-use serde::Serialize;
+use serde::{Serialize, Value};
 use std::hint::black_box;
 use std::sync::Arc;
 use std::time::Instant;
 
-/// One dense-vs-sparse kernel measurement.
+/// One kernel measurement: the dense path vs the sparse scalar pass vs the
+/// SoA pass vs the memoized (cache-hit) SoA pass, all bit-identical.
 #[derive(Debug, Serialize)]
 struct KernelScale {
     /// Number of deployment groups `n`.
@@ -36,10 +46,19 @@ struct KernelScale {
     support: usize,
     /// Full per-request dense path: µ fill + fused scan, ns.
     dense_ns_per_score: f64,
-    /// Full per-request sparse path: support fill + sparse fused scan, ns.
+    /// Full per-request sparse path: support fill + scalar fused scan, ns.
     sparse_ns_per_score: f64,
-    /// dense / sparse.
+    /// Support fill + SoA fused scan (single merge, 4-wide pmf lanes), ns.
+    soa_ns_per_score: f64,
+    /// Cache-hit µ lookup + SoA fused scan — the serve hot path on a
+    /// repeated estimate, ns.
+    cached_soa_ns_per_score: f64,
+    /// dense / sparse (the PR-4 headline, kept comparable).
     speedup: f64,
+    /// scalar sparse / SoA (fill included in both).
+    soa_vs_scalar: f64,
+    /// scalar sparse / cached SoA (what memoization buys on a hit).
+    cached_vs_scalar: f64,
 }
 
 /// Sustained serve throughput at one shard count.
@@ -47,13 +66,15 @@ struct KernelScale {
 struct ServeRate {
     shards: usize,
     reports_per_sec: f64,
+    /// Shard-side µ-cache hit rate over the run (0.0 when disabled).
+    mu_cache_hit_rate: f64,
 }
 
 /// The idle-response-hook overhead on the serving hot path: the same
 /// single-shard sustained run with a non-empty `ResponseFilter` installed
 /// whose revocations/regions never match the traffic (worst case for the
-/// per-report check: every report pays the binary search + region scan and
-/// nothing is suppressed).
+/// per-report check: every report pays the suppression scan and nothing is
+/// suppressed).
 #[derive(Debug, Serialize)]
 struct ResponseOverhead {
     /// Single-shard baseline (no filter installed), reports/s.
@@ -62,6 +83,8 @@ struct ResponseOverhead {
     idle_hook_reports_per_sec: f64,
     /// baseline / idle-hook (1.0x = free).
     overhead_factor: f64,
+    /// The bound `overhead_factor` is asserted against in this run.
+    asserted_bound: f64,
 }
 
 /// End-to-end wire ingest (TCP loopback through `lad_wire`, one shard,
@@ -92,29 +115,67 @@ struct WireRate {
 struct Snapshot {
     pr: u32,
     unix_time: u64,
+    /// Cores available to this run — the shard-scaling curve only covers
+    /// shard counts ≤ this (shards beyond cores time-slice one CPU and
+    /// measure the scheduler, not the architecture).
+    cores: usize,
+    /// Whether this snapshot was taken with `--quick` (shorter windows;
+    /// noisier numbers).
+    quick: bool,
     kernel_paper_scale: KernelScale,
     kernel_4x_scale: KernelScale,
     serve: Vec<ServeRate>,
+    /// Single-shard run with µ memoization disabled — the same workload
+    /// as `serve[0]`, isolating what the cache buys end to end.
+    serve_uncached_1shard: ServeRate,
     serve_response_idle: ResponseOverhead,
     wire: WireRate,
 }
 
-fn time_ns<F: FnMut() -> f64>(mut f: F) -> f64 {
+/// Timing knobs: `--quick` shrinks every window so CI finishes in seconds.
+#[derive(Clone, Copy)]
+struct Effort {
+    kernel_warmup: u32,
+    kernel_iters: u32,
+    serve_passes: usize,
+    wire_passes: u64,
+}
+
+impl Effort {
+    fn full() -> Self {
+        Self {
+            kernel_warmup: 10_000,
+            kernel_iters: 200_000,
+            serve_passes: 12,
+            wire_passes: 48,
+        }
+    }
+
+    fn quick() -> Self {
+        Self {
+            kernel_warmup: 2_000,
+            kernel_iters: 20_000,
+            serve_passes: 3,
+            wire_passes: 8,
+        }
+    }
+}
+
+fn time_ns<F: FnMut() -> f64>(effort: Effort, mut f: F) -> f64 {
     // Warm up, then time enough iterations for a stable mean.
     let mut sink = 0.0;
-    for _ in 0..10_000 {
+    for _ in 0..effort.kernel_warmup {
         sink += f();
     }
-    let iters = 200_000u32;
     let t0 = Instant::now();
-    for _ in 0..iters {
+    for _ in 0..effort.kernel_iters {
         sink += f();
     }
     black_box(sink);
-    t0.elapsed().as_nanos() as f64 / iters as f64
+    t0.elapsed().as_nanos() as f64 / effort.kernel_iters as f64
 }
 
-fn kernel_scale(cfg: &DeploymentConfig, at: Point2, obs_at: Point2) -> KernelScale {
+fn kernel_scale(effort: Effort, cfg: &DeploymentConfig, at: Point2, obs_at: Point2) -> KernelScale {
     let knowledge = DeploymentKnowledge::shared(cfg);
     let obs = rounded_expected(&knowledge.expected_observation(obs_at));
     let mut batch = ObservationBatch::new(knowledge.group_count());
@@ -124,26 +185,44 @@ fn kernel_scale(cfg: &DeploymentConfig, at: Point2, obs_at: Point2) -> KernelSca
     let support = smu.len();
 
     let mut dense = ExpectedObservation::new();
-    let dense_ns = time_ns(|| {
+    let dense_ns = time_ns(effort, || {
         dense.fill(&knowledge, black_box(at));
         score_all_fused(black_box(&obs), dense.mu(), cfg.group_size)[0]
     });
-    let sparse_ns = time_ns(|| {
+    let sparse_ns = time_ns(effort, || {
         knowledge.expected_sparse_into(black_box(at), &mut smu);
         score_all_fused_sparse(black_box(batch.row(0)), &smu)[0]
+    });
+    let mut soa = FusedSoaScratch::new();
+    let soa_ns = time_ns(effort, || {
+        knowledge.expected_sparse_into(black_box(at), &mut smu);
+        score_all_fused_sparse_soa(black_box(batch.row(0)), &smu, &mut soa)[0]
+    });
+    // The memoized hot path: after the first fill every iteration is a
+    // cache hit — exactly what a serve shard pays on a repeated estimate.
+    let mut cache = MuCache::new(64);
+    let cached_ns = time_ns(effort, || {
+        let cached = knowledge.expected_sparse_cached(black_box(at), &mut cache);
+        score_all_fused_sparse_soa(black_box(batch.row(0)), cached, &mut soa)[0]
     });
     KernelScale {
         groups: knowledge.group_count(),
         support,
         dense_ns_per_score: dense_ns,
         sparse_ns_per_score: sparse_ns,
+        soa_ns_per_score: soa_ns,
+        cached_soa_ns_per_score: cached_ns,
         speedup: dense_ns / sparse_ns,
+        soa_vs_scalar: sparse_ns / soa_ns,
+        cached_vs_scalar: sparse_ns / cached_ns,
     }
 }
 
 /// The shared serving workload: a calibrated single-metric detector plus
 /// 8 pre-built rounds of clean traffic from 512 nodes. Both the in-process
-/// and the wire measurements replay exactly these batches.
+/// and the wire measurements replay exactly these batches; replaying them
+/// also makes the workload estimate-repetitive (4096 distinct estimates),
+/// which is the regime the µ cache targets.
 struct Workload {
     engine: Arc<LadEngine>,
     detector: SequentialDetector,
@@ -182,11 +261,35 @@ fn serve_workload() -> Workload {
     }
 }
 
-fn serve_rate(shards: usize) -> ServeRate {
-    serve_rate_with(shards, false)
+fn serve_rate(effort: Effort, shards: usize) -> ServeRate {
+    serve_rate_with(effort, shards, false, None)
 }
 
-fn serve_rate_with(shards: usize, with_idle_hook: bool) -> ServeRate {
+/// Best-of-`n` wrapper around a serve measurement: single-core boxes see
+/// ±20% scheduler interference on one-shot timing windows, so every rate
+/// that feeds a ratio (overhead factor, cache win, the headline) is the
+/// best of `n` independent runs — the standard unloaded-estimate
+/// technique, applied identically to both sides of each ratio.
+fn best_of(n: usize, mut run: impl FnMut() -> ServeRate) -> ServeRate {
+    let mut best = run();
+    for _ in 1..n {
+        let candidate = run();
+        if candidate.reports_per_sec > best.reports_per_sec {
+            best = candidate;
+        }
+    }
+    best
+}
+
+/// One sustained in-process serve measurement. `mu_cache_capacity`
+/// overrides the [`ServeConfig`] default when given (`Some(0)` disables
+/// memoization).
+fn serve_rate_with(
+    effort: Effort,
+    shards: usize,
+    with_idle_hook: bool,
+    mu_cache_capacity: Option<usize>,
+) -> ServeRate {
     let Workload {
         engine,
         detector,
@@ -194,13 +297,13 @@ fn serve_rate_with(shards: usize, with_idle_hook: bool) -> ServeRate {
         reports_per_pass,
     } = serve_workload();
 
-    let runtime = ServeRuntime::start(
-        engine,
-        ServeConfig::new(MetricKind::Diff, detector)
-            .with_shards(shards)
-            .with_queue_depth(4),
-    )
-    .expect("runtime starts");
+    let mut config = ServeConfig::new(MetricKind::Diff, detector)
+        .with_shards(shards)
+        .with_queue_depth(4);
+    if let Some(capacity) = mu_cache_capacity {
+        config = config.with_mu_cache_capacity(capacity);
+    }
+    let runtime = ServeRuntime::start(engine, config).expect("runtime starts");
     if with_idle_hook {
         runtime.install_response_filter(lad_bench::idle_response_filter());
     }
@@ -211,24 +314,30 @@ fn serve_rate_with(shards: usize, with_idle_hook: bool) -> ServeRate {
         round_counter += 1;
     }
     runtime.sync();
-    let passes = 12;
     let t0 = Instant::now();
-    for _ in 0..passes {
+    for _ in 0..effort.serve_passes {
         for (nodes, rows) in &rounds {
             runtime.submit_rows(round_counter, nodes, rows);
             round_counter += 1;
         }
     }
     runtime.sync();
-    let rate = (reports_per_pass * passes) as f64 / t0.elapsed().as_secs_f64();
+    let rate = (reports_per_pass * effort.serve_passes) as f64 / t0.elapsed().as_secs_f64();
     let report = runtime.shutdown();
     assert_eq!(
         report.counters.suppressed, 0,
         "the idle filter must suppress nothing"
     );
+    let lookups = report.counters.mu_cache_hits + report.counters.mu_cache_misses;
+    let hit_rate = if lookups == 0 {
+        0.0
+    } else {
+        report.counters.mu_cache_hits as f64 / lookups as f64
+    };
     ServeRate {
         shards,
         reports_per_sec: rate,
+        mu_cache_hit_rate: hit_rate,
     }
 }
 
@@ -301,15 +410,162 @@ fn wire_run(policy: OverloadPolicy, passes: u64) -> (f64, u64, u64) {
     (rate, accepted, offered)
 }
 
+/// A numeric metric extracted from a snapshot for `--compare`: name,
+/// value, and whether larger is better (throughput) or worse (ns, ratio).
+struct Metric {
+    name: &'static str,
+    value: f64,
+    higher_is_better: bool,
+}
+
+/// The comparable metric set of the *current* snapshot.
+fn metrics_of(snap: &Snapshot) -> Vec<Metric> {
+    let mut out = vec![
+        Metric {
+            name: "kernel_paper_scale.dense_ns_per_score",
+            value: snap.kernel_paper_scale.dense_ns_per_score,
+            higher_is_better: false,
+        },
+        Metric {
+            name: "kernel_paper_scale.sparse_ns_per_score",
+            value: snap.kernel_paper_scale.sparse_ns_per_score,
+            higher_is_better: false,
+        },
+        Metric {
+            name: "kernel_4x_scale.dense_ns_per_score",
+            value: snap.kernel_4x_scale.dense_ns_per_score,
+            higher_is_better: false,
+        },
+        Metric {
+            name: "kernel_4x_scale.sparse_ns_per_score",
+            value: snap.kernel_4x_scale.sparse_ns_per_score,
+            higher_is_better: false,
+        },
+        Metric {
+            name: "serve_response_idle.overhead_factor",
+            value: snap.serve_response_idle.overhead_factor,
+            higher_is_better: false,
+        },
+        Metric {
+            name: "wire.reports_per_sec",
+            value: snap.wire.reports_per_sec,
+            higher_is_better: true,
+        },
+        Metric {
+            name: "wire.degraded_reports_per_sec",
+            value: snap.wire.degraded_reports_per_sec,
+            higher_is_better: true,
+        },
+    ];
+    for rate in &snap.serve {
+        // One entry per shard count; the old snapshot is matched by count.
+        let name: &'static str = match rate.shards {
+            1 => "serve.1shard.reports_per_sec",
+            2 => "serve.2shard.reports_per_sec",
+            4 => "serve.4shard.reports_per_sec",
+            8 => "serve.8shard.reports_per_sec",
+            _ => continue,
+        };
+        out.push(Metric {
+            name,
+            value: rate.reports_per_sec,
+            higher_is_better: true,
+        });
+    }
+    out
+}
+
+/// Looks up a dotted path (`a.b.c`) in a parsed snapshot; the synthetic
+/// `serve.<n>shard.*` segments index the `serve` array by its per-entry
+/// `shards` field, so snapshots from runs with different curves still
+/// align.
+fn lookup(old: &Value, path: &str) -> Option<f64> {
+    let mut node = old;
+    for seg in path.split('.') {
+        if let Some(count) = seg.strip_suffix("shard") {
+            let want: u64 = count.parse().ok()?;
+            node = node
+                .as_array()?
+                .iter()
+                .find(|e| e.get("shards").and_then(Value::as_u64) == Some(want))?;
+        } else if let Some(next) = node.get(seg) {
+            node = next;
+        } else {
+            return None;
+        }
+    }
+    node.as_f64()
+}
+
+/// Prints per-section deltas vs a previous `BENCH_N.json` and flags every
+/// metric that got >10% worse. Returns the number of flagged regressions.
+fn compare_snapshots(old_path: &str, snap: &Snapshot) -> usize {
+    let text =
+        std::fs::read_to_string(old_path).unwrap_or_else(|e| panic!("--compare {old_path}: {e}"));
+    let old = serde_json::parse_value(&text)
+        .unwrap_or_else(|e| panic!("--compare {old_path}: parse error {e:?}"));
+    let old_pr = old.get("pr").and_then(Value::as_u64).unwrap_or(0);
+    println!("== delta vs {old_path} (PR {old_pr}) ==");
+    let mut regressions = 0usize;
+    for metric in metrics_of(snap) {
+        let Some(before) = lookup(&old, metric.name) else {
+            println!("  {:<44} (not in old snapshot)", metric.name);
+            continue;
+        };
+        if before == 0.0 {
+            continue;
+        }
+        let change = metric.value / before - 1.0;
+        // "Better" is the metric's good direction; a >10% move the wrong
+        // way is flagged as a regression.
+        let worse = if metric.higher_is_better {
+            -change
+        } else {
+            change
+        };
+        let flag = if worse > 0.10 {
+            regressions += 1;
+            "  ⚠ REGRESSION >10%"
+        } else {
+            ""
+        };
+        println!(
+            "  {:<44} {:>14.1} -> {:>14.1}  ({:+.1}%){flag}",
+            metric.name,
+            before,
+            metric.value,
+            change * 100.0,
+        );
+    }
+    if regressions > 0 {
+        println!("  {regressions} metric(s) regressed by more than 10%");
+    }
+    regressions
+}
+
 fn main() {
-    let mut out = String::from("BENCH_6.json");
+    let mut out = String::from("BENCH_7.json");
+    let mut quick = false;
+    let mut compare: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--out" => out = args.next().expect("--out needs a path"),
-            other => panic!("unknown argument {other} (supported: --out <path>)"),
+            "--quick" => quick = true,
+            "--compare" => compare = Some(args.next().expect("--compare needs a path")),
+            other => panic!(
+                "unknown argument {other} (supported: --out <path>, --quick, --compare <path>)"
+            ),
         }
     }
+    let effort = if quick {
+        Effort::quick()
+    } else {
+        Effort::full()
+    };
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
 
     let paper = DeploymentConfig::paper_default();
     let big = DeploymentConfig {
@@ -318,18 +574,44 @@ fn main() {
         grid_rows: 20,
         ..paper
     };
-    let serve = vec![serve_rate(1), serve_rate(2)];
-    let idle = serve_rate_with(1, true);
+    // Cores-aware scaling curve: shard counts beyond the machine's cores
+    // time-slice one CPU and measure the scheduler, not the architecture,
+    // so they are excluded (BENCH_6's "2 shards < 1 shard" line was a
+    // 1-core artifact presented without context).
+    let shard_counts: Vec<usize> = [1usize, 2, 4, 8]
+        .into_iter()
+        .filter(|&s| s <= cores.max(1))
+        .collect();
+    let serve: Vec<ServeRate> = shard_counts
+        .iter()
+        .map(|&s| best_of(3, || serve_rate(effort, s)))
+        .collect();
+    let serve_uncached = best_of(3, || serve_rate_with(effort, 1, false, Some(0)));
+    let idle = best_of(3, || serve_rate_with(effort, 1, true, None));
+    // The idle hook must stay near-free: with the single-shard bulk
+    // handoff, a non-matching filter costs one suppression scan per
+    // report on the submit thread (a 16-id binary search plus two circle
+    // checks) and nothing else. The bound is looser under --quick (short
+    // windows on a loaded CI box stay scheduler-noisy even best-of-3).
+    let idle_bound = if quick { 1.5 } else { 1.25 };
+    let overhead_factor = serve[0].reports_per_sec / idle.reports_per_sec;
+    assert!(
+        overhead_factor < idle_bound,
+        "idle response-filter overhead {overhead_factor:.3}x exceeds the {idle_bound}x bound"
+    );
     // Longer windows than the in-process runs: the wire path shares the
     // core with its client, so short windows are scheduler-noise-bound.
-    let (wire_rps, _, _) = wire_run(OverloadPolicy::default(), 48);
-    let (degraded_rps, _, _) = wire_run(OverloadPolicy::default().with_degrade_depth(0), 48);
+    let (wire_rps, _, _) = wire_run(OverloadPolicy::default(), effort.wire_passes);
+    let (degraded_rps, _, _) = wire_run(
+        OverloadPolicy::default().with_degrade_depth(0),
+        effort.wire_passes,
+    );
     // Offer at full client speed against a budget of half the measured
     // wire capacity: a ≥2× saturation by construction.
     let burst = serve_workload().reports_per_pass as f64;
     let (_, overload_accepted, overload_offered) = wire_run(
         OverloadPolicy::default().with_rate_limit(wire_rps * 0.5, burst),
-        48,
+        effort.wire_passes,
     );
     let in_process = serve[0].reports_per_sec;
     let wire = WireRate {
@@ -341,17 +623,21 @@ fn main() {
             / overload_offered as f64,
     };
     let snapshot = Snapshot {
-        pr: 6,
+        pr: 7,
         unix_time: std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
             .map(|d| d.as_secs())
             .unwrap_or(0),
+        cores,
+        quick,
         kernel_paper_scale: kernel_scale(
+            effort,
             &paper,
             Point2::new(500.0, 400.0),
             Point2::new(480.0, 410.0),
         ),
         kernel_4x_scale: kernel_scale(
+            effort,
             &big,
             Point2::new(980.0, 1110.0),
             Point2::new(1000.0, 1100.0),
@@ -359,13 +645,21 @@ fn main() {
         serve_response_idle: ResponseOverhead {
             baseline_reports_per_sec: serve[0].reports_per_sec,
             idle_hook_reports_per_sec: idle.reports_per_sec,
-            overhead_factor: serve[0].reports_per_sec / idle.reports_per_sec,
+            overhead_factor,
+            asserted_bound: idle_bound,
         },
         serve,
+        serve_uncached_1shard: serve_uncached,
         wire,
     };
     let json = serde_json::to_string_pretty(&snapshot).expect("snapshot serialises");
     std::fs::write(&out, format!("{json}\n")).expect("snapshot written");
     println!("{json}");
     println!("wrote {out}");
+    if let Some(old_path) = compare {
+        // Informational, not a gate: on shared/1-core runners whole-run
+        // drift between snapshots routinely exceeds 10% in both
+        // directions; the flags make regressions visible in the log.
+        compare_snapshots(&old_path, &snapshot);
+    }
 }

@@ -49,10 +49,10 @@
 
 use crate::detector::{LadDetector, Verdict};
 use crate::expected::ExpectedObservation;
-use crate::metrics::{DetectionMetric, MetricKind};
+use crate::metrics::{DetectionMetric, FusedSoaScratch, MetricKind};
 use crate::threshold::TrainedThresholds;
 use crate::training::{Trainer, TrainingConfig};
-use lad_deployment::{DeploymentConfig, DeploymentKnowledge, SparseMu};
+use lad_deployment::{DeploymentConfig, DeploymentKnowledge, MuCache, SparseMu};
 use lad_geometry::Point2;
 pub use lad_localization::LocalizationScheme;
 use lad_net::{Network, NodeId, Observation, ObservationBatch};
@@ -323,14 +323,24 @@ impl LadEngineBuilder {
     }
 }
 
+/// Per-thread reusable scoring buffers: the sparse µ fill target, the dense
+/// expected-observation buffer backing the non-fused legacy path, and the
+/// SoA lanes of the fused kernels.
+#[derive(Default)]
+struct EngineScratch {
+    /// Sparse µ fill target (every scoring path fills it per estimate).
+    smu: SparseMu,
+    /// Dense µ buffer; only backs the non-fused legacy path.
+    dense: ExpectedObservation,
+    /// Structure-of-arrays lanes for the fused SoA kernels.
+    soa: FusedSoaScratch,
+}
+
 thread_local! {
     /// Per-thread µ scratch: `verify_batch`/`score_batch` fill this once per
     /// request and hand it to every metric, so the hot path performs no
-    /// allocation after each worker thread's first request. The sparse
-    /// buffer is the hot one (every scoring path fills it per estimate);
-    /// the dense buffer only backs the non-fused legacy path.
-    static MU_SCRATCH: RefCell<(SparseMu, ExpectedObservation)> =
-        RefCell::new((SparseMu::new(), ExpectedObservation::new()));
+    /// allocation after each worker thread's first request.
+    static MU_SCRATCH: RefCell<EngineScratch> = RefCell::new(EngineScratch::default());
 }
 
 /// The batched, pluggable, versioned LAD detection engine.
@@ -479,7 +489,7 @@ impl LadEngine {
     /// scratch buffer (filled in place — no allocation besides the output).
     fn verdict_with(
         &self,
-        scratch: &mut (SparseMu, ExpectedObservation),
+        scratch: &mut EngineScratch,
         observation: &Observation,
         estimate: Point2,
     ) -> MultiVerdict {
@@ -489,9 +499,10 @@ impl LadEngine {
             // Sparse fused kernel: fill the O(k) µ support once, then score
             // all three metrics in a single merged pass over the support and
             // the observation's nonzeros (bit-identical to the dense pass).
-            let smu = &mut scratch.0;
+            let smu = &mut scratch.smu;
             self.knowledge.expected_sparse_into(estimate, smu);
-            let scores = crate::metrics::score_all_fused_sparse_obs(observation, smu);
+            let scores =
+                crate::metrics::score_all_fused_sparse_obs_soa(observation, smu, &mut scratch.soa);
             for (i, (&score, &threshold)) in
                 scores.iter().zip(&self.artifact.thresholds).enumerate()
             {
@@ -505,7 +516,7 @@ impl LadEngine {
                 });
             }
         } else {
-            let expected = &mut scratch.1;
+            let expected = &mut scratch.dense;
             expected.fill(&self.knowledge, estimate);
             for (scorer, &threshold) in self.scorers.iter().zip(&self.artifact.thresholds) {
                 let score = scorer.score_from_expected(expected, observation);
@@ -532,19 +543,20 @@ impl LadEngine {
     /// path.
     fn scores_with_into(
         &self,
-        scratch: &mut (SparseMu, ExpectedObservation),
+        scratch: &mut EngineScratch,
         observation: &Observation,
         estimate: Point2,
         out: &mut [f64],
     ) {
         debug_assert_eq!(out.len(), self.scorers.len());
         if self.fused {
-            let smu = &mut scratch.0;
+            let smu = &mut scratch.smu;
             self.knowledge.expected_sparse_into(estimate, smu);
-            let scores = crate::metrics::score_all_fused_sparse_obs(observation, smu);
+            let scores =
+                crate::metrics::score_all_fused_sparse_obs_soa(observation, smu, &mut scratch.soa);
             out.copy_from_slice(&scores);
         } else {
-            let expected = &mut scratch.1;
+            let expected = &mut scratch.dense;
             expected.fill(&self.knowledge, estimate);
             for (slot, scorer) in out.iter_mut().zip(&self.scorers) {
                 *slot = scorer.score_from_expected(expected, observation);
@@ -556,7 +568,7 @@ impl LadEngine {
     /// caller-supplied µ scratch buffer.
     fn scores_with(
         &self,
-        scratch: &mut (SparseMu, ExpectedObservation),
+        scratch: &mut EngineScratch,
         observation: &Observation,
         estimate: Point2,
     ) -> Vec<f64> {
@@ -775,12 +787,12 @@ impl LadEngine {
         );
         MU_SCRATCH.with(|cell| {
             let scratch = &mut *cell.borrow_mut();
-            let smu = &mut scratch.0;
+            let EngineScratch { smu, soa, .. } = scratch;
             for (r, row_out) in range.zip(out.chunks_exact_mut(width)) {
                 self.knowledge.expected_sparse_into(batch.estimate(r), smu);
                 let row = batch.row(r);
                 if self.fused {
-                    let scores = crate::metrics::score_all_fused_sparse(row, smu);
+                    let scores = crate::metrics::score_all_fused_sparse_soa(row, smu, soa);
                     row_out.copy_from_slice(&scores);
                 } else {
                     for (slot, scorer) in row_out.iter_mut().zip(&self.scorers) {
@@ -804,6 +816,58 @@ impl LadEngine {
     /// batch's group count differs from the engine's deployment.
     pub fn score_rows_seq_into(&self, batch: &ObservationBatch, out: &mut [f64]) {
         self.score_rows_range_into(batch, 0..batch.len(), out);
+    }
+
+    /// [`Self::score_rows_seq_into`] with the µ fill memoized through a
+    /// caller-owned [`MuCache`]: repeated estimates skip the
+    /// `SupportIndex` walk and the g(z)-table evaluations entirely and
+    /// score straight off the cached support.
+    ///
+    /// Scores are **bit-identical** to the uncached call — a cache hit
+    /// returns the `SparseMu` that `expected_sparse_into` produced for the
+    /// same exact estimate bits (see [`MuCache`]) — so callers choose
+    /// between the two on cost alone. The cache must be dedicated to this
+    /// engine's deployment; `lad_serve` shards own one per shard next to
+    /// their engine clone.
+    ///
+    /// # Panics
+    /// Panics when `out.len() != batch.len() * self.metrics().len()` or the
+    /// batch's group count differs from the engine's deployment.
+    pub fn score_rows_seq_cached_into(
+        &self,
+        batch: &ObservationBatch,
+        cache: &mut MuCache,
+        out: &mut [f64],
+    ) {
+        let width = self.scorers.len();
+        assert_eq!(
+            batch.group_count(),
+            self.knowledge.group_count(),
+            "batch/deployment group-count mismatch"
+        );
+        assert_eq!(
+            out.len(),
+            batch.len() * width,
+            "output buffer must hold {width} scores per row"
+        );
+        MU_SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            let soa = &mut scratch.soa;
+            for (r, row_out) in (0..batch.len()).zip(out.chunks_exact_mut(width)) {
+                let smu = self
+                    .knowledge
+                    .expected_sparse_cached(batch.estimate(r), cache);
+                let row = batch.row(r);
+                if self.fused {
+                    let scores = crate::metrics::score_all_fused_sparse_soa(row, smu, soa);
+                    row_out.copy_from_slice(&scores);
+                } else {
+                    for (slot, scorer) in row_out.iter_mut().zip(&self.scorers) {
+                        *slot = scorer.score_sparse(row, smu);
+                    }
+                }
+            }
+        });
     }
 
     /// Scores a CSR batch sequentially with **one** configured metric — one
@@ -846,12 +910,50 @@ impl LadEngine {
         let scorer = &self.scorers[idx];
         MU_SCRATCH.with(|cell| {
             let scratch = &mut *cell.borrow_mut();
-            let smu = &mut scratch.0;
+            let smu = &mut scratch.smu;
             for (r, slot) in out.iter_mut().enumerate() {
                 self.knowledge.expected_sparse_into(batch.estimate(r), smu);
                 *slot = scorer.score_sparse(batch.row(r), smu);
             }
         });
+    }
+
+    /// [`Self::score_rows_seq_one_into`] with the µ fill memoized through a
+    /// caller-owned [`MuCache`] — the degraded serving kernel with the same
+    /// cached-µ fast path (and the same bit-exactness argument) as
+    /// [`Self::score_rows_seq_cached_into`].
+    ///
+    /// # Panics
+    /// Panics when `metric` is not configured on this engine, when
+    /// `out.len() != batch.len()`, or when the batch's group count differs
+    /// from the engine's deployment.
+    pub fn score_rows_seq_one_cached_into(
+        &self,
+        batch: &ObservationBatch,
+        metric: MetricKind,
+        cache: &mut MuCache,
+        out: &mut [f64],
+    ) {
+        let idx = self
+            .metric_index(metric)
+            .unwrap_or_else(|| panic!("metric {} not configured on this engine", metric.name()));
+        assert_eq!(
+            batch.group_count(),
+            self.knowledge.group_count(),
+            "batch/deployment group-count mismatch"
+        );
+        assert_eq!(
+            out.len(),
+            batch.len(),
+            "output buffer must hold one score per row"
+        );
+        let scorer = &self.scorers[idx];
+        for (r, slot) in out.iter_mut().enumerate() {
+            let smu = self
+                .knowledge
+                .expected_sparse_cached(batch.estimate(r), cache);
+            *slot = scorer.score_sparse(batch.row(r), smu);
+        }
     }
 
     /// Upper bound on the number of requests each worker-thread chunk

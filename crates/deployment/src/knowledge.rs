@@ -10,6 +10,7 @@
 use crate::config::DeploymentConfig;
 use crate::gz::GzTable;
 use crate::layout::DeploymentLayout;
+use crate::mu_cache::MuCache;
 use crate::placement::PlacementModel;
 use crate::sparse::{SparseMu, SupportIndex};
 use lad_geometry::Point2;
@@ -236,6 +237,22 @@ impl DeploymentKnowledge {
         let mut out = SparseMu::new();
         self.expected_sparse_into(theta, &mut out);
         out
+    }
+
+    /// The sparse expected observation at `θ`, memoized through `cache`.
+    ///
+    /// A miss runs [`Self::expected_sparse_into`] into the cache slot; a
+    /// hit returns the `SparseMu` that fill produced for the **same
+    /// estimate bits** — bit-identical to the uncached call by
+    /// construction (see [`MuCache`]). The cache must be used with a
+    /// single `DeploymentKnowledge`; pairing it with another deployment
+    /// returns that deployment's stale µ values.
+    pub fn expected_sparse_cached<'c>(
+        &self,
+        theta: Point2,
+        cache: &'c mut MuCache,
+    ) -> &'c SparseMu {
+        cache.get_or_fill(theta, |out| self.expected_sparse_into(theta, out))
     }
 
     /// Upper end of the tabulated g(z) domain — the radius of the support

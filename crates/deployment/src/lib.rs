@@ -28,6 +28,7 @@ pub mod config;
 pub mod gz;
 pub mod knowledge;
 pub mod layout;
+pub mod mu_cache;
 pub mod placement;
 pub mod sparse;
 
@@ -35,5 +36,6 @@ pub use config::DeploymentConfig;
 pub use gz::{gz_exact, GzTable, PreparedGz};
 pub use knowledge::DeploymentKnowledge;
 pub use layout::{DeploymentLayout, LayoutKind};
+pub use mu_cache::MuCache;
 pub use placement::PlacementModel;
 pub use sparse::SparseMu;

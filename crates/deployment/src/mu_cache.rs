@@ -1,0 +1,279 @@
+//! Estimate-keyed memoization of the sparse expected observation `µ(θ)`.
+//!
+//! `µ(θ)` is a pure function of the estimate: at serve scale many reports
+//! repeat the same estimate bits (a node re-reporting its position, replayed
+//! rounds, stationary populations), and every repeat re-pays the support
+//! fill — the spatial-grid query plus ~k `√d²` → g(z)-table evaluations per
+//! report that BENCH_4/5/6 identify as the irreducible per-request floor.
+//!
+//! [`MuCache`] removes that floor for repeated estimates. It is a bounded
+//! set-associative cache keyed on the **exact IEEE-754 bits** of the
+//! estimate (`x.to_bits(), y.to_bits()`), so a hit returns a `SparseMu`
+//! that was produced by the very same
+//! [`expected_sparse_into`](crate::DeploymentKnowledge::expected_sparse_into)
+//! float program for the very same input — **bit-exactness by
+//! construction**, with nothing to prove about quantization. (Keying on the
+//! `SupportIndex` grid cell alone would *not* be exact: the candidate list
+//! is cell-resolved, but the µ values vary continuously within a cell.)
+//!
+//! Eviction is CLOCK within each set: a hit sets the slot's referenced
+//! bit, a miss sweeps the set's hand past referenced slots (clearing them)
+//! and replaces the first unreferenced one — an LRU approximation with no
+//! per-hit bookkeeping beyond one bit. The cache is **derived state**: it
+//! is never serialized, never snapshotted, and owning layers (a `lad_serve`
+//! shard, an eval thread) drop and rebuild it freely.
+
+use crate::sparse::SparseMu;
+use lad_geometry::Point2;
+use lad_stats::seeds::splitmix64;
+
+/// One cache slot: the exact estimate-bit key plus the memoized support.
+#[derive(Debug, Clone, Default)]
+struct Slot {
+    /// `θ.x.to_bits()` of the memoized estimate.
+    key_x: u64,
+    /// `θ.y.to_bits()` of the memoized estimate.
+    key_y: u64,
+    /// Whether the slot holds a memoized entry at all.
+    valid: bool,
+    /// CLOCK referenced bit: set on hit, cleared as the hand sweeps by.
+    referenced: bool,
+    /// The memoized sparse expected observation.
+    mu: SparseMu,
+}
+
+/// A bounded, set-associative, exact-key cache of sparse expected
+/// observations. See the [module docs](self) for the design and the
+/// bit-exactness argument.
+///
+/// One cache belongs to **one** [`DeploymentKnowledge`] object (entries are
+/// meaningless under any other deployment); the owning layer enforces that
+/// by construction — a `lad_serve` shard builds its cache next to its
+/// engine clone. Lookups go through
+/// [`DeploymentKnowledge::expected_sparse_cached`].
+///
+/// [`DeploymentKnowledge`]: crate::DeploymentKnowledge
+/// [`DeploymentKnowledge::expected_sparse_cached`]: crate::DeploymentKnowledge::expected_sparse_cached
+#[derive(Debug, Clone)]
+pub struct MuCache {
+    /// All slots, `sets × WAYS`, set-major.
+    slots: Vec<Slot>,
+    /// Number of sets (a power of two).
+    set_mask: u64,
+    /// Per-set CLOCK hand (index into the set's ways).
+    hands: Vec<u8>,
+    hits: u64,
+    misses: u64,
+}
+
+impl MuCache {
+    /// Associativity: slots per set. 4 ways keeps conflict misses rare at
+    /// the cost of a 4-probe lookup, and bounds the CLOCK sweep.
+    pub const WAYS: usize = 4;
+
+    /// Builds a cache with room for at least `capacity` memoized estimates
+    /// (rounded up to a power-of-two number of [`Self::WAYS`]-slot sets).
+    ///
+    /// # Panics
+    /// Panics when `capacity` is 0 — disabled caching is the *absence* of a
+    /// `MuCache`, not an always-missing one.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MuCache capacity must be ≥ 1");
+        let sets = capacity.div_ceil(Self::WAYS).next_power_of_two();
+        Self {
+            slots: vec![Slot::default(); sets * Self::WAYS],
+            set_mask: sets as u64 - 1,
+            hands: vec![0; sets],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Total slot capacity (sets × ways).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of memoized estimates currently held.
+    pub fn len(&self) -> usize {
+        self.slots.iter().filter(|s| s.valid).count()
+    }
+
+    /// Whether the cache holds no entries yet.
+    pub fn is_empty(&self) -> bool {
+        self.slots.iter().all(|s| !s.valid)
+    }
+
+    /// Hits since construction (or the last [`Self::take_stats`]).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses since construction (or the last [`Self::take_stats`]).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Returns `(hits, misses)` accumulated since the last call and resets
+    /// both to zero — how a serve shard flushes cache telemetry into its
+    /// shared counters once per batch.
+    pub fn take_stats(&mut self) -> (u64, u64) {
+        let out = (self.hits, self.misses);
+        self.hits = 0;
+        self.misses = 0;
+        out
+    }
+
+    /// Drops every memoized entry (allocations kept; counters untouched).
+    pub fn clear(&mut self) {
+        for slot in &mut self.slots {
+            slot.valid = false;
+            slot.referenced = false;
+        }
+    }
+
+    /// The set index for an estimate key: both coordinate bit patterns run
+    /// through SplitMix64 so nearby floats (which share high bits) spread
+    /// over the sets.
+    #[inline]
+    fn set_of(&self, key_x: u64, key_y: u64) -> usize {
+        (splitmix64(key_x ^ splitmix64(key_y)) & self.set_mask) as usize
+    }
+
+    /// Returns the memoized `µ(θ)`, calling `fill` to produce it on a miss.
+    ///
+    /// The hit path compares the exact estimate bits, so whatever `fill`
+    /// wrote for those bits is returned unchanged — the caller's fill
+    /// function *is* the float program, the cache only replays its output.
+    pub fn get_or_fill<F>(&mut self, theta: Point2, fill: F) -> &SparseMu
+    where
+        F: FnOnce(&mut SparseMu),
+    {
+        let (key_x, key_y) = (theta.x.to_bits(), theta.y.to_bits());
+        let base = self.set_of(key_x, key_y) * Self::WAYS;
+        let mut found = None;
+        for way in 0..Self::WAYS {
+            let slot = &self.slots[base + way];
+            if slot.valid && slot.key_x == key_x && slot.key_y == key_y {
+                found = Some(base + way);
+                break;
+            }
+        }
+        let idx = match found {
+            Some(idx) => {
+                self.hits += 1;
+                self.slots[idx].referenced = true;
+                idx
+            }
+            None => {
+                self.misses += 1;
+                let idx = self.victim(base);
+                let slot = &mut self.slots[idx];
+                slot.key_x = key_x;
+                slot.key_y = key_y;
+                slot.valid = true;
+                slot.referenced = true;
+                fill(&mut slot.mu);
+                idx
+            }
+        };
+        &self.slots[idx].mu
+    }
+
+    /// CLOCK victim selection within the set starting at `base`: prefer an
+    /// invalid slot, otherwise sweep the hand past referenced slots
+    /// (clearing their bits) and take the first unreferenced one. Bounded:
+    /// after one full sweep every bit is clear, so the second probe wins.
+    fn victim(&mut self, base: usize) -> usize {
+        for way in 0..Self::WAYS {
+            if !self.slots[base + way].valid {
+                return base + way;
+            }
+        }
+        let set = base / Self::WAYS;
+        loop {
+            let hand = self.hands[set] as usize;
+            self.hands[set] = ((hand + 1) % Self::WAYS) as u8;
+            let slot = &mut self.slots[base + hand];
+            if slot.referenced {
+                slot.referenced = false;
+            } else {
+                return base + hand;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill_tagged(tag: u32) -> impl FnOnce(&mut SparseMu) {
+        move |out: &mut SparseMu| {
+            *out = SparseMu::from_entries(vec![(tag, tag as f64)], 100, 10);
+        }
+    }
+
+    #[test]
+    fn hit_returns_the_first_fill_without_refilling() {
+        let mut cache = MuCache::new(8);
+        let theta = Point2::new(12.5, -3.25);
+        let first = cache.get_or_fill(theta, fill_tagged(1)).clone();
+        // A second lookup must not call fill again (fill_tagged(2) would
+        // overwrite the entry if it ran).
+        let second = cache.get_or_fill(theta, fill_tagged(2)).clone();
+        assert_eq!(first.entries(), second.entries());
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn distinct_bit_patterns_are_distinct_keys() {
+        let mut cache = MuCache::new(8);
+        let a = Point2::new(1.0, 2.0);
+        let b = Point2::new(1.0, 2.0f64.next_up());
+        cache.get_or_fill(a, fill_tagged(1));
+        let at_b = cache.get_or_fill(b, fill_tagged(2)).clone();
+        assert_eq!(at_b.entries(), &[(2, 2.0)]);
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn eviction_churn_keeps_results_correct_under_tiny_capacity() {
+        // 1 set × 4 ways: the 5th distinct key must evict, and every
+        // re-query must re-fill with the right value.
+        let mut cache = MuCache::new(1);
+        assert_eq!(cache.capacity(), MuCache::WAYS);
+        for round in 0..3u32 {
+            for i in 0..6u32 {
+                let theta = Point2::new(i as f64, 0.0);
+                let got = cache.get_or_fill(theta, fill_tagged(i)).clone();
+                assert_eq!(got.entries(), &[(i, i as f64)], "round {round} key {i}");
+            }
+        }
+        assert_eq!(cache.hits() + cache.misses(), 18);
+        assert!(cache.misses() > MuCache::WAYS as u64, "eviction must occur");
+        assert!(cache.len() <= cache.capacity());
+    }
+
+    #[test]
+    fn take_stats_drains_and_resets() {
+        let mut cache = MuCache::new(4);
+        let theta = Point2::new(5.0, 5.0);
+        cache.get_or_fill(theta, fill_tagged(1));
+        cache.get_or_fill(theta, fill_tagged(1));
+        assert_eq!(cache.take_stats(), (1, 1));
+        assert_eq!(cache.take_stats(), (0, 0));
+        assert!(!cache.is_empty());
+        cache.clear();
+        assert!(cache.is_empty());
+        // Cleared entries miss again.
+        cache.get_or_fill(theta, fill_tagged(1));
+        assert_eq!(cache.take_stats(), (0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_is_rejected() {
+        let _ = MuCache::new(0);
+    }
+}

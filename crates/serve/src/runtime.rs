@@ -29,6 +29,7 @@
 use crate::snapshot::{NodeDetectorState, ServeError, ServeSnapshot, SNAPSHOT_VERSION};
 use lad_core::engine::{DetectionRequest, LadEngine};
 use lad_core::MetricKind;
+use lad_deployment::MuCache;
 use lad_geometry::{Circle, Point2};
 use lad_net::{NodeId, ObservationBatch};
 use lad_stats::seeds::splitmix64;
@@ -65,11 +66,21 @@ pub struct ServeConfig {
     /// re-alarms at the detector's cadence instead of every round, and a
     /// cleaned node starts fresh). Defaults to `true`.
     pub reset_on_alarm: bool,
+    /// Capacity (in estimates) of each shard's µ-memoization cache
+    /// ([`MuCache`]); `0` disables caching. The cache is derived state —
+    /// per shard, never serialized, rebuilt empty on start/restore — and
+    /// scores are bit-identical at any capacity (exact estimate-bit keys),
+    /// so this knob trades memory for hit rate only. Defaults to 16384:
+    /// at half that, a working set of 4096 distinct estimates already
+    /// loses ~10% of lookups to 4-way set-conflict evictions (mean set
+    /// load 2 ⇒ ~5% of sets oversubscribed); doubling the sets drops the
+    /// conflict rate below 1% for a few MiB per shard.
+    pub mu_cache_capacity: usize,
 }
 
 impl ServeConfig {
     /// A single-shard configuration with the given decision metric and
-    /// rule (queue depth 4, reset-on-alarm).
+    /// rule (queue depth 4, reset-on-alarm, 16384-estimate µ cache).
     pub fn new(metric: MetricKind, detector: SequentialDetector) -> Self {
         Self {
             shards: 1,
@@ -77,6 +88,7 @@ impl ServeConfig {
             metric,
             detector,
             reset_on_alarm: true,
+            mu_cache_capacity: 16384,
         }
     }
 
@@ -89,6 +101,13 @@ impl ServeConfig {
     /// Returns a copy with a different per-shard queue depth.
     pub fn with_queue_depth(mut self, queue_depth: usize) -> Self {
         self.queue_depth = queue_depth;
+        self
+    }
+
+    /// Returns a copy with a different per-shard µ-cache capacity
+    /// (`0` disables memoization entirely).
+    pub fn with_mu_cache_capacity(mut self, capacity: usize) -> Self {
+        self.mu_cache_capacity = capacity;
         self
     }
 
@@ -250,6 +269,14 @@ pub struct ServeCounters {
     /// version, invalid CSR payload). Recorded via
     /// [`ServeRuntime::record_decode_error`].
     pub decode_errors: u64,
+    /// µ-memoization cache hits across all shards: reports whose estimate's
+    /// `SparseMu` was served from the shard's [`MuCache`] instead of being
+    /// re-derived. Always 0 when [`ServeConfig::mu_cache_capacity`] is 0.
+    pub mu_cache_hits: u64,
+    /// µ-memoization cache misses across all shards (each paid one
+    /// `expected_sparse_into` fill). `hits / (hits + misses)` is the cache
+    /// hit rate; hits + misses equals the cached-path report count.
+    pub mu_cache_misses: u64,
 }
 
 impl ServeCounters {
@@ -270,6 +297,8 @@ struct SharedCounters {
     degraded: AtomicU64,
     shed: AtomicU64,
     decode_errors: AtomicU64,
+    mu_cache_hits: AtomicU64,
+    mu_cache_misses: AtomicU64,
 }
 
 impl SharedCounters {
@@ -289,6 +318,8 @@ impl SharedCounters {
             degraded: self.degraded.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),
             decode_errors: self.decode_errors.load(Ordering::Relaxed),
+            mu_cache_hits: self.mu_cache_hits.load(Ordering::Relaxed),
+            mu_cache_misses: self.mu_cache_misses.load(Ordering::Relaxed),
             submitted: self.submitted.load(Ordering::Acquire),
         }
     }
@@ -376,6 +407,7 @@ impl ServeRuntime {
                 column,
                 width: engine.metrics().len(),
                 reset_on_alarm: config.reset_on_alarm,
+                mu_cache_capacity: config.mu_cache_capacity,
                 alarm_tx: alarm_tx.clone(),
                 counters: counters.clone(),
             };
@@ -527,6 +559,40 @@ impl ServeRuntime {
         };
         self.counters.batches.fetch_add(1, Ordering::Relaxed);
         self.counters.last_round.fetch_max(round, Ordering::Relaxed);
+        // Single-shard fast path: there is nothing to partition, so when no
+        // report is suppressed the whole round is handed over as one bulk
+        // copy instead of a per-report hash/push loop. The suppression scan
+        // applies the exact predicate of the general loop; any suppressed
+        // report falls through to it (which also owns the per-region
+        // watched-node telemetry).
+        if shards == 1
+            && (filter.is_empty()
+                || !nodes
+                    .iter()
+                    .enumerate()
+                    .any(|(i, &node)| filter.suppresses(node, rows.estimate(i))))
+        {
+            let accepted = nodes.len() as u64;
+            self.counters
+                .submitted
+                .fetch_add(accepted, Ordering::Release);
+            if degraded {
+                self.counters
+                    .degraded
+                    .fetch_add(accepted, Ordering::Relaxed);
+            }
+            if !nodes.is_empty() {
+                self.senders[0]
+                    .send(ShardMsg::Batch {
+                        round,
+                        nodes: nodes.to_vec(),
+                        rows: rows.clone(),
+                        degraded,
+                    })
+                    .expect("shard thread alive while runtime exists");
+            }
+            return;
+        }
         let mut shard_nodes: Vec<Vec<NodeId>> = vec![Vec::new(); shards];
         let mut shard_rows: Vec<ObservationBatch> = (0..shards)
             .map(|_| ObservationBatch::new(rows.group_count()))
@@ -848,6 +914,8 @@ struct ShardWorker {
     column: usize,
     width: usize,
     reset_on_alarm: bool,
+    /// Capacity of this shard's µ cache; 0 disables memoization.
+    mu_cache_capacity: usize,
     alarm_tx: Sender<Alarm>,
     counters: Arc<SharedCounters>,
 }
@@ -856,6 +924,11 @@ impl ShardWorker {
     fn run(self, rx: Receiver<ShardMsg>) -> Vec<NodeDetectorState> {
         let mut states: HashMap<u32, SequentialState> = HashMap::new();
         let mut scores: Vec<f64> = Vec::new();
+        // The shard's µ-memoization cache — derived state, owned by the
+        // worker thread, never serialized, rebuilt empty on start/restore.
+        // Scores are bit-identical with it on or off (see `MuCache`).
+        let mut mu_cache =
+            (self.mu_cache_capacity > 0).then(|| MuCache::new(self.mu_cache_capacity));
         while let Ok(msg) = rx.recv() {
             match msg {
                 ShardMsg::Batch {
@@ -874,11 +947,39 @@ impl ShardWorker {
                     };
                     scores.clear();
                     scores.resize(rows.len() * width, 0.0);
-                    if degraded {
-                        self.engine
-                            .score_rows_seq_one_into(&rows, self.metric, &mut scores);
-                    } else {
-                        self.engine.score_rows_seq_into(&rows, &mut scores);
+                    match (&mut mu_cache, degraded) {
+                        (Some(cache), false) => {
+                            self.engine
+                                .score_rows_seq_cached_into(&rows, cache, &mut scores);
+                        }
+                        (Some(cache), true) => {
+                            self.engine.score_rows_seq_one_cached_into(
+                                &rows,
+                                self.metric,
+                                cache,
+                                &mut scores,
+                            );
+                        }
+                        (None, false) => self.engine.score_rows_seq_into(&rows, &mut scores),
+                        (None, true) => {
+                            self.engine
+                                .score_rows_seq_one_into(&rows, self.metric, &mut scores)
+                        }
+                    }
+                    if let Some(cache) = &mut mu_cache {
+                        // Flush cache telemetry once per batch, not per
+                        // report.
+                        let (hits, misses) = cache.take_stats();
+                        if hits > 0 {
+                            self.counters
+                                .mu_cache_hits
+                                .fetch_add(hits, Ordering::Relaxed);
+                        }
+                        if misses > 0 {
+                            self.counters
+                                .mu_cache_misses
+                                .fetch_add(misses, Ordering::Relaxed);
+                        }
                     }
                     for (i, (node, row)) in nodes.iter().zip(scores.chunks_exact(width)).enumerate()
                     {

@@ -31,9 +31,32 @@ fn run_trace(
     shards: usize,
     rounds: u64,
 ) -> (Vec<(u32, u64)>, ServeSnapshot) {
+    run_trace_cached(
+        engine,
+        network,
+        traffic,
+        detector,
+        shards,
+        rounds,
+        ServeConfig::new(MetricKind::Diff, detector).mu_cache_capacity,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_trace_cached(
+    engine: &Arc<LadEngine>,
+    network: &Network,
+    traffic: &TrafficModel,
+    detector: SequentialDetector,
+    shards: usize,
+    rounds: u64,
+    mu_cache_capacity: usize,
+) -> (Vec<(u32, u64)>, ServeSnapshot) {
     let runtime = ServeRuntime::start(
         engine.clone(),
-        ServeConfig::new(MetricKind::Diff, detector).with_shards(shards),
+        ServeConfig::new(MetricKind::Diff, detector)
+            .with_shards(shards)
+            .with_mu_cache_capacity(mu_cache_capacity),
     )
     .expect("runtime starts");
     for round in 0..rounds {
@@ -47,6 +70,17 @@ fn run_trace(
     alarms.sort_unstable();
     let report = runtime.shutdown();
     assert_eq!(report.counters.submitted, report.counters.processed);
+    // Cache telemetry accounting: with memoization on, every full-mode
+    // report is exactly one cache lookup; with it off, the counters stay 0.
+    let lookups = report.counters.mu_cache_hits + report.counters.mu_cache_misses;
+    if mu_cache_capacity == 0 {
+        assert_eq!(lookups, 0, "disabled cache must record no lookups");
+    } else {
+        assert_eq!(
+            lookups, report.counters.processed,
+            "one cache lookup per processed report"
+        );
+    }
     (alarms, report.snapshot)
 }
 
@@ -98,6 +132,54 @@ fn alarm_sets_and_final_states_are_identical_at_1_2_and_8_shards() {
     let (again, snapshot_again) = run_trace(&engine, &network, &traffic, detector, 2, rounds);
     assert_eq!(alarms_1, again);
     assert_eq!(snapshot_1.states, snapshot_again.states);
+}
+
+#[test]
+fn mu_cache_never_changes_alarms_at_any_capacity_or_shard_count() {
+    // The µ-memoization cache is keyed on exact estimate bits, so alarm
+    // decisions must be identical with the cache off (0), at the default
+    // capacity, and at an adversarially tiny capacity (2 — constant
+    // eviction churn), at every shard count. This is the serve-level
+    // closure of the kernel-level proptests in mu_cache_equality.rs.
+    let engine = engine();
+    let network = Network::generate(engine.knowledge().clone(), 0xD39);
+    let nodes: Vec<NodeId> = (0..64u32).map(|i| NodeId(i * 9)).collect();
+    let clean = TrafficModel::clean(&network, &engine, nodes, 0xFACADE);
+    let traffic = clean.with_attack(
+        AttackTimeline::Onset { at: 6 },
+        AttackConfig {
+            degree_of_damage: 150.0,
+            compromised_fraction: 0.2,
+            class: AttackClass::DecBounded,
+            targeted_metric: MetricKind::Diff,
+        },
+        0.4,
+    );
+    let streams = clean.score_streams(&network, &engine, MetricKind::Diff, 0..16);
+    let detector = SequentialDetector::calibrate_cusum(streams.iter().map(Vec::as_slice), 0.01);
+    let rounds = 20;
+
+    let (baseline_alarms, baseline_snapshot) =
+        run_trace_cached(&engine, &network, &traffic, detector, 1, rounds, 0);
+    assert!(
+        !baseline_alarms.is_empty(),
+        "the attack must alarm for the comparison to mean anything"
+    );
+    for capacity in [0usize, 2, 8192] {
+        for shards in [1usize, 2, 8] {
+            let (alarms, snapshot) = run_trace_cached(
+                &engine, &network, &traffic, detector, shards, rounds, capacity,
+            );
+            assert_eq!(
+                baseline_alarms, alarms,
+                "alarm set differs at capacity {capacity}, {shards} shards"
+            );
+            assert_eq!(
+                baseline_snapshot.states, snapshot.states,
+                "final states differ at capacity {capacity}, {shards} shards"
+            );
+        }
+    }
 }
 
 /// Runs the full closed loop at a given shard count and returns the

@@ -5,7 +5,10 @@
 //! random / saturated observations, for all three metrics and the fused
 //! kernel.
 
-use lad_core::metrics::{score_all_fused, score_all_fused_sparse, score_all_fused_sparse_obs};
+use lad_core::metrics::{
+    score_all_fused, score_all_fused_sparse, score_all_fused_sparse_obs,
+    score_all_fused_sparse_obs_soa, score_all_fused_sparse_soa, FusedSoaScratch,
+};
 use lad_core::{DetectionRequest, LadEngine, MetricKind, ProbabilityMetric};
 use lad_deployment::{DeploymentConfig, DeploymentKnowledge, SparseMu};
 use lad_geometry::Point2;
@@ -89,6 +92,19 @@ fn check_point(knowledge: &DeploymentKnowledge, obs: &Observation, theta: Point2
     for i in 0..3 {
         assert_bits(dense_fused[i], sparse_fused[i], "fused sparse row");
         assert_bits(dense_fused[i], sparse_obs_fused[i], "fused sparse obs");
+    }
+
+    // SoA fused kernels: the single-gather + 4-wide-unrolled variants must
+    // reproduce their scalar twins bit for bit — this is the proptest-corpus
+    // proof that the SoA reduction order equals the scalar one. The scratch
+    // is reused across both calls (dirty-buffer reuse is the serving
+    // reality).
+    let mut soa = FusedSoaScratch::new();
+    let soa_row = score_all_fused_sparse_soa(row, &smu, &mut soa);
+    let soa_obs = score_all_fused_sparse_obs_soa(obs, &smu, &mut soa);
+    for i in 0..3 {
+        assert_bits(sparse_fused[i], soa_row[i], "SoA fused sparse row");
+        assert_bits(sparse_obs_fused[i], soa_obs[i], "SoA fused sparse obs");
     }
 }
 
