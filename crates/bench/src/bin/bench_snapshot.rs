@@ -4,15 +4,17 @@
 //! kernel (dense vs scalar-sparse vs SoA-sparse vs memoized, paper scale
 //! and a 4× same-density deployment), sustained serve throughput over a
 //! cores-aware shard curve with the µ cache on and off, the
-//! response-hook idle overhead (with an asserted bound), and the
-//! end-to-end wire path (TCP loopback through `lad_wire`, full and
-//! degraded fidelity, plus the shed fraction under a 2× overload) — and
-//! writes the numbers to a `BENCH_<pr>.json` at the repo root, so every
-//! PR leaves a comparable perf record behind.
+//! response-hook idle overhead (with an asserted bound), the telemetry
+//! overhead (serve throughput with stage timing on vs off, with an
+//! asserted bound), and the end-to-end wire path (TCP loopback through
+//! `lad_wire`, full and degraded fidelity, plus the shed fraction under
+//! a 2× overload, with per-stage latency percentiles from the runtime's
+//! telemetry) — and writes the numbers to a `BENCH_<pr>.json` at the
+//! repo root, so every PR leaves a comparable perf record behind.
 //!
 //! ```text
 //! cargo run --release -p lad_bench --bin bench_snapshot -- \
-//!     [--out BENCH_7.json] [--quick] [--compare BENCH_6.json]
+//!     [--out BENCH_8.json] [--quick] [--compare BENCH_7.json]
 //! ```
 //!
 //! `--quick` shrinks iteration counts for CI; `--compare` prints
@@ -30,6 +32,7 @@ use lad_geometry::Point2;
 use lad_net::{Network, NodeId, ObservationBatch};
 use lad_serve::{ServeConfig, ServeRuntime, TrafficModel};
 use lad_stats::SequentialDetector;
+use lad_telemetry::StageSummary;
 use lad_wire::{DeliveryStatus, OverloadPolicy, WireClient, WireServer, WireServerConfig};
 use serde::{Serialize, Value};
 use std::hint::black_box;
@@ -87,6 +90,23 @@ struct ResponseOverhead {
     asserted_bound: f64,
 }
 
+/// The telemetry overhead on the serving hot path: the same single-shard
+/// sustained run with stage timing, histograms and queue gauges enabled
+/// (the default) vs fully disabled. Enabled telemetry pays two
+/// `Instant::now()` calls and a handful of relaxed atomics per batch —
+/// the bound asserts it stays within 10% of the dark runtime.
+#[derive(Debug, Serialize)]
+struct TelemetryOverhead {
+    /// Single-shard with telemetry enabled (the default), reports/s.
+    on_reports_per_sec: f64,
+    /// Single-shard with `ServeConfig::with_telemetry(false)`, reports/s.
+    off_reports_per_sec: f64,
+    /// off / on (1.0x = observability is free).
+    overhead_factor: f64,
+    /// The bound `overhead_factor` is asserted against in this run.
+    asserted_bound: f64,
+}
+
 /// End-to-end wire ingest (TCP loopback through `lad_wire`, one shard,
 /// pipelined client): every report is encoded to a binary frame, crosses
 /// a real socket, is decoded/validated once at the boundary, passes the
@@ -129,7 +149,13 @@ struct Snapshot {
     /// as `serve[0]`, isolating what the cache buys end to end.
     serve_uncached_1shard: ServeRate,
     serve_response_idle: ResponseOverhead,
+    serve_telemetry: TelemetryOverhead,
     wire: WireRate,
+    /// Per-stage latency summaries (count, mean, min/max, p50/p95/p99 in
+    /// nanoseconds) folded from the full-fidelity wire run — the only
+    /// measurement here that exercises the whole pipeline (decode → gate
+    /// → queue → score → detector → drain) end to end.
+    wire_stage_latency: Vec<StageSummary>,
 }
 
 /// Timing knobs: `--quick` shrinks every window so CI finishes in seconds.
@@ -262,7 +288,7 @@ fn serve_workload() -> Workload {
 }
 
 fn serve_rate(effort: Effort, shards: usize) -> ServeRate {
-    serve_rate_with(effort, shards, false, None)
+    serve_rate_with(effort, shards, false, None, true)
 }
 
 /// Best-of-`n` wrapper around a serve measurement: single-core boxes see
@@ -289,6 +315,7 @@ fn serve_rate_with(
     shards: usize,
     with_idle_hook: bool,
     mu_cache_capacity: Option<usize>,
+    telemetry: bool,
 ) -> ServeRate {
     let Workload {
         engine,
@@ -299,7 +326,8 @@ fn serve_rate_with(
 
     let mut config = ServeConfig::new(MetricKind::Diff, detector)
         .with_shards(shards)
-        .with_queue_depth(4);
+        .with_queue_depth(4)
+        .with_telemetry(telemetry);
     if let Some(capacity) = mu_cache_capacity {
         config = config.with_mu_cache_capacity(capacity);
     }
@@ -328,16 +356,10 @@ fn serve_rate_with(
         report.counters.suppressed, 0,
         "the idle filter must suppress nothing"
     );
-    let lookups = report.counters.mu_cache_hits + report.counters.mu_cache_misses;
-    let hit_rate = if lookups == 0 {
-        0.0
-    } else {
-        report.counters.mu_cache_hits as f64 / lookups as f64
-    };
     ServeRate {
         shards,
         reports_per_sec: rate,
-        mu_cache_hit_rate: hit_rate,
+        mu_cache_hit_rate: report.counters.mu_cache_hit_rate(),
     }
 }
 
@@ -346,7 +368,7 @@ fn serve_rate_with(
 /// workload for `passes` passes (after one warm-up pass). Returns the
 /// accepted-report rate plus the offered/accepted totals so the overload
 /// run can derive its shed fraction.
-fn wire_run(policy: OverloadPolicy, passes: u64) -> (f64, u64, u64) {
+fn wire_run(policy: OverloadPolicy, passes: u64) -> (f64, u64, u64, Vec<StageSummary>) {
     let Workload {
         engine,
         detector,
@@ -401,13 +423,16 @@ fn wire_run(policy: OverloadPolicy, passes: u64) -> (f64, u64, u64) {
     }
     runtime.sync();
     let rate = accepted as f64 / t0.elapsed().as_secs_f64();
+    // Fold the per-shard stage histograms while the pipeline state is
+    // still warm — this is where BENCH_<pr>.json's percentiles come from.
+    let stages = runtime.stats().telemetry.stages;
 
     server.shutdown();
     let runtime = Arc::into_inner(runtime).expect("server released its runtime handle");
     let report = runtime.shutdown();
     assert_eq!(report.counters.decode_errors, 0, "well-formed frames only");
     assert_eq!(report.counters.processed, report.counters.submitted);
-    (rate, accepted, offered)
+    (rate, accepted, offered, stages)
 }
 
 /// A numeric metric extracted from a snapshot for `--compare`: name,
@@ -444,6 +469,11 @@ fn metrics_of(snap: &Snapshot) -> Vec<Metric> {
         Metric {
             name: "serve_response_idle.overhead_factor",
             value: snap.serve_response_idle.overhead_factor,
+            higher_is_better: false,
+        },
+        Metric {
+            name: "serve_telemetry.overhead_factor",
+            value: snap.serve_telemetry.overhead_factor,
             higher_is_better: false,
         },
         Metric {
@@ -544,7 +574,7 @@ fn compare_snapshots(old_path: &str, snap: &Snapshot) -> usize {
 }
 
 fn main() {
-    let mut out = String::from("BENCH_7.json");
+    let mut out = String::from("BENCH_8.json");
     let mut quick = false;
     let mut compare: Option<String> = None;
     let mut args = std::env::args().skip(1);
@@ -586,8 +616,8 @@ fn main() {
         .iter()
         .map(|&s| best_of(3, || serve_rate(effort, s)))
         .collect();
-    let serve_uncached = best_of(3, || serve_rate_with(effort, 1, false, Some(0)));
-    let idle = best_of(3, || serve_rate_with(effort, 1, true, None));
+    let serve_uncached = best_of(3, || serve_rate_with(effort, 1, false, Some(0), true));
+    let idle = best_of(3, || serve_rate_with(effort, 1, true, None, true));
     // The idle hook must stay near-free: with the single-shard bulk
     // handoff, a non-matching filter costs one suppression scan per
     // report on the submit thread (a 16-id binary search plus two circle
@@ -599,17 +629,32 @@ fn main() {
         overhead_factor < idle_bound,
         "idle response-filter overhead {overhead_factor:.3}x exceeds the {idle_bound}x bound"
     );
+    // Telemetry must be near-free on the hot path: per batch it costs a
+    // handful of `Instant::now()` calls (queue-wait stamp + span starts)
+    // and a few relaxed atomic adds — nothing per report. Both sides are
+    // measured back to back (minutes-apart windows drift >10% on a shared
+    // 1-core box all by themselves) and best-of-5; the bound is looser
+    // under --quick for the same scheduler-noise reason as the idle-hook
+    // bound above.
+    let telemetry_on = best_of(5, || serve_rate_with(effort, 1, false, None, true));
+    let telemetry_off = best_of(5, || serve_rate_with(effort, 1, false, None, false));
+    let telemetry_bound = if quick { 1.5 } else { 1.10 };
+    let telemetry_factor = telemetry_off.reports_per_sec / telemetry_on.reports_per_sec;
+    assert!(
+        telemetry_factor < telemetry_bound,
+        "telemetry overhead {telemetry_factor:.3}x exceeds the {telemetry_bound}x bound"
+    );
     // Longer windows than the in-process runs: the wire path shares the
     // core with its client, so short windows are scheduler-noise-bound.
-    let (wire_rps, _, _) = wire_run(OverloadPolicy::default(), effort.wire_passes);
-    let (degraded_rps, _, _) = wire_run(
+    let (wire_rps, _, _, wire_stages) = wire_run(OverloadPolicy::default(), effort.wire_passes);
+    let (degraded_rps, _, _, _) = wire_run(
         OverloadPolicy::default().with_degrade_depth(0),
         effort.wire_passes,
     );
     // Offer at full client speed against a budget of half the measured
     // wire capacity: a ≥2× saturation by construction.
     let burst = serve_workload().reports_per_pass as f64;
-    let (_, overload_accepted, overload_offered) = wire_run(
+    let (_, overload_accepted, overload_offered, _) = wire_run(
         OverloadPolicy::default().with_rate_limit(wire_rps * 0.5, burst),
         effort.wire_passes,
     );
@@ -623,7 +668,7 @@ fn main() {
             / overload_offered as f64,
     };
     let snapshot = Snapshot {
-        pr: 7,
+        pr: 8,
         unix_time: std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
             .map(|d| d.as_secs())
@@ -648,9 +693,16 @@ fn main() {
             overhead_factor,
             asserted_bound: idle_bound,
         },
+        serve_telemetry: TelemetryOverhead {
+            on_reports_per_sec: telemetry_on.reports_per_sec,
+            off_reports_per_sec: telemetry_off.reports_per_sec,
+            overhead_factor: telemetry_factor,
+            asserted_bound: telemetry_bound,
+        },
         serve,
         serve_uncached_1shard: serve_uncached,
         wire,
+        wire_stage_latency: wire_stages,
     };
     let json = serde_json::to_string_pretty(&snapshot).expect("snapshot serialises");
     std::fs::write(&out, format!("{json}\n")).expect("snapshot written");

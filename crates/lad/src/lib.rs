@@ -30,6 +30,10 @@
 //!   journalling, per-node suspicion, spatial alarm clustering, calibrated
 //!   revocation/quarantine policies, and the controller that installs the
 //!   resulting filter back into the serving runtime,
+//! * [`telemetry`] — derived-only observability: per-shard stage latency
+//!   histograms with exact merge and bounded quantile error, queue
+//!   gauges, and a structured event ring, exportable over the wire as a
+//!   JSON stats snapshot and never consulted by any decision,
 //! * [`geometry`] / [`stats`] — the numeric substrates underneath it all.
 //!
 //! The [`prelude`] re-exports the types most applications need. See the
@@ -49,6 +53,7 @@ pub use lad_net as net;
 pub use lad_response as response;
 pub use lad_serve as serve;
 pub use lad_stats as stats;
+pub use lad_telemetry as telemetry;
 pub use lad_wire as wire;
 
 /// The most commonly used types, re-exported flat.
@@ -78,9 +83,10 @@ pub mod prelude {
     };
     pub use lad_serve::{
         Alarm, AttackTimeline, ResponseFilter, ServeConfig, ServeRuntime, ServeSnapshot,
-        TrafficModel,
+        ServeStats, TrafficModel,
     };
     pub use lad_stats::{SequentialDetector, SequentialState};
+    pub use lad_telemetry::{EventKind, Stage, StageSummary, TelemetryEvent, TelemetrySnapshot};
     pub use lad_wire::{
         Delivery, DeliveryStatus, OverloadPolicy, ShedReason, WireClient, WireError, WireServer,
         WireServerConfig,

@@ -201,6 +201,8 @@ impl ResponseController {
     /// `round`, and — when the list changed — installs the freshly
     /// compiled filter back into the runtime.
     pub fn step(&mut self, runtime: &ServeRuntime, round: u64) -> StepOutcome {
+        let telemetry = runtime.telemetry();
+        let _span = telemetry.span(lad_telemetry::Stage::ResponseStep);
         let (revision, hits) = runtime.region_suppression();
         if revision == self.list.revision && hits.len() == self.installed_regions.len() {
             for ((&idx, &now), &before) in self
@@ -220,6 +222,13 @@ impl ResponseController {
         let outcome = self.observe(&alarms, round);
         if outcome.changed {
             self.install(runtime);
+            telemetry.event(
+                lad_telemetry::EventKind::RevocationInstall,
+                round,
+                self.list.revoked.len() as u64,
+                self.list.quarantined.len() as u64,
+                "",
+            );
         }
         outcome
     }

@@ -123,7 +123,8 @@ pub mod snapshot;
 pub mod traffic;
 
 pub use runtime::{
-    shard_of, Alarm, ResponseFilter, ServeConfig, ServeCounters, ServeRuntime, ShutdownReport,
+    shard_of, Alarm, ResponseFilter, ServeConfig, ServeCounters, ServeRuntime, ServeStats,
+    ShutdownReport,
 };
 pub use snapshot::{
     engine_fingerprint, NodeDetectorState, ServeError, ServeSnapshot, SNAPSHOT_VERSION,

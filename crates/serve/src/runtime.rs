@@ -34,6 +34,7 @@ use lad_geometry::{Circle, Point2};
 use lad_net::{NodeId, ObservationBatch};
 use lad_stats::seeds::splitmix64;
 use lad_stats::{SequentialDetector, SequentialState};
+use lad_telemetry::{EventKind, Stage, Telemetry, TelemetrySnapshot};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -76,6 +77,14 @@ pub struct ServeConfig {
     /// load 2 ⇒ ~5% of sets oversubscribed); doubling the sets drops the
     /// conflict rate below 1% for a few MiB per shard.
     pub mu_cache_capacity: usize,
+    /// Record stage latencies, queue gauges and structured events into the
+    /// runtime's [`Telemetry`] registry. Telemetry is *derived* state:
+    /// never serialized into [`ServeSnapshot`], never consulted by any
+    /// decision, so alarms and detector states are bit-identical with it
+    /// on or off (the determinism suites run with it on, the default).
+    /// Turning it off removes even the timestamp reads from the hot path —
+    /// the bench asserts the on/off throughput ratio stays under 10%.
+    pub telemetry: bool,
 }
 
 impl ServeConfig {
@@ -89,6 +98,7 @@ impl ServeConfig {
             detector,
             reset_on_alarm: true,
             mu_cache_capacity: 16384,
+            telemetry: true,
         }
     }
 
@@ -108,6 +118,12 @@ impl ServeConfig {
     /// (`0` disables memoization entirely).
     pub fn with_mu_cache_capacity(mut self, capacity: usize) -> Self {
         self.mu_cache_capacity = capacity;
+        self
+    }
+
+    /// Returns a copy with telemetry recording on or off.
+    pub fn with_telemetry(mut self, enabled: bool) -> Self {
+        self.telemetry = enabled;
         self
     }
 
@@ -281,8 +297,30 @@ pub struct ServeCounters {
 
 impl ServeCounters {
     /// Reports currently sitting in shard queues (submitted − processed).
+    ///
+    /// **Advisory, not a barrier**: the difference of two monotone counters
+    /// read at slightly different instants. It never underflows and never
+    /// fabricates phantom backlog (see [`ServeRuntime::counters`]), but it
+    /// can overestimate a queue that drained mid-read, and it says nothing
+    /// about *which* shard the backlog sits on. For fold-time per-shard
+    /// depth and batch age, read the telemetry gauges
+    /// ([`TelemetrySnapshot::shard_queue_depth`] via
+    /// [`ServeRuntime::stats`]); to actually wait for the pipeline to
+    /// empty, use [`ServeRuntime::sync`].
     pub fn queue_depth(&self) -> u64 {
         self.submitted.saturating_sub(self.processed)
+    }
+
+    /// µ-memoization hit rate, `hits / (hits + misses)`, as a fraction in
+    /// `[0, 1]`. Returns 0.0 when no lookup has happened (cache disabled
+    /// or nothing processed yet) rather than dividing by zero.
+    pub fn mu_cache_hit_rate(&self) -> f64 {
+        let lookups = self.mu_cache_hits + self.mu_cache_misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.mu_cache_hits as f64 / lookups as f64
+        }
     }
 }
 
@@ -337,6 +375,11 @@ enum ShardMsg {
         /// degraded mode) instead of the full fused pass. Decisions are
         /// bit-identical either way.
         degraded: bool,
+        /// Telemetry enqueue timestamp ([`Telemetry::now_nanos`] at submit
+        /// time; 0 when telemetry is off) — the worker derives the
+        /// queue-wait span from it. Observability only: never read by any
+        /// decision.
+        enqueued_nanos: u64,
     },
     /// Barrier: reply once every earlier message has been processed.
     Sync(Sender<()>),
@@ -366,6 +409,10 @@ pub struct ServeRuntime {
     /// per *batch*, not per report.
     filter: Mutex<FilterState>,
     counters: Arc<SharedCounters>,
+    /// Derived-only observability registry (stage histograms, queue
+    /// gauges, event ring). Shared with the shard workers; `Arc` so the
+    /// wire/response layers can hold it without borrowing the runtime.
+    telemetry: Arc<Telemetry>,
 }
 
 /// Everything a runtime hands back when it shuts down.
@@ -377,6 +424,32 @@ pub struct ShutdownReport {
     pub alarms: Vec<Alarm>,
     /// Final counter values.
     pub counters: ServeCounters,
+}
+
+/// One coherent observability export of a running [`ServeRuntime`]:
+/// counters plus the folded telemetry (stage percentiles, queue gauges,
+/// recent events). Produced by [`ServeRuntime::stats`]; shipped as the
+/// JSON payload of the wire `Stats` frame. Purely derived — nothing in it
+/// feeds back into any decision, and it is not part of [`ServeSnapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeStats {
+    /// The runtime counters, loaded with the usual
+    /// `processed ≤ submitted` coherence guarantee.
+    pub counters: ServeCounters,
+    /// The folded telemetry registries.
+    pub telemetry: TelemetrySnapshot,
+}
+
+impl ServeStats {
+    /// Serializes to JSON (the wire `Stats` payload).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("serve stats serialize")
+    }
+
+    /// Parses the JSON produced by [`to_json`](Self::to_json).
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        serde_json::from_str(json).map_err(|e| e.to_string())
+    }
 }
 
 impl ServeRuntime {
@@ -394,10 +467,15 @@ impl ServeRuntime {
             .ok_or(ServeError::MetricNotConfigured(config.metric))?;
 
         let counters = Arc::new(SharedCounters::default());
+        let telemetry = Arc::new(if config.telemetry {
+            Telemetry::new(config.shards)
+        } else {
+            Telemetry::disabled(config.shards)
+        });
         let (alarm_tx, alarm_rx) = mpsc::channel();
         let mut senders = Vec::with_capacity(config.shards);
         let mut workers = Vec::with_capacity(config.shards);
-        for _ in 0..config.shards {
+        for shard in 0..config.shards {
             let (tx, rx) = mpsc::sync_channel(config.queue_depth);
             senders.push(tx);
             let worker = ShardWorker {
@@ -410,6 +488,8 @@ impl ServeRuntime {
                 mu_cache_capacity: config.mu_cache_capacity,
                 alarm_tx: alarm_tx.clone(),
                 counters: counters.clone(),
+                shard,
+                telemetry: telemetry.clone(),
             };
             workers.push(std::thread::spawn(move || worker.run(rx)));
         }
@@ -426,6 +506,7 @@ impl ServeRuntime {
                 region_hits: Arc::new(Vec::new()),
             }),
             counters,
+            telemetry,
         })
     }
 
@@ -559,6 +640,14 @@ impl ServeRuntime {
         };
         self.counters.batches.fetch_add(1, Ordering::Relaxed);
         self.counters.last_round.fetch_max(round, Ordering::Relaxed);
+        // One enqueue timestamp per submitted round — the workers derive
+        // their queue-wait spans from it. 0 (and no counter touch) when
+        // telemetry is off, keeping the disabled path timestamp-free.
+        let enqueued_nanos = if self.telemetry.enabled() {
+            self.telemetry.now_nanos()
+        } else {
+            0
+        };
         // Single-shard fast path: there is nothing to partition, so when no
         // report is suppressed the whole round is handed over as one bulk
         // copy instead of a per-report hash/push loop. The suppression scan
@@ -582,12 +671,16 @@ impl ServeRuntime {
                     .fetch_add(accepted, Ordering::Relaxed);
             }
             if !nodes.is_empty() {
+                if self.telemetry.enabled() {
+                    self.telemetry.shard(0).enqueued_batches.add(1);
+                }
                 self.senders[0]
                     .send(ShardMsg::Batch {
                         round,
                         nodes: nodes.to_vec(),
                         rows: rows.clone(),
                         degraded,
+                        enqueued_nanos,
                     })
                     .expect("shard thread alive while runtime exists");
             }
@@ -634,12 +727,16 @@ impl ServeRuntime {
             if nodes.is_empty() {
                 continue;
             }
+            if self.telemetry.enabled() {
+                self.telemetry.shard(shard).enqueued_batches.add(1);
+            }
             self.senders[shard]
                 .send(ShardMsg::Batch {
                     round,
                     nodes,
                     rows,
                     degraded,
+                    enqueued_nanos,
                 })
                 .expect("shard thread alive while runtime exists");
         }
@@ -693,6 +790,25 @@ impl ServeRuntime {
         self.counters.load()
     }
 
+    /// The runtime's [`Telemetry`] registry — derived observability state
+    /// only. The wire front door and response controller record their
+    /// stage spans and events here so one fold covers the whole pipeline.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
+    }
+
+    /// One coherent observability export: the counters plus a fold of
+    /// every telemetry registry (stage percentiles, queue gauges, recent
+    /// events). This is the payload the wire `Stats` frame ships as JSON.
+    /// The counters are loaded first, so `counters.submitted ≥
+    /// counters.processed` holds within the export even under load.
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            counters: self.counters(),
+            telemetry: self.telemetry.fold(),
+        }
+    }
+
     /// Drains every alarm raised by reports submitted so far (syncs first,
     /// so the result covers all submitted rounds).
     ///
@@ -711,6 +827,7 @@ impl ServeRuntime {
     /// Drains whatever alarms are currently in the output stream without
     /// waiting for in-flight batches.
     pub fn poll_alarms(&self) -> Vec<Alarm> {
+        let _span = self.telemetry.span(Stage::Drain);
         let rx = self.alarm_rx.lock().expect("alarm receiver lock");
         let mut out = Vec::new();
         while let Ok(alarm) = rx.try_recv() {
@@ -750,6 +867,13 @@ impl ServeRuntime {
                 .send(alarm)
                 .expect("runtime holds the alarm receiver");
         }
+        self.telemetry.event(
+            EventKind::Snapshot,
+            self.counters.last_round.load(Ordering::Relaxed),
+            SNAPSHOT_VERSION as u64,
+            states.len() as u64,
+            "",
+        );
         build_snapshot(
             &self.config,
             self.engine_fingerprint,
@@ -849,6 +973,7 @@ impl ServeRuntime {
             alarm_tx,
             filter: _,
             counters: shared,
+            telemetry: _,
         } = self;
         // Dropping the senders closes the queues; each worker drains what is
         // left and returns its sorted states.
@@ -918,12 +1043,17 @@ struct ShardWorker {
     mu_cache_capacity: usize,
     alarm_tx: Sender<Alarm>,
     counters: Arc<SharedCounters>,
+    /// This worker's index into the telemetry registry.
+    shard: usize,
+    telemetry: Arc<Telemetry>,
 }
 
 impl ShardWorker {
     fn run(self, rx: Receiver<ShardMsg>) -> Vec<NodeDetectorState> {
         let mut states: HashMap<u32, SequentialState> = HashMap::new();
         let mut scores: Vec<f64> = Vec::new();
+        // Batches folded so far, for the fold-time queue-depth gauge.
+        let mut folded_batches = 0u64;
         // The shard's µ-memoization cache — derived state, owned by the
         // worker thread, never serialized, rebuilt empty on start/restore.
         // Scores are bit-identical with it on or off (see `MuCache`).
@@ -936,7 +1066,21 @@ impl ShardWorker {
                     nodes,
                     rows,
                     degraded,
+                    enqueued_nanos,
                 } => {
+                    folded_batches += 1;
+                    if self.telemetry.enabled() {
+                        // Queue wait (enqueue → fold) and the fold-time
+                        // gauges: depth in batches as the difference of
+                        // the submitters' enqueue counter and this
+                        // worker's fold count, age of this very batch.
+                        let reg = self.telemetry.shard(self.shard);
+                        let wait = self.telemetry.now_nanos().saturating_sub(enqueued_nanos);
+                        reg.stage(Stage::QueueWait).record(wait);
+                        reg.queue_depth
+                            .set(reg.enqueued_batches.get().saturating_sub(folded_batches));
+                        reg.queue_age_nanos.set(wait);
+                    }
                     // Degraded mode keeps only the decision column (same
                     // bits, a fraction of the scoring cost); the full mode
                     // runs the all-metrics fused pass.
@@ -947,6 +1091,7 @@ impl ShardWorker {
                     };
                     scores.clear();
                     scores.resize(rows.len() * width, 0.0);
+                    let score_span = self.telemetry.shard_span(self.shard, Stage::Score);
                     match (&mut mu_cache, degraded) {
                         (Some(cache), false) => {
                             self.engine
@@ -966,6 +1111,7 @@ impl ShardWorker {
                                 .score_rows_seq_one_into(&rows, self.metric, &mut scores)
                         }
                     }
+                    score_span.stop();
                     if let Some(cache) = &mut mu_cache {
                         // Flush cache telemetry once per batch, not per
                         // report.
@@ -981,6 +1127,7 @@ impl ShardWorker {
                                 .fetch_add(misses, Ordering::Relaxed);
                         }
                     }
+                    let update_span = self.telemetry.shard_span(self.shard, Stage::DetectorUpdate);
                     for (i, (node, row)) in nodes.iter().zip(scores.chunks_exact(width)).enumerate()
                     {
                         let score = row[column];
@@ -989,6 +1136,13 @@ impl ShardWorker {
                             .or_insert_with(|| self.detector.initial_state());
                         if self.detector.update(state, score) {
                             self.counters.alarms.fetch_add(1, Ordering::Relaxed);
+                            self.telemetry.event(
+                                EventKind::AlarmFired,
+                                round,
+                                node.0 as u64,
+                                0,
+                                "",
+                            );
                             let _ = self.alarm_tx.send(Alarm {
                                 node: *node,
                                 round,
@@ -1001,6 +1155,7 @@ impl ShardWorker {
                             }
                         }
                     }
+                    update_span.stop();
                     // Release pairs with the Acquire loads in
                     // `SharedCounters::load`: a reader that sees these
                     // reports as processed also sees them as submitted.

@@ -1,0 +1,311 @@
+//! Fixed log-linear latency histogram with lock-free recording, *exact*
+//! merge, and a proven quantile error bound — the latency-domain sibling
+//! of `lad_stats::streaming::ScoreAccumulator`.
+//!
+//! # Layout
+//!
+//! Values are `u64` nanoseconds. The bucket layout is data-independent
+//! (the same for every histogram, forever), which is what makes merging
+//! exact: merging two histograms is element-wise `u64` addition of bucket
+//! counts, so any grouping or ordering of merges yields bit-identical
+//! results.
+//!
+//! - values `0..16` get one exact bucket each;
+//! - every octave `[2^k, 2^{k+1})` for `k >= 4` is split into 16
+//!   equal-width sub-buckets.
+//!
+//! That is 16 + 60·16 = 976 buckets covering all of `u64` — about 8 KiB
+//! of `AtomicU64` per histogram, cheap enough to hold one per stage per
+//! shard with zero cross-shard sharing.
+//!
+//! # Quantile guarantee
+//!
+//! `quantile(q)` returns the *upper edge* of the bucket holding the
+//! rank-`ceil(q·count)` recorded value, mirroring the rank semantics of
+//! `lad_stats::streaming`. Since every bucket at lower edge `L` has width
+//! `<= L/16`, the estimate `e` of an exact order statistic `x` satisfies
+//!
+//! ```text
+//! x <= e <= x + x/16        (exactly e == x for x < 32)
+//! ```
+//!
+//! i.e. a one-sided relative error of at most 6.25%. The proptests in
+//! this crate assert the bound against a full sort.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-buckets per octave: 2^4 = 16, giving the 1/16 relative bound.
+const SUB_BITS: u32 = 4;
+const SUB: usize = 1 << SUB_BITS;
+/// Total bucket count: 16 exact unit buckets + 16 per octave for
+/// octaves 4..=63.
+pub const BUCKET_COUNT: usize = SUB + (64 - SUB_BITS as usize) * SUB;
+
+/// Bucket index for a recorded value. Total over all of `u64`.
+#[inline]
+fn index_of(v: u64) -> usize {
+    if v < SUB as u64 {
+        v as usize
+    } else {
+        let octave = 63 - v.leading_zeros(); // >= SUB_BITS
+        let sub = (v >> (octave - SUB_BITS)) & (SUB as u64 - 1);
+        SUB + (octave - SUB_BITS) as usize * SUB + sub as usize
+    }
+}
+
+/// Inclusive `(lower, upper)` value range of bucket `i`.
+#[inline]
+fn bucket_range(i: usize) -> (u64, u64) {
+    if i < SUB {
+        (i as u64, i as u64)
+    } else {
+        let b = (i - SUB) as u64;
+        let scale = b / SUB as u64;
+        let lower = (SUB as u64 + b % SUB as u64) << scale;
+        let width = 1u64 << scale;
+        (lower, lower + (width - 1))
+    }
+}
+
+/// Lock-free log-linear histogram of `u64` nanosecond durations.
+///
+/// Writers call [`record`](Self::record) (a relaxed `fetch_add` on one
+/// bucket plus count/sum/min/max updates); readers take a coherent-enough
+/// [`HistoSnapshot`] at any time. The intended topology is single-writer
+/// (one pipeline stage on one shard thread) / any-reader, but nothing
+/// breaks under concurrent writers — counts are never lost, only the
+/// `count==Σbuckets` identity of a snapshot taken mid-record can lag by
+/// in-flight increments.
+#[derive(Debug)]
+pub struct LatencyHisto {
+    buckets: Box<[AtomicU64; BUCKET_COUNT]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LatencyHisto {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHisto {
+    /// An empty histogram (all buckets zero, `min` saturated high).
+    pub fn new() -> Self {
+        // `AtomicU64` is not `Copy`; build the boxed array from a Vec.
+        let v: Vec<AtomicU64> = (0..BUCKET_COUNT).map(|_| AtomicU64::new(0)).collect();
+        let buckets: Box<[AtomicU64; BUCKET_COUNT]> =
+            v.into_boxed_slice().try_into().expect("fixed bucket count");
+        Self {
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one duration in nanoseconds. Lock-free; relaxed ordering —
+    /// telemetry is derived state and never synchronizes anything.
+    #[inline]
+    pub fn record(&self, nanos: u64) {
+        self.buckets[index_of(nanos)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(nanos, Ordering::Relaxed);
+        self.min.fetch_min(nanos, Ordering::Relaxed);
+        self.max.fetch_max(nanos, Ordering::Relaxed);
+    }
+
+    /// Number of recorded durations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Copies the current state into an immutable, mergeable snapshot.
+    pub fn snapshot(&self) -> HistoSnapshot {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        HistoSnapshot {
+            counts,
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An owned, immutable copy of a [`LatencyHisto`], the unit of folding:
+/// per-shard histograms are snapshotted and merged on *read*, so shard
+/// threads never share a cache line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistoSnapshot {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for HistoSnapshot {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl HistoSnapshot {
+    /// The snapshot of an empty histogram.
+    pub fn empty() -> Self {
+        HistoSnapshot {
+            counts: vec![0; BUCKET_COUNT],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Number of recorded durations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded durations in nanoseconds.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded duration, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded duration, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean duration in nanoseconds (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Merges `other` into `self` by element-wise count addition — exact
+    /// and associative/commutative by construction: the merged snapshot is
+    /// bit-identical to recording the union of both streams into one
+    /// histogram, regardless of merge grouping.
+    pub fn merge(&mut self, other: &HistoSnapshot) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += *b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Upper bucket edge at rank `ceil(q·count)` (clamped to at least 1),
+    /// the same rank convention as `lad_stats::streaming`. For the exact
+    /// order statistic `x` the return `e` obeys `x <= e <= x + x/16`;
+    /// returns 0 for an empty snapshot. `q` outside `[0, 1]` is clamped.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= target {
+                // Never report past the observed maximum: the top bucket's
+                // edge can overshoot `max` by up to the bucket width.
+                return bucket_range(i).1.min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_and_range_agree_over_the_whole_domain() {
+        // Every bucket's own edges index back to it, edges tile u64 with
+        // no gaps, and widths respect the 1/16 relative bound.
+        let mut expected_next = 0u64;
+        for i in 0..BUCKET_COUNT {
+            let (lo, hi) = bucket_range(i);
+            assert_eq!(lo, expected_next, "gap before bucket {i}");
+            assert_eq!(index_of(lo), i);
+            assert_eq!(index_of(hi), i);
+            if lo >= 16 {
+                assert!(hi - lo < lo / 16, "bucket {i} too wide");
+            } else {
+                assert_eq!(lo, hi);
+            }
+            expected_next = hi.wrapping_add(1);
+        }
+        assert_eq!(expected_next, 0, "buckets must tile all of u64");
+        assert_eq!(index_of(u64::MAX), BUCKET_COUNT - 1);
+    }
+
+    #[test]
+    fn small_values_are_exact_and_stats_track() {
+        let h = LatencyHisto::new();
+        for v in [0u64, 1, 5, 5, 15, 31] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 6);
+        assert_eq!(s.sum(), 57);
+        assert_eq!(s.min(), 0);
+        assert_eq!(s.max(), 31);
+        assert_eq!(s.quantile(0.0), 0);
+        assert_eq!(s.quantile(0.5), 5);
+        assert_eq!(s.quantile(1.0), 31);
+    }
+
+    #[test]
+    fn empty_snapshot_is_all_zeroes() {
+        let s = LatencyHisto::new().snapshot();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.min(), 0);
+        assert_eq!(s.max(), 0);
+        assert_eq!(s.quantile(0.5), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s, HistoSnapshot::empty());
+    }
+
+    #[test]
+    fn merge_equals_single_stream_recording() {
+        let (a, b, whole) = (
+            LatencyHisto::new(),
+            LatencyHisto::new(),
+            LatencyHisto::new(),
+        );
+        for i in 0..2000u64 {
+            let v = i * i * 31 % 1_000_000;
+            if i % 3 == 0 { &a } else { &b }.record(v);
+            whole.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, whole.snapshot());
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests for [`lad_telemetry::LatencyHisto`]: merge is exact and
+//! associative regardless of grouping, and every quantile sits within the
+//! documented one-sided 1/16 relative bound of the true order statistic
+//! computed by a full sort.
+
+use lad_telemetry::{HistoSnapshot, LatencyHisto};
+use proptest::prelude::*;
+
+fn histo_of(values: &[u64]) -> HistoSnapshot {
+    let h = LatencyHisto::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+/// The rank convention the histogram documents: the `ceil(q·n).max(1)`-th
+/// smallest value (1-indexed).
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let target = ((q * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[target.min(sorted.len()) - 1]
+}
+
+/// Seeds drawn uniformly then spread over a wide dynamic range: the low
+/// 16 bits are a mantissa, the high bits a shift, so values span
+/// sub-bucket-exact nanoseconds through multi-second outliers.
+const SEED_RANGE: u64 = 1 << 21; // 16-bit mantissa × 32 shifts
+
+fn spread(seeds: &[u64]) -> Vec<u64> {
+    seeds.iter().map(|s| (s & 0xFFFF) << (s >> 16)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn prop_merge_is_exact_and_associative(
+        seeds in proptest::collection::vec(0u64..SEED_RANGE, 0..300),
+        cut_a in 0usize..300,
+        cut_b in 0usize..300,
+    ) {
+        let values = spread(&seeds);
+        // Split the stream three ways, merge in two different groupings,
+        // and compare both against single-stream accumulation.
+        let (mut a, mut b) = (cut_a.min(values.len()), cut_b.min(values.len()));
+        if a > b {
+            std::mem::swap(&mut a, &mut b);
+        }
+        let (x, y, z) = (&values[..a], &values[a..b], &values[b..]);
+
+        let whole = histo_of(&values);
+        // (x ⊔ y) ⊔ z
+        let mut left = histo_of(x);
+        left.merge(&histo_of(y));
+        left.merge(&histo_of(z));
+        // x ⊔ (y ⊔ z)
+        let mut right_tail = histo_of(y);
+        right_tail.merge(&histo_of(z));
+        let mut right = histo_of(x);
+        right.merge(&right_tail);
+
+        prop_assert_eq!(&left, &whole);
+        prop_assert_eq!(&right, &whole);
+        prop_assert_eq!(whole.count(), values.len() as u64);
+    }
+
+    #[test]
+    fn prop_quantiles_sit_within_the_documented_bound_of_a_full_sort(
+        seeds in proptest::collection::vec(0u64..SEED_RANGE, 1..300),
+        qs in proptest::collection::vec(0.0f64..1.0, 1..8),
+    ) {
+        let values = spread(&seeds);
+        let snapshot = histo_of(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for q in qs.into_iter().chain([0.0, 0.5, 0.95, 0.99, 1.0]) {
+            let exact = exact_quantile(&sorted, q);
+            let estimate = snapshot.quantile(q);
+            // One-sided: never under the true value, never more than
+            // exact/16 over it.
+            prop_assert!(estimate >= exact, "q={q}: {estimate} < exact {exact}");
+            prop_assert!(
+                estimate - exact <= exact / 16,
+                "q={q}: {estimate} overshoots exact {exact} beyond 1/16"
+            );
+        }
+        prop_assert_eq!(snapshot.quantile(1.0), *sorted.last().unwrap());
+        prop_assert_eq!(snapshot.min(), sorted[0]);
+        prop_assert_eq!(snapshot.max(), *sorted.last().unwrap());
+    }
+
+    #[test]
+    fn prop_sum_and_mean_are_exact(
+        values in proptest::collection::vec(0u64..1_000_000, 0..300),
+    ) {
+        let snapshot = histo_of(&values);
+        let sum: u64 = values.iter().sum();
+        prop_assert_eq!(snapshot.sum(), sum);
+        if !values.is_empty() {
+            let mean = sum as f64 / values.len() as f64;
+            prop_assert!((snapshot.mean() - mean).abs() < 1e-9);
+        }
+    }
+}

@@ -9,7 +9,9 @@
 //! connection (the bench path — a strict send/await-ACK lockstep would
 //! measure round trips, not throughput).
 
-use crate::frame::{encode_batch, FramePoll, WireDecoder, WireError, WireFrame};
+use crate::frame::{
+    encode_batch, encode_stats_request, FrameKind, FramePoll, WireDecoder, WireError, WireFrame,
+};
 use crate::shed::ShedReason;
 use lad_net::{NodeId, ObservationBatch};
 use std::io::Write;
@@ -25,8 +27,18 @@ pub enum DeliveryStatus {
         /// It was scored on the degraded (cheap, bit-identical) path.
         degraded: bool,
     },
-    /// The batch was NACKed — nothing was queued or scored.
-    Shed(ShedReason),
+    /// The batch was NACKed — nothing was queued or scored. The server's
+    /// running totals ride along so a sender can adapt its offered rate
+    /// (back off while `shed_total` grows, expect cheap-path scoring while
+    /// `degraded_total` does) without a Stats round-trip.
+    Shed {
+        /// Why the batch was refused.
+        reason: ShedReason,
+        /// Reports the server has shed at its gate so far.
+        shed_total: u64,
+        /// Reports the server has accepted in degraded mode so far.
+        degraded_total: u64,
+    },
 }
 
 /// One delivery receipt (an Ack or Nack frame, decoded).
@@ -145,18 +157,73 @@ impl WireClient {
                     round,
                     rows,
                     reason,
+                    shed_total,
+                    degraded_total,
                 }) => {
                     self.in_flight = self.in_flight.saturating_sub(1);
                     return Ok(Delivery {
                         round,
                         rows,
-                        status: DeliveryStatus::Shed(reason),
+                        status: DeliveryStatus::Shed {
+                            reason,
+                            shed_total,
+                            degraded_total,
+                        },
                     });
                 }
                 FramePoll::Frame(WireFrame::Batch { .. }) => {
                     return Err(WireError::UnexpectedFrame {
                         context: "awaiting a delivery receipt",
-                        found: crate::FrameKind::Batch,
+                        found: FrameKind::Batch,
+                    });
+                }
+                FramePoll::Frame(WireFrame::StatsRequest) => {
+                    return Err(WireError::UnexpectedFrame {
+                        context: "awaiting a delivery receipt",
+                        found: FrameKind::StatsRequest,
+                    });
+                }
+                FramePoll::Frame(WireFrame::StatsReply { .. }) => {
+                    return Err(WireError::UnexpectedFrame {
+                        context: "awaiting a delivery receipt",
+                        found: FrameKind::StatsReply,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Queries the server's observability snapshot: ships a StatsRequest
+    /// and blocks for the StatsReply, returning its JSON payload (a
+    /// serialized `lad_serve::ServeStats` — parse with
+    /// `ServeStats::from_json`). Call with no receipts in flight: replies
+    /// arrive in order on the one stream, so a pending Ack/Nack surfaces
+    /// as [`WireError::UnexpectedFrame`] here.
+    pub fn query_stats(&mut self) -> Result<String, WireError> {
+        self.buf.clear();
+        encode_stats_request(&mut self.buf);
+        self.stream.write_all(&self.buf)?;
+        loop {
+            match self.decoder.poll_frame(&mut self.stream)? {
+                FramePoll::Pending => continue,
+                FramePoll::Closed => return Err(WireError::ConnectionClosed),
+                FramePoll::Frame(WireFrame::StatsReply { .. }) => {
+                    let bytes = self.decoder.stats_json();
+                    return String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadPayload {
+                        kind: FrameKind::StatsReply,
+                        len: bytes.len(),
+                    });
+                }
+                FramePoll::Frame(frame) => {
+                    return Err(WireError::UnexpectedFrame {
+                        context: "awaiting a stats reply",
+                        found: match frame {
+                            WireFrame::Batch { .. } => FrameKind::Batch,
+                            WireFrame::Ack { .. } => FrameKind::Ack,
+                            WireFrame::Nack { .. } => FrameKind::Nack,
+                            WireFrame::StatsRequest => FrameKind::StatsRequest,
+                            WireFrame::StatsReply { .. } => FrameKind::StatsReply,
+                        },
                     });
                 }
             }

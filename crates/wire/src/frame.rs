@@ -8,8 +8,8 @@
 //! | offset | size | field |
 //! |-------:|-----:|-------|
 //! | 0      | 4    | magic `"LADW"` |
-//! | 4      | 2    | format version (`u16`, currently 1) |
-//! | 6      | 1    | frame kind (1 = Batch, 2 = Ack, 3 = Nack) |
+//! | 4      | 2    | format version (`u16`, currently 2) |
+//! | 6      | 1    | frame kind (1 = Batch, 2 = Ack, 3 = Nack, 4 = StatsRequest, 5 = StatsReply) |
 //! | 7      | 1    | reserved (written 0, ignored on read) |
 //! | 8      | 4    | payload length (`u32`, capped at [`MAX_FRAME_PAYLOAD`]) |
 //! | 12     | 4    | payload checksum (`u32`, word-folded FNV-1a-64; see [`checksum`]) |
@@ -34,8 +34,14 @@
 //! Per-row totals are *not* on the wire — they are derived data and the
 //! decoder recomputes them, so a peer cannot desynchronise a batch's
 //! invariants. **Ack** (accepted; `degraded` flags the load-shed cheap
-//! path) and **Nack** (shed, with a typed [`ShedReason`]) payloads are
-//! `round: u64, rows: u32, flag: u8`.
+//! path) payloads are `round: u64, rows: u32, flag: u8`; **Nack** (shed,
+//! with a typed [`ShedReason`]) extends that with the server's running
+//! `shed_total: u64, degraded_total: u64` report counters, so a client
+//! can adapt its offered rate from the receipt alone, without a Stats
+//! round-trip. **StatsRequest** (client → server) carries an empty
+//! payload; **StatsReply** answers it with a JSON-encoded observability
+//! snapshot (`lad_serve`'s `ServeStats`: counters + folded telemetry) —
+//! derived state only, never anything a decision depends on.
 //!
 //! Every malformed input — truncation, bad magic, unknown version or kind,
 //! oversized or lying length fields, checksum mismatch, invalid CSR — maps
@@ -54,7 +60,11 @@ pub const WIRE_MAGIC: [u8; 4] = *b"LADW";
 /// The wire format version this build writes and accepts. Mirroring the
 /// `EngineArtifact`/`ServeSnapshot` convention, any other version is
 /// rejected with the typed [`WireError::UnsupportedVersion`].
-pub const WIRE_VERSION: u16 = 1;
+///
+/// Version history: v1 had no Stats frames and a 13-byte Nack; v2 widened
+/// Nack with the shed/degraded running totals and added
+/// StatsRequest/StatsReply.
+pub const WIRE_VERSION: u16 = 2;
 
 /// Bytes in the fixed frame header.
 pub const HEADER_LEN: usize = 16;
@@ -71,8 +81,13 @@ pub enum FrameKind {
     Batch,
     /// The batch was accepted (server → client).
     Ack,
-    /// The batch was shed (server → client), with a [`ShedReason`].
+    /// The batch was shed (server → client), with a [`ShedReason`] and
+    /// the server's running shed/degraded totals.
     Nack,
+    /// Ask the server for its observability snapshot (client → server).
+    StatsRequest,
+    /// A JSON `ServeStats` snapshot (server → client).
+    StatsReply,
 }
 
 impl FrameKind {
@@ -81,6 +96,8 @@ impl FrameKind {
             FrameKind::Batch => 1,
             FrameKind::Ack => 2,
             FrameKind::Nack => 3,
+            FrameKind::StatsRequest => 4,
+            FrameKind::StatsReply => 5,
         }
     }
 
@@ -89,6 +106,8 @@ impl FrameKind {
             1 => Some(FrameKind::Batch),
             2 => Some(FrameKind::Ack),
             3 => Some(FrameKind::Nack),
+            4 => Some(FrameKind::StatsRequest),
+            5 => Some(FrameKind::StatsReply),
             _ => None,
         }
     }
@@ -342,9 +361,49 @@ pub fn encode_ack(buf: &mut Vec<u8>, round: u64, rows: u32, degraded: bool) {
     encode_response(buf, FrameKind::Ack, round, rows, degraded as u8);
 }
 
-/// Appends one Nack frame: the batch of `round` (`rows` reports) was shed.
-pub fn encode_nack(buf: &mut Vec<u8>, round: u64, rows: u32, reason: ShedReason) {
-    encode_response(buf, FrameKind::Nack, round, rows, reason.code());
+/// Appends one Nack frame: the batch of `round` (`rows` reports) was
+/// shed for `reason`. `shed_total` / `degraded_total` are the server's
+/// running counters (reports shed at the gate / accepted degraded so
+/// far), echoed in every receipt so a client can adapt without polling.
+pub fn encode_nack(
+    buf: &mut Vec<u8>,
+    round: u64,
+    rows: u32,
+    reason: ShedReason,
+    shed_total: u64,
+    degraded_total: u64,
+) {
+    let start = put_header_placeholder(buf, FrameKind::Nack);
+    buf.extend_from_slice(&round.to_le_bytes());
+    buf.extend_from_slice(&rows.to_le_bytes());
+    buf.push(reason.code());
+    buf.extend_from_slice(&shed_total.to_le_bytes());
+    buf.extend_from_slice(&degraded_total.to_le_bytes());
+    finish_frame(buf, start);
+}
+
+/// Appends one StatsRequest frame (empty payload): ask the peer for its
+/// observability snapshot.
+pub fn encode_stats_request(buf: &mut Vec<u8>) {
+    let start = put_header_placeholder(buf, FrameKind::StatsRequest);
+    finish_frame(buf, start);
+}
+
+/// Appends one StatsReply frame whose payload is `json` verbatim (a
+/// serialized `ServeStats`).
+///
+/// # Panics
+/// Panics when `json` exceeds [`MAX_FRAME_PAYLOAD`] — a caller bug, not a
+/// wire condition.
+pub fn encode_stats_reply(buf: &mut Vec<u8>, json: &[u8]) {
+    assert!(
+        json.len() <= MAX_FRAME_PAYLOAD as usize,
+        "stats payload of {} bytes exceeds the {MAX_FRAME_PAYLOAD} frame cap",
+        json.len()
+    );
+    let start = put_header_placeholder(buf, FrameKind::StatsReply);
+    buf.extend_from_slice(json);
+    finish_frame(buf, start);
 }
 
 /// One decoded frame. A `Batch`'s rows land in the decoder's reusable
@@ -376,6 +435,18 @@ pub enum WireFrame {
         rows: u32,
         /// Why the batch was shed.
         reason: ShedReason,
+        /// Reports the server has shed at its gate so far.
+        shed_total: u64,
+        /// Reports the server has accepted in degraded mode so far.
+        degraded_total: u64,
+    },
+    /// The peer asked for an observability snapshot.
+    StatsRequest,
+    /// A stats snapshot landed in the decoder's reusable
+    /// [`WireDecoder::stats_json`] buffer.
+    StatsReply {
+        /// Payload length in bytes.
+        bytes: u32,
     },
 }
 
@@ -444,6 +515,8 @@ pub struct WireDecoder {
     estimates: Vec<Point2>,
     nodes: Vec<NodeId>,
     batch: ObservationBatch,
+    /// Landing buffer for the most recent StatsReply payload.
+    stats: Vec<u8>,
 }
 
 impl WireDecoder {
@@ -463,6 +536,7 @@ impl WireDecoder {
             estimates: Vec::new(),
             nodes: Vec::new(),
             batch: ObservationBatch::new(group_count),
+            stats: Vec::new(),
         }
     }
 
@@ -474,6 +548,12 @@ impl WireDecoder {
     /// The rows of the most recently decoded Batch frame.
     pub fn batch(&self) -> &ObservationBatch {
         &self.batch
+    }
+
+    /// The payload of the most recently decoded StatsReply frame (JSON
+    /// bytes, reused across frames like the batch buffers).
+    pub fn stats_json(&self) -> &[u8] {
+        &self.stats
     }
 
     /// Whether a frame is partially buffered (a shutdown drain uses this
@@ -532,6 +612,22 @@ impl WireDecoder {
                         &mut self.batch,
                     )?,
                     FrameKind::Ack | FrameKind::Nack => Self::decode_response(kind, payload)?,
+                    FrameKind::StatsRequest => {
+                        if !payload.is_empty() {
+                            return Err(WireError::BadPayload {
+                                kind,
+                                len: payload.len(),
+                            });
+                        }
+                        WireFrame::StatsRequest
+                    }
+                    FrameKind::StatsReply => {
+                        self.stats.clear();
+                        self.stats.extend_from_slice(payload);
+                        WireFrame::StatsReply {
+                            bytes: payload.len() as u32,
+                        }
+                    }
                 }
             };
             self.inbuf.clear();
@@ -636,7 +732,12 @@ impl WireDecoder {
     }
 
     fn decode_response(kind: FrameKind, payload: &[u8]) -> Result<WireFrame, WireError> {
-        if payload.len() != 13 {
+        let expected_len = match kind {
+            FrameKind::Ack => 13,
+            FrameKind::Nack => 29,
+            _ => unreachable!("only receipts take the response path"),
+        };
+        if payload.len() != expected_len {
             return Err(WireError::BadPayload {
                 kind,
                 len: payload.len(),
@@ -667,8 +768,10 @@ impl WireDecoder {
                     field: "nack shed reason",
                     found: flag,
                 })?,
+                shed_total: u64::from_le_bytes(payload[13..21].try_into().expect("8 bytes")),
+                degraded_total: u64::from_le_bytes(payload[21..29].try_into().expect("8 bytes")),
             },
-            FrameKind::Batch => unreachable!("batch payloads take the CSR path"),
+            _ => unreachable!("only receipts take the response path"),
         })
     }
 }
@@ -711,7 +814,7 @@ mod tests {
         let mut wire = Vec::new();
         encode_ack(&mut wire, 7, 128, true);
         encode_batch(&mut wire, 8, &nodes, &batch);
-        encode_nack(&mut wire, 9, 64, ShedReason::Overloaded);
+        encode_nack(&mut wire, 9, 64, ShedReason::Overloaded, 640, 128);
 
         let mut decoder = WireDecoder::new(6);
         let mut cursor = Cursor::new(&wire);
@@ -732,10 +835,58 @@ mod tests {
             FramePoll::Frame(WireFrame::Nack {
                 round: 9,
                 rows: 64,
-                reason: ShedReason::Overloaded
+                reason: ShedReason::Overloaded,
+                shed_total: 640,
+                degraded_total: 128,
             })
         );
         assert_eq!(decoder.poll_frame(&mut cursor).unwrap(), FramePoll::Closed);
+    }
+
+    #[test]
+    fn stats_frames_round_trip_and_reuse_the_landing_buffer() {
+        let mut wire = Vec::new();
+        encode_stats_request(&mut wire);
+        encode_stats_reply(&mut wire, br#"{"counters":{}}"#);
+        encode_stats_reply(&mut wire, br#"{}"#);
+
+        let mut decoder = WireDecoder::new(6);
+        let mut cursor = Cursor::new(&wire);
+        assert_eq!(
+            decoder.poll_frame(&mut cursor).unwrap(),
+            FramePoll::Frame(WireFrame::StatsRequest)
+        );
+        assert_eq!(
+            decoder.poll_frame(&mut cursor).unwrap(),
+            FramePoll::Frame(WireFrame::StatsReply { bytes: 15 })
+        );
+        assert_eq!(decoder.stats_json(), br#"{"counters":{}}"#);
+        // The buffer is reused, not appended to.
+        assert_eq!(
+            decoder.poll_frame(&mut cursor).unwrap(),
+            FramePoll::Frame(WireFrame::StatsReply { bytes: 2 })
+        );
+        assert_eq!(decoder.stats_json(), b"{}");
+        assert_eq!(decoder.poll_frame(&mut cursor).unwrap(), FramePoll::Closed);
+
+        // A StatsRequest with a payload is malformed.
+        let mut bad = Vec::new();
+        let start = bad.len();
+        bad.extend_from_slice(&WIRE_MAGIC);
+        bad.extend_from_slice(&WIRE_VERSION.to_le_bytes());
+        bad.push(4);
+        bad.push(0);
+        bad.extend_from_slice(&1u32.to_le_bytes());
+        bad.extend_from_slice(&checksum(&[7]).to_le_bytes());
+        bad.push(7);
+        let _ = start;
+        assert!(matches!(
+            WireDecoder::new(6).poll_frame(&mut Cursor::new(&bad)),
+            Err(WireError::BadPayload {
+                kind: FrameKind::StatsRequest,
+                len: 1
+            })
+        ));
     }
 
     #[test]

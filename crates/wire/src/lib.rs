@@ -14,7 +14,11 @@
 //! * [`server`] / [`client`] — a std-only framed stream server (TCP and
 //!   Unix-domain accept loops, one reader thread per connection, graceful
 //!   drain) and the matching client used by tests, benches and
-//!   `examples/wire_serve.rs`.
+//!   `examples/wire_serve.rs`. The server answers `StatsRequest` frames
+//!   with a JSON [`ServeStats`](lad_serve::ServeStats) telemetry snapshot
+//!   ([`WireClient::query_stats`]), and records shed / degrade / decode
+//!   error events — with the offending peer address — into the runtime's
+//!   telemetry event ring.
 //!
 //! ```no_run
 //! use lad_wire::{WireClient, WireServer, WireServerConfig};
@@ -39,8 +43,9 @@ pub mod shed;
 
 pub use client::{Delivery, DeliveryStatus, WireClient};
 pub use frame::{
-    checksum, encode_ack, encode_batch, encode_nack, FrameKind, FramePoll, WireDecoder, WireError,
-    WireFrame, HEADER_LEN, MAX_FRAME_PAYLOAD, WIRE_MAGIC, WIRE_VERSION,
+    checksum, encode_ack, encode_batch, encode_nack, encode_stats_reply, encode_stats_request,
+    FrameKind, FramePoll, WireDecoder, WireError, WireFrame, HEADER_LEN, MAX_FRAME_PAYLOAD,
+    WIRE_MAGIC, WIRE_VERSION,
 };
 pub use server::{WireServer, WireServerConfig};
 pub use shed::{GateDecision, IngestGate, OverloadPolicy, RateLimit, ShedReason, TokenBucket};

@@ -16,9 +16,12 @@
 //! runtime is handed back to the caller untouched, ready for its own
 //! graceful [`ServeRuntime::shutdown`].
 
-use crate::frame::{encode_ack, encode_nack, FramePoll, WireDecoder, WireError, WireFrame};
+use crate::frame::{
+    encode_ack, encode_nack, encode_stats_reply, FramePoll, WireDecoder, WireError, WireFrame,
+};
 use crate::shed::{GateDecision, IngestGate, OverloadPolicy, ShedReason};
 use lad_serve::ServeRuntime;
+use lad_telemetry::{EventKind, Stage};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
@@ -201,17 +204,30 @@ where
 /// `serve_conn` is written once.
 trait ConnStream: Read + Write {
     fn set_read_timeout_(&self, timeout: Duration) -> std::io::Result<()>;
+    /// Human-readable peer identity for telemetry events (never consulted
+    /// by any decision).
+    fn peer_label(&self) -> String;
 }
 
 impl ConnStream for TcpStream {
     fn set_read_timeout_(&self, timeout: Duration) -> std::io::Result<()> {
         self.set_read_timeout(Some(timeout))
     }
+
+    fn peer_label(&self) -> String {
+        self.peer_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| "tcp:?".to_string())
+    }
 }
 
 impl ConnStream for UnixStream {
     fn set_read_timeout_(&self, timeout: Duration) -> std::io::Result<()> {
         self.set_read_timeout(Some(timeout))
+    }
+
+    fn peer_label(&self) -> String {
+        "uds".to_string()
     }
 }
 
@@ -221,6 +237,14 @@ fn serve_conn<S: ConnStream>(shared: &ServerShared, mut stream: S) {
         return;
     }
     let runtime = &shared.runtime;
+    let telemetry = Arc::clone(runtime.telemetry());
+    // Resolved once: the label that ties this connection's Shed / Degrade /
+    // DecodeError events back to a source address.
+    let peer = if telemetry.enabled() {
+        stream.peer_label()
+    } else {
+        String::new()
+    };
     let mut decoder = WireDecoder::new(runtime.group_count());
     let mut gate = IngestGate::new(shared.policy);
     let mut out = Vec::new();
@@ -241,14 +265,41 @@ fn serve_conn<S: ConnStream>(shared: &ServerShared, mut stream: S) {
                 return;
             }
         }
+        // The decode span covers the poll that *completes* a frame; polls
+        // that come back Pending/Closed are cancelled (idle waiting is not
+        // decode work). See `Stage::Decode` for the accuracy caveat.
+        let decode_span = telemetry.span(Stage::Decode);
         match decoder.poll_frame(&mut stream) {
-            Ok(FramePoll::Pending) => continue,
-            Ok(FramePoll::Closed) => return,
+            Ok(FramePoll::Pending) => {
+                decode_span.cancel();
+                continue;
+            }
+            Ok(FramePoll::Closed) => {
+                decode_span.cancel();
+                return;
+            }
             Ok(FramePoll::Frame(WireFrame::Batch { round, rows })) => {
+                decode_span.stop();
+                // The gate span covers decide + submit hand-off + receipt
+                // write: everything between a decoded batch and its ACK/NACK
+                // leaving the socket.
+                let _gate_span = telemetry.span(Stage::Gate);
                 out.clear();
                 if drain_deadline.is_some() {
                     runtime.record_shed(rows as u64);
-                    encode_nack(&mut out, round, rows, ShedReason::Draining);
+                    if telemetry.enabled() {
+                        let detail = format!("{peer} {:?}", ShedReason::Draining);
+                        telemetry.event(EventKind::Shed, round, rows as u64, 0, &detail);
+                    }
+                    let c = runtime.counters();
+                    encode_nack(
+                        &mut out,
+                        round,
+                        rows,
+                        ShedReason::Draining,
+                        c.shed,
+                        c.degraded,
+                    );
                     let _ = stream.write_all(&out);
                     return;
                 }
@@ -261,23 +312,54 @@ fn serve_conn<S: ConnStream>(shared: &ServerShared, mut stream: S) {
                     }
                     GateDecision::Degrade => {
                         runtime.submit_rows_degraded(round, decoder.nodes(), decoder.batch());
+                        telemetry.event(EventKind::Degrade, round, rows as u64, 0, &peer);
                         encode_ack(&mut out, round, rows, true);
                     }
                     GateDecision::Shed(reason) => {
                         runtime.record_shed(rows as u64);
-                        encode_nack(&mut out, round, rows, reason);
+                        if telemetry.enabled() {
+                            let detail = format!("{peer} {reason:?}");
+                            telemetry.event(EventKind::Shed, round, rows as u64, 0, &detail);
+                        }
+                        let c = runtime.counters();
+                        encode_nack(&mut out, round, rows, reason, c.shed, c.degraded);
                     }
                 }
                 if stream.write_all(&out).is_err() {
                     return;
                 }
             }
-            // A client must not send Ack/Nack; treat it as a protocol error.
-            Ok(FramePoll::Frame(_)) | Err(_) => {
+            // The observability query: answered even while draining, so an
+            // operator can watch a shutdown converge.
+            Ok(FramePoll::Frame(WireFrame::StatsRequest)) => {
+                decode_span.stop();
+                out.clear();
+                let json = runtime.stats().to_json();
+                encode_stats_reply(&mut out, json.as_bytes());
+                if stream.write_all(&out).is_err() {
+                    return;
+                }
+            }
+            // A client must not send Ack/Nack/StatsReply; protocol error.
+            Ok(FramePoll::Frame(frame)) => {
+                decode_span.cancel();
+                runtime.record_decode_error();
+                if telemetry.enabled() {
+                    let detail = format!("{peer} unexpected frame {frame:?}");
+                    telemetry.event(EventKind::DecodeError, 0, 0, 0, &detail);
+                }
+                return;
+            }
+            Err(err) => {
                 // A length-prefixed stream cannot resynchronise after a bad
                 // frame: count it and close (the client sees EOF and its
                 // typed error locally).
+                decode_span.cancel();
                 runtime.record_decode_error();
+                if telemetry.enabled() {
+                    let detail = format!("{peer} {err}");
+                    telemetry.event(EventKind::DecodeError, 0, 0, 0, &detail);
+                }
                 return;
             }
         }

@@ -122,7 +122,7 @@ fn main() {
         let receipt = client.recv_delivery().expect("receipt arrives");
         match receipt.status {
             DeliveryStatus::Accepted { .. } => accepted += receipt.rows as u64,
-            DeliveryStatus::Shed(reason) => {
+            DeliveryStatus::Shed { reason, .. } => {
                 panic!("live traffic unexpectedly shed: {reason:?}")
             }
         }
@@ -142,8 +142,11 @@ fn main() {
         let receipt = client.send_rows(*round, nodes, rows).expect("receipt");
         match receipt.status {
             DeliveryStatus::Accepted { .. } => flood_accepted += receipt.rows as u64,
-            DeliveryStatus::Shed(ShedReason::RateLimited) => shed += receipt.rows as u64,
-            DeliveryStatus::Shed(reason) => panic!("unexpected shed reason {reason:?}"),
+            DeliveryStatus::Shed {
+                reason: ShedReason::RateLimited,
+                ..
+            } => shed += receipt.rows as u64,
+            DeliveryStatus::Shed { reason, .. } => panic!("unexpected shed reason {reason:?}"),
         }
     }
     println!(

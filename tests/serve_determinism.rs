@@ -182,6 +182,77 @@ fn mu_cache_never_changes_alarms_at_any_capacity_or_shard_count() {
     }
 }
 
+#[test]
+fn telemetry_never_changes_alarms_or_states() {
+    // Telemetry is derived state by construction — never serialized into
+    // `ServeSnapshot`, never consulted by a decision — so the alarm set
+    // and final detector states must be bit-identical with stage timing
+    // on (the default) and off, at every shard count.
+    let engine = engine();
+    let network = Network::generate(engine.knowledge().clone(), 0xD3A);
+    let nodes: Vec<NodeId> = (0..64u32).map(|i| NodeId(i * 9)).collect();
+    let clean = TrafficModel::clean(&network, &engine, nodes, 0xFACADE);
+    let traffic = clean.with_attack(
+        AttackTimeline::Onset { at: 6 },
+        AttackConfig {
+            degree_of_damage: 150.0,
+            compromised_fraction: 0.2,
+            class: AttackClass::DecBounded,
+            targeted_metric: MetricKind::Diff,
+        },
+        0.4,
+    );
+    let streams = clean.score_streams(&network, &engine, MetricKind::Diff, 0..16);
+    let detector = SequentialDetector::calibrate_cusum(streams.iter().map(Vec::as_slice), 0.01);
+    let rounds = 20;
+
+    let run = |shards: usize, telemetry: bool| {
+        let runtime = ServeRuntime::start(
+            engine.clone(),
+            ServeConfig::new(MetricKind::Diff, detector)
+                .with_shards(shards)
+                .with_telemetry(telemetry),
+        )
+        .expect("runtime starts");
+        for round in 0..rounds {
+            runtime.submit_batch(round, traffic.round(&network, round));
+        }
+        let mut alarms: Vec<(u32, u64)> = runtime
+            .drain_alarms()
+            .into_iter()
+            .map(|a| (a.node.0, a.round))
+            .collect();
+        alarms.sort_unstable();
+        let stats = runtime.stats();
+        assert_eq!(stats.telemetry.enabled, telemetry);
+        if telemetry {
+            assert!(
+                stats.telemetry.stage(Stage::Score).count > 0,
+                "enabled telemetry must record scoring spans"
+            );
+        } else {
+            assert!(stats.telemetry.stages.iter().all(|s| s.count == 0));
+        }
+        (alarms, runtime.shutdown().snapshot)
+    };
+
+    let (baseline_alarms, baseline_snapshot) = run(1, false);
+    assert!(!baseline_alarms.is_empty(), "the attack must alarm");
+    for shards in [1usize, 2, 8] {
+        for telemetry in [false, true] {
+            let (alarms, snapshot) = run(shards, telemetry);
+            assert_eq!(
+                baseline_alarms, alarms,
+                "alarm set differs at {shards} shards, telemetry={telemetry}"
+            );
+            assert_eq!(
+                baseline_snapshot.states, snapshot.states,
+                "final states differ at {shards} shards, telemetry={telemetry}"
+            );
+        }
+    }
+}
+
 /// Runs the full closed loop at a given shard count and returns the
 /// complete journalled alarm records sorted by `(node, round)` — every
 /// field, not just the key — the final revocation list, and the

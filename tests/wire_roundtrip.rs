@@ -169,7 +169,7 @@ proptest! {
         let mut wire = Vec::new();
         encode_batch(&mut wire, 9, &nodes, &batch);
         encode_ack(&mut wire, 9, rows as u32, false);
-        encode_nack(&mut wire, 10, rows as u32, ShedReason::Overloaded);
+        encode_nack(&mut wire, 10, rows as u32, ShedReason::Overloaded, 64, 8);
 
         // Flip one byte anywhere in the three-frame stream: every outcome
         // must be a decoded frame or a typed error — the decode loop below
@@ -364,10 +364,12 @@ fn malformed_frame_corpus_yields_exactly_the_right_errors() {
             found: 2
         }
     );
-    *ack13.last_mut().unwrap() = 0; // shed reason 0 is undefined
+    let mut nack29 = ack13.clone();
+    *nack29.last_mut().unwrap() = 0; // shed reason 0 is undefined
+    nack29.extend_from_slice(&[0u8; 16]); // shed/degraded totals
     assert_eq!(
         WireDecoder::new(4)
-            .poll_frame(&mut Cursor::new(&raw_frame(3, &ack13)))
+            .poll_frame(&mut Cursor::new(&raw_frame(3, &nack29)))
             .unwrap_err(),
         WireError::InvalidEnum {
             field: "nack shed reason",

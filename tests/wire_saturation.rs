@@ -222,7 +222,7 @@ fn saturation_sheds_typed_stays_live_and_survivors_match_in_process() {
                 accepted_rounds.push(receipt.round);
                 accepted_reports += receipt.rows as u64;
             }
-            DeliveryStatus::Shed(reason) => {
+            DeliveryStatus::Shed { reason, .. } => {
                 assert_eq!(reason, ShedReason::RateLimited);
                 shed += receipt.rows as u64;
             }
@@ -281,8 +281,20 @@ fn shed_depth_zero_nacks_everything_overloaded() {
     for round in 0..3 {
         let (nodes, rows) = round_rows(&traffic, &network, &engine, round);
         let receipt = client.send_rows(round, &nodes, &rows).unwrap();
-        assert_eq!(receipt.status, DeliveryStatus::Shed(ShedReason::Overloaded));
+        let DeliveryStatus::Shed {
+            reason,
+            shed_total,
+            degraded_total,
+        } = receipt.status
+        else {
+            panic!("batch must be shed at depth 0, got {:?}", receipt.status);
+        };
+        assert_eq!(reason, ShedReason::Overloaded);
         offered_reports += nodes.len() as u64;
+        // The NACK carries the server's running totals so a sender can
+        // adapt without a stats round-trip.
+        assert_eq!(shed_total, offered_reports);
+        assert_eq!(degraded_total, 0);
     }
     server.shutdown();
     let counters = runtime.counters();
