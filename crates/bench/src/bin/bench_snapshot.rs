@@ -5,7 +5,8 @@
 //! and a 4× same-density deployment), sustained serve throughput over a
 //! cores-aware shard curve with the µ cache on and off, the
 //! response-hook idle overhead (with an asserted bound), the telemetry
-//! overhead (serve throughput with stage timing on vs off, with an
+//! overhead (serve throughput with stage timing *plus* the windowed
+//! series ring *plus* the drift monitor on vs everything off, with an
 //! asserted bound), and the end-to-end wire path (TCP loopback through
 //! `lad_wire`, full and degraded fidelity, plus the shed fraction under
 //! a 2× overload, with per-stage latency percentiles from the runtime's
@@ -14,12 +15,14 @@
 //!
 //! ```text
 //! cargo run --release -p lad_bench --bin bench_snapshot -- \
-//!     [--out BENCH_8.json] [--quick] [--compare BENCH_7.json]
+//!     [--out BENCH_10.json] [--quick] [--compare BENCH_8.json]
 //! ```
 //!
 //! `--quick` shrinks iteration counts for CI; `--compare` prints
-//! per-section deltas against a previous snapshot and flags anything that
-//! got more than 10% worse, so perf regressions stop hiding between PRs.
+//! per-section deltas against a previous snapshot — throughputs, overhead
+//! factors, and the per-stage p99 latencies from the wire run — and flags
+//! anything that got more than 10% worse, so perf regressions stop hiding
+//! between PRs.
 
 use lad_core::engine::LadEngine;
 use lad_core::expected::rounded_expected;
@@ -30,7 +33,7 @@ use lad_core::{ExpectedObservation, MetricKind};
 use lad_deployment::{DeploymentConfig, DeploymentKnowledge, MuCache, SparseMu};
 use lad_geometry::Point2;
 use lad_net::{Network, NodeId, ObservationBatch};
-use lad_serve::{ServeConfig, ServeRuntime, TrafficModel};
+use lad_serve::{DriftBaseline, DriftMonitorConfig, ServeConfig, ServeRuntime, TrafficModel};
 use lad_stats::SequentialDetector;
 use lad_telemetry::StageSummary;
 use lad_wire::{DeliveryStatus, OverloadPolicy, WireClient, WireServer, WireServerConfig};
@@ -91,13 +94,15 @@ struct ResponseOverhead {
 }
 
 /// The telemetry overhead on the serving hot path: the same single-shard
-/// sustained run with stage timing, histograms and queue gauges enabled
-/// (the default) vs fully disabled. Enabled telemetry pays two
-/// `Instant::now()` calls and a handful of relaxed atomics per batch —
-/// the bound asserts it stays within 10% of the dark runtime.
+/// sustained run with stage timing, histograms, queue gauges, the
+/// windowed series ring, *and* the score-drift monitor enabled vs
+/// everything disabled. The monitor adds one accumulator push per clean
+/// score on the shard; the series ring observes only on `stats()` calls,
+/// off the hot path — the bound asserts the whole observability stack
+/// stays within 10% of the dark runtime.
 #[derive(Debug, Serialize)]
 struct TelemetryOverhead {
-    /// Single-shard with telemetry enabled (the default), reports/s.
+    /// Single-shard with telemetry + series window + drift monitor, reports/s.
     on_reports_per_sec: f64,
     /// Single-shard with `ServeConfig::with_telemetry(false)`, reports/s.
     off_reports_per_sec: f64,
@@ -252,6 +257,9 @@ fn kernel_scale(effort: Effort, cfg: &DeploymentConfig, at: Point2, obs_at: Poin
 struct Workload {
     engine: Arc<LadEngine>,
     detector: SequentialDetector,
+    /// Drift baseline captured from the same calibration streams as the
+    /// detector — lets the telemetry-overhead run enable the monitor.
+    baseline: DriftBaseline,
     rounds: Vec<(Vec<NodeId>, ObservationBatch)>,
     reports_per_pass: usize,
 }
@@ -270,6 +278,8 @@ fn serve_workload() -> Workload {
     let traffic = TrafficModel::clean(&network, &engine, nodes, 0x7A5E);
     let streams = traffic.score_streams(&network, &engine, MetricKind::Diff, 0..4);
     let detector = SequentialDetector::calibrate_cusum(streams.iter().map(Vec::as_slice), 0.01);
+    let baseline =
+        DriftBaseline::capture(MetricKind::Diff, 0.01, streams.iter().map(Vec::as_slice));
     let rounds: Vec<(Vec<NodeId>, ObservationBatch)> = (0..8u64)
         .map(|r| {
             let mut nodes = Vec::new();
@@ -282,13 +292,14 @@ fn serve_workload() -> Workload {
     Workload {
         engine,
         detector,
+        baseline,
         rounds,
         reports_per_pass,
     }
 }
 
 fn serve_rate(effort: Effort, shards: usize) -> ServeRate {
-    serve_rate_with(effort, shards, false, None, true)
+    serve_rate_with(effort, shards, false, None, true, false)
 }
 
 /// Best-of-`n` wrapper around a serve measurement: single-core boxes see
@@ -309,17 +320,20 @@ fn best_of(n: usize, mut run: impl FnMut() -> ServeRate) -> ServeRate {
 
 /// One sustained in-process serve measurement. `mu_cache_capacity`
 /// overrides the [`ServeConfig`] default when given (`Some(0)` disables
-/// memoization).
+/// memoization); `monitored` additionally enables the windowed series
+/// ring and the score-drift monitor (the full observability stack).
 fn serve_rate_with(
     effort: Effort,
     shards: usize,
     with_idle_hook: bool,
     mu_cache_capacity: Option<usize>,
     telemetry: bool,
+    monitored: bool,
 ) -> ServeRate {
     let Workload {
         engine,
         detector,
+        baseline,
         rounds,
         reports_per_pass,
     } = serve_workload();
@@ -328,6 +342,14 @@ fn serve_rate_with(
         .with_shards(shards)
         .with_queue_depth(4)
         .with_telemetry(telemetry);
+    if monitored {
+        // A generous tolerance: the point is to pay the monitor's hot-path
+        // cost (one accumulator push per clean score), not to flag drift
+        // on the clean benchmark traffic.
+        config = config
+            .with_drift_monitor(DriftMonitorConfig::new(baseline, 0.9))
+            .with_stats_window(0, 64);
+    }
     if let Some(capacity) = mu_cache_capacity {
         config = config.with_mu_cache_capacity(capacity);
     }
@@ -438,77 +460,90 @@ fn wire_run(policy: OverloadPolicy, passes: u64) -> (f64, u64, u64, Vec<StageSum
 /// A numeric metric extracted from a snapshot for `--compare`: name,
 /// value, and whether larger is better (throughput) or worse (ns, ratio).
 struct Metric {
-    name: &'static str,
+    name: String,
     value: f64,
     higher_is_better: bool,
+}
+
+impl Metric {
+    fn new(name: impl Into<String>, value: f64, higher_is_better: bool) -> Self {
+        Metric {
+            name: name.into(),
+            value,
+            higher_is_better,
+        }
+    }
 }
 
 /// The comparable metric set of the *current* snapshot.
 fn metrics_of(snap: &Snapshot) -> Vec<Metric> {
     let mut out = vec![
-        Metric {
-            name: "kernel_paper_scale.dense_ns_per_score",
-            value: snap.kernel_paper_scale.dense_ns_per_score,
-            higher_is_better: false,
-        },
-        Metric {
-            name: "kernel_paper_scale.sparse_ns_per_score",
-            value: snap.kernel_paper_scale.sparse_ns_per_score,
-            higher_is_better: false,
-        },
-        Metric {
-            name: "kernel_4x_scale.dense_ns_per_score",
-            value: snap.kernel_4x_scale.dense_ns_per_score,
-            higher_is_better: false,
-        },
-        Metric {
-            name: "kernel_4x_scale.sparse_ns_per_score",
-            value: snap.kernel_4x_scale.sparse_ns_per_score,
-            higher_is_better: false,
-        },
-        Metric {
-            name: "serve_response_idle.overhead_factor",
-            value: snap.serve_response_idle.overhead_factor,
-            higher_is_better: false,
-        },
-        Metric {
-            name: "serve_telemetry.overhead_factor",
-            value: snap.serve_telemetry.overhead_factor,
-            higher_is_better: false,
-        },
-        Metric {
-            name: "wire.reports_per_sec",
-            value: snap.wire.reports_per_sec,
-            higher_is_better: true,
-        },
-        Metric {
-            name: "wire.degraded_reports_per_sec",
-            value: snap.wire.degraded_reports_per_sec,
-            higher_is_better: true,
-        },
+        Metric::new(
+            "kernel_paper_scale.dense_ns_per_score",
+            snap.kernel_paper_scale.dense_ns_per_score,
+            false,
+        ),
+        Metric::new(
+            "kernel_paper_scale.sparse_ns_per_score",
+            snap.kernel_paper_scale.sparse_ns_per_score,
+            false,
+        ),
+        Metric::new(
+            "kernel_4x_scale.dense_ns_per_score",
+            snap.kernel_4x_scale.dense_ns_per_score,
+            false,
+        ),
+        Metric::new(
+            "kernel_4x_scale.sparse_ns_per_score",
+            snap.kernel_4x_scale.sparse_ns_per_score,
+            false,
+        ),
+        Metric::new(
+            "serve_response_idle.overhead_factor",
+            snap.serve_response_idle.overhead_factor,
+            false,
+        ),
+        Metric::new(
+            "serve_telemetry.overhead_factor",
+            snap.serve_telemetry.overhead_factor,
+            false,
+        ),
+        Metric::new("wire.reports_per_sec", snap.wire.reports_per_sec, true),
+        Metric::new(
+            "wire.degraded_reports_per_sec",
+            snap.wire.degraded_reports_per_sec,
+            true,
+        ),
     ];
     for rate in &snap.serve {
         // One entry per shard count; the old snapshot is matched by count.
-        let name: &'static str = match rate.shards {
-            1 => "serve.1shard.reports_per_sec",
-            2 => "serve.2shard.reports_per_sec",
-            4 => "serve.4shard.reports_per_sec",
-            8 => "serve.8shard.reports_per_sec",
-            _ => continue,
-        };
-        out.push(Metric {
-            name,
-            value: rate.reports_per_sec,
-            higher_is_better: true,
-        });
+        out.push(Metric::new(
+            format!("serve.{}shard.reports_per_sec", rate.shards),
+            rate.reports_per_sec,
+            true,
+        ));
+    }
+    // Per-stage tail latency from the wire run: a p99 that balloons while
+    // the throughput headline holds is exactly the regression the averages
+    // hide, so every stage's p99 is compared (lower is better; the old
+    // snapshot is matched by stage name).
+    for stage in &snap.wire_stage_latency {
+        // `{:?}` yields the variant name ("Decode"), which is also how the
+        // stage field serializes — so the lookup segment matches the JSON.
+        out.push(Metric::new(
+            format!("wire_stage_latency.{:?}.p99_nanos", stage.stage),
+            stage.p99_nanos as f64,
+            false,
+        ));
     }
     out
 }
 
-/// Looks up a dotted path (`a.b.c`) in a parsed snapshot; the synthetic
+/// Looks up a dotted path (`a.b.c`) in a parsed snapshot. The synthetic
 /// `serve.<n>shard.*` segments index the `serve` array by its per-entry
-/// `shards` field, so snapshots from runs with different curves still
-/// align.
+/// `shards` field, and a segment hitting any other array indexes it by
+/// its per-entry `stage` name — so snapshots from runs with different
+/// shard curves or stage sets still align.
 fn lookup(old: &Value, path: &str) -> Option<f64> {
     let mut node = old;
     for seg in path.split('.') {
@@ -518,6 +553,10 @@ fn lookup(old: &Value, path: &str) -> Option<f64> {
                 .as_array()?
                 .iter()
                 .find(|e| e.get("shards").and_then(Value::as_u64) == Some(want))?;
+        } else if let Some(entries) = node.as_array() {
+            node = entries
+                .iter()
+                .find(|e| e.get("stage").and_then(Value::as_str) == Some(seg))?;
         } else if let Some(next) = node.get(seg) {
             node = next;
         } else {
@@ -538,7 +577,7 @@ fn compare_snapshots(old_path: &str, snap: &Snapshot) -> usize {
     println!("== delta vs {old_path} (PR {old_pr}) ==");
     let mut regressions = 0usize;
     for metric in metrics_of(snap) {
-        let Some(before) = lookup(&old, metric.name) else {
+        let Some(before) = lookup(&old, &metric.name) else {
             println!("  {:<44} (not in old snapshot)", metric.name);
             continue;
         };
@@ -574,7 +613,7 @@ fn compare_snapshots(old_path: &str, snap: &Snapshot) -> usize {
 }
 
 fn main() {
-    let mut out = String::from("BENCH_8.json");
+    let mut out = String::from("BENCH_10.json");
     let mut quick = false;
     let mut compare: Option<String> = None;
     let mut args = std::env::args().skip(1);
@@ -616,8 +655,10 @@ fn main() {
         .iter()
         .map(|&s| best_of(3, || serve_rate(effort, s)))
         .collect();
-    let serve_uncached = best_of(3, || serve_rate_with(effort, 1, false, Some(0), true));
-    let idle = best_of(3, || serve_rate_with(effort, 1, true, None, true));
+    let serve_uncached = best_of(3, || {
+        serve_rate_with(effort, 1, false, Some(0), true, false)
+    });
+    let idle = best_of(3, || serve_rate_with(effort, 1, true, None, true, false));
     // The idle hook must stay near-free: with the single-shard bulk
     // handoff, a non-matching filter costs one suppression scan per
     // report on the submit thread (a 16-id binary search plus two circle
@@ -629,15 +670,17 @@ fn main() {
         overhead_factor < idle_bound,
         "idle response-filter overhead {overhead_factor:.3}x exceeds the {idle_bound}x bound"
     );
-    // Telemetry must be near-free on the hot path: per batch it costs a
-    // handful of `Instant::now()` calls (queue-wait stamp + span starts)
-    // and a few relaxed atomic adds — nothing per report. Both sides are
-    // measured back to back (minutes-apart windows drift >10% on a shared
-    // 1-core box all by themselves) and best-of-5; the bound is looser
-    // under --quick for the same scheduler-noise reason as the idle-hook
-    // bound above.
-    let telemetry_on = best_of(5, || serve_rate_with(effort, 1, false, None, true));
-    let telemetry_off = best_of(5, || serve_rate_with(effort, 1, false, None, false));
+    // The observability stack must be near-free on the hot path: per batch
+    // the stage timers cost a handful of `Instant::now()` calls (queue-wait
+    // stamp + span starts) and a few relaxed atomic adds, and the drift
+    // monitor adds one accumulator push per clean score — nothing else per
+    // report (the series ring only observes on `stats()` calls, off the hot
+    // path). Both sides are measured back to back (minutes-apart windows
+    // drift >10% on a shared 1-core box all by themselves) and best-of-5;
+    // the bound is looser under --quick for the same scheduler-noise
+    // reason as the idle-hook bound above.
+    let telemetry_on = best_of(5, || serve_rate_with(effort, 1, false, None, true, true));
+    let telemetry_off = best_of(5, || serve_rate_with(effort, 1, false, None, false, false));
     let telemetry_bound = if quick { 1.5 } else { 1.10 };
     let telemetry_factor = telemetry_off.reports_per_sec / telemetry_on.reports_per_sec;
     assert!(
@@ -668,7 +711,7 @@ fn main() {
             / overload_offered as f64,
     };
     let snapshot = Snapshot {
-        pr: 8,
+        pr: 10,
         unix_time: std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
             .map(|d| d.as_secs())

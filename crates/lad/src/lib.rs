@@ -32,8 +32,12 @@
 //!   resulting filter back into the serving runtime,
 //! * [`telemetry`] — derived-only observability: per-shard stage latency
 //!   histograms with exact merge and bounded quantile error, queue
-//!   gauges, and a structured event ring, exportable over the wire as a
-//!   JSON stats snapshot and never consulted by any decision,
+//!   gauges, a structured event ring, a bounded windowed time-series of
+//!   throughput / alarm-rate / latency deltas, and a detection-health
+//!   model (score-drift watch via streaming KS against a versioned
+//!   calibration baseline, observed-FAR band check), exportable over the
+//!   wire as JSON stats / health frames or a Prometheus text exposition —
+//!   and never consulted by any decision,
 //! * [`geometry`] / [`stats`] — the numeric substrates underneath it all.
 //!
 //! The [`prelude`] re-exports the types most applications need. See the
@@ -82,14 +86,17 @@ pub mod prelude {
         RevocationPolicy, SuspectScorer, ThresholdRevoke,
     };
     pub use lad_serve::{
-        Alarm, AttackTimeline, ResponseFilter, ServeConfig, ServeRuntime, ServeSnapshot,
-        ServeStats, TrafficModel,
+        render_prometheus, Alarm, AttackTimeline, DriftBaseline, DriftMonitorConfig, DriftSnapshot,
+        ResponseFilter, ServeConfig, ServeRuntime, ServeSnapshot, ServeStats, TrafficModel,
     };
     pub use lad_stats::{SequentialDetector, SequentialState};
-    pub use lad_telemetry::{EventKind, Stage, StageSummary, TelemetryEvent, TelemetrySnapshot};
+    pub use lad_telemetry::{
+        EventKind, HealthCause, HealthReport, HealthStatus, SeriesSnapshot, Stage, StageSummary,
+        TelemetryEvent, TelemetrySnapshot, WindowSample,
+    };
     pub use lad_wire::{
-        Delivery, DeliveryStatus, OverloadPolicy, ShedReason, WireClient, WireError, WireServer,
-        WireServerConfig,
+        Delivery, DeliveryStatus, HealthFormat, OverloadPolicy, ShedReason, WireClient, WireError,
+        WireServer, WireServerConfig,
     };
 }
 

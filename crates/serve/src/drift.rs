@@ -1,0 +1,332 @@
+//! The score-drift monitor: is live clean traffic still the distribution
+//! the detector was calibrated on?
+//!
+//! Every sequential threshold in this system is calibrated against a
+//! *clean-score substrate* — the empirical distribution of scores the
+//! engine assigns to honest traffic. The calibrated false-alarm guarantee
+//! is a statement about that substrate, and it silently dies when the
+//! substrate moves (measurement noise changed, the σ assumed at engine
+//! build no longer matches reality, the node population shifted). The
+//! drift monitor watches for exactly that failure mode:
+//!
+//! * at calibration time, the clean score streams are captured into a
+//!   versioned [`DriftBaseline`] artifact (same `version`-dispatch
+//!   pattern as [`ServeSnapshot`](crate::ServeSnapshot): a reader meeting
+//!   a future version fails with a typed
+//!   [`ServeError::UnsupportedVersion`]);
+//! * at serve time, every shard feeds the scores of its **non-alarming**
+//!   rounds into a bounded `ScoreAccumulator` (alarming rounds are
+//!   excluded — an attack is supposed to shift scores, and must not
+//!   poison the drift estimate into "recalibrate" when the right answer
+//!   is "respond");
+//! * on demand, the per-shard accumulators are folded in shard order and
+//!   compared against the baseline with
+//!   [`streaming_ks`], and the observed alarm
+//!   rate is checked against the calibrated target's tolerance band.
+//!
+//! The verdict is **derived state only**: nothing in the scoring or
+//! decision path reads it, so enabling the monitor cannot change a single
+//! alarm bit (`tests/serve_determinism.rs` asserts this across shard
+//! counts).
+
+use crate::snapshot::ServeError;
+use lad_core::MetricKind;
+use lad_stats::streaming::{AccumulatorConfig, ScoreAccumulator};
+use lad_stats::streaming_ks;
+use serde::{Deserialize, Serialize};
+
+/// The baseline artifact version this build writes and reads.
+pub const DRIFT_BASELINE_VERSION: u32 = 1;
+
+/// The calibration-time snapshot of the clean-score substrate, plus the
+/// false-alarm target the detector was tuned to. Serialized alongside the
+/// engine/detector artifacts; versioned so a reader can fail loudly on a
+/// format from the future instead of mis-parsing it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DriftBaseline {
+    /// Artifact format version (see [`DRIFT_BASELINE_VERSION`]).
+    pub version: u32,
+    /// The engine metric the scores belong to. Checked against the serve
+    /// configuration at startup: a Diff baseline says nothing about Rank
+    /// scores.
+    pub metric: MetricKind,
+    /// The per-report false-alarm rate the detector was calibrated to.
+    pub target_far: f64,
+    /// The clean-score distribution itself (exact until the accumulator's
+    /// `exact_limit`, then a fixed log-domain histogram — mergeable and
+    /// KS-comparable either way).
+    pub scores: ScoreAccumulator,
+}
+
+impl DriftBaseline {
+    /// Captures a baseline from calibration score streams (the same
+    /// streams handed to `SequentialDetector::calibrate_*`).
+    pub fn capture<'a, I>(metric: MetricKind, target_far: f64, streams: I) -> Self
+    where
+        I: IntoIterator<Item = &'a [f64]>,
+    {
+        let mut scores = ScoreAccumulator::new(AccumulatorConfig::default());
+        for stream in streams {
+            scores.extend(stream.iter().copied());
+        }
+        DriftBaseline {
+            version: DRIFT_BASELINE_VERSION,
+            metric,
+            target_far,
+            scores,
+        }
+    }
+
+    /// The accumulator layout live clean scores must be collected under so
+    /// the KS comparison is exact in binned mode.
+    pub fn accumulator_config(&self) -> AccumulatorConfig {
+        *self.scores.config()
+    }
+
+    /// Serializes the baseline (always writes [`DRIFT_BASELINE_VERSION`]).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("baseline serializes")
+    }
+
+    /// Restores a baseline from [`Self::to_json`] output. Any `version`
+    /// other than [`DRIFT_BASELINE_VERSION`] fails with the typed
+    /// [`ServeError::UnsupportedVersion`].
+    pub fn from_json(json: &str) -> Result<Self, ServeError> {
+        let value = serde_json::parse_value(json).map_err(|e| ServeError::Parse(e.to_string()))?;
+        let found = value
+            .get("version")
+            .ok_or_else(|| ServeError::Parse("not a drift baseline (no `version` field)".into()))?
+            .as_u64()
+            .ok_or_else(|| ServeError::Parse("`version` must be an integer".into()))?;
+        if found != DRIFT_BASELINE_VERSION as u64 {
+            return Err(ServeError::UnsupportedVersion { found });
+        }
+        serde_json::from_value(&value).map_err(|e| ServeError::Parse(e.to_string()))
+    }
+}
+
+/// Configuration of the online drift monitor, attached to a
+/// [`ServeConfig`](crate::ServeConfig) via
+/// [`with_drift_monitor`](crate::ServeConfig::with_drift_monitor).
+#[derive(Debug, Clone)]
+pub struct DriftMonitorConfig {
+    /// The calibration baseline to compare live clean scores against.
+    pub baseline: DriftBaseline,
+    /// KS distance above which the substrate is declared drifted. Pick it
+    /// above the self-distance noise floor of clean-vs-clean resampling
+    /// (see the README's calibration guidance); the drift proptests run a
+    /// clean self-substrate at the configured tolerance and assert zero
+    /// flags.
+    pub ks_tolerance: f64,
+    /// Half-width of the acceptance band around `baseline.target_far` for
+    /// the observed alarms-per-report rate (two-sided: suspiciously quiet
+    /// flags too).
+    pub far_band: f64,
+    /// Minimum clean scores accumulated before a KS verdict is rendered —
+    /// below this the monitor reports "no verdict" rather than judging
+    /// from noise.
+    pub min_samples: u64,
+}
+
+impl DriftMonitorConfig {
+    /// A monitor over `baseline` at `ks_tolerance`, with the FAR band
+    /// defaulting to the target itself (i.e. alarm rates in
+    /// `[0, 2·target]` pass) and a 256-sample minimum.
+    pub fn new(baseline: DriftBaseline, ks_tolerance: f64) -> Self {
+        let far_band = baseline.target_far;
+        DriftMonitorConfig {
+            baseline,
+            ks_tolerance,
+            far_band,
+            min_samples: 256,
+        }
+    }
+
+    /// Overrides the FAR acceptance half-width.
+    pub fn with_far_band(mut self, far_band: f64) -> Self {
+        self.far_band = far_band;
+        self
+    }
+
+    /// Overrides the minimum clean-sample count for a KS verdict.
+    pub fn with_min_samples(mut self, min_samples: u64) -> Self {
+        self.min_samples = min_samples;
+        self
+    }
+
+    /// Renders a verdict from the folded live accumulator and the observed
+    /// alarm rate. Pure; `evaluations`/`flagged` continue from `prev` so
+    /// the snapshot records how often the monitor has fired over the
+    /// runtime's life.
+    pub fn evaluate(
+        &self,
+        clean: &ScoreAccumulator,
+        observed_far: f64,
+        prev: &DriftSnapshot,
+    ) -> DriftSnapshot {
+        let enough = clean.count() >= self.min_samples;
+        let ks = if enough {
+            streaming_ks(&self.baseline.scores, clean)
+        } else {
+            0.0
+        };
+        let drifting = enough && ks > self.ks_tolerance;
+        let far_out_of_band =
+            enough && (observed_far - self.baseline.target_far).abs() > self.far_band;
+        DriftSnapshot {
+            enabled: true,
+            clean_scores: clean.count(),
+            ks,
+            ks_tolerance: self.ks_tolerance,
+            drifting,
+            observed_far,
+            target_far: self.baseline.target_far,
+            far_band: self.far_band,
+            far_out_of_band,
+            evaluations: prev.evaluations + u64::from(enough),
+            flagged: prev.flagged + u64::from(drifting || far_out_of_band),
+        }
+    }
+}
+
+/// The exported drift verdict, embedded in
+/// [`ServeStats`](crate::ServeStats). All derived state: consumed by
+/// operators and the health model, never by the pipeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DriftSnapshot {
+    /// Whether a monitor is configured at all. When `false` every other
+    /// field is zero.
+    pub enabled: bool,
+    /// Clean (non-alarming) scores accumulated across all shards.
+    pub clean_scores: u64,
+    /// KS distance between live clean scores and the baseline (0 until
+    /// `min_samples` clean scores have accumulated).
+    pub ks: f64,
+    /// The configured tolerance the KS distance is judged against.
+    pub ks_tolerance: f64,
+    /// `ks > ks_tolerance` at the latest evaluation.
+    pub drifting: bool,
+    /// Observed alarms-per-processed-report at the latest evaluation.
+    pub observed_far: f64,
+    /// The calibrated false-alarm target from the baseline.
+    pub target_far: f64,
+    /// Acceptance half-width around the target.
+    pub far_band: f64,
+    /// `|observed_far − target_far| > far_band` at the latest evaluation.
+    pub far_out_of_band: bool,
+    /// Evaluations that had enough samples to render a KS verdict.
+    pub evaluations: u64,
+    /// Evaluations that flagged (KS or FAR) over the runtime's life.
+    pub flagged: u64,
+}
+
+impl DriftSnapshot {
+    /// The snapshot exported when no monitor is configured.
+    pub fn disabled() -> Self {
+        DriftSnapshot {
+            enabled: false,
+            clean_scores: 0,
+            ks: 0.0,
+            ks_tolerance: 0.0,
+            drifting: false,
+            observed_far: 0.0,
+            target_far: 0.0,
+            far_band: 0.0,
+            far_out_of_band: false,
+            evaluations: 0,
+            flagged: 0,
+        }
+    }
+
+    /// Whether the latest evaluation flagged on either axis.
+    pub fn flagging(&self) -> bool {
+        self.drifting || self.far_out_of_band
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn baseline_from(scores: &[f64]) -> DriftBaseline {
+        DriftBaseline::capture(MetricKind::Diff, 0.01, [scores])
+    }
+
+    #[test]
+    fn baseline_round_trips_and_rejects_future_versions() {
+        let scores: Vec<f64> = (0..500)
+            .map(|i| (i as f64 * 0.37).sin().abs() * 40.0)
+            .collect();
+        let baseline = baseline_from(&scores);
+        assert_eq!(baseline.version, DRIFT_BASELINE_VERSION);
+        assert_eq!(baseline.scores.count(), 500);
+
+        let back = DriftBaseline::from_json(&baseline.to_json()).expect("round trip");
+        assert_eq!(back, baseline);
+
+        let future = baseline.to_json().replacen(
+            &format!("\"version\":{DRIFT_BASELINE_VERSION}"),
+            "\"version\":9",
+            1,
+        );
+        assert_eq!(
+            DriftBaseline::from_json(&future),
+            Err(ServeError::UnsupportedVersion { found: 9 })
+        );
+        assert!(matches!(
+            DriftBaseline::from_json("{}"),
+            Err(ServeError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn self_substrate_does_not_flag_but_a_shift_does() {
+        let clean: Vec<f64> = (0..2000)
+            .map(|i| (i as f64 * 0.61).sin().abs() * 25.0)
+            .collect();
+        let baseline = baseline_from(&clean);
+        let monitor = DriftMonitorConfig::new(baseline.clone(), 0.05);
+
+        // Live accumulator fed the same substrate: KS ~ 0, in-band FAR.
+        let mut live = ScoreAccumulator::new(monitor.baseline.accumulator_config());
+        live.extend(clean.iter().copied());
+        let verdict = monitor.evaluate(&live, 0.01, &DriftSnapshot::disabled());
+        assert!(verdict.enabled);
+        assert!(!verdict.flagging(), "self-substrate must not flag");
+        assert_eq!(verdict.evaluations, 1);
+        assert_eq!(verdict.flagged, 0);
+
+        // A scale shift in the live scores is a textbook KS separation.
+        let mut shifted = ScoreAccumulator::new(monitor.baseline.accumulator_config());
+        shifted.extend(clean.iter().map(|s| s * 2.0));
+        let verdict = monitor.evaluate(&shifted, 0.01, &verdict);
+        assert!(
+            verdict.drifting,
+            "2x scale shift must flag (ks={})",
+            verdict.ks
+        );
+        assert_eq!(verdict.flagged, 1);
+    }
+
+    #[test]
+    fn far_band_is_two_sided_and_sample_gated() {
+        let clean: Vec<f64> = (0..1000).map(|i| i as f64 % 17.0).collect();
+        let monitor = DriftMonitorConfig::new(baseline_from(&clean), 0.1).with_far_band(0.005);
+
+        let mut live = ScoreAccumulator::new(monitor.baseline.accumulator_config());
+        live.extend(clean.iter().copied());
+        let hot = monitor.evaluate(&live, 0.05, &DriftSnapshot::disabled());
+        assert!(hot.far_out_of_band);
+        let cold = monitor.evaluate(&live, 0.0, &DriftSnapshot::disabled());
+        assert!(cold.far_out_of_band, "suspiciously quiet flags too");
+        let in_band = monitor.evaluate(&live, 0.012, &DriftSnapshot::disabled());
+        assert!(!in_band.far_out_of_band);
+
+        // Below min_samples: no verdict on either axis, evaluation not
+        // counted.
+        let sparse = ScoreAccumulator::new(monitor.baseline.accumulator_config());
+        let verdict = monitor.evaluate(&sparse, 1.0, &DriftSnapshot::disabled());
+        assert!(!verdict.flagging());
+        assert_eq!(verdict.evaluations, 0);
+    }
+}

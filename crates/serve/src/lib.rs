@@ -118,13 +118,17 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod drift;
+pub mod export;
 pub mod runtime;
 pub mod snapshot;
 pub mod traffic;
 
+pub use drift::{DriftBaseline, DriftMonitorConfig, DriftSnapshot, DRIFT_BASELINE_VERSION};
+pub use export::render_prometheus;
 pub use runtime::{
     shard_of, Alarm, ResponseFilter, ServeConfig, ServeCounters, ServeRuntime, ServeStats,
-    ShutdownReport,
+    ShutdownReport, STATS_VERSION,
 };
 pub use snapshot::{
     engine_fingerprint, NodeDetectorState, ServeError, ServeSnapshot, SNAPSHOT_VERSION,

@@ -26,6 +26,7 @@
 //!
 //! [`SequentialState`]: lad_stats::SequentialState
 
+use crate::drift::{DriftMonitorConfig, DriftSnapshot};
 use crate::snapshot::{NodeDetectorState, ServeError, ServeSnapshot, SNAPSHOT_VERSION};
 use lad_core::engine::{DetectionRequest, LadEngine};
 use lad_core::MetricKind;
@@ -33,8 +34,12 @@ use lad_deployment::MuCache;
 use lad_geometry::{Circle, Point2};
 use lad_net::{NodeId, ObservationBatch};
 use lad_stats::seeds::splitmix64;
-use lad_stats::{SequentialDetector, SequentialState};
-use lad_telemetry::{EventKind, Stage, Telemetry, TelemetrySnapshot};
+use lad_stats::streaming::AccumulatorConfig;
+use lad_stats::{ScoreAccumulator, SequentialDetector, SequentialState};
+use lad_telemetry::{
+    CumulativeSample, EventKind, HealthInputs, HealthReport, SeriesConfig, SeriesRing,
+    SeriesSnapshot, Stage, Telemetry, TelemetrySnapshot,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -85,6 +90,24 @@ pub struct ServeConfig {
     /// Turning it off removes even the timestamp reads from the hot path —
     /// the bench asserts the on/off throughput ratio stays under 10%.
     pub telemetry: bool,
+    /// Optional online score-drift monitor (see [`DriftMonitorConfig`]).
+    /// When set, each shard accumulates its **non-alarming** scores into a
+    /// bounded `ScoreAccumulator` and [`ServeRuntime::refresh_drift`]
+    /// compares the fold against the calibration baseline. Derived state
+    /// only — the verdict is never consulted by any decision, so alarms
+    /// are bit-identical with the monitor on or off (asserted by
+    /// `tests/serve_determinism.rs`). Defaults to `None`.
+    pub monitor: Option<DriftMonitorConfig>,
+    /// Duration of one windowed-series interval in nanoseconds: each
+    /// [`ServeRuntime::stats`] call observes the cumulative counters, and
+    /// once at least this much time has passed since the last window
+    /// closed, the delta becomes one [`lad_telemetry::WindowSample`].
+    /// `0` closes a window on **every** stats call (deterministic
+    /// round-driven tests and tours). Defaults to one second.
+    pub stats_window_nanos: u64,
+    /// Retained window count of the series ring (oldest evicted first).
+    /// Defaults to 64 — about a minute of history at the default window.
+    pub stats_window_capacity: usize,
 }
 
 impl ServeConfig {
@@ -99,6 +122,9 @@ impl ServeConfig {
             reset_on_alarm: true,
             mu_cache_capacity: 16384,
             telemetry: true,
+            monitor: None,
+            stats_window_nanos: SeriesConfig::default().window_nanos,
+            stats_window_capacity: SeriesConfig::default().capacity,
         }
     }
 
@@ -124,6 +150,23 @@ impl ServeConfig {
     /// Returns a copy with telemetry recording on or off.
     pub fn with_telemetry(mut self, enabled: bool) -> Self {
         self.telemetry = enabled;
+        self
+    }
+
+    /// Returns a copy with the online drift monitor attached. The
+    /// baseline's metric must match the decision metric;
+    /// [`ServeRuntime::start`] rejects a mismatch.
+    pub fn with_drift_monitor(mut self, monitor: DriftMonitorConfig) -> Self {
+        self.monitor = Some(monitor);
+        self
+    }
+
+    /// Returns a copy with a different series window duration and retained
+    /// window count (`window_nanos == 0` closes a window on every stats
+    /// call).
+    pub fn with_stats_window(mut self, window_nanos: u64, capacity: usize) -> Self {
+        self.stats_window_nanos = window_nanos;
+        self.stats_window_capacity = capacity;
         self
     }
 
@@ -387,6 +430,9 @@ enum ShardMsg {
     Snapshot(Sender<Vec<NodeDetectorState>>),
     /// Install these states (restore path).
     Restore(Vec<NodeDetectorState>),
+    /// Reply with a copy of this shard's clean-score drift accumulator
+    /// (empty when no monitor is configured).
+    DriftFold(Sender<ScoreAccumulator>),
 }
 
 /// The sharded online detection runtime. See the [module docs](self) for
@@ -413,6 +459,13 @@ pub struct ServeRuntime {
     /// gauges, event ring). Shared with the shard workers; `Arc` so the
     /// wire/response layers can hold it without borrowing the runtime.
     telemetry: Arc<Telemetry>,
+    /// The windowed time-series ring, fed by [`Self::stats`]. Stats-path
+    /// state only — the scoring hot path never touches this lock.
+    series: Mutex<SeriesRing>,
+    /// The latest drift verdict, refreshed by [`Self::refresh_drift`] and
+    /// read (never computed) by [`Self::stats`], which therefore stays
+    /// free of shard round-trips.
+    drift: Mutex<DriftSnapshot>,
 }
 
 /// Everything a runtime hands back when it shuts down.
@@ -426,29 +479,70 @@ pub struct ShutdownReport {
     pub counters: ServeCounters,
 }
 
+/// The stats-export format version this build writes and reads. Bumped
+/// whenever a field changes meaning or shape, so a scraper built against
+/// one format fails loudly on another instead of mis-reading it —
+/// the same contract as [`ServeSnapshot`]'s and `DriftBaseline`'s
+/// versioning.
+///
+/// Version history:
+///
+/// * **v1** — counters + telemetry + windowed series + drift verdict +
+///   health report (the first versioned format; the pre-versioning export
+///   carried counters and telemetry only and no `stats_version` field, so
+///   it parses as `Parse`, not as a silent zero-filled v1).
+pub const STATS_VERSION: u32 = 1;
+
 /// One coherent observability export of a running [`ServeRuntime`]:
-/// counters plus the folded telemetry (stage percentiles, queue gauges,
-/// recent events). Produced by [`ServeRuntime::stats`]; shipped as the
-/// JSON payload of the wire `Stats` frame. Purely derived — nothing in it
-/// feeds back into any decision, and it is not part of [`ServeSnapshot`].
+/// counters, the folded telemetry (stage percentiles, queue gauges, recent
+/// events), the windowed time-series history, the drift verdict and the
+/// derived health report. Produced by [`ServeRuntime::stats`]; shipped as
+/// the JSON payload of the wire `Stats` frame and rendered to Prometheus
+/// exposition by [`render_prometheus`](crate::render_prometheus). Purely
+/// derived — nothing in it feeds back into any decision, and it is not
+/// part of [`ServeSnapshot`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServeStats {
+    /// Export format version (see [`STATS_VERSION`]).
+    pub stats_version: u32,
     /// The runtime counters, loaded with the usual
     /// `processed ≤ submitted` coherence guarantee.
     pub counters: ServeCounters,
     /// The folded telemetry registries.
     pub telemetry: TelemetrySnapshot,
+    /// The retained windowed time-series (throughput, alarm rate,
+    /// shed/degrade, stage percentiles per window).
+    pub series: SeriesSnapshot,
+    /// The latest drift verdict ([`DriftSnapshot::disabled`] when no
+    /// monitor is configured).
+    pub drift: DriftSnapshot,
+    /// The health report derived from all of the above.
+    pub health: HealthReport,
 }
 
 impl ServeStats {
-    /// Serializes to JSON (the wire `Stats` payload).
+    /// Serializes to JSON (the wire `Stats` payload). Always writes
+    /// [`STATS_VERSION`].
     pub fn to_json(&self) -> String {
         serde_json::to_string(self).expect("serve stats serialize")
     }
 
-    /// Parses the JSON produced by [`to_json`](Self::to_json).
-    pub fn from_json(json: &str) -> Result<Self, String> {
-        serde_json::from_str(json).map_err(|e| e.to_string())
+    /// Parses the JSON produced by [`to_json`](Self::to_json). A
+    /// `stats_version` other than [`STATS_VERSION`] fails with the typed
+    /// [`ServeError::UnsupportedVersion`] — never a zero-filled guess.
+    pub fn from_json(json: &str) -> Result<Self, ServeError> {
+        let value = serde_json::parse_value(json).map_err(|e| ServeError::Parse(e.to_string()))?;
+        let found = value
+            .get("stats_version")
+            .ok_or_else(|| {
+                ServeError::Parse("not a stats export (no `stats_version` field)".into())
+            })?
+            .as_u64()
+            .ok_or_else(|| ServeError::Parse("`stats_version` must be an integer".into()))?;
+        if found != STATS_VERSION as u64 {
+            return Err(ServeError::UnsupportedVersion { found });
+        }
+        serde_json::from_value(&value).map_err(|e| ServeError::Parse(e.to_string()))
     }
 }
 
@@ -465,6 +559,16 @@ impl ServeRuntime {
         let column = engine
             .metric_index(config.metric)
             .ok_or(ServeError::MetricNotConfigured(config.metric))?;
+        if let Some(monitor) = &config.monitor {
+            if monitor.baseline.metric != config.metric {
+                return Err(ServeError::InvalidConfig(format!(
+                    "drift baseline was captured on {}, runtime decides on {} — a baseline says \
+                     nothing about another metric's score distribution",
+                    monitor.baseline.metric.name(),
+                    config.metric.name()
+                )));
+            }
+        }
 
         let counters = Arc::new(SharedCounters::default());
         let telemetry = Arc::new(if config.telemetry {
@@ -490,9 +594,17 @@ impl ServeRuntime {
                 counters: counters.clone(),
                 shard,
                 telemetry: telemetry.clone(),
+                drift_acc: config
+                    .monitor
+                    .as_ref()
+                    .map(|m| ScoreAccumulator::new(m.baseline.accumulator_config())),
             };
             workers.push(std::thread::spawn(move || worker.run(rx)));
         }
+        let series = Mutex::new(SeriesRing::new(SeriesConfig {
+            window_nanos: config.stats_window_nanos,
+            capacity: config.stats_window_capacity,
+        }));
         Ok(Self {
             config,
             engine_fingerprint: crate::snapshot::engine_fingerprint(&engine),
@@ -507,6 +619,8 @@ impl ServeRuntime {
             }),
             counters,
             telemetry,
+            series,
+            drift: Mutex::new(DriftSnapshot::disabled()),
         })
     }
 
@@ -797,16 +911,92 @@ impl ServeRuntime {
         &self.telemetry
     }
 
-    /// One coherent observability export: the counters plus a fold of
-    /// every telemetry registry (stage percentiles, queue gauges, recent
-    /// events). This is the payload the wire `Stats` frame ships as JSON.
-    /// The counters are loaded first, so `counters.submitted ≥
-    /// counters.processed` holds within the export even under load.
+    /// One coherent observability export: the counters, a fold of every
+    /// telemetry registry (stage percentiles, queue gauges, recent
+    /// events), the windowed series, the cached drift verdict, and the
+    /// health report derived from all of it. This is the payload the wire
+    /// `Stats` frame ships as JSON. The counters are loaded first, so
+    /// `counters.submitted ≥ counters.processed` holds within the export
+    /// even under load.
+    ///
+    /// Each call also *feeds* the series ring with one cumulative
+    /// observation — a window closes once [`ServeConfig::stats_window_nanos`]
+    /// has elapsed since the last close, so the poller's cadence bounds
+    /// the window granularity. The drift verdict is the one cached by the
+    /// last [`Self::refresh_drift`]; this call never does a shard
+    /// round-trip, so a stats poll cannot stall behind a backlogged
+    /// scoring queue.
     pub fn stats(&self) -> ServeStats {
+        let counters = self.counters();
+        let telemetry = self.telemetry.fold();
+        let series = {
+            let mut ring = self.series.lock().expect("series ring lock");
+            ring.observe(CumulativeSample {
+                at_nanos: self.telemetry.now_nanos(),
+                submitted: counters.submitted,
+                processed: counters.processed,
+                alarms: counters.alarms,
+                shed: counters.shed,
+                degraded: counters.degraded,
+                suppressed: counters.suppressed,
+                mu_cache_hits: counters.mu_cache_hits,
+                mu_cache_misses: counters.mu_cache_misses,
+                queue_depth: telemetry.queue_depth,
+                stages: self.telemetry.stage_histos(),
+            });
+            ring.snapshot()
+        };
+        let drift = self.drift.lock().expect("drift verdict lock").clone();
+        let health = derive_health(&self.config, &counters, &telemetry, &series, &drift);
         ServeStats {
-            counters: self.counters(),
-            telemetry: self.telemetry.fold(),
+            stats_version: STATS_VERSION,
+            counters,
+            telemetry,
+            series,
+            drift,
+            health,
         }
+    }
+
+    /// Folds every shard's clean-score accumulator (in shard order — the
+    /// fold is exact and order-independent, but determinism on principle)
+    /// and re-evaluates the drift monitor against its baseline, caching
+    /// the verdict for [`Self::stats`]. Returns
+    /// [`DriftSnapshot::disabled`] when no monitor is configured.
+    ///
+    /// This is the one observability call that does a shard round-trip
+    /// (the accumulators live on the worker threads, unshared); call it on
+    /// a poll cadence, not per report. Like `sync`, it waits behind
+    /// whatever batches are queued.
+    pub fn refresh_drift(&self) -> DriftSnapshot {
+        let Some(monitor) = &self.config.monitor else {
+            return DriftSnapshot::disabled();
+        };
+        let replies: Vec<Receiver<ScoreAccumulator>> = self
+            .senders
+            .iter()
+            .map(|sender| {
+                let (tx, rx) = mpsc::channel();
+                sender
+                    .send(ShardMsg::DriftFold(tx))
+                    .expect("shard thread alive while runtime exists");
+                rx
+            })
+            .collect();
+        let mut folded = ScoreAccumulator::new(monitor.baseline.accumulator_config());
+        for rx in replies {
+            folded.merge(rx.recv().expect("shard answers drift fold"));
+        }
+        let counters = self.counters();
+        let observed_far = if counters.processed == 0 {
+            0.0
+        } else {
+            counters.alarms as f64 / counters.processed as f64
+        };
+        let mut cached = self.drift.lock().expect("drift verdict lock");
+        let verdict = monitor.evaluate(&folded, observed_far, &cached);
+        *cached = verdict.clone();
+        verdict
     }
 
     /// Drains every alarm raised by reports submitted so far (syncs first,
@@ -974,6 +1164,8 @@ impl ServeRuntime {
             filter: _,
             counters: shared,
             telemetry: _,
+            series: _,
+            drift: _,
         } = self;
         // Dropping the senders closes the queues; each worker drains what is
         // left and returns its sorted states.
@@ -1004,6 +1196,40 @@ impl ServeRuntime {
             counters,
         }
     }
+}
+
+/// The single place a [`lad_telemetry::HealthReport`] is assembled from an
+/// export's numbers — a pure function, so the report is reproducible from
+/// the exported stats alone and nothing here can feed back into a
+/// decision.
+///
+/// Window-scoped causes (shedding, degraded scoring) read the most recent
+/// closed window so they clear once the pressure passes; before any window
+/// has closed they fall back to the cumulative counters. Queue backlog is
+/// judged in *batches* against the configured total queue capacity (the
+/// per-shard fold-time gauges summed vs `shards × queue_depth`). Drift and
+/// alarm-rate causes come from the cached drift verdict and only engage
+/// once the monitor has actually evaluated.
+fn derive_health(
+    config: &ServeConfig,
+    counters: &ServeCounters,
+    telemetry: &TelemetrySnapshot,
+    series: &SeriesSnapshot,
+    drift: &DriftSnapshot,
+) -> HealthReport {
+    let (window_shed, window_degraded) = match series.latest() {
+        Some(window) => (window.shed, window.degraded),
+        None => (counters.shed, counters.degraded),
+    };
+    let judged = drift.enabled && drift.evaluations > 0;
+    HealthReport::derive(&HealthInputs {
+        window_shed,
+        window_degraded,
+        queue_depth: telemetry.queue_depth,
+        queue_limit: (config.shards * config.queue_depth) as u64,
+        drift: judged.then_some((drift.ks, drift.ks_tolerance)),
+        alarm_rate: judged.then_some((drift.observed_far, drift.target_far, drift.far_band)),
+    })
 }
 
 /// The single place a [`ServeSnapshot`] is assembled from live runtime
@@ -1046,10 +1272,14 @@ struct ShardWorker {
     /// This worker's index into the telemetry registry.
     shard: usize,
     telemetry: Arc<Telemetry>,
+    /// Clean-score accumulator for the drift monitor (`None` when no
+    /// monitor is configured). Fed only by **non-alarming** updates —
+    /// derived state, never read by any decision, never serialized.
+    drift_acc: Option<ScoreAccumulator>,
 }
 
 impl ShardWorker {
-    fn run(self, rx: Receiver<ShardMsg>) -> Vec<NodeDetectorState> {
+    fn run(mut self, rx: Receiver<ShardMsg>) -> Vec<NodeDetectorState> {
         let mut states: HashMap<u32, SequentialState> = HashMap::new();
         let mut scores: Vec<f64> = Vec::new();
         // Batches folded so far, for the fold-time queue-depth gauge.
@@ -1134,7 +1364,15 @@ impl ShardWorker {
                         let state = states
                             .entry(node.0)
                             .or_insert_with(|| self.detector.initial_state());
-                        if self.detector.update(state, score) {
+                        if !self.detector.update(state, score) {
+                            // Non-alarming rounds feed the drift monitor:
+                            // the clean-score substrate, with attack rounds
+                            // excluded so an attack cannot poison the
+                            // "recalibrate" verdict.
+                            if let Some(acc) = self.drift_acc.as_mut() {
+                                acc.add(score);
+                            }
+                        } else {
                             self.counters.alarms.fetch_add(1, Ordering::Relaxed);
                             self.telemetry.event(
                                 EventKind::AlarmFired,
@@ -1173,6 +1411,12 @@ impl ShardWorker {
                     for entry in partition {
                         states.insert(entry.node, entry.state);
                     }
+                }
+                ShardMsg::DriftFold(reply) => {
+                    let _ =
+                        reply.send(self.drift_acc.clone().unwrap_or_else(|| {
+                            ScoreAccumulator::new(AccumulatorConfig::default())
+                        }));
                 }
             }
         }

@@ -217,6 +217,28 @@ impl HistoSnapshot {
         self.max = self.max.max(other.max);
     }
 
+    /// The spans recorded between `earlier` and `self` (two snapshots of
+    /// the **same** histogram, `earlier` taken first): bucket counts and
+    /// sums are monotone, so the element-wise subtraction reconstructs the
+    /// interval's histogram exactly — the windowed-series layer derives
+    /// per-window p50/p99 from it. `min`/`max` are *not* monotone-diffable
+    /// and are carried over from `self` as cumulative bounds (they only
+    /// loosen the quantile clamp, never the quantile guarantee).
+    pub fn diff(&self, earlier: &HistoSnapshot) -> HistoSnapshot {
+        HistoSnapshot {
+            counts: self
+                .counts
+                .iter()
+                .zip(&earlier.counts)
+                .map(|(now, then)| now.saturating_sub(*then))
+                .collect(),
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            min: self.min,
+            max: self.max,
+        }
+    }
+
     /// Upper bucket edge at rank `ceil(q·count)` (clamped to at least 1),
     /// the same rank convention as `lad_stats::streaming`. For the exact
     /// order statistic `x` the return `e` obeys `x <= e <= x + x/16`;

@@ -29,16 +29,24 @@
 //! - [`EventRing`] — bounded structured ring of rare, high-signal events.
 //! - [`Telemetry`] — the per-runtime registry bundle; [`Telemetry::fold`]
 //!   produces the wire-exportable [`TelemetrySnapshot`].
+//! - [`series`] — the bounded windowed time-series ring: exact counter
+//!   diffs turn cumulative totals into per-window rate history.
+//! - [`health`] — the detection-health model: a [`HealthReport`] derived
+//!   purely from telemetry, never consulted by any decision.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod health;
 pub mod histo;
 mod ring;
+pub mod series;
 mod stage;
 
+pub use health::{HealthCause, HealthInputs, HealthReport, HealthStatus};
 pub use histo::{HistoSnapshot, LatencyHisto};
 pub use ring::{EventKind, EventRing, TelemetryEvent};
+pub use series::{CumulativeSample, SeriesConfig, SeriesRing, SeriesSnapshot, WindowSample};
 pub use stage::{Stage, StageTimer};
 
 use serde::{Deserialize, Serialize};
@@ -232,18 +240,32 @@ impl Telemetry {
         &self.ring
     }
 
+    /// The per-stage histograms merged across the front registry and all
+    /// shards, in [`Stage::ALL`] order — the raw mergeable form the
+    /// windowed [`series`] layer diffs for per-window stage quantiles
+    /// ([`TelemetrySnapshot`] ships only the folded summaries).
+    pub fn stage_histos(&self) -> Vec<HistoSnapshot> {
+        Stage::ALL
+            .into_iter()
+            .map(|stage| {
+                let mut merged = self.front.stage(stage).snapshot();
+                for shard in &self.shards {
+                    merged.merge(&shard.stage(stage).snapshot());
+                }
+                merged
+            })
+            .collect()
+    }
+
     /// Folds every registry into an exportable snapshot: per-stage
     /// histograms merged across all shards and the front registry (exact
     /// by [`HistoSnapshot::merge`]), gauges sampled, events copied.
     pub fn fold(&self) -> TelemetrySnapshot {
-        let mut stages = Vec::with_capacity(Stage::ALL.len());
-        for stage in Stage::ALL {
-            let mut merged = self.front.stage(stage).snapshot();
-            for shard in &self.shards {
-                merged.merge(&shard.stage(stage).snapshot());
-            }
-            stages.push(StageSummary::from_histo(stage, &merged));
-        }
+        let stages = Stage::ALL
+            .into_iter()
+            .zip(self.stage_histos())
+            .map(|(stage, histo)| StageSummary::from_histo(stage, &histo))
+            .collect();
         let shard_queue_depth: Vec<u64> = self.shards.iter().map(|s| s.queue_depth.get()).collect();
         let shard_queue_age_nanos: Vec<u64> = self
             .shards
@@ -259,6 +281,7 @@ impl Telemetry {
             shard_queue_age_nanos,
             events_logged: self.ring.pushed(),
             events_dropped: self.ring.dropped(),
+            events_sampled_out: self.ring.sampled_out(),
             events: self.ring.recent(),
         }
     }
@@ -325,6 +348,9 @@ pub struct TelemetrySnapshot {
     pub events_logged: u64,
     /// Events evicted from the ring to bound memory.
     pub events_dropped: u64,
+    /// Events a sampling producer (the wire front door under NACK flood)
+    /// chose not to record ([`EventRing::note_sampled_out`]).
+    pub events_sampled_out: u64,
     /// The retained events, oldest first.
     pub events: Vec<TelemetryEvent>,
 }

@@ -10,6 +10,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// What happened. Serialized by variant name into exported JSON.
@@ -70,6 +71,11 @@ struct RingInner {
 pub struct EventRing {
     capacity: usize,
     inner: Mutex<RingInner>,
+    /// Events a sampling producer chose not to record (see
+    /// [`note_sampled_out`](Self::note_sampled_out)). Outside the mutex:
+    /// the whole point of sampling is that the skip path stays a single
+    /// relaxed add, lock-free and allocation-free.
+    sampled_out: AtomicU64,
 }
 
 impl EventRing {
@@ -78,6 +84,7 @@ impl EventRing {
         EventRing {
             capacity: capacity.max(1),
             inner: Mutex::new(RingInner::default()),
+            sampled_out: AtomicU64::new(0),
         }
     }
 
@@ -108,6 +115,21 @@ impl EventRing {
     /// Total events ever pushed (== next sequence number).
     pub fn pushed(&self) -> u64 {
         self.inner.lock().expect("event ring poisoned").next_seq
+    }
+
+    /// Records that `n` events were *sampled out*: a flood-prone producer
+    /// (the wire front door's per-NACK shed/degrade events) decided not
+    /// to push them, so the ring stays cheap under exactly the overload
+    /// it exists to observe. The reader can reconstruct true event rates
+    /// from recorded events plus this count.
+    #[inline]
+    pub fn note_sampled_out(&self, n: u64) {
+        self.sampled_out.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// How many events producers sampled out instead of pushing.
+    pub fn sampled_out(&self) -> u64 {
+        self.sampled_out.load(Ordering::Relaxed)
     }
 }
 
@@ -141,6 +163,17 @@ mod tests {
         let seqs: Vec<u64> = recent.iter().map(|e| e.seq).collect();
         assert_eq!(seqs, vec![6, 7, 8, 9]);
         assert_eq!(recent[0].round, 6);
+    }
+
+    #[test]
+    fn sampled_out_counts_without_touching_the_ring() {
+        let ring = EventRing::new(4);
+        ring.push(event(EventKind::Shed, 0));
+        ring.note_sampled_out(15);
+        ring.note_sampled_out(1);
+        assert_eq!(ring.sampled_out(), 16);
+        assert_eq!(ring.pushed(), 1, "sampling out pushes nothing");
+        assert_eq!(ring.dropped(), 0);
     }
 
     #[test]

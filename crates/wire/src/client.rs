@@ -10,7 +10,8 @@
 //! measure round trips, not throughput).
 
 use crate::frame::{
-    encode_batch, encode_stats_request, FrameKind, FramePoll, WireDecoder, WireError, WireFrame,
+    encode_batch, encode_health_request, encode_stats_request, FrameKind, FramePoll, HealthFormat,
+    WireDecoder, WireError, WireFrame,
 };
 use crate::shed::ShedReason;
 use lad_net::{NodeId, ObservationBatch};
@@ -50,6 +51,20 @@ pub struct Delivery {
     pub rows: u32,
     /// Accepted (full or degraded) or shed (typed reason).
     pub status: DeliveryStatus,
+}
+
+/// The header kind a decoded frame arrived under, for typed
+/// [`WireError::UnexpectedFrame`] reporting.
+fn kind_of(frame: &WireFrame) -> FrameKind {
+    match frame {
+        WireFrame::Batch { .. } => FrameKind::Batch,
+        WireFrame::Ack { .. } => FrameKind::Ack,
+        WireFrame::Nack { .. } => FrameKind::Nack,
+        WireFrame::StatsRequest => FrameKind::StatsRequest,
+        WireFrame::StatsReply { .. } => FrameKind::StatsReply,
+        WireFrame::HealthRequest { .. } => FrameKind::HealthRequest,
+        WireFrame::HealthReply { .. } => FrameKind::HealthReply,
+    }
 }
 
 enum ClientStream {
@@ -171,22 +186,10 @@ impl WireClient {
                         },
                     });
                 }
-                FramePoll::Frame(WireFrame::Batch { .. }) => {
+                FramePoll::Frame(frame) => {
                     return Err(WireError::UnexpectedFrame {
                         context: "awaiting a delivery receipt",
-                        found: FrameKind::Batch,
-                    });
-                }
-                FramePoll::Frame(WireFrame::StatsRequest) => {
-                    return Err(WireError::UnexpectedFrame {
-                        context: "awaiting a delivery receipt",
-                        found: FrameKind::StatsRequest,
-                    });
-                }
-                FramePoll::Frame(WireFrame::StatsReply { .. }) => {
-                    return Err(WireError::UnexpectedFrame {
-                        context: "awaiting a delivery receipt",
-                        found: FrameKind::StatsReply,
+                        found: kind_of(&frame),
                     });
                 }
             }
@@ -217,17 +220,49 @@ impl WireClient {
                 FramePoll::Frame(frame) => {
                     return Err(WireError::UnexpectedFrame {
                         context: "awaiting a stats reply",
-                        found: match frame {
-                            WireFrame::Batch { .. } => FrameKind::Batch,
-                            WireFrame::Ack { .. } => FrameKind::Ack,
-                            WireFrame::Nack { .. } => FrameKind::Nack,
-                            WireFrame::StatsRequest => FrameKind::StatsRequest,
-                            WireFrame::StatsReply { .. } => FrameKind::StatsReply,
-                        },
+                        found: kind_of(&frame),
                     });
                 }
             }
         }
+    }
+
+    /// Queries the server's health verdict in `format`: ships a
+    /// HealthRequest and blocks for the HealthReply, returning its raw
+    /// payload ([`HealthFormat::Report`] → JSON `HealthReport` bytes,
+    /// [`HealthFormat::Prometheus`] → text exposition). Same in-order
+    /// stream caveat as [`Self::query_stats`].
+    pub fn query_health(&mut self, format: HealthFormat) -> Result<Vec<u8>, WireError> {
+        self.buf.clear();
+        encode_health_request(&mut self.buf, format);
+        self.stream.write_all(&self.buf)?;
+        loop {
+            match self.decoder.poll_frame(&mut self.stream)? {
+                FramePoll::Pending => continue,
+                FramePoll::Closed => return Err(WireError::ConnectionClosed),
+                FramePoll::Frame(WireFrame::HealthReply { .. }) => {
+                    return Ok(self.decoder.health_body().to_vec());
+                }
+                FramePoll::Frame(frame) => {
+                    return Err(WireError::UnexpectedFrame {
+                        context: "awaiting a health reply",
+                        found: kind_of(&frame),
+                    });
+                }
+            }
+        }
+    }
+
+    /// One Prometheus scrape: [`Self::query_health`] with
+    /// [`HealthFormat::Prometheus`], decoded to the text exposition a
+    /// scrape bridge forwards verbatim.
+    pub fn scrape_prometheus(&mut self) -> Result<String, WireError> {
+        let body = self.query_health(HealthFormat::Prometheus)?;
+        let len = body.len();
+        String::from_utf8(body).map_err(|_| WireError::BadPayload {
+            kind: FrameKind::HealthReply,
+            len,
+        })
     }
 
     /// Ships one batch and blocks for its receipt — the simple lockstep

@@ -8,8 +8,8 @@
 //! | offset | size | field |
 //! |-------:|-----:|-------|
 //! | 0      | 4    | magic `"LADW"` |
-//! | 4      | 2    | format version (`u16`, currently 2) |
-//! | 6      | 1    | frame kind (1 = Batch, 2 = Ack, 3 = Nack, 4 = StatsRequest, 5 = StatsReply) |
+//! | 4      | 2    | format version (`u16`, currently 3) |
+//! | 6      | 1    | frame kind (1 = Batch, 2 = Ack, 3 = Nack, 4 = StatsRequest, 5 = StatsReply, 6 = HealthRequest, 7 = HealthReply) |
 //! | 7      | 1    | reserved (written 0, ignored on read) |
 //! | 8      | 4    | payload length (`u32`, capped at [`MAX_FRAME_PAYLOAD`]) |
 //! | 12     | 4    | payload checksum (`u32`, word-folded FNV-1a-64; see [`checksum`]) |
@@ -40,8 +40,13 @@
 //! can adapt its offered rate from the receipt alone, without a Stats
 //! round-trip. **StatsRequest** (client → server) carries an empty
 //! payload; **StatsReply** answers it with a JSON-encoded observability
-//! snapshot (`lad_serve`'s `ServeStats`: counters + folded telemetry) —
-//! derived state only, never anything a decision depends on.
+//! snapshot (`lad_serve`'s `ServeStats`: counters + folded telemetry +
+//! windowed series + drift verdict + health report) — derived state only,
+//! never anything a decision depends on. **HealthRequest** (client →
+//! server) carries one [`HealthFormat`] byte selecting the reply
+//! encoding; **HealthReply** answers with either a JSON `HealthReport`
+//! or the full stats rendered as Prometheus text exposition, so a scrape
+//! bridge needs no JSON parsing at all.
 //!
 //! Every malformed input — truncation, bad magic, unknown version or kind,
 //! oversized or lying length fields, checksum mismatch, invalid CSR — maps
@@ -63,8 +68,9 @@ pub const WIRE_MAGIC: [u8; 4] = *b"LADW";
 ///
 /// Version history: v1 had no Stats frames and a 13-byte Nack; v2 widened
 /// Nack with the shed/degraded running totals and added
-/// StatsRequest/StatsReply.
-pub const WIRE_VERSION: u16 = 2;
+/// StatsRequest/StatsReply; v3 added HealthRequest/HealthReply (typed
+/// health verdict and Prometheus exposition over the same socket).
+pub const WIRE_VERSION: u16 = 3;
 
 /// Bytes in the fixed frame header.
 pub const HEADER_LEN: usize = 16;
@@ -88,6 +94,12 @@ pub enum FrameKind {
     StatsRequest,
     /// A JSON `ServeStats` snapshot (server → client).
     StatsReply,
+    /// Ask the server for its health verdict in a [`HealthFormat`]
+    /// (client → server).
+    HealthRequest,
+    /// The health verdict, encoded per the request's format
+    /// (server → client).
+    HealthReply,
 }
 
 impl FrameKind {
@@ -98,6 +110,8 @@ impl FrameKind {
             FrameKind::Nack => 3,
             FrameKind::StatsRequest => 4,
             FrameKind::StatsReply => 5,
+            FrameKind::HealthRequest => 6,
+            FrameKind::HealthReply => 7,
         }
     }
 
@@ -108,6 +122,37 @@ impl FrameKind {
             3 => Some(FrameKind::Nack),
             4 => Some(FrameKind::StatsRequest),
             5 => Some(FrameKind::StatsReply),
+            6 => Some(FrameKind::HealthRequest),
+            7 => Some(FrameKind::HealthReply),
+            _ => None,
+        }
+    }
+}
+
+/// The reply encodings a HealthRequest can ask for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthFormat {
+    /// A JSON-serialized `HealthReport` (status + firing causes) — the
+    /// compact form a liveness probe parses.
+    Report,
+    /// The **full** stats export rendered as Prometheus text exposition
+    /// (`lad_serve::render_prometheus`) — what a scrape bridge forwards
+    /// verbatim.
+    Prometheus,
+}
+
+impl HealthFormat {
+    fn code(self) -> u8 {
+        match self {
+            HealthFormat::Report => 0,
+            HealthFormat::Prometheus => 1,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(HealthFormat::Report),
+            1 => Some(HealthFormat::Prometheus),
             _ => None,
         }
     }
@@ -406,6 +451,31 @@ pub fn encode_stats_reply(buf: &mut Vec<u8>, json: &[u8]) {
     finish_frame(buf, start);
 }
 
+/// Appends one HealthRequest frame (a single [`HealthFormat`] byte): ask
+/// the peer for its health verdict in the given encoding.
+pub fn encode_health_request(buf: &mut Vec<u8>, format: HealthFormat) {
+    let start = put_header_placeholder(buf, FrameKind::HealthRequest);
+    buf.push(format.code());
+    finish_frame(buf, start);
+}
+
+/// Appends one HealthReply frame whose payload is `body` verbatim (JSON
+/// `HealthReport` or Prometheus text, per the request's format).
+///
+/// # Panics
+/// Panics when `body` exceeds [`MAX_FRAME_PAYLOAD`] — a caller bug, not a
+/// wire condition.
+pub fn encode_health_reply(buf: &mut Vec<u8>, body: &[u8]) {
+    assert!(
+        body.len() <= MAX_FRAME_PAYLOAD as usize,
+        "health payload of {} bytes exceeds the {MAX_FRAME_PAYLOAD} frame cap",
+        body.len()
+    );
+    let start = put_header_placeholder(buf, FrameKind::HealthReply);
+    buf.extend_from_slice(body);
+    finish_frame(buf, start);
+}
+
 /// One decoded frame. A `Batch`'s rows land in the decoder's reusable
 /// [`WireDecoder::nodes`]/[`WireDecoder::batch`] buffers rather than in
 /// this enum, so the hot path moves no per-frame heap objects.
@@ -445,6 +515,17 @@ pub enum WireFrame {
     /// A stats snapshot landed in the decoder's reusable
     /// [`WireDecoder::stats_json`] buffer.
     StatsReply {
+        /// Payload length in bytes.
+        bytes: u32,
+    },
+    /// The peer asked for a health verdict.
+    HealthRequest {
+        /// The reply encoding asked for.
+        format: HealthFormat,
+    },
+    /// A health verdict landed in the decoder's reusable
+    /// [`WireDecoder::health_body`] buffer.
+    HealthReply {
         /// Payload length in bytes.
         bytes: u32,
     },
@@ -517,6 +598,8 @@ pub struct WireDecoder {
     batch: ObservationBatch,
     /// Landing buffer for the most recent StatsReply payload.
     stats: Vec<u8>,
+    /// Landing buffer for the most recent HealthReply payload.
+    health: Vec<u8>,
 }
 
 impl WireDecoder {
@@ -537,6 +620,7 @@ impl WireDecoder {
             nodes: Vec::new(),
             batch: ObservationBatch::new(group_count),
             stats: Vec::new(),
+            health: Vec::new(),
         }
     }
 
@@ -554,6 +638,13 @@ impl WireDecoder {
     /// bytes, reused across frames like the batch buffers).
     pub fn stats_json(&self) -> &[u8] {
         &self.stats
+    }
+
+    /// The payload of the most recently decoded HealthReply frame (JSON
+    /// or Prometheus text per the request's [`HealthFormat`]; reused
+    /// across frames like the batch buffers).
+    pub fn health_body(&self) -> &[u8] {
+        &self.health
     }
 
     /// Whether a frame is partially buffered (a shutdown drain uses this
@@ -625,6 +716,29 @@ impl WireDecoder {
                         self.stats.clear();
                         self.stats.extend_from_slice(payload);
                         WireFrame::StatsReply {
+                            bytes: payload.len() as u32,
+                        }
+                    }
+                    FrameKind::HealthRequest => {
+                        if payload.len() != 1 {
+                            return Err(WireError::BadPayload {
+                                kind,
+                                len: payload.len(),
+                            });
+                        }
+                        WireFrame::HealthRequest {
+                            format: HealthFormat::from_code(payload[0]).ok_or(
+                                WireError::InvalidEnum {
+                                    field: "health format",
+                                    found: payload[0],
+                                },
+                            )?,
+                        }
+                    }
+                    FrameKind::HealthReply => {
+                        self.health.clear();
+                        self.health.extend_from_slice(payload);
+                        WireFrame::HealthReply {
                             bytes: payload.len() as u32,
                         }
                     }
@@ -887,6 +1001,64 @@ mod tests {
                 len: 1
             })
         ));
+    }
+
+    #[test]
+    fn health_frames_round_trip_and_validate_the_format_byte() {
+        let mut wire = Vec::new();
+        encode_health_request(&mut wire, HealthFormat::Report);
+        encode_health_request(&mut wire, HealthFormat::Prometheus);
+        encode_health_reply(&mut wire, br#"{"status":"Healthy","causes":[]}"#);
+        encode_health_reply(&mut wire, b"lad_health_status 0\n");
+
+        let mut decoder = WireDecoder::new(6);
+        let mut cursor = Cursor::new(&wire);
+        assert_eq!(
+            decoder.poll_frame(&mut cursor).unwrap(),
+            FramePoll::Frame(WireFrame::HealthRequest {
+                format: HealthFormat::Report
+            })
+        );
+        assert_eq!(
+            decoder.poll_frame(&mut cursor).unwrap(),
+            FramePoll::Frame(WireFrame::HealthRequest {
+                format: HealthFormat::Prometheus
+            })
+        );
+        assert_eq!(
+            decoder.poll_frame(&mut cursor).unwrap(),
+            FramePoll::Frame(WireFrame::HealthReply { bytes: 32 })
+        );
+        assert_eq!(
+            decoder.health_body(),
+            br#"{"status":"Healthy","causes":[]}"#
+        );
+        // The landing buffer is reused, not appended to.
+        assert_eq!(
+            decoder.poll_frame(&mut cursor).unwrap(),
+            FramePoll::Frame(WireFrame::HealthReply { bytes: 20 })
+        );
+        assert_eq!(decoder.health_body(), b"lad_health_status 0\n");
+        assert_eq!(decoder.poll_frame(&mut cursor).unwrap(), FramePoll::Closed);
+
+        // An undefined format byte is a typed rejection.
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&WIRE_MAGIC);
+        bad.extend_from_slice(&WIRE_VERSION.to_le_bytes());
+        bad.push(6);
+        bad.push(0);
+        bad.extend_from_slice(&1u32.to_le_bytes());
+        bad.extend_from_slice(&checksum(&[9]).to_le_bytes());
+        bad.push(9);
+        assert_eq!(
+            WireDecoder::new(6)
+                .poll_frame(&mut Cursor::new(&bad))
+                .unwrap_err(),
+            WireError::InvalidEnum {
+                field: "health format",
+                found: 9
+            }
+        );
     }
 
     #[test]

@@ -16,8 +16,11 @@
 //!   drain) and the matching client used by tests, benches and
 //!   `examples/wire_serve.rs`. The server answers `StatsRequest` frames
 //!   with a JSON [`ServeStats`](lad_serve::ServeStats) telemetry snapshot
-//!   ([`WireClient::query_stats`]), and records shed / degrade / decode
-//!   error events — with the offending peer address — into the runtime's
+//!   ([`WireClient::query_stats`]) and `HealthRequest` frames with either
+//!   a JSON health report or a Prometheus text exposition
+//!   ([`WireClient::query_health`], [`WireClient::scrape_prometheus`]),
+//!   and records shed / degrade / decode error events — with the
+//!   offending peer address, sampled under pressure — into the runtime's
 //!   telemetry event ring.
 //!
 //! ```no_run
@@ -43,9 +46,9 @@ pub mod shed;
 
 pub use client::{Delivery, DeliveryStatus, WireClient};
 pub use frame::{
-    checksum, encode_ack, encode_batch, encode_nack, encode_stats_reply, encode_stats_request,
-    FrameKind, FramePoll, WireDecoder, WireError, WireFrame, HEADER_LEN, MAX_FRAME_PAYLOAD,
-    WIRE_MAGIC, WIRE_VERSION,
+    checksum, encode_ack, encode_batch, encode_health_reply, encode_health_request, encode_nack,
+    encode_stats_reply, encode_stats_request, FrameKind, FramePoll, HealthFormat, WireDecoder,
+    WireError, WireFrame, HEADER_LEN, MAX_FRAME_PAYLOAD, WIRE_MAGIC, WIRE_VERSION,
 };
 pub use server::{WireServer, WireServerConfig};
 pub use shed::{GateDecision, IngestGate, OverloadPolicy, RateLimit, ShedReason, TokenBucket};

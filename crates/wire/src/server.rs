@@ -17,10 +17,11 @@
 //! graceful [`ServeRuntime::shutdown`].
 
 use crate::frame::{
-    encode_ack, encode_nack, encode_stats_reply, FramePoll, WireDecoder, WireError, WireFrame,
+    encode_ack, encode_health_reply, encode_nack, encode_stats_reply, FramePoll, HealthFormat,
+    WireDecoder, WireError, WireFrame,
 };
 use crate::shed::{GateDecision, IngestGate, OverloadPolicy, ShedReason};
-use lad_serve::ServeRuntime;
+use lad_serve::{render_prometheus, ServeRuntime};
 use lad_telemetry::{EventKind, Stage};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -231,6 +232,16 @@ impl ConnStream for UnixStream {
     }
 }
 
+/// Per-source event sampling rate for flood-prone kinds (Shed / Degrade):
+/// a connection's **first** such event is always recorded — the transition
+/// into overload is the high-signal moment — then every Nth after it.
+/// Skipped events are one relaxed counter add
+/// ([`lad_telemetry::EventRing::note_sampled_out`]): no `String`
+/// formatting, no ring lock, so a NACK flood cannot make the event ring
+/// itself part of the overload. True rates live in the counters; the ring
+/// only carries exemplars.
+const EVENT_SAMPLE_EVERY: u64 = 16;
+
 /// One connection's read-decode-gate-submit loop.
 fn serve_conn<S: ConnStream>(shared: &ServerShared, mut stream: S) {
     if stream.set_read_timeout_(shared.poll_interval).is_err() {
@@ -248,6 +259,10 @@ fn serve_conn<S: ConnStream>(shared: &ServerShared, mut stream: S) {
     let mut decoder = WireDecoder::new(runtime.group_count());
     let mut gate = IngestGate::new(shared.policy);
     let mut out = Vec::new();
+    // Per-source (per-connection) occurrence counts driving the
+    // first-then-every-Nth event sampling.
+    let mut shed_seen = 0u64;
+    let mut degrade_seen = 0u64;
     let epoch = Instant::now();
     // Once the shutdown flag is seen, a partial frame gets until `deadline`
     // to finish arriving (it will be NACKed `Draining`) before the
@@ -312,14 +327,28 @@ fn serve_conn<S: ConnStream>(shared: &ServerShared, mut stream: S) {
                     }
                     GateDecision::Degrade => {
                         runtime.submit_rows_degraded(round, decoder.nodes(), decoder.batch());
-                        telemetry.event(EventKind::Degrade, round, rows as u64, 0, &peer);
+                        if telemetry.enabled() {
+                            degrade_seen += 1;
+                            if (degrade_seen - 1).is_multiple_of(EVENT_SAMPLE_EVERY) {
+                                telemetry.event(EventKind::Degrade, round, rows as u64, 0, &peer);
+                            } else {
+                                telemetry.ring().note_sampled_out(1);
+                            }
+                        }
                         encode_ack(&mut out, round, rows, true);
                     }
                     GateDecision::Shed(reason) => {
                         runtime.record_shed(rows as u64);
                         if telemetry.enabled() {
-                            let detail = format!("{peer} {reason:?}");
-                            telemetry.event(EventKind::Shed, round, rows as u64, 0, &detail);
+                            shed_seen += 1;
+                            if (shed_seen - 1).is_multiple_of(EVENT_SAMPLE_EVERY) {
+                                let detail = format!("{peer} {reason:?}");
+                                telemetry.event(EventKind::Shed, round, rows as u64, 0, &detail);
+                            } else {
+                                // The flood path: one relaxed add, no
+                                // allocation, no lock.
+                                telemetry.ring().note_sampled_out(1);
+                            }
                         }
                         let c = runtime.counters();
                         encode_nack(&mut out, round, rows, reason, c.shed, c.degraded);
@@ -336,6 +365,24 @@ fn serve_conn<S: ConnStream>(shared: &ServerShared, mut stream: S) {
                 out.clear();
                 let json = runtime.stats().to_json();
                 encode_stats_reply(&mut out, json.as_bytes());
+                if stream.write_all(&out).is_err() {
+                    return;
+                }
+            }
+            // The health query (also answered while draining): refresh the
+            // drift verdict first — the accumulator fold rides the shard
+            // queues, so like `sync` it waits behind in-flight batches —
+            // then answer in the asked-for encoding.
+            Ok(FramePoll::Frame(WireFrame::HealthRequest { format })) => {
+                decode_span.stop();
+                out.clear();
+                runtime.refresh_drift();
+                let stats = runtime.stats();
+                let body = match format {
+                    HealthFormat::Report => stats.health.to_json(),
+                    HealthFormat::Prometheus => render_prometheus(&stats),
+                };
+                encode_health_reply(&mut out, body.as_bytes());
                 if stream.write_all(&out).is_err() {
                     return;
                 }

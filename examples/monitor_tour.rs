@@ -1,0 +1,337 @@
+//! A tour of the detection-health monitor: the windowed time-series, the
+//! score-drift watch, and the scrapeable health export — driven through
+//! the two failure modes they are built to tell apart.
+//!
+//! Every sequential threshold in this system is calibrated against a
+//! clean-score substrate, and its false-alarm guarantee dies silently
+//! when that substrate moves. The monitor answers the operator question
+//! *"is my detector still the one I calibrated?"* with two decoupled
+//! verdicts:
+//!
+//! * **Act 1 — an attack.** Alarms surge, so the observed alarm rate
+//!   leaves its calibrated band (`AlarmRateOutOfBand`) — but alarming
+//!   rounds are excluded from the clean accumulator, so the KS distance
+//!   moves only as far as the attacker's *pre-alarm* leakage lets it.
+//!   The right response is *respond*, not recalibrate.
+//! * **Act 2 — a deployment-noise (σ) mismatch.** The same engine serves
+//!   a network whose placement noise doubled. Non-alarming scores
+//!   themselves shift, the streaming KS against the versioned
+//!   [`DriftBaseline`] crosses its tolerance (`ScoreDrift`), and health
+//!   transitions to `Drifting`: *recalibrate*.
+//!
+//! Both verdicts are derived state — nothing in the pipeline ever reads
+//! them, so the alarm stream is bit-identical monitor on or off
+//! (`tests/serve_determinism.rs` asserts that).
+//!
+//! ```text
+//! cargo run --release --example monitor_tour            # full demo
+//! cargo run --release --example monitor_tour -- --smoke # CI-sized
+//! ```
+
+use lad::prelude::*;
+use std::sync::Arc;
+
+/// Prints the tail of the windowed time-series as a rate table.
+fn print_windows(series: &SeriesSnapshot, tail: usize) {
+    println!(
+        "  {:>4} {:>9} {:>7} {:>11} {:>5} {:>8} {:>13}",
+        "win", "processed", "alarms", "alarm-rate", "shed", "µ-hit%", "score p99 ns"
+    );
+    let skip = series.windows.len().saturating_sub(tail);
+    for w in series.windows.iter().skip(skip) {
+        println!(
+            "  {:>4} {:>9} {:>7} {:>11.4} {:>5} {:>8.1} {:>13}",
+            w.index,
+            w.processed,
+            w.alarms,
+            w.alarm_rate(),
+            w.shed,
+            w.mu_cache_hit_rate * 100.0,
+            w.stage(Stage::Score).map_or(0, |s| s.p99_nanos),
+        );
+    }
+    if series.windows_dropped > 0 {
+        println!(
+            "  ({} older windows evicted from the bounded ring)",
+            series.windows_dropped
+        );
+    }
+}
+
+fn print_drift(drift: &DriftSnapshot) {
+    println!(
+        "  drift: ks {:.4} vs tolerance {:.4} ({}) | far {:.4} vs {:.4} ± {:.4} ({}) | \
+         {} clean scores, {} evaluations, {} flagged",
+        drift.ks,
+        drift.ks_tolerance,
+        if drift.drifting { "DRIFTING" } else { "ok" },
+        drift.observed_far,
+        drift.target_far,
+        drift.far_band,
+        if drift.far_out_of_band {
+            "OUT OF BAND"
+        } else {
+            "ok"
+        },
+        drift.clean_scores,
+        drift.evaluations,
+        drift.flagged,
+    );
+}
+
+fn main() {
+    let mut smoke = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            other => {
+                eprintln!("unknown argument: {other} (try --smoke)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let (population, warmup, clean_rounds, attack_rounds, drift_rounds) = if smoke {
+        (96, 12, 8, 12, 16)
+    } else {
+        (256, 24, 16, 28, 28)
+    };
+    let target_far = 0.005;
+
+    // ── Offline: engine, deployment, detector — and the drift baseline. ──
+    let engine = Arc::new(
+        LadEngine::builder()
+            .deployment(&DeploymentConfig::small_test())
+            .metrics(&MetricKind::ALL)
+            .score_only()
+            .build()
+            .expect("engine builds"),
+    );
+    let network = Network::generate(engine.knowledge().clone(), 0x5EED);
+    let stride = (network.node_count() as u32 / population as u32).max(1);
+    let nodes: Vec<NodeId> = (0..population as u32)
+        .map(|i| NodeId((i * stride) % network.node_count() as u32))
+        .collect();
+    let clean = TrafficModel::clean(&network, &engine, nodes.clone(), 0xC1EA);
+    let streams = clean.score_streams(&network, &engine, MetricKind::Diff, 0..warmup);
+    let detector =
+        SequentialDetector::calibrate_cusum(streams.iter().map(Vec::as_slice), target_far);
+
+    // The baseline rides the same calibration streams as the detector.
+    // Tolerance calibration per the README: measure the clean-vs-clean
+    // self-distance (a *time* split — early vs late rounds of the same
+    // node streams — so the halves are exchangeable) and sit a safety
+    // factor above that noise floor.
+    let first = DriftBaseline::capture(
+        MetricKind::Diff,
+        target_far,
+        streams.iter().map(|s| &s[..s.len() / 2]),
+    );
+    let second = DriftBaseline::capture(
+        MetricKind::Diff,
+        target_far,
+        streams.iter().map(|s| &s[s.len() / 2..]),
+    );
+    let self_ks = lad::stats::streaming_ks(&first.scores, &second.scores);
+    let tolerance = (4.0 * self_ks).max(0.06);
+    let baseline = DriftBaseline::capture(
+        MetricKind::Diff,
+        target_far,
+        streams.iter().map(Vec::as_slice),
+    );
+    // Round-trip through the versioned JSON artifact, as a deployment
+    // restoring it from disk would.
+    let baseline = DriftBaseline::from_json(&baseline.to_json()).expect("baseline round-trips");
+    println!(
+        "calibrated: {} clean scores, target FAR {target_far}, split-half self-KS {self_ks:.4} \
+         → KS tolerance {tolerance:.4}",
+        baseline.scores.count(),
+    );
+
+    // ── Act 1: attack — the FAR axis flags, the KS axis stays clean. ──
+    println!("\n=== act 1: attack (respond, don't recalibrate) ===");
+    let monitor = DriftMonitorConfig::new(baseline.clone(), tolerance);
+    let runtime = Arc::new(
+        ServeRuntime::start(
+            engine.clone(),
+            ServeConfig::new(MetricKind::Diff, detector)
+                .with_shards(2)
+                .with_drift_monitor(monitor)
+                // window_nanos = 0: one window per stats tick, so the
+                // series is round-driven and deterministic to read.
+                .with_stats_window(0, 128),
+        )
+        .expect("runtime starts"),
+    );
+    let server = lad::wire::WireServer::start(
+        runtime.clone(),
+        lad::wire::WireServerConfig::tcp("127.0.0.1:0"),
+    )
+    .expect("server binds");
+    let mut client =
+        WireClient::connect_tcp(server.tcp_addr().expect("tcp bound")).expect("client connects");
+
+    let attack_onset = clean_rounds as u64;
+    let traffic = clean.with_attack(
+        AttackTimeline::Onset { at: attack_onset },
+        AttackConfig {
+            degree_of_damage: 150.0,
+            compromised_fraction: 0.2,
+            class: AttackClass::DecBounded,
+            targeted_metric: MetricKind::Diff,
+        },
+        0.5,
+    );
+    let mut batch_nodes = Vec::new();
+    let mut rows = lad::net::ObservationBatch::new(engine.knowledge().group_count());
+    let mut last_status = HealthStatus::Healthy;
+    for round in 0..attack_onset + attack_rounds as u64 {
+        traffic.round_rows(&network, round, &mut batch_nodes, &mut rows);
+        client
+            .send_rows(round, &batch_nodes, &rows)
+            .expect("receipt arrives");
+        if round + 1 == attack_onset {
+            // End of the clean phase: the monitor must be quiet.
+            runtime.sync();
+            let verdict = runtime.refresh_drift();
+            assert!(
+                !verdict.flagging(),
+                "clean warm-up must not flag (ks={}, far={})",
+                verdict.ks,
+                verdict.observed_far
+            );
+            println!("round {round:>3}: clean phase ends, monitor quiet");
+            print_drift(&verdict);
+        }
+        runtime.refresh_drift();
+        let stats = runtime.stats(); // closes one series window per round
+        if stats.health.status != last_status {
+            println!(
+                "round {round:>3}: health {} -> {}",
+                last_status.name(),
+                stats.health.status.name()
+            );
+            for cause in &stats.health.causes {
+                println!("             cause: {cause}");
+            }
+            last_status = stats.health.status;
+        }
+    }
+    runtime.sync();
+    runtime.refresh_drift();
+
+    // The health query rides the same socket the reports used.
+    let report_json = client
+        .query_health(HealthFormat::Report)
+        .expect("health reply arrives");
+    let report: HealthReport =
+        lad::serve::ServeStats::from_json(&client.query_stats().expect("stats reply"))
+            .expect("stats parse")
+            .health;
+    println!(
+        "wire health report ({} bytes): status {}",
+        report_json.len(),
+        report.status.name()
+    );
+
+    let stats = runtime.stats();
+    println!("window history (tail):");
+    print_windows(&stats.series, 8);
+    print_drift(&stats.drift);
+    assert!(stats.drift.enabled);
+    assert!(
+        stats.drift.far_out_of_band,
+        "the attack must push the alarm rate out of its calibrated band \
+         (far={}, target={}, band={})",
+        stats.drift.observed_far, stats.drift.target_far, stats.drift.far_band
+    );
+    assert_eq!(stats.health.status, HealthStatus::Drifting);
+    // Alarming rounds are excluded from the clean accumulator, so the KS
+    // axis only moves as far as the attacker's *pre-alarm* leakage — a
+    // bounded (stealthy) attack nudges it, but the FAR axis is what fires
+    // first and hardest.
+    println!(
+        "verdict: alarm rate out of band after {} attack round(s); KS moved {:.4} \
+         (pre-alarm leakage only) → respond",
+        attack_rounds, stats.drift.ks
+    );
+
+    server.shutdown();
+    let runtime = Arc::into_inner(runtime).expect("server released its runtime handle");
+    runtime.shutdown();
+
+    // ── Act 2: σ-mismatch — the KS axis flags. ──
+    println!("\n=== act 2: deployment σ-mismatch (recalibrate) ===");
+    // The engine still believes σ = 50 (small_test), but the field
+    // deployment drifted to σ = 100: honest traffic, shifted scores.
+    let drifted_config = DeploymentConfig::small_test().with_sigma(100.0);
+    let drifted_network = Network::generate(DeploymentKnowledge::shared(&drifted_config), 0x5EED);
+    let drifted_traffic = TrafficModel::clean(&drifted_network, &engine, nodes, 0xD81F);
+    let monitor = DriftMonitorConfig::new(baseline, tolerance).with_min_samples(64);
+    let runtime = Arc::new(
+        ServeRuntime::start(
+            engine.clone(),
+            ServeConfig::new(MetricKind::Diff, detector)
+                .with_shards(2)
+                .with_drift_monitor(monitor)
+                .with_stats_window(0, 128),
+        )
+        .expect("runtime starts"),
+    );
+    let server = lad::wire::WireServer::start(
+        runtime.clone(),
+        lad::wire::WireServerConfig::tcp("127.0.0.1:0"),
+    )
+    .expect("server binds");
+    let mut client =
+        WireClient::connect_tcp(server.tcp_addr().expect("tcp bound")).expect("client connects");
+
+    let mut flagged_at = None;
+    for round in 0..drift_rounds as u64 {
+        drifted_traffic.round_rows(&drifted_network, round, &mut batch_nodes, &mut rows);
+        client
+            .send_rows(round, &batch_nodes, &rows)
+            .expect("receipt arrives");
+        runtime.sync();
+        let verdict = runtime.refresh_drift();
+        runtime.stats();
+        if verdict.drifting && flagged_at.is_none() {
+            flagged_at = Some(round);
+            println!("round {round:>3}: KS crossed tolerance");
+            print_drift(&verdict);
+        }
+    }
+    let rounds_to_flag =
+        flagged_at.expect("σ-mismatch must flag as score drift within the horizon");
+    println!("score drift flagged after {} round(s)", rounds_to_flag + 1);
+
+    // One Prometheus scrape over the wire: the full exposition a bridge
+    // would forward, excerpted to the health and drift families.
+    let scrape = client.scrape_prometheus().expect("scrape arrives");
+    println!("prometheus scrape excerpt ({} bytes total):", scrape.len());
+    for line in scrape
+        .lines()
+        .filter(|l| !l.starts_with('#') && (l.contains("drift") || l.contains("health")))
+    {
+        println!("  {line}");
+    }
+    let stats = runtime.stats();
+    assert_eq!(stats.health.status, HealthStatus::Drifting);
+    assert!(
+        stats
+            .health
+            .causes
+            .iter()
+            .any(|c| matches!(c, HealthCause::ScoreDrift { .. })),
+        "health must attribute the drift to the score substrate"
+    );
+    assert!(scrape.contains("lad_drift_ks"));
+    println!("verdict: clean-score substrate moved → recalibrate");
+
+    server.shutdown();
+    let runtime = Arc::into_inner(runtime).expect("server released its runtime handle");
+    let report = runtime.shutdown();
+    println!(
+        "\nclean shutdown: {} reports processed, {} alarms",
+        report.counters.processed, report.counters.alarms
+    );
+}

@@ -253,6 +253,81 @@ fn telemetry_never_changes_alarms_or_states() {
     }
 }
 
+#[test]
+fn drift_monitor_never_changes_alarms_or_states() {
+    // The drift monitor is the same kind of derived state as telemetry:
+    // shards feed clean scores into side accumulators and `refresh_drift`
+    // folds them, but no decision ever reads the verdict. The alarm set
+    // and final detector states must be bit-identical with a monitor
+    // attached (and actively polled) and without one, at every shard
+    // count.
+    let engine = engine();
+    let network = Network::generate(engine.knowledge().clone(), 0xD3B);
+    let nodes: Vec<NodeId> = (0..64u32).map(|i| NodeId(i * 9)).collect();
+    let clean = TrafficModel::clean(&network, &engine, nodes, 0xFACADE);
+    let traffic = clean.with_attack(
+        AttackTimeline::Onset { at: 6 },
+        AttackConfig {
+            degree_of_damage: 150.0,
+            compromised_fraction: 0.2,
+            class: AttackClass::DecBounded,
+            targeted_metric: MetricKind::Diff,
+        },
+        0.4,
+    );
+    let streams = clean.score_streams(&network, &engine, MetricKind::Diff, 0..16);
+    let detector = SequentialDetector::calibrate_cusum(streams.iter().map(Vec::as_slice), 0.01);
+    let baseline =
+        DriftBaseline::capture(MetricKind::Diff, 0.01, streams.iter().map(Vec::as_slice));
+    let rounds = 20;
+
+    let run = |shards: usize, monitor: bool| {
+        let mut config = ServeConfig::new(MetricKind::Diff, detector)
+            .with_shards(shards)
+            .with_stats_window(0, 16);
+        if monitor {
+            config = config.with_drift_monitor(DriftMonitorConfig::new(baseline.clone(), 0.2));
+        }
+        let runtime = ServeRuntime::start(engine.clone(), config).expect("runtime starts");
+        for round in 0..rounds {
+            runtime.submit_batch(round, traffic.round(&network, round));
+            // Poll the monitor *while* traffic is in flight: the fold
+            // message rides the same shard queues as the batches, so this
+            // is the racy interleaving that must not perturb anything.
+            runtime.refresh_drift();
+            runtime.stats();
+        }
+        let mut alarms: Vec<(u32, u64)> = runtime
+            .drain_alarms()
+            .into_iter()
+            .map(|a| (a.node.0, a.round))
+            .collect();
+        alarms.sort_unstable();
+        let stats = runtime.stats();
+        assert_eq!(stats.drift.enabled, monitor);
+        if !monitor {
+            assert_eq!(stats.drift.evaluations, 0);
+        }
+        (alarms, runtime.shutdown().snapshot)
+    };
+
+    let (baseline_alarms, baseline_snapshot) = run(1, false);
+    assert!(!baseline_alarms.is_empty(), "the attack must alarm");
+    for shards in [1usize, 2, 8] {
+        for monitor in [false, true] {
+            let (alarms, snapshot) = run(shards, monitor);
+            assert_eq!(
+                baseline_alarms, alarms,
+                "alarm set differs at {shards} shards, monitor={monitor}"
+            );
+            assert_eq!(
+                baseline_snapshot.states, snapshot.states,
+                "final states differ at {shards} shards, monitor={monitor}"
+            );
+        }
+    }
+}
+
 /// Runs the full closed loop at a given shard count and returns the
 /// complete journalled alarm records sorted by `(node, round)` — every
 /// field, not just the key — the final revocation list, and the

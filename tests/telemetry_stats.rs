@@ -110,6 +110,124 @@ fn stats_query_under_load_is_coherent_and_accumulates() {
 }
 
 #[test]
+fn health_frames_answer_in_both_formats_over_the_wire() {
+    let (engine, network, traffic, detector) = scenario();
+    let streams = traffic.score_streams(&network, &engine, MetricKind::Diff, 0..8);
+    let baseline =
+        DriftBaseline::capture(MetricKind::Diff, 0.01, streams.iter().map(Vec::as_slice));
+    let runtime = Arc::new(
+        ServeRuntime::start(
+            engine.clone(),
+            ServeConfig::new(MetricKind::Diff, detector)
+                .with_shards(2)
+                .with_drift_monitor(DriftMonitorConfig::new(baseline, 0.5)),
+        )
+        .expect("runtime starts"),
+    );
+    let server = WireServer::start(runtime.clone(), WireServerConfig::tcp("127.0.0.1:0"))
+        .expect("server binds");
+    let mut client =
+        WireClient::connect_tcp(server.tcp_addr().expect("tcp bound")).expect("client connects");
+
+    let mut nodes = Vec::new();
+    let mut rows = lad::net::ObservationBatch::new(engine.knowledge().group_count());
+    for round in 0..4u64 {
+        traffic.round_rows(&network, round, &mut nodes, &mut rows);
+        let receipt = client.send_rows(round, &nodes, &rows).expect("receipt");
+        assert!(matches!(receipt.status, DeliveryStatus::Accepted { .. }));
+    }
+    runtime.sync();
+
+    // Report format: a JSON HealthReport, parseable with the same serde
+    // shape the stats embed. Serving the frame refreshes the drift fold,
+    // so the verdict reflects the traffic that just flowed.
+    let body = client
+        .query_health(HealthFormat::Report)
+        .expect("health reply");
+    let report: HealthReport =
+        serde_json::from_str(&String::from_utf8(body).expect("utf-8 health body"))
+            .expect("health report parses");
+    assert_eq!(
+        report.status,
+        HealthStatus::Healthy,
+        "clean traffic at a generous tolerance"
+    );
+
+    // Prometheus format: the full exposition, scrape-ready. Spot-check
+    // the families against a directly rendered snapshot.
+    let scrape = client.scrape_prometheus().expect("scrape arrives");
+    for family in [
+        "# TYPE lad_reports_processed_total counter",
+        "lad_stats_version",
+        "lad_drift_monitor_enabled 1",
+        "lad_health_status 0",
+        "lad_drift_ks",
+    ] {
+        assert!(scrape.contains(family), "scrape missing {family:?}");
+    }
+    let direct = render_prometheus(&runtime.stats());
+    assert!(direct.contains("lad_reports_processed_total"));
+
+    // The drift fold ran at least twice (once per health frame).
+    let stats = runtime.stats();
+    assert!(stats.drift.enabled);
+    assert!(stats.drift.clean_scores > 0, "clean scores must accumulate");
+
+    server.shutdown();
+    let runtime = Arc::into_inner(runtime).expect("server released its runtime handle");
+    runtime.shutdown();
+}
+
+#[test]
+fn shed_floods_sample_their_events_instead_of_recording_every_nack() {
+    let (engine, network, traffic, detector) = scenario();
+    let runtime = Arc::new(
+        ServeRuntime::start(engine.clone(), ServeConfig::new(MetricKind::Diff, detector))
+            .expect("runtime starts"),
+    );
+    // shed_depth 0: every batch is NACKed Overloaded — a flood of 50
+    // batches on one connection is 50 shed decisions.
+    let server = WireServer::start(
+        runtime.clone(),
+        WireServerConfig::tcp("127.0.0.1:0")
+            .with_policy(OverloadPolicy::default().with_shed_depth(0)),
+    )
+    .expect("server binds");
+    let mut client =
+        WireClient::connect_tcp(server.tcp_addr().expect("tcp bound")).expect("client connects");
+
+    let mut nodes = Vec::new();
+    let mut rows = lad::net::ObservationBatch::new(engine.knowledge().group_count());
+    let floods = 50u64;
+    for round in 0..floods {
+        traffic.round_rows(&network, round % 8, &mut nodes, &mut rows);
+        let receipt = client.send_rows(round, &nodes, &rows).expect("receipt");
+        assert!(matches!(receipt.status, DeliveryStatus::Shed { .. }));
+    }
+
+    // Sampled: the first shed on the connection is recorded, then every
+    // 16th — the other 46 are one relaxed counter add each (no event
+    // alloc, no ring lock) so a NACK flood cannot make telemetry the
+    // bottleneck, and the ring keeps room for rarer events.
+    let stats = runtime.stats();
+    let shed_events = stats
+        .telemetry
+        .events
+        .iter()
+        .filter(|e| e.kind == EventKind::Shed)
+        .count() as u64;
+    assert_eq!(shed_events, floods.div_ceil(16), "1 + every 16th recorded");
+    assert_eq!(stats.telemetry.events_sampled_out, floods - shed_events);
+    assert_eq!(stats.counters.shed, floods * nodes.len() as u64);
+    // The sampled-out tally is first-class in the export.
+    assert!(render_prometheus(&stats).contains("lad_events_sampled_out_total"));
+
+    server.shutdown();
+    let runtime = Arc::into_inner(runtime).expect("server released its runtime handle");
+    runtime.shutdown();
+}
+
+#[test]
 fn disabled_telemetry_still_answers_the_stats_frame() {
     let (engine, network, traffic, detector) = scenario();
     let runtime = Arc::new(
